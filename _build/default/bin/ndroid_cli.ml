@@ -1,0 +1,391 @@
+(* The ndroid command-line tool: run scenario apps under any analysis
+   configuration, print detection matrices, run the market study, and drive
+   apps with random input.
+
+     ndroid list
+     ndroid run QQPhoneBook3.5 --mode ndroid --log
+     ndroid matrix
+     ndroid study --total 50000
+     ndroid monkey --seeds 30 --events 80
+*)
+
+module H = Ndroid_apps.Harness
+module M = Ndroid_apps.Monkey
+module A = Ndroid_android
+module Market = Ndroid_corpus.Market
+module Stats = Ndroid_corpus.Stats
+
+let registry : H.app list =
+  Ndroid_apps.Cases.all @ Ndroid_apps.Case_studies.all
+  @ Ndroid_apps.Polymorphic.variants @ Ndroid_apps.Sec6_batch.apps
+  @ [ Ndroid_apps.Evasion.app; M.gated_app.M.app ]
+  |> List.fold_left
+       (fun acc a ->
+         if List.exists (fun b -> b.H.app_name = a.H.app_name) acc then acc
+         else a :: acc)
+       []
+  |> List.rev
+
+let find_app name =
+  match List.find_opt (fun a -> a.H.app_name = name) registry with
+  | Some app -> Ok app
+  | None ->
+    Error
+      (Printf.sprintf "unknown app %S; try one of: %s" name
+         (String.concat ", " (List.map (fun a -> a.H.app_name) registry)))
+
+let mode_of_string = function
+  | "vanilla" -> Ok H.Vanilla
+  | "taintdroid" -> Ok H.Taintdroid_only
+  | "droidscope" -> Ok H.Droidscope_mode
+  | "ndroid" -> Ok H.Ndroid_full
+  | s -> Error (Printf.sprintf "unknown mode %S" s)
+
+(* ---- commands ---- *)
+
+let cmd_list () =
+  List.iter
+    (fun a -> Printf.printf "%-22s [%s] %s\n" a.H.app_name a.H.app_case a.H.description)
+    registry;
+  0
+
+let run_with_policy mode block app =
+  if not block then H.run mode app
+  else begin
+    (* boot manually so the Block policy is set before the app runs *)
+    let device = H.boot app in
+    let nd =
+      match mode with
+      | H.Ndroid_full -> Some (Ndroid_core.Ndroid.attach device)
+      | H.Vanilla ->
+        Ndroid_taintdroid.Taintdroid.vanilla device;
+        None
+      | H.Taintdroid_only ->
+        ignore (Ndroid_taintdroid.Taintdroid.attach device);
+        None
+      | H.Droidscope_mode ->
+        ignore (Ndroid_core.Droidscope.attach device);
+        None
+    in
+    A.Sink_monitor.set_policy
+      (Ndroid_runtime.Device.monitor device)
+      A.Sink_monitor.Block;
+    (try
+       ignore
+         (Ndroid_runtime.Device.run device (fst app.H.entry) (snd app.H.entry) [||])
+     with Ndroid_dalvik.Vm.Java_throw _ -> ());
+    let leaks = A.Sink_monitor.leaks (Ndroid_runtime.Device.monitor device) in
+    { H.mode;
+      detected = leaks <> [];
+      leaks;
+      flow_log =
+        (match nd with
+         | Some n -> Ndroid_core.Flow_log.entries (Ndroid_core.Ndroid.log n)
+         | None -> []);
+      stats = (match nd with Some n -> Some (Ndroid_core.Ndroid.stats n) | None -> None);
+      transmissions =
+        A.Network.transmissions (Ndroid_runtime.Device.net device);
+      file_writes = A.Filesystem.writes (Ndroid_runtime.Device.fs device);
+      device;
+      analysis = nd }
+  end
+
+let cmd_run name mode_s show_log report block =
+  match (find_app name, mode_of_string mode_s) with
+  | Error e, _ | _, Error e ->
+    prerr_endline e;
+    1
+  | Ok app, Ok mode when report -> (
+    let o = run_with_policy mode block app in
+    match o.H.analysis with
+    | Some nd ->
+      Ndroid_core.Report.print ~app_name:app.H.app_name
+        ~transmissions:o.H.transmissions ~file_writes:o.H.file_writes nd;
+      0
+    | None ->
+      prerr_endline "--report needs --mode ndroid";
+      1)
+  | Ok app, Ok mode ->
+    let o = run_with_policy mode block app in
+    Printf.printf "app:      %s [%s]\n" app.H.app_name app.H.app_case;
+    Printf.printf "analysis: %s\n" (H.mode_name mode);
+    Printf.printf "detected: %b\n" o.H.detected;
+    List.iter
+      (fun l -> Format.printf "leak: %a@." A.Sink_monitor.pp_leak l)
+      o.H.leaks;
+    List.iter
+      (fun t ->
+        Printf.printf "traffic to %s (%d bytes)\n" t.A.Network.dest
+          (String.length t.A.Network.payload))
+      o.H.transmissions;
+    List.iter
+      (fun w -> Printf.printf "file write: %s\n" w.A.Filesystem.w_path)
+      o.H.file_writes;
+    (match o.H.stats with
+     | Some s -> Format.printf "stats: %a@." Ndroid_core.Ndroid.pp_stats s
+     | None -> ());
+    if show_log && o.H.flow_log <> [] then begin
+      print_endline "--- flow log ---";
+      List.iter print_endline o.H.flow_log
+    end;
+    0
+
+let cmd_matrix () =
+  Printf.printf "%-22s %-9s %-11s %-11s %s\n" "app" "vanilla" "TaintDroid"
+    "DroidScope" "NDroid";
+  List.iter
+    (fun app ->
+      let d mode = if (H.run mode app).H.detected then "detect" else "miss" in
+      Printf.printf "%-22s %-9s %-11s %-11s %s\n%!" app.H.app_name (d H.Vanilla)
+        (d H.Taintdroid_only) (d H.Droidscope_mode) (d H.Ndroid_full))
+    registry;
+  0
+
+let cmd_study total =
+  let params =
+    match total with Some n -> Market.scaled n | None -> Market.default_params
+  in
+  let s = Stats.summarize (Market.generate params) in
+  Format.printf "%a@.%a@." Stats.pp_summary s Stats.pp_fig2 s;
+  0
+
+let cmd_disasm name =
+  match find_app name with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok app ->
+    let device = Ndroid_runtime.Device.create () in
+    Ndroid_runtime.Device.install_classes device app.H.classes;
+    let extern n =
+      match
+        Ndroid_runtime.Device.Machine.host_fn_addr
+          (Ndroid_runtime.Device.machine device) n
+      with
+      | a -> Some a
+      | exception Not_found -> None
+    in
+    List.iter
+      (fun (lib_name, prog) ->
+        Printf.printf "library %s (%s, %d bytes at 0x%x):\n" lib_name
+          (match Ndroid_arm.Asm.mode prog with
+           | Ndroid_arm.Cpu.Arm -> "ARM"
+           | Ndroid_arm.Cpu.Thumb -> "Thumb")
+          (Ndroid_arm.Asm.size prog) (Ndroid_arm.Asm.base prog);
+        Format.printf "%a@." Ndroid_arm.Disasm.pp_listing
+          (Ndroid_arm.Disasm.program prog))
+      (app.H.build_libs extern);
+    0
+
+let cmd_scan total =
+  let params = Market.scaled total in
+  Printf.printf "materializing and scanning %d APKs at the artifact level...\n%!"
+    params.Market.total;
+  let module Apk = Ndroid_corpus.Apk in
+  let module Classifier = Ndroid_corpus.Classifier in
+  let counts = Hashtbl.create 8 in
+  Seq.iter
+    (fun app ->
+      let verdict = Apk.classify (Apk.of_app_model app) in
+      let key = Classifier.classification_name verdict in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    (Market.generate params);
+  Hashtbl.iter (fun k v -> Printf.printf "  %-20s %d\n" k v) counts;
+  0
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  data
+
+let cmd_pack name dir =
+  match find_app name with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok app ->
+    let device = Ndroid_runtime.Device.create () in
+    Ndroid_runtime.Device.install_classes device app.H.classes;
+    let extern n =
+      match
+        Ndroid_runtime.Device.Machine.host_fn_addr
+          (Ndroid_runtime.Device.machine device) n
+      with
+      | a -> Some a
+      | exception Not_found -> None
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let dex_path = Filename.concat dir "classes.dex" in
+    write_file dex_path (Ndroid_dalvik.Dexfile.to_string app.H.classes);
+    Printf.printf "wrote %s\n" dex_path;
+    List.iter
+      (fun (lib_name, prog) ->
+        let so_path = Filename.concat dir ("lib" ^ lib_name ^ ".so") in
+        write_file so_path (Ndroid_arm.Sofile.to_string prog);
+        Printf.printf "wrote %s\n" so_path)
+      (app.H.build_libs extern);
+    0
+
+let cmd_classify dir =
+  match Sys.readdir dir with
+  | exception Sys_error e ->
+    prerr_endline e;
+    1
+  | names ->
+    let entries =
+      Array.to_list names
+      |> List.filter_map (fun n ->
+             let path = Filename.concat dir n in
+             if Sys.is_directory path then None
+             else
+               let key =
+                 if Filename.check_suffix n ".so" then "lib/armeabi/" ^ n else n
+               in
+               Some (key, read_file path))
+    in
+    let apk = { Ndroid_corpus.Apk.apk_package = dir; entries } in
+    (match Ndroid_corpus.Apk.classify apk with
+     | verdict ->
+       Printf.printf "%s: %s\n" dir
+         (Ndroid_corpus.Classifier.classification_name verdict);
+       List.iter
+         (fun (p, data) -> Printf.printf "  %-28s %6d bytes\n" p (String.length data))
+         entries;
+       0
+     | exception Ndroid_dalvik.Dexfile.Bad_dex m ->
+       Printf.printf "corrupt dex: %s\n" m;
+       1)
+
+let cmd_dump name =
+  match find_app name with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok app ->
+    Format.printf "%a" Ndroid_dalvik.Dexdump.pp_classes app.H.classes;
+    let natives = Ndroid_dalvik.Dexdump.native_methods app.H.classes in
+    Printf.printf "native method declarations (%d):\n" (List.length natives);
+    List.iter
+      (fun (c, m, sym) -> Printf.printf "  %s->%s  ->  %s\n" c m sym)
+      natives;
+    0
+
+let cmd_monkey seeds events =
+  let found =
+    M.discovery_rate ~seeds ~events ~mode:H.Ndroid_full M.gated_app
+  in
+  Printf.printf "random input:   %d/%d seeds triggered the gated leak (%d events each)\n"
+    found seeds events;
+  let r = M.drive_script ~script:M.gated_script ~mode:H.Ndroid_full M.gated_app in
+  Printf.printf "directed input: %s -> leak %b\n"
+    (String.concat " -> " M.gated_script)
+    r.M.leaked;
+  0
+
+(* ---- cmdliner wiring ---- *)
+
+open Cmdliner
+
+let mode_arg =
+  Arg.(value & opt string "ndroid"
+       & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Analysis configuration: vanilla, taintdroid, droidscope or ndroid.")
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled scenario and case-study apps.")
+    Term.(const cmd_list $ const ())
+
+let run_cmd =
+  let app_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"APP")
+  in
+  let log_arg =
+    Arg.(value & flag & info [ "log" ] ~doc:"Print NDroid's flow log.")
+  in
+  let report_arg =
+    Arg.(value & flag
+         & info [ "report" ] ~doc:"Print a full triage report (ndroid mode).")
+  in
+  let block_arg =
+    Arg.(value & flag
+         & info [ "block" ]
+             ~doc:"Enforce: suppress or scrub tainted data at sinks.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one app under an analysis configuration.")
+    Term.(const cmd_run $ app_arg $ mode_arg $ log_arg $ report_arg $ block_arg)
+
+let matrix_cmd =
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:"Print the Table I detection matrix over every bundled app.")
+    Term.(const cmd_matrix $ const ())
+
+let study_cmd =
+  let total_arg =
+    Arg.(value & opt (some int) None
+         & info [ "total" ] ~docv:"N"
+             ~doc:"Corpus size (default: the paper's 227,911).")
+  in
+  Cmd.v (Cmd.info "study" ~doc:"Run the Sec. III market study.")
+    Term.(const cmd_study $ total_arg)
+
+let monkey_cmd =
+  let seeds = Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N") in
+  let events = Arg.(value & opt int 60 & info [ "events" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "monkey"
+       ~doc:"Drive the gated demo app with random vs. directed input (Sec. VI).")
+    Term.(const cmd_monkey $ seeds $ events)
+
+let disasm_cmd =
+  let app_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"APP") in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble an app's native libraries.")
+    Term.(const cmd_disasm $ app_arg)
+
+let pack_cmd =
+  let app_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"APP") in
+  let dir_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:"Write an app's classes.dex and lib*.so artifacts to a directory.")
+    Term.(const cmd_pack $ app_arg $ dir_arg)
+
+let classify_cmd =
+  let dir_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Classify a packed app directory by parsing its artifacts.")
+    Term.(const cmd_classify $ dir_arg)
+
+let scan_cmd =
+  let total = Arg.(value & opt int 2000 & info [ "total" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "scan"
+       ~doc:"Materialize a market slice into binary APK artifacts and \
+             classify by parsing them.")
+    Term.(const cmd_scan $ total)
+
+let dump_cmd =
+  let app_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"APP") in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print an app's classes and bytecode (dexdump-style).")
+    Term.(const cmd_dump $ app_arg)
+
+let () =
+  let info =
+    Cmd.info "ndroid" ~version:"1.0.0"
+      ~doc:"NDroid: taint tracking through JNI, simulated in OCaml"
+  in
+  exit (Cmd.eval' (Cmd.group info
+          [ list_cmd; run_cmd; matrix_cmd; study_cmd; monkey_cmd; disasm_cmd;
+            dump_cmd; scan_cmd; pack_cmd; classify_cmd ]))

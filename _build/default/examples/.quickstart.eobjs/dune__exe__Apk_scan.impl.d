@@ -1,0 +1,1 @@
+examples/apk_scan.ml: Hashtbl List Ndroid_corpus Option Printf Seq String Sys

@@ -1,0 +1,1 @@
+examples/apk_scan.mli:

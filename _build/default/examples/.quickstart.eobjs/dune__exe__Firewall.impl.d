@@ -1,0 +1,1 @@
+examples/firewall.ml: List Ndroid_android Ndroid_apps Ndroid_core Ndroid_dalvik Ndroid_runtime Printf String

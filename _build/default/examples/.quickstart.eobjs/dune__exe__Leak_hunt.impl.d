@@ -1,0 +1,1 @@
+examples/leak_hunt.ml: Format List Ndroid_android Ndroid_apps Printf

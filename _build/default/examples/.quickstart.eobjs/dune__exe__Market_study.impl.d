@@ -1,0 +1,1 @@
+examples/market_study.ml: Format Ndroid_corpus Printf Seq Sys

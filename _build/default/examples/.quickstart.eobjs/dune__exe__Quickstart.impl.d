@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Ndroid_android Ndroid_arm Ndroid_core Ndroid_dalvik Ndroid_emulator Ndroid_runtime Printf

@@ -1,0 +1,47 @@
+(* GC resilience: why NDroid keys native-side object taint by indirect
+   reference (paper, Secs. II-A and V-B).
+
+   A tainted payload crosses into native memory; the Java heap is then
+   compacted twice — every direct object pointer changes — and a second
+   native call rebuilds a Java string from that memory.  The taint is
+   still there, because nothing NDroid stored depends on object addresses.
+
+   Run with:  dune exec examples/gc_resilience.exe *)
+
+module Device = Ndroid_runtime.Device
+module Vm = Ndroid_dalvik.Vm
+module Heap = Ndroid_dalvik.Heap
+module Ndroid = Ndroid_core.Ndroid
+module Taint = Ndroid_taint.Taint
+module H = Ndroid_apps.Harness
+module Cases = Ndroid_apps.Cases
+
+let () =
+  let device = H.boot Cases.case1' in
+  ignore (Ndroid.attach device);
+  let vm = Device.vm device in
+
+  let payload, t =
+    Vm.new_string vm ~taint:(Taint.union Taint.contacts Taint.sms) "13 Vincent"
+  in
+  let obj_id = match payload with Ndroid_dalvik.Dvalue.Obj id -> id | _ -> assert false in
+  let addr_before = (Heap.get vm.Vm.heap obj_id).Heap.addr in
+  Printf.printf "payload object at 0x%x, taint %s\n" addr_before (Taint.to_string t);
+
+  (* cross into native memory *)
+  ignore (Device.run device "Lcom/ndroid/demos/Case1p;" "store" [| (payload, t) |]);
+
+  (* move the world: each compaction evacuates to the other semispace *)
+  Device.gc device;
+  let addr_mid = (Heap.get vm.Vm.heap obj_id).Heap.addr in
+  Device.gc device;
+  let addr_after = (Heap.get vm.Vm.heap obj_id).Heap.addr in
+  Printf.printf "compaction 1 moved it to 0x%x, compaction 2 to 0x%x (moved: %b)\n"
+    addr_mid addr_after (addr_mid <> addr_before);
+
+  (* rebuild from native memory: the taint must have survived *)
+  let v, rt = Device.run device "Lcom/ndroid/demos/Case1p;" "fetch" [||] in
+  Printf.printf "fetched %S with taint %s — %s\n"
+    (Vm.string_of_value vm v) (Taint.to_string rt)
+    (if Taint.equal rt t then "taint SURVIVED the moving GC"
+     else "taint was LOST (bug!)")

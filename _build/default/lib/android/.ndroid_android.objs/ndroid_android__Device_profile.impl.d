@@ -1,0 +1,1 @@
+lib/android/device_profile.ml: Printf

@@ -1,0 +1,1 @@
+lib/android/filesystem.ml: Buffer Hashtbl List Ndroid_taint Option Printf String

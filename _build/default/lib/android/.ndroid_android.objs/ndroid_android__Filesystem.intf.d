@@ -1,0 +1,1 @@
+lib/android/filesystem.mli: Ndroid_taint

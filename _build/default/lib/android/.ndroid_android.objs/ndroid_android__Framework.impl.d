@@ -1,0 +1,1 @@
+lib/android/framework.ml: Array Char Int32 List Ndroid_dalvik Ndroid_taint String

@@ -1,0 +1,1 @@
+lib/android/framework.mli: Ndroid_dalvik

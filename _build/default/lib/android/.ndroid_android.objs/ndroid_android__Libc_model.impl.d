@@ -1,0 +1,1 @@
+lib/android/libc_model.ml: Buffer Bytes Char Filesystem Hashtbl List Native_heap Ndroid_arm Network Printf String

@@ -1,0 +1,1 @@
+lib/android/libc_model.mli: Filesystem Native_heap Ndroid_arm Network

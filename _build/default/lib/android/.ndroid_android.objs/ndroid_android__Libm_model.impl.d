@@ -1,0 +1,1 @@
+lib/android/libm_model.ml: Float Int32 Int64 Ndroid_arm String

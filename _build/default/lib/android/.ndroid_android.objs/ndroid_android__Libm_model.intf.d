@@ -1,0 +1,1 @@
+lib/android/libm_model.mli: Ndroid_arm

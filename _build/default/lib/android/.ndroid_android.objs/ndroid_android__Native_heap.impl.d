@@ -1,0 +1,1 @@
+lib/android/native_heap.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/android/network.mli:

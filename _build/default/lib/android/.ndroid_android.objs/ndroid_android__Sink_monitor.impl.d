@@ -1,0 +1,1 @@
+lib/android/sink_monitor.ml: Format List Ndroid_taint String

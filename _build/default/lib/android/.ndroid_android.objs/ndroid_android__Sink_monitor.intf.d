@@ -1,0 +1,1 @@
+lib/android/sink_monitor.mli: Format Ndroid_taint

@@ -1,0 +1,1 @@
+lib/android/sinks.ml: Array Filesystem Framework Ndroid_dalvik Ndroid_taint Network Sink_monitor

@@ -1,0 +1,1 @@
+lib/android/sinks.mli: Filesystem Ndroid_dalvik Network Sink_monitor

@@ -1,0 +1,1 @@
+lib/android/sources.ml: Device_profile Framework Int32 List Ndroid_dalvik Ndroid_taint String

@@ -1,0 +1,1 @@
+lib/android/sources.mli: Device_profile Ndroid_dalvik Ndroid_taint

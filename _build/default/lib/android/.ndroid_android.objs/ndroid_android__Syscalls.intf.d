@@ -1,0 +1,1 @@
+lib/android/syscalls.mli:

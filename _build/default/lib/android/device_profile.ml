@@ -1,0 +1,36 @@
+type contact = { contact_id : int; name : string; email : string; phone : string }
+type sms = { sms_from : string; body : string }
+
+type t = {
+  imei : string;
+  imsi : string;
+  iccid : string;
+  line1_number : string;
+  network_operator : string;
+  device_serial : string;
+  latitude : float;
+  longitude : float;
+  contacts : contact list;
+  sms_inbox : sms list;
+}
+
+let default =
+  { imei = "357242043237517";
+    imsi = "310260000000000";
+    iccid = "89014103211118510720";
+    line1_number = "15555215554";
+    network_operator = "310260";
+    device_serial = "EMULATOR29X1";
+    latitude = 22.3045;
+    longitude = 114.1797;
+    contacts =
+      [ { contact_id = 1; name = "Vincent"; email = "cx@gg.com"; phone = "4804001849" };
+        { contact_id = 2; name = "Alice"; email = "alice@example.com";
+          phone = "5551230001" };
+        { contact_id = 3; name = "Bob"; email = "bob@example.com";
+          phone = "5551230002" } ];
+    sms_inbox =
+      [ { sms_from = "10086"; body = "Your verification code is 314159" };
+        { sms_from = "4804001849"; body = "meet at noon" } ] }
+
+let contact_record c = Printf.sprintf "%d %s %s" c.contact_id c.name c.email

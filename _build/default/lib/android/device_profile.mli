@@ -1,0 +1,28 @@
+(** The simulated device's sensitive data: what TaintDroid's sources return.
+
+    Defaults reproduce the values visible in the paper's logs: the Android
+    emulator's phone number 15555215554 and network operator 310260
+    (Fig. 9), and the contact {1, "Vincent", "cx@gg.com"} (Fig. 8). *)
+
+type contact = { contact_id : int; name : string; email : string; phone : string }
+
+type sms = { sms_from : string; body : string }
+
+type t = {
+  imei : string;
+  imsi : string;
+  iccid : string;
+  line1_number : string;
+  network_operator : string;
+  device_serial : string;
+  latitude : float;
+  longitude : float;
+  contacts : contact list;
+  sms_inbox : sms list;
+}
+
+val default : t
+(** The emulator-like profile used by every experiment. *)
+
+val contact_record : contact -> string
+(** ["id name email"] rendering used by the contact-query intrinsics. *)

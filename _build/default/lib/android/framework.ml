@@ -1,0 +1,145 @@
+module Vm = Ndroid_dalvik.Vm
+module Heap = Ndroid_dalvik.Heap
+module Dvalue = Ndroid_dalvik.Dvalue
+module Jbuilder = Ndroid_dalvik.Jbuilder
+module Taint = Ndroid_taint.Taint
+
+let string_arg vm (args : Vm.tval array) i = Vm.string_of_value vm (fst args.(i))
+let int_arg (args : Vm.tval array) i = Int32.to_int (Dvalue.as_int (fst args.(i)))
+let taint_arg (args : Vm.tval array) i = snd args.(i)
+
+let unit_result : Vm.tval = (Dvalue.zero, Taint.clear)
+
+let exception_classes =
+  [ "Ljava/lang/Exception;"; "Ljava/lang/RuntimeException;";
+    "Ljava/lang/NullPointerException;"; "Ljava/lang/ArithmeticException;";
+    "Ljava/lang/ArrayIndexOutOfBoundsException;";
+    "Ljava/lang/NegativeArraySizeException;"; "Ljava/lang/SecurityException;";
+    "Ljava/lang/VirtualMachineError;" ]
+
+let install vm =
+  let intr = Vm.register_intrinsic vm in
+  (* ---- java.lang.Object ---- *)
+  Vm.define_class vm
+    (Jbuilder.class_ ~name:"Ljava/lang/Object;"
+       [ Jbuilder.intrinsic_method ~cls:"Ljava/lang/Object;" ~name:"<init>"
+           ~shorty:"V" ~static:false "Object.<init>" ]);
+  intr "Object.<init>" (fun _vm _args -> unit_result);
+
+  (* ---- java.lang.String ---- *)
+  let str_cls = "Ljava/lang/String;" in
+  Vm.define_class vm
+    (Jbuilder.class_ ~name:str_cls ~super:"Ljava/lang/Object;"
+       [ Jbuilder.intrinsic_method ~cls:str_cls ~name:"length" ~shorty:"I"
+           ~static:false "String.length";
+         Jbuilder.intrinsic_method ~cls:str_cls ~name:"concat" ~shorty:"LL"
+           ~static:false "String.concat";
+         Jbuilder.intrinsic_method ~cls:str_cls ~name:"equals" ~shorty:"ZL"
+           ~static:false "String.equals";
+         Jbuilder.intrinsic_method ~cls:str_cls ~name:"substring" ~shorty:"LII"
+           ~static:false "String.substring";
+         Jbuilder.intrinsic_method ~cls:str_cls ~name:"charAt" ~shorty:"II"
+           ~static:false "String.charAt";
+         Jbuilder.intrinsic_method ~cls:str_cls ~name:"toUpperCase" ~shorty:"L"
+           ~static:false "String.toUpperCase";
+         Jbuilder.intrinsic_method ~cls:str_cls ~name:"valueOf" ~shorty:"LI"
+           "String.valueOf" ]);
+  intr "String.length" (fun vm args ->
+      let s = string_arg vm args 0 in
+      (* TaintDroid: the length of a tainted string is tainted (the string
+         object's char-array tag flows out). *)
+      (Dvalue.Int (Int32.of_int (String.length s)), taint_arg args 0));
+  intr "String.concat" (fun vm args ->
+      let a = string_arg vm args 0 and b = string_arg vm args 1 in
+      let t = Taint.union (taint_arg args 0) (taint_arg args 1) in
+      Vm.new_string vm ~taint:t (a ^ b));
+  intr "String.equals" (fun vm args ->
+      let a = string_arg vm args 0 and b = string_arg vm args 1 in
+      let t = Taint.union (taint_arg args 0) (taint_arg args 1) in
+      (Dvalue.Int (if a = b then 1l else 0l), t));
+  intr "String.substring" (fun vm args ->
+      let s = string_arg vm args 0 in
+      let lo = int_arg args 1 and hi = int_arg args 2 in
+      if lo < 0 || hi > String.length s || lo > hi then
+        Vm.throw vm "Ljava/lang/ArrayIndexOutOfBoundsException;" "substring";
+      Vm.new_string vm ~taint:(taint_arg args 0) (String.sub s lo (hi - lo)));
+  intr "String.charAt" (fun vm args ->
+      let s = string_arg vm args 0 in
+      let i = int_arg args 1 in
+      if i < 0 || i >= String.length s then
+        Vm.throw vm "Ljava/lang/ArrayIndexOutOfBoundsException;" "charAt";
+      (Dvalue.Int (Int32.of_int (Char.code s.[i])), taint_arg args 0));
+  intr "String.toUpperCase" (fun vm args ->
+      let s = string_arg vm args 0 in
+      Vm.new_string vm ~taint:(taint_arg args 0) (String.uppercase_ascii s));
+  intr "String.valueOf" (fun vm args ->
+      let v = int_arg args 0 in
+      Vm.new_string vm ~taint:(taint_arg args 0) (string_of_int v));
+
+  (* ---- java.lang.StringBuilder ---- *)
+  let sb_cls = "Ljava/lang/StringBuilder;" in
+  Vm.define_class vm
+    (Jbuilder.class_ ~name:sb_cls ~super:"Ljava/lang/Object;" ~fields:[ "buf" ]
+       [ Jbuilder.intrinsic_method ~cls:sb_cls ~name:"<init>" ~shorty:"V"
+           ~static:false "StringBuilder.<init>";
+         Jbuilder.intrinsic_method ~cls:sb_cls ~name:"append" ~shorty:"LL"
+           ~static:false "StringBuilder.append";
+         Jbuilder.intrinsic_method ~cls:sb_cls ~name:"appendInt" ~shorty:"LI"
+           ~static:false "StringBuilder.appendInt";
+         Jbuilder.intrinsic_method ~cls:sb_cls ~name:"toString" ~shorty:"L"
+           ~static:false "StringBuilder.toString" ]);
+  let sb_slot vm args =
+    match fst args.(0) with
+    | Dvalue.Obj id -> (
+      match (Heap.get vm.Vm.heap id).Heap.kind with
+      | Heap.Instance { values; taints; _ } -> (values, taints)
+      | Heap.String _ | Heap.Array _ ->
+        raise (Vm.Dvm_error "StringBuilder receiver is not an instance"))
+    | _ -> raise (Vm.Dvm_error "StringBuilder receiver missing")
+  in
+  intr "StringBuilder.<init>" (fun vm args ->
+      let values, taints = sb_slot vm args in
+      let s, t = Vm.new_string vm "" in
+      values.(0) <- s;
+      taints.(0) <- t;
+      unit_result);
+  intr "StringBuilder.append" (fun vm args ->
+      let values, taints = sb_slot vm args in
+      let cur = Vm.string_of_value vm values.(0) in
+      let extra = string_arg vm args 1 in
+      let t = Taint.union taints.(0) (taint_arg args 1) in
+      let s, _ = Vm.new_string vm ~taint:t (cur ^ extra) in
+      values.(0) <- s;
+      taints.(0) <- t;
+      args.(0));
+  intr "StringBuilder.appendInt" (fun vm args ->
+      let values, taints = sb_slot vm args in
+      let cur = Vm.string_of_value vm values.(0) in
+      let t = Taint.union taints.(0) (taint_arg args 1) in
+      let s, _ = Vm.new_string vm ~taint:t (cur ^ string_of_int (int_arg args 1)) in
+      values.(0) <- s;
+      taints.(0) <- t;
+      args.(0));
+  intr "StringBuilder.toString" (fun vm args ->
+      let values, taints = sb_slot vm args in
+      let s = Vm.string_of_value vm values.(0) in
+      Vm.new_string vm ~taint:taints.(0) s);
+
+  (* ---- exception hierarchy ---- *)
+  List.iter
+    (fun name ->
+      Vm.define_class vm
+        (Jbuilder.class_ ~name
+           ~super:(if name = "Ljava/lang/Exception;" then "Ljava/lang/Object;"
+                   else "Ljava/lang/Exception;")
+           ~fields:[ "message" ]
+           [ Jbuilder.intrinsic_method ~cls:name ~name:"getMessage" ~shorty:"L"
+               ~static:false "Exception.getMessage" ]))
+    exception_classes;
+  intr "Exception.getMessage" (fun vm args ->
+      match fst args.(0) with
+      | Dvalue.Obj id -> (
+        match (Heap.get vm.Vm.heap id).Heap.kind with
+        | Heap.Instance { values; taints; _ } -> (values.(0), taints.(0))
+        | Heap.String _ | Heap.Array _ -> (Dvalue.Null, Taint.clear))
+      | _ -> (Dvalue.Null, Taint.clear))

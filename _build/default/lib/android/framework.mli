@@ -1,0 +1,18 @@
+(** Core Java classes and their framework-implemented methods.
+
+    TaintDroid modifies "Android's application framework and DVM" (paper,
+    Sec. II-B): framework methods run natively inside the VM with explicit
+    taint summaries.  We model that with intrinsics: [String.concat] unions
+    taints, [StringBuilder] accumulates them, [Exception.getMessage] returns
+    the message with its stored tag, etc. *)
+
+val install : Ndroid_dalvik.Vm.t -> unit
+(** Define [Object], [String], [StringBuilder], the exception hierarchy, and
+    register their intrinsics.  Idempotent per VM is {e not} guaranteed —
+    call once. *)
+
+val string_arg : Ndroid_dalvik.Vm.t -> Ndroid_dalvik.Vm.tval array -> int -> string
+(** [string_arg vm args i] reads argument [i] as a Java string's chars.
+    Helper shared by every intrinsic. *)
+
+val int_arg : Ndroid_dalvik.Vm.tval array -> int -> int

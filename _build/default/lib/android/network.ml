@@ -1,0 +1,52 @@
+type transmission = { dest : string; payload : string }
+
+type sock = { mutable s_dest : string option; mutable s_open : bool }
+
+type t = {
+  socks : (int, sock) Hashtbl.t;
+  mutable next_fd : int;
+  mutable journal : transmission list;
+}
+
+let create () = { socks = Hashtbl.create 8; next_fd = 32; journal = [] }
+
+let socket net =
+  let fd = net.next_fd in
+  net.next_fd <- fd + 1;
+  Hashtbl.replace net.socks fd { s_dest = None; s_open = true };
+  fd
+
+let sock net fd =
+  match Hashtbl.find_opt net.socks fd with
+  | Some s when s.s_open -> s
+  | Some _ -> invalid_arg (Printf.sprintf "socket %d is closed" fd)
+  | None -> invalid_arg (Printf.sprintf "socket %d unknown" fd)
+
+let connect net fd dest = (sock net fd).s_dest <- Some dest
+
+let send net fd payload =
+  let s = sock net fd in
+  match s.s_dest with
+  | Some dest ->
+    net.journal <- { dest; payload } :: net.journal;
+    String.length payload
+  | None -> invalid_arg (Printf.sprintf "socket %d not connected" fd)
+
+let sendto net fd payload dest =
+  ignore (sock net fd);
+  net.journal <- { dest; payload } :: net.journal;
+  String.length payload
+
+let recv net fd =
+  ignore (sock net fd);
+  "OK"
+
+let close net fd =
+  match Hashtbl.find_opt net.socks fd with
+  | Some s -> s.s_open <- false
+  | None -> ()
+
+let transmissions net = List.rev net.journal
+let dest_of net fd = match Hashtbl.find_opt net.socks fd with
+  | Some s -> s.s_dest
+  | None -> None

@@ -1,0 +1,37 @@
+(** Virtual network.
+
+    Backs the socket calls of Table VII and the Java network sinks.  Every
+    transmission is journaled with its destination, so the experiments can
+    show e.g. QQPhoneBook's POST to [sync.3g.qq.com] (Fig. 6) and ePhone's
+    SIP REGISTER to [softphone.comwave.net] (Fig. 7). *)
+
+type t
+
+type transmission = { dest : string; payload : string }
+
+val create : unit -> t
+
+val socket : t -> int
+(** Allocate a socket descriptor. *)
+
+val connect : t -> int -> string -> unit
+(** Associate a destination host with a socket.
+    @raise Invalid_argument on a bad descriptor. *)
+
+val send : t -> int -> string -> int
+(** Send on a connected socket; returns byte count.
+    @raise Invalid_argument when unconnected. *)
+
+val sendto : t -> int -> string -> string -> int
+(** [sendto net fd data dest]: datagram-style send with explicit
+    destination. *)
+
+val recv : t -> int -> string
+(** Canned response ("OK") — enough for apps that check for replies. *)
+
+val close : t -> int -> unit
+
+val transmissions : t -> transmission list
+(** The journal, oldest first. *)
+
+val dest_of : t -> int -> string option

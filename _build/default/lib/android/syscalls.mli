@@ -1,0 +1,19 @@
+(** The hooked standard-library call surface of Table VII.
+
+    Functions marked with [*] in the paper — [fwrite], [write], [fputc],
+    [fputs], [send], [sendto] and [fprintf] — are the native-context sinks:
+    "if the data carrying taint reaches calls with [*], NDroid regards it as
+    a possible information leak" (Sec. V-D). *)
+
+val hooked : string list
+(** Every Table VII entry we mount in guest libc. *)
+
+val sinks : string list
+(** The [*]-marked subset. *)
+
+val is_sink : string -> bool
+val modeled_libc : string list
+(** Table VI's libc column. *)
+
+val modeled_libm : string list
+(** Table VI's libm column. *)

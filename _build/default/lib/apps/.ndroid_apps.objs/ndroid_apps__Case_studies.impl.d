@@ -1,0 +1,1 @@
+lib/apps/case_studies.ml: Harness List Ndroid_arm Ndroid_dalvik Ndroid_emulator

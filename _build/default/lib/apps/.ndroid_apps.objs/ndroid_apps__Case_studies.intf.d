@@ -1,0 +1,1 @@
+lib/apps/case_studies.mli: Harness

@@ -1,0 +1,1 @@
+lib/apps/cases.ml: Harness List Ndroid_arm Ndroid_dalvik Ndroid_emulator

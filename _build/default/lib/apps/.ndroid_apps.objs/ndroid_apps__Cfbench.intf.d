@@ -1,0 +1,1 @@
+lib/apps/cfbench.mli: Harness Ndroid_runtime

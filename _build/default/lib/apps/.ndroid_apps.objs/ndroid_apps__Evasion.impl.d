@@ -1,0 +1,1 @@
+lib/apps/evasion.ml: Harness List Ndroid_android Ndroid_arm Ndroid_dalvik Ndroid_emulator Ndroid_runtime Ndroid_taint

@@ -1,0 +1,1 @@
+lib/apps/harness.ml: List Ndroid_android Ndroid_arm Ndroid_core Ndroid_dalvik Ndroid_runtime Ndroid_taint Ndroid_taintdroid String

@@ -1,0 +1,1 @@
+lib/apps/harness.mli: Ndroid_android Ndroid_arm Ndroid_core Ndroid_dalvik Ndroid_runtime

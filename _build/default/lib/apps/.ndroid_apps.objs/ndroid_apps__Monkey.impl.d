@@ -1,0 +1,1 @@
+lib/apps/monkey.ml: Harness Int32 List Ndroid_android Ndroid_arm Ndroid_core Ndroid_dalvik Ndroid_emulator Ndroid_runtime Ndroid_taint Ndroid_taintdroid

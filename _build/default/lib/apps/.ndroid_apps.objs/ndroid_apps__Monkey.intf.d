@@ -1,0 +1,1 @@
+lib/apps/monkey.mli: Harness Ndroid_android

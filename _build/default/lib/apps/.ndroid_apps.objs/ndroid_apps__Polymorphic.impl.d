@@ -1,0 +1,1 @@
+lib/apps/polymorphic.ml: Harness Int32 List Ndroid_arm Ndroid_dalvik Ndroid_emulator Printf

@@ -1,0 +1,1 @@
+lib/apps/polymorphic.mli: Harness

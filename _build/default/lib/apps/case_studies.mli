@@ -1,0 +1,29 @@
+(** The paper's four evaluation apps (Sec. VI-A..D), reconstructed from the
+    published flow logs.
+
+    - {!qq_phonebook}: QQPhoneBook 3.5 (Fig. 6), case 1'.  Java passes
+      contacts+SMS data (taint 0x202) into
+      [makeLoginRequestPackageMd5] as its fourth argument; the native
+      library squirrels it into a session buffer; a second call
+      ([getPostUrl], no tainted parameters) builds
+      [http://sync.3g.qq.com/xpimlogin?sid=...] with [sprintf] +
+      [NewStringUTF], and Java sends it out.
+    - {!ephone}: ePhone 3.3 (Fig. 7), case 2.  [callregister] receives the
+      contact phone number (taint 0x2), converts it with
+      [GetStringUTFChars], builds a SIP REGISTER with [sprintf]/[memcpy],
+      and [sendto]s it to softphone.comwave.net.
+    - {!poc_case2}: the Fig. 8 PoC.  [recordContact(id, name, email)] (all
+      tainted 0x2, third argument on the stack) writes
+      "1 Vincent cx@gg.com" to [/sdcard/CONTACTS] through
+      [fopen]/[fprintf]/[fclose].
+    - {!poc_case3}: the Fig. 9 PoC.  Java gathers device info (combined
+      taint 0x1602), [evadeTaintDroid] rebuilds it with [NewStringUTF] and
+      hands it back through [CallStaticVoidMethod(nativeCallback)], which
+      sends it out — the Fig. 5 multilevel chain in action. *)
+
+val qq_phonebook : Harness.app
+val ephone : Harness.app
+val poc_case2 : Harness.app
+val poc_case3 : Harness.app
+
+val all : Harness.app list

@@ -1,0 +1,316 @@
+module J = Ndroid_dalvik.Jbuilder
+module B = Ndroid_dalvik.Bytecode
+module Dvalue = Ndroid_dalvik.Dvalue
+module Taint = Ndroid_taint.Taint
+module Device = Ndroid_runtime.Device
+module Asm = Ndroid_arm.Asm
+module Insn = Ndroid_arm.Insn
+module Layout = Ndroid_emulator.Layout
+
+type kind = Native | Java
+
+type workload = {
+  w_name : string;
+  w_kind : kind;
+  w_run : Device.t -> iterations:int -> unit;
+}
+
+let cls = "Lcom/cfbench/CfBench;"
+
+let mov rd rm = Asm.I (Insn.mov rd (Insn.Reg rm))
+let movi rd v = Asm.I (Insn.mov rd (Insn.Imm v))
+let space n = List.init (n / 4) (fun _ -> Asm.Word 0)
+
+let lib extern =
+  let open Asm in
+  let vadd p d n m = I (Insn.Vdp { cond = Insn.AL; op = Insn.VADD; prec = p; vd = d; vn = n; vm = m }) in
+  let vmul p d n m = I (Insn.Vdp { cond = Insn.AL; op = Insn.VMUL; prec = p; vd = d; vn = n; vm = m }) in
+  let vsub p d n m = I (Insn.Vdp { cond = Insn.AL; op = Insn.VSUB; prec = p; vd = d; vn = n; vm = m }) in
+  let items =
+    [ (* ---- int nativeMips(int n) ---- *)
+      Label "nativeMips";
+      mov 3 2;
+      movi 0 0;
+      movi 1 1;
+      Label "mips_loop";
+      I (Insn.add 0 0 (Insn.Reg 1));
+      I (Insn.eor 1 1 (Insn.Reg 0));
+      I (Insn.add 0 0 (Insn.Imm 7));
+      I (Insn.subs 3 3 (Insn.Imm 1));
+      Br (Insn.NE, "mips_loop");
+      I Insn.bx_lr;
+
+      (* ---- int nativeFlops32(int n) ---- *)
+      Label "nativeFlops32";
+      mov 3 2;
+      Li (1, 0x3F800000) (* 1.0f *);
+      I (Insn.Vmov_core { cond = Insn.AL; to_core = false; rt = 1; sn = 0 });
+      Li (1, 0x3FC00000) (* 1.5f *);
+      I (Insn.Vmov_core { cond = Insn.AL; to_core = false; rt = 1; sn = 1 });
+      Label "f32_loop";
+      vadd Insn.F32 2 0 1;
+      vmul Insn.F32 3 2 1;
+      vsub Insn.F32 4 3 2;
+      I (Insn.subs 3 3 (Insn.Imm 1));
+      Br (Insn.NE, "f32_loop");
+      I (Insn.Vmov_core { cond = Insn.AL; to_core = true; rt = 0; sn = 4 });
+      I Insn.bx_lr;
+
+      (* ---- int nativeFlops64(int n) ---- *)
+      Label "nativeFlops64";
+      mov 3 2;
+      La (1, "d_one");
+      I (Insn.Vmem { cond = Insn.AL; load = true; prec = Insn.F64; vd = 0; rn = 1; offset = 0 });
+      La (1, "d_half");
+      I (Insn.Vmem { cond = Insn.AL; load = true; prec = Insn.F64; vd = 1; rn = 1; offset = 0 });
+      Label "f64_loop";
+      vadd Insn.F64 2 0 1;
+      vmul Insn.F64 3 2 1;
+      vsub Insn.F64 4 3 2;
+      I (Insn.subs 3 3 (Insn.Imm 1));
+      Br (Insn.NE, "f64_loop");
+      movi 0 0;
+      I Insn.bx_lr;
+
+      (* ---- int nativeMemRead(int n) ---- *)
+      Label "nativeMemRead";
+      mov 3 2;
+      La (1, "nbuf");
+      movi 0 0;
+      Label "mr_loop";
+      I (Insn.ldr 2 1 0);
+      I (Insn.ldr 2 1 4);
+      I (Insn.ldr 2 1 8);
+      I (Insn.ldr 2 1 12);
+      I (Insn.add 0 0 (Insn.Reg 2));
+      I (Insn.subs 3 3 (Insn.Imm 1));
+      Br (Insn.NE, "mr_loop");
+      I Insn.bx_lr;
+
+      (* ---- int nativeMemWrite(int n) ---- *)
+      Label "nativeMemWrite";
+      mov 3 2;
+      La (1, "nbuf");
+      movi 0 42;
+      Label "mw_loop";
+      I (Insn.str 0 1 0);
+      I (Insn.str 0 1 4);
+      I (Insn.str 0 1 8);
+      I (Insn.str 0 1 12);
+      I (Insn.subs 3 3 (Insn.Imm 1));
+      Br (Insn.NE, "mw_loop");
+      I Insn.bx_lr;
+
+      (* ---- int nativeMallocs(int n) ---- *)
+      Label "nativeMallocs";
+      I (Insn.push [ Insn.r4; Insn.lr ]);
+      mov 4 2;
+      Label "ma_loop";
+      movi 0 64;
+      Call "malloc";
+      Call "free";
+      I (Insn.subs 4 4 (Insn.Imm 1));
+      Br (Insn.NE, "ma_loop");
+      movi 0 0;
+      I (Insn.pop [ Insn.r4; Insn.pc ]);
+
+      (* ---- int nativeDiskWrite(int n) ---- *)
+      Label "nativeDiskWrite";
+      I (Insn.push [ Insn.r4; Insn.r5; Insn.lr ]);
+      mov 4 2;
+      La (0, "dpath");
+      La (1, "mode_w");
+      Call "fopen";
+      mov 5 0;
+      Label "dw_loop";
+      La (0, "nbuf");
+      movi 1 1;
+      movi 2 64;
+      mov 3 5;
+      Call "fwrite";
+      I (Insn.subs 4 4 (Insn.Imm 1));
+      Br (Insn.NE, "dw_loop");
+      mov 0 5;
+      Call "fclose";
+      movi 0 0;
+      I (Insn.pop [ Insn.r4; Insn.r5; Insn.pc ]);
+
+      (* ---- int nativeDiskRead(int n) ---- *)
+      Label "nativeDiskRead";
+      I (Insn.push [ Insn.r4; Insn.r5; Insn.lr ]);
+      mov 4 2;
+      La (0, "rpath");
+      La (1, "mode_r");
+      Call "fopen";
+      mov 5 0;
+      Label "dr_loop";
+      La (0, "rbuf");
+      movi 1 1;
+      movi 2 64;
+      mov 3 5;
+      Call "fread";
+      I (Insn.subs 4 4 (Insn.Imm 1));
+      Br (Insn.NE, "dr_loop");
+      mov 0 5;
+      Call "fclose";
+      movi 0 0;
+      I (Insn.pop [ Insn.r4; Insn.r5; Insn.pc ]);
+
+      (* ---- data ---- *)
+      Align4;
+      Label "d_one";
+      Word 0;
+      Word 0x3FF00000;
+      Label "d_half";
+      Word 0;
+      Word 0x3FF80000;
+      Label "dpath";
+      Asciz "/sdcard/cfbench_out.dat";
+      Label "rpath";
+      Asciz "/sdcard/cfbench.dat";
+      Label "mode_w";
+      Asciz "w";
+      Label "mode_r";
+      Asciz "r";
+      Align4;
+      Label "nbuf" ]
+    @ space 256
+    @ [ Label "rbuf" ]
+    @ space 256
+  in
+  assemble ~extern ~base:Layout.app_lib_base items
+
+(* ---- Java workloads ---- *)
+
+let loop_method name ~registers ~counter body =
+  (* shared skeleton: run [body] until the counter register reaches 0 *)
+  J.method_ ~cls ~name ~shorty:"II" ~registers
+    ([ J.L "loop"; J.Ifz_l (B.Le, counter, "done") ]
+     @ body
+     @ [ J.I (B.Binop_lit (B.Sub, counter, counter, 1l));
+         J.Goto_l "loop";
+         J.L "done";
+         J.I (B.Return 0) ])
+
+let java_mips =
+  loop_method "javaMips" ~registers:6 ~counter:5
+    [ J.I (B.Binop (B.Add, 0, 0, 1));
+      J.I (B.Binop (B.Xor, 1, 1, 0));
+      J.I (B.Binop_lit (B.Add, 0, 0, 7l)) ]
+
+let java_flops32 =
+  J.method_ ~cls ~name:"javaFlops32" ~shorty:"II" ~registers:7
+    [ J.I (B.Const (0, Dvalue.Float 1.0));
+      J.I (B.Const (1, Dvalue.Float 1.5));
+      J.L "loop";
+      J.Ifz_l (B.Le, 6, "done");
+      J.I (B.Binop_float (B.Add, 2, 0, 1));
+      J.I (B.Binop_float (B.Mul, 3, 2, 1));
+      J.I (B.Binop_float (B.Sub, 4, 3, 2));
+      J.I (B.Binop_lit (B.Sub, 6, 6, 1l));
+      J.Goto_l "loop";
+      J.L "done";
+      J.I (B.Return 0) ]
+
+let java_flops64 =
+  J.method_ ~cls ~name:"javaFlops64" ~shorty:"II" ~registers:7
+    [ J.I (B.Const (0, Dvalue.Double 1.0));
+      J.I (B.Const (1, Dvalue.Double 1.5));
+      J.L "loop";
+      J.Ifz_l (B.Le, 6, "done");
+      J.I (B.Binop_double (B.Add, 2, 0, 1));
+      J.I (B.Binop_double (B.Mul, 3, 2, 1));
+      J.I (B.Binop_double (B.Sub, 4, 3, 2));
+      J.I (B.Binop_lit (B.Sub, 6, 6, 1l));
+      J.Goto_l "loop";
+      J.L "done";
+      J.I (B.Return 0) ]
+
+let java_mem_read =
+  J.method_ ~cls ~name:"javaMemRead" ~shorty:"II" ~registers:8
+    [ J.I (B.Const (2, Dvalue.Int 64l));
+      J.I (B.New_array (3, 2, "I"));
+      J.I (B.Const (4, Dvalue.Int 0l));
+      J.I (B.Const (0, Dvalue.Int 0l));
+      J.L "loop";
+      J.Ifz_l (B.Le, 7, "done");
+      J.I (B.Aget (1, 3, 4));
+      J.I (B.Binop (B.Add, 0, 0, 1));
+      J.I (B.Binop_lit (B.Add, 4, 4, 1l));
+      J.I (B.Binop_lit (B.And, 4, 4, 63l));
+      J.I (B.Binop_lit (B.Sub, 7, 7, 1l));
+      J.Goto_l "loop";
+      J.L "done";
+      J.I (B.Return 0) ]
+
+let java_mem_write =
+  J.method_ ~cls ~name:"javaMemWrite" ~shorty:"II" ~registers:8
+    [ J.I (B.Const (2, Dvalue.Int 64l));
+      J.I (B.New_array (3, 2, "I"));
+      J.I (B.Const (4, Dvalue.Int 0l));
+      J.I (B.Const (0, Dvalue.Int 42l));
+      J.L "loop";
+      J.Ifz_l (B.Le, 7, "done");
+      J.I (B.Aput (0, 3, 4));
+      J.I (B.Binop_lit (B.Add, 4, 4, 1l));
+      J.I (B.Binop_lit (B.And, 4, 4, 63l));
+      J.I (B.Binop_lit (B.Sub, 7, 7, 1l));
+      J.Goto_l "loop";
+      J.L "done";
+      J.I (B.Return 0) ]
+
+let native_names =
+  [ "nativeMips"; "nativeFlops32"; "nativeFlops64"; "nativeMemRead";
+    "nativeMemWrite"; "nativeMallocs"; "nativeDiskWrite"; "nativeDiskRead" ]
+
+let classes =
+  [ J.class_ ~name:cls ~super:"Ljava/lang/Object;"
+      (List.map (fun n -> J.native_method ~cls ~name:n ~shorty:"II" n) native_names
+       @ [ java_mips; java_flops32; java_flops64; java_mem_read; java_mem_write;
+           (* self-check entry point: one short round of everything *)
+           J.method_ ~cls ~name:"main" ~shorty:"V" ~registers:4
+             (List.concat_map
+                (fun n ->
+                  [ J.I (B.Const (0, Dvalue.Int 4l));
+                    J.I (B.Invoke (B.Static, { B.m_class = cls; B.m_name = n }, [ 0 ]));
+                    J.I (B.Move_result 1) ])
+                (native_names
+                 @ [ "javaMips"; "javaFlops32"; "javaFlops64"; "javaMemRead";
+                     "javaMemWrite" ])
+              @ [ J.I B.Return_void ]) ]) ]
+
+let app : Harness.app =
+  { Harness.app_name = "CF-Bench";
+    app_case = "benchmark";
+    description = "CF-Bench-like workloads for the Fig. 10 overhead experiment";
+    classes;
+    build_libs = (fun extern -> [ ("cfbench", lib extern) ]);
+    entry = (cls, "main");
+    expected_sink = "" }
+
+let prepare device =
+  Ndroid_android.Filesystem.set_contents (Device.fs device) "/sdcard/cfbench.dat"
+    (String.make 8192 'x')
+
+let call device name ~iterations =
+  ignore
+    (Device.run device cls name
+       [| (Dvalue.Int (Int32.of_int iterations), Taint.clear) |])
+
+let wl name kind method_name =
+  { w_name = name; w_kind = kind; w_run = (fun d ~iterations -> call d method_name ~iterations) }
+
+let workloads =
+  [ wl "Native MIPS" Native "nativeMips";
+    wl "Java MIPS" Java "javaMips";
+    wl "Native MSFLOPS" Native "nativeFlops32";
+    wl "Java MSFLOPS" Java "javaFlops32";
+    wl "Native MDFLOPS" Native "nativeFlops64";
+    wl "Java MDFLOPS" Java "javaFlops64";
+    wl "Native MALLOCS" Native "nativeMallocs";
+    wl "Native Memory Read" Native "nativeMemRead";
+    wl "Java Memory Read" Java "javaMemRead";
+    wl "Native Memory Write" Native "nativeMemWrite";
+    wl "Java Memory Write" Java "javaMemWrite";
+    wl "Native Disk Read" Native "nativeDiskRead";
+    wl "Native Disk Write" Native "nativeDiskWrite" ]

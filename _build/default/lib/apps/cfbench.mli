@@ -1,0 +1,34 @@
+(** CF-Bench-like workloads (experiment E8, Fig. 10).
+
+    The paper measures NDroid's overhead by running Chainfire's CF-Bench on
+    NDroid and on a vanilla emulator and reporting the per-category
+    slowdown.  These are the same sixteen categories: native and Java
+    integer throughput (MIPS), single/double float throughput
+    (MSFLOPS/MDFLOPS), allocator churn (MALLOCS), memory read/write in both
+    worlds, disk read/write, and the aggregate Native/Java/Overall scores.
+
+    Native workloads are real ARM (or VFP) loops in a native library —
+    which is exactly why they are expensive under instruction-level
+    instrumentation — while the allocator and disk workloads spend their
+    time inside modeled libc functions, which is why NDroid barely slows
+    them down (Sec. V-D). *)
+
+type kind = Native | Java
+
+type workload = {
+  w_name : string;  (** Fig. 10 label, e.g. "Native MIPS" *)
+  w_kind : kind;
+  w_run : Ndroid_runtime.Device.t -> iterations:int -> unit;
+      (** run the measured body once on a booted device *)
+}
+
+val app : Harness.app
+(** The benchmark app: a [CfBench] class with one Java and one native
+    method per workload (entry point runs a tiny self-check of each). *)
+
+val workloads : workload list
+(** The twelve measured categories, Fig. 10 order (scores are computed by
+    the bench harness from these). *)
+
+val prepare : Ndroid_runtime.Device.t -> unit
+(** Seed the virtual SD card for the disk-read workload. *)

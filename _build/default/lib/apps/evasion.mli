@@ -1,0 +1,25 @@
+(** The control-flow evasion NDroid documents as out of scope.
+
+    "Similar to TaintDroid and DroidScope, NDroid does not track control
+    flows.  Therefore, it could be evaded by apps that use the same control
+    flow based techniques for circumventing those systems" (paper,
+    Sec. VII, citing Sarwar et al.).
+
+    {!app} rebuilds the IMEI in native code {e without any data flow}: for
+    each tainted input byte it compares against every candidate character
+    and stores the {e loop counter} (a constant) when they match.  Table V
+    has no rule that taints the stored constant — flags are never tracked —
+    so the reconstructed buffer is clean, the exfiltrated copy carries no
+    tag, and every analysis (NDroid included) stays silent while the data
+    demonstrably leaves the device.
+
+    This scenario exists as a {e negative} fixture: the test suite asserts
+    the miss, keeping the reproduction honest about the original system's
+    boundary. *)
+
+val app : Harness.app
+
+val run_and_confirm_miss : unit -> bool * string option
+(** Run under full NDroid.  Returns (was_missed, leaked_payload): [true]
+    with the IMEI in the journal means the evasion worked exactly as
+    Sec. VII predicts. *)

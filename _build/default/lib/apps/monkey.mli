@@ -1,0 +1,46 @@
+(** Input generation, Sec. VI.
+
+    "We first used one simple tool (i.e., Monkeyrunner) to generate random
+    input to drive those 37,506 apps ... Since this tool may miss many
+    functions involving JNI, we just found that QQPhoneBook3.5 may leak ...
+    Then, we manually generated input" — random UI input misses most JNI
+    paths; directed input finds them.
+
+    A {!ui_app} is an app whose entry points are UI event handlers.  The
+    random monkey fires a seeded stream of events; a script drives an exact
+    sequence.  {!gated_app} is a demo app whose leak triggers only after
+    the specific path settings → sync → upload. *)
+
+type ui_app = {
+  app : Harness.app;
+  handlers : string list;  (** 0-argument static methods, one per UI event *)
+}
+
+type drive_result = {
+  events_fired : string list;
+  leaked : bool;  (** a tainted leak was reported *)
+  outcome_leaks : Ndroid_android.Sink_monitor.leak list;
+}
+
+val drive_random :
+  seed:int -> events:int -> mode:Harness.mode -> ui_app -> drive_result
+(** Fire [events] uniformly-random handler invocations (deterministic in
+    [seed]) on a fresh device under [mode]. *)
+
+val drive_script :
+  script:string list -> mode:Harness.mode -> ui_app -> drive_result
+(** Fire an exact handler sequence. *)
+
+val gated_app : ui_app
+(** Six handlers — [home], [about], [settings], [account], [sync],
+    [upload] — where contacts data flows to the native exfiltration routine
+    only when [settings; account; sync; upload] happen in order (a state
+    machine in a static field; any other event resets it).  The leak itself
+    is case-2 shaped: native [send]. *)
+
+val gated_script : string list
+(** The directed input that triggers {!gated_app}'s leak. *)
+
+val discovery_rate :
+  seeds:int -> events:int -> mode:Harness.mode -> ui_app -> int
+(** How many of [seeds] random monkeys trigger a leak. *)

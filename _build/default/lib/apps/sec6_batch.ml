@@ -1,0 +1,134 @@
+module J = Ndroid_dalvik.Jbuilder
+module B = Ndroid_dalvik.Bytecode
+module Dvalue = Ndroid_dalvik.Dvalue
+module Asm = Ndroid_arm.Asm
+module Insn = Ndroid_arm.Insn
+module Layout = Ndroid_emulator.Layout
+module Ndroid = Ndroid_core.Ndroid
+
+let contacts = "Landroid/provider/ContactsProvider;"
+let sms = "Landroid/provider/SmsProvider;"
+let mov rd rm = Asm.I (Insn.mov rd (Insn.Reg rm))
+let mref cls name = { B.m_class = cls; B.m_name = name }
+
+(* a native routine that consumes a string without leaking it: checksum the
+   bytes and return the sum *)
+let checksum_lib extern =
+  Asm.assemble ~extern ~base:Layout.app_lib_base
+    [ Asm.Label "checksum";
+      Asm.I (Insn.push [ Insn.r4; Insn.lr ]);
+      mov 1 2;
+      Asm.I (Insn.mov 2 (Insn.Imm 0));
+      Asm.Call "GetStringUTFChars";
+      (* r0 = chars; sum bytes *)
+      Asm.I (Insn.mov 1 (Insn.Imm 0));
+      Asm.Label "ck_loop";
+      Asm.I (Insn.ldrb 2 0 0);
+      Asm.I (Insn.cmp 2 (Insn.Imm 0));
+      Asm.Br (Insn.EQ, "ck_done");
+      Asm.I (Insn.add 1 1 (Insn.Reg 2));
+      Asm.I (Insn.add 0 0 (Insn.Imm 1));
+      Asm.Br (Insn.AL, "ck_loop");
+      Asm.Label "ck_done";
+      mov 0 1;
+      Asm.I (Insn.pop [ Insn.r4; Insn.pc ]) ]
+
+(* a native routine over non-sensitive ints *)
+let math_lib extern =
+  Asm.assemble ~extern ~base:Layout.app_lib_base
+    [ Asm.Label "mix";
+      Asm.I (Insn.mul 0 2 3);
+      Asm.I (Insn.add 0 0 (Insn.Imm 17));
+      Asm.I Insn.bx_lr ]
+
+let delivering name cls source_invokes =
+  (* tainted string -> native checksum -> result discarded *)
+  { Harness.app_name = name;
+    app_case = "Sec. VI batch (delivers, no leak)";
+    description = "hands sensitive data to native code that only processes it";
+    classes =
+      [ J.class_ ~name:cls ~super:"Ljava/lang/Object;"
+          [ J.native_method ~cls ~name:"checksum" ~shorty:"IL" "checksum";
+            J.method_ ~cls ~name:"main" ~shorty:"V" ~registers:8
+              (source_invokes
+               @ [ J.I (B.Invoke (B.Static, mref cls "checksum", [ 0 ]));
+                   J.I (B.Move_result 1);
+                   J.I B.Return_void ]) ] ];
+    build_libs = (fun extern -> [ (name, checksum_lib extern) ]);
+    entry = (cls, "main");
+    expected_sink = "" }
+
+let sms_backup =
+  delivering "SmsBackup" "Lcom/sec6/SmsBackup;"
+    [ J.I (B.Const (7, Dvalue.Int 0l));
+      J.I (B.Invoke (B.Static, mref sms "getSmsBody", [ 7 ]));
+      J.I (B.Move_result 0) ]
+
+let contacts_widget =
+  delivering "ContactsWidget" "Lcom/sec6/ContactsWidget;"
+    [ J.I (B.Invoke (B.Static, mref contacts "queryAll", []));
+      J.I (B.Move_result 0) ]
+
+let benign_native name cls =
+  (* uses JNI, but only on non-sensitive ints *)
+  { Harness.app_name = name;
+    app_case = "Sec. VI batch (benign)";
+    description = "uses JNI on non-sensitive data";
+    classes =
+      [ J.class_ ~name:cls ~super:"Ljava/lang/Object;"
+          [ J.native_method ~cls ~name:"mix" ~shorty:"III" "mix";
+            J.method_ ~cls ~name:"main" ~shorty:"V" ~registers:6
+              [ J.I (B.Const (0, Dvalue.Int 6l));
+                J.I (B.Const (1, Dvalue.Int 7l));
+                J.I (B.Invoke (B.Static, mref cls "mix", [ 0; 1 ]));
+                J.I (B.Move_result 2);
+                J.I B.Return_void ] ] ];
+    build_libs = (fun extern -> [ (name, math_lib extern) ]);
+    entry = (cls, "main");
+    expected_sink = "" }
+
+let java_only name cls =
+  (* touches sensitive data but never crosses into native code; declares the
+     native method yet never calls it (the study saw such apps too) *)
+  { Harness.app_name = name;
+    app_case = "Sec. VI batch (benign)";
+    description = "sensitive data stays in Java";
+    classes =
+      [ J.class_ ~name:cls ~super:"Ljava/lang/Object;"
+          [ J.native_method ~cls ~name:"unused" ~shorty:"V" "unused";
+            J.method_ ~cls ~name:"main" ~shorty:"V" ~registers:6
+              [ J.I (B.Const (3, Dvalue.Int 0l));
+                J.I (B.Invoke (B.Static, mref contacts "getContactName", [ 3 ]));
+                J.I (B.Move_result 0);
+                J.I (B.Invoke (B.Virtual,
+                               { B.m_class = "Ljava/lang/String;";
+                                 m_name = "length" }, [ 0 ]));
+                J.I (B.Move_result 1);
+                J.I B.Return_void ] ] ];
+    build_libs = (fun extern -> [ (name, math_lib extern) ]);
+    entry = (cls, "main");
+    expected_sink = "" }
+
+let apps =
+  [ Case_studies.ephone;
+    sms_backup;
+    contacts_widget;
+    benign_native "PhotoFilter" "Lcom/sec6/PhotoFilter;";
+    benign_native "GamePhysics" "Lcom/sec6/GamePhysics;";
+    benign_native "AudioEq" "Lcom/sec6/AudioEq;";
+    java_only "DialerSkin" "Lcom/sec6/DialerSkin;";
+    java_only "SmsTheme" "Lcom/sec6/SmsTheme;" ]
+
+type verdict = { v_app : string; delivered_to_native : bool; leaked : bool }
+
+let examine app =
+  let o = Harness.run Harness.Ndroid_full app in
+  let delivered =
+    match o.Harness.stats with
+    | Some s -> s.Ndroid.source_policies >= 1
+    | None -> false
+  in
+  { v_app = app.Harness.app_name; delivered_to_native = delivered;
+    leaked = o.Harness.detected }
+
+let summary () = List.map examine apps

@@ -1,0 +1,1 @@
+lib/arm/asm.ml: Bytes Char Cpu Encode Format Hashtbl Insn List Memory String Thumb

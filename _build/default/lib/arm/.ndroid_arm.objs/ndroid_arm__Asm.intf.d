@@ -1,0 +1,1 @@
+lib/arm/asm.mli: Bytes Cpu Insn Memory

@@ -1,0 +1,1 @@
+lib/arm/cpu.ml: Array Format Insn

@@ -1,0 +1,1 @@
+lib/arm/cpu.mli: Format Insn

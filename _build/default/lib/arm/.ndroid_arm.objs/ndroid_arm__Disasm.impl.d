@@ -1,0 +1,1 @@
+lib/arm/disasm.ml: Asm Cpu Decode Format Insn List Memory Thumb

@@ -1,0 +1,1 @@
+lib/arm/disasm.mli: Asm Cpu Format Insn Memory

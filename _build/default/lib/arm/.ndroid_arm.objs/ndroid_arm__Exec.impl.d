@@ -1,0 +1,1 @@
+lib/arm/exec.ml: Array Cpu Decode Icache Insn Int32 Int64 List Memory Thumb

@@ -1,0 +1,1 @@
+lib/arm/exec.mli: Cpu Icache Insn Memory

@@ -1,0 +1,1 @@
+lib/arm/icache.ml: Hashtbl Insn

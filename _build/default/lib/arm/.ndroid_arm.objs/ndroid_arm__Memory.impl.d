@@ -1,0 +1,1 @@
+lib/arm/memory.ml: Buffer Bytes Char Hashtbl Int32 Int64 String

@@ -1,0 +1,1 @@
+lib/arm/memory.mli: Bytes

@@ -1,0 +1,1 @@
+lib/arm/sofile.ml: Asm Buffer Bytes Char Cpu Format List String

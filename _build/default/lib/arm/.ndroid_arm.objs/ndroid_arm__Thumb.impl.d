@@ -1,0 +1,1 @@
+lib/arm/thumb.ml: Insn

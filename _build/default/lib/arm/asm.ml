@@ -1,0 +1,231 @@
+type item =
+  | I of Insn.t
+  | Label of string
+  | Br of Insn.cond * string
+  | Bl of string
+  | Call of string
+  | Li of int * int
+  | La of int * string
+  | Word of int
+  | Asciz of string
+  | Align4
+
+type program = {
+  p_base : int;
+  p_code : Bytes.t;
+  p_mode : Cpu.mode;
+  p_symbols : (string, int) Hashtbl.t;
+}
+
+exception Asm_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Asm_error s)) fmt
+
+(* Expansion of [Li (rd, imm)]: byte-by-byte MOV + ORR in ARM; a shift-and-add
+   chain in Thumb.  Fixed instruction counts keep layout deterministic. *)
+let li_arm rd imm =
+  let b0 = imm land 0xFF
+  and b1 = (imm lsr 8) land 0xFF
+  and b2 = (imm lsr 16) land 0xFF
+  and b3 = (imm lsr 24) land 0xFF in
+  [ Insn.mov rd (Insn.Imm b0);
+    Insn.orr rd rd (Insn.Imm (b1 lsl 8));
+    Insn.orr rd rd (Insn.Imm (b2 lsl 16));
+    Insn.orr rd rd (Insn.Imm (b3 lsl 24)) ]
+
+let li_thumb rd imm =
+  let b0 = imm land 0xFF
+  and b1 = (imm lsr 8) land 0xFF
+  and b2 = (imm lsr 16) land 0xFF
+  and b3 = (imm lsr 24) land 0xFF in
+  [ Insn.movs rd (Insn.Imm b3);
+    Insn.Dp { cond = Insn.AL; op = Insn.MOV; s = true; rd; rn = 0;
+              op2 = Insn.Reg_shift_imm (rd, Insn.LSL, 8) };
+    Insn.adds rd rd (Insn.Imm b2);
+    Insn.Dp { cond = Insn.AL; op = Insn.MOV; s = true; rd; rn = 0;
+              op2 = Insn.Reg_shift_imm (rd, Insn.LSL, 8) };
+    Insn.adds rd rd (Insn.Imm b1);
+    Insn.Dp { cond = Insn.AL; op = Insn.MOV; s = true; rd; rn = 0;
+              op2 = Insn.Reg_shift_imm (rd, Insn.LSL, 8) };
+    Insn.adds rd rd (Insn.Imm b0) ]
+
+let insn_size mode insn =
+  match mode with
+  | Cpu.Arm -> 4
+  | Cpu.Thumb -> (
+    match Thumb.encode insn with
+    | Some halves -> 2 * List.length halves
+    | None -> err "no Thumb encoding for %s" (Insn.to_string insn))
+
+let li_size mode = function
+  | rd, imm -> (
+    match mode with
+    | Cpu.Arm -> 16
+    | Cpu.Thumb ->
+      List.fold_left (fun acc i -> acc + insn_size mode i) 0 (li_thumb rd imm))
+
+(* Absolute calls go through a scratch register: r12 in ARM (the intra-call
+   scratch register of the AAPCS), r7 in Thumb where only low registers can
+   be loaded with immediates. *)
+let call_scratch = function Cpu.Arm -> 12 | Cpu.Thumb -> 7
+
+let call_size mode =
+  let r = call_scratch mode in
+  li_size mode (r, 0) + insn_size mode (Insn.blx_reg r)
+
+let branch_size mode = function
+  | `Cond -> (match mode with Cpu.Arm -> 4 | Cpu.Thumb -> 2)
+  | `Bl -> 4
+
+let item_size mode = function
+  | I insn -> insn_size mode insn
+  | Label _ -> 0
+  | Br _ -> branch_size mode `Cond
+  | Bl _ -> branch_size mode `Bl
+  | Call _ -> call_size mode
+  | Li (rd, imm) -> li_size mode (rd, imm)
+  | La (rd, _) -> li_size mode (rd, 0)
+  | Word _ -> 4
+  | Asciz s -> String.length s + 1
+  | Align4 -> 0 (* resolved during layout *)
+
+let assemble ?(mode = Cpu.Arm) ?(extern = fun _ -> None) ~base items =
+  (* Pass 1: addresses. *)
+  let symbols = Hashtbl.create 16 in
+  let addr = ref base in
+  let layout =
+    List.map
+      (fun item ->
+        let here = !addr in
+        (match item with
+         | Label name ->
+           if Hashtbl.mem symbols name then err "duplicate label %s" name;
+           Hashtbl.replace symbols name here
+         | _ -> ());
+        let size =
+          match item with
+          | Align4 -> (4 - (here mod 4)) mod 4
+          | other -> item_size mode other
+        in
+        addr := here + size;
+        (item, here, size))
+      items
+  in
+  let total = !addr - base in
+  let buf = Bytes.make total '\000' in
+  let resolve name =
+    match Hashtbl.find_opt symbols name with
+    | Some a -> Some a
+    | None -> extern name
+  in
+  let emit_insn pos insn =
+    match mode with
+    | Cpu.Arm ->
+      let w =
+        try Encode.encode insn
+        with Encode.Encode_error m -> err "cannot encode %s: %s" (Insn.to_string insn) m
+      in
+      Bytes.set buf pos (Char.chr (w land 0xFF));
+      Bytes.set buf (pos + 1) (Char.chr ((w lsr 8) land 0xFF));
+      Bytes.set buf (pos + 2) (Char.chr ((w lsr 16) land 0xFF));
+      Bytes.set buf (pos + 3) (Char.chr ((w lsr 24) land 0xFF));
+      pos + 4
+    | Cpu.Thumb -> (
+      match Thumb.encode insn with
+      | None -> err "no Thumb encoding for %s" (Insn.to_string insn)
+      | Some halves ->
+        List.fold_left
+          (fun p h ->
+            Bytes.set buf p (Char.chr (h land 0xFF));
+            Bytes.set buf (p + 1) (Char.chr ((h lsr 8) land 0xFF));
+            p + 2)
+          pos halves)
+  in
+  let branch_offset here target =
+    match mode with
+    | Cpu.Arm ->
+      let delta = target - (here + 8) in
+      if delta mod 4 <> 0 then err "misaligned branch target 0x%x" target;
+      delta / 4
+    | Cpu.Thumb ->
+      let delta = target - (here + 4) in
+      if delta mod 2 <> 0 then err "misaligned branch target 0x%x" target;
+      delta / 2
+  in
+  (* Pass 2: emit. *)
+  List.iter
+    (fun (item, here, size) ->
+      let pos = here - base in
+      match item with
+      | Label _ | Align4 -> ()
+      | I insn -> ignore (emit_insn pos insn)
+      | Br (cond, name) -> (
+        match resolve name with
+        | None -> err "undefined label %s" name
+        | Some target ->
+          ignore
+            (emit_insn pos
+               (Insn.B { cond; link = false; offset = branch_offset here target })))
+      | Bl name -> (
+        match resolve name with
+        | None -> err "undefined label %s" name
+        | Some target ->
+          ignore
+            (emit_insn pos
+               (Insn.B { cond = Insn.AL; link = true;
+                         offset = branch_offset here target })))
+      | Call name -> (
+        match resolve name with
+        | None -> err "undefined symbol %s" name
+        | Some target ->
+          let r = call_scratch mode in
+          let seq =
+            (match mode with Cpu.Arm -> li_arm | Cpu.Thumb -> li_thumb) r target
+            @ [ Insn.blx_reg r ]
+          in
+          ignore (List.fold_left emit_insn pos seq))
+      | Li (rd, imm) ->
+        let seq = (match mode with Cpu.Arm -> li_arm | Cpu.Thumb -> li_thumb) rd imm in
+        ignore (List.fold_left emit_insn pos seq)
+      | La (rd, name) -> (
+        match resolve name with
+        | None -> err "undefined symbol %s" name
+        | Some target ->
+          let seq =
+            (match mode with Cpu.Arm -> li_arm | Cpu.Thumb -> li_thumb) rd target
+          in
+          ignore (List.fold_left emit_insn pos seq))
+      | Word v ->
+        Bytes.set buf pos (Char.chr (v land 0xFF));
+        Bytes.set buf (pos + 1) (Char.chr ((v lsr 8) land 0xFF));
+        Bytes.set buf (pos + 2) (Char.chr ((v lsr 16) land 0xFF));
+        Bytes.set buf (pos + 3) (Char.chr ((v lsr 24) land 0xFF))
+      | Asciz s ->
+        String.iteri (fun i c -> Bytes.set buf (pos + i) c) s;
+        Bytes.set buf (pos + String.length s) '\000';
+        ignore size)
+    layout;
+  { p_base = base; p_code = buf; p_mode = mode; p_symbols = symbols }
+
+let code p = p.p_code
+let base p = p.p_base
+let size p = Bytes.length p.p_code
+let mode p = p.p_mode
+
+let symbols p = Hashtbl.fold (fun k v acc -> (k, v) :: acc) p.p_symbols []
+
+let symbol p name =
+  match Hashtbl.find_opt p.p_symbols name with
+  | Some a -> a
+  | None -> raise Not_found
+
+let fn_addr p name =
+  let a = symbol p name in
+  match p.p_mode with Cpu.Arm -> a | Cpu.Thumb -> a lor 1
+
+let load p mem = Memory.write_bytes mem p.p_base p.p_code
+
+let of_raw ~base ~mode ~code ~symbols =
+  let table = Hashtbl.create 16 in
+  List.iter (fun (name, addr) -> Hashtbl.replace table name addr) symbols;
+  { p_base = base; p_code = Bytes.copy code; p_mode = mode; p_symbols = table }

@@ -1,0 +1,60 @@
+(** Two-pass assembler for building native libraries.
+
+    Scenario apps' native libraries (the [.so] files of the paper's case
+    studies) are written as item lists, assembled to real machine code at a
+    base address, and loaded into guest memory.  External symbols (JNI
+    functions in libdvm, libc functions, …) are resolved through a lookup
+    the emulator provides, and calls to them use the load-address +
+    BLX-register idiom so any 32-bit address is reachable. *)
+
+type item =
+  | I of Insn.t  (** a single instruction *)
+  | Label of string  (** define a local symbol here *)
+  | Br of Insn.cond * string  (** conditional branch to a local label *)
+  | Bl of string  (** branch-and-link to a local label *)
+  | Call of string  (** absolute call through r12 to a local or extern symbol *)
+  | Li of int * int  (** load a full 32-bit immediate into a register *)
+  | La of int * string
+      (** load the absolute address of a local or extern symbol *)
+  | Word of int  (** 32-bit literal data *)
+  | Asciz of string  (** NUL-terminated string data *)
+  | Align4  (** pad to a 4-byte boundary *)
+
+type program
+
+exception Asm_error of string
+
+val assemble :
+  ?mode:Cpu.mode -> ?extern:(string -> int option) -> base:int -> item list -> program
+(** [assemble ~base items] lays the items out starting at [base] and encodes
+    them in [mode] (default ARM).  [extern] resolves symbols not defined by
+    a [Label]. @raise Asm_error on undefined symbols, unencodable
+    instructions, or out-of-range branches. *)
+
+val code : program -> Bytes.t
+(** The raw machine code + data. *)
+
+val base : program -> int
+
+val size : program -> int
+
+val mode : program -> Cpu.mode
+
+val symbols : program -> (string * int) list
+(** Every label with its absolute address. *)
+
+val symbol : program -> string -> int
+(** Absolute address of a label. @raise Not_found if undefined. *)
+
+val fn_addr : program -> string -> int
+(** Address of a label as a *call target*: for Thumb programs the low bit is
+    set so BX/BLX interworking enters Thumb state. *)
+
+val load : program -> Memory.t -> unit
+(** Copy the assembled bytes into guest memory at the program's base. *)
+
+val of_raw :
+  base:int -> mode:Cpu.mode -> code:Bytes.t -> symbols:(string * int) list ->
+  program
+(** Reconstitute a program from its parts — the deserialization path of
+    {!Sofile}. *)

@@ -1,0 +1,210 @@
+(* Binary decoder: 32-bit ARM words back to {!Insn.t}.
+
+   Returns [None] for encodings outside the supported subset; NDroid's
+   instruction tracer skips such instructions after logging, matching the
+   paper's "currently supports arithmetic and copy operations" scoping. *)
+
+let bits w hi lo = (w lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+let flag w b = (w lsr b) land 1 = 1
+
+let sign_extend v width =
+  let m = 1 lsl (width - 1) in
+  (v lxor m) - m
+
+let decode_op2 w =
+  if flag w 25 then
+    let rot = bits w 11 8 and imm8 = bits w 7 0 in
+    let amount = rot * 2 in
+    let v =
+      if amount = 0 then imm8
+      else ((imm8 lsr amount) lor (imm8 lsl (32 - amount))) land 0xFFFFFFFF
+    in
+    Some (Insn.Imm v)
+  else
+    let rm = bits w 3 0 in
+    let kind = Insn.shift_of_code (bits w 6 5) in
+    if flag w 4 then
+      if flag w 7 then None (* multiply/extra-load space, not a shift *)
+      else Some (Insn.Reg_shift_reg (rm, kind, bits w 11 8))
+    else
+      let amount = bits w 11 7 in
+      if amount = 0 && kind = Insn.LSL then Some (Insn.Reg rm)
+      else Some (Insn.Reg_shift_imm (rm, kind, amount))
+
+let decode_vfp w cond =
+  let coproc = bits w 11 8 in
+  if coproc <> 0b1010 && coproc <> 0b1011 then None
+  else
+    let prec = if flag w 8 then Insn.F64 else Insn.F32 in
+    let vfp_reg prec v4 b =
+      match prec with Insn.F32 -> (v4 lsl 1) lor b | Insn.F64 -> v4
+    in
+    let d = if flag w 22 then 1 else 0
+    and n = if flag w 7 then 1 else 0
+    and m = if flag w 5 then 1 else 0 in
+    let vd4 = bits w 15 12 and vn4 = bits w 19 16 and vm4 = bits w 3 0 in
+    if bits w 27 24 = 0b1101 then
+      (* VLDR / VSTR *)
+      let words = bits w 7 0 in
+      let offset = (if flag w 23 then words else -words) * 4 in
+      Some
+        (Insn.Vmem
+           { cond; load = flag w 20; prec; vd = vfp_reg prec vd4 d;
+             rn = bits w 19 16; offset })
+    else if bits w 27 21 = 0b1110000 && flag w 4 && coproc = 0b1010 then
+      Some
+        (Insn.Vmov_core
+           { cond; to_core = flag w 20; rt = bits w 15 12; sn = (vn4 lsl 1) lor n })
+    else if bits w 27 24 = 0b1110 && not (flag w 4) then
+      let op21_20 = bits w 21 20 in
+      if not (flag w 23) then
+        (* 11100x: VADD/VSUB/VMUL *)
+        match (op21_20, flag w 6) with
+        | 0b11, false ->
+          Some
+            (Insn.Vdp
+               { cond; op = Insn.VADD; prec; vd = vfp_reg prec vd4 d;
+                 vn = vfp_reg prec vn4 n; vm = vfp_reg prec vm4 m })
+        | 0b11, true ->
+          Some
+            (Insn.Vdp
+               { cond; op = Insn.VSUB; prec; vd = vfp_reg prec vd4 d;
+                 vn = vfp_reg prec vn4 n; vm = vfp_reg prec vm4 m })
+        | 0b10, false ->
+          Some
+            (Insn.Vdp
+               { cond; op = Insn.VMUL; prec; vd = vfp_reg prec vd4 d;
+                 vn = vfp_reg prec vn4 n; vm = vfp_reg prec vm4 m })
+        | _ -> None
+      else if op21_20 = 0b00 then
+        Some
+          (Insn.Vdp
+             { cond; op = Insn.VDIV; prec; vd = vfp_reg prec vd4 d;
+               vn = vfp_reg prec vn4 n; vm = vfp_reg prec vm4 m })
+      else if op21_20 = 0b11 then
+        (* extension space: VCVT *)
+        let opc2 = bits w 19 16 in
+        match opc2 with
+        | 0b0111 ->
+          if prec = Insn.F64 then
+            (* sz=1: F32 result from F64 source *)
+            Some (Insn.Vcvt { cond; to_double = false; vd = (vd4 lsl 1) lor d;
+                              vm = vm4 })
+          else
+            Some (Insn.Vcvt { cond; to_double = true; vd = vd4;
+                              vm = (vm4 lsl 1) lor m })
+        | 0b1000 ->
+          Some
+            (Insn.Vcvt_int
+               { cond; to_float = true; prec; vd = vfp_reg prec vd4 d;
+                 vm = (vm4 lsl 1) lor m })
+        | 0b1101 ->
+          Some
+            (Insn.Vcvt_int
+               { cond; to_float = false; prec; vd = (vd4 lsl 1) lor d;
+                 vm = vfp_reg prec vm4 m })
+        | _ -> None
+      else None
+    else None
+
+let decode w =
+  let w = w land 0xFFFFFFFF in
+  match Insn.cond_of_code (bits w 31 28) with
+  | None -> None
+  | Some cond -> (
+    match bits w 27 26 with
+    | 0b00 ->
+      if w land 0x0FFFFFD0 = 0x012FFF10 then
+        Some (Insn.Bx { cond; link = flag w 5; rm = bits w 3 0 })
+      else if w land 0x0FFF0FF0 = 0x016F0F10 then
+        Some (Insn.Clz { cond; rd = bits w 15 12; rm = bits w 3 0 })
+      else if (not (flag w 25)) && flag w 7 && flag w 4 then
+        (* multiply or extra load/store *)
+        let sh = bits w 6 5 in
+        if sh = 0b00 then
+          if bits w 27 22 = 0 then
+            let s = flag w 20
+            and rd = bits w 19 16
+            and rn = bits w 15 12
+            and rs = bits w 11 8
+            and rm = bits w 3 0 in
+            if flag w 21 then Some (Insn.Mla { cond; s; rd; rm; rs; rn })
+            else if rn = 0 then Some (Insn.Mul { cond; s; rd; rm; rs })
+            else None
+          else if bits w 27 24 = 0 && flag w 23 && not (flag w 21) then
+            (* long multiply without accumulate *)
+            Some
+              (Insn.Mull
+                 { cond; signed = flag w 22; s = flag w 20; rdhi = bits w 19 16;
+                   rdlo = bits w 15 12; rs = bits w 11 8; rm = bits w 3 0 })
+          else None
+        else if sh = 0b01 then
+          (* halfword transfer *)
+          let offset =
+            if flag w 22 then
+              let v = (bits w 11 8 lsl 4) lor bits w 3 0 in
+              Insn.Off_imm (if flag w 23 then v else -v)
+            else Insn.Off_reg (flag w 23, bits w 3 0, Insn.LSL, 0)
+          in
+          Some
+            (Insn.Mem
+               { cond; load = flag w 20; width = Insn.Half; rd = bits w 15 12;
+                 rn = bits w 19 16; offset; pre = flag w 24; writeback = flag w 21 })
+        else None
+      else
+        let op = Insn.dp_of_code (bits w 24 21) in
+        let s = flag w 20 in
+        if Insn.is_test_op op && not s then None
+        else (
+          match decode_op2 w with
+          | None -> None
+          | Some op2 ->
+            Some
+              (Insn.Dp { cond; op; s; rd = bits w 15 12; rn = bits w 19 16; op2 }))
+    | 0b01 ->
+      if flag w 25 && flag w 4 then None (* media space *)
+      else
+        let offset =
+          if flag w 25 then
+            let rm = bits w 3 0
+            and kind = Insn.shift_of_code (bits w 6 5)
+            and amount = bits w 11 7 in
+            Insn.Off_reg (flag w 23, rm, kind, amount)
+          else
+            let v = bits w 11 0 in
+            Insn.Off_imm (if flag w 23 then v else -v)
+        in
+        Some
+          (Insn.Mem
+             { cond; load = flag w 20;
+               width = (if flag w 22 then Insn.Byte else Insn.Word);
+               rd = bits w 15 12; rn = bits w 19 16; offset; pre = flag w 24;
+               writeback = flag w 21 })
+    | 0b10 ->
+      if not (flag w 25) then
+        (* block transfer: 100 P U S W L *)
+        if flag w 22 then None (* S bit (user-mode regs) unsupported *)
+        else
+          let mode =
+            match (flag w 24, flag w 23) with
+            | false, true -> Insn.IA
+            | true, true -> Insn.IB
+            | false, false -> Insn.DA
+            | true, false -> Insn.DB
+          in
+          let regs = bits w 15 0 in
+          if regs = 0 then None
+          else
+            Some
+              (Insn.Block
+                 { cond; load = flag w 20; rn = bits w 19 16; mode;
+                   writeback = flag w 21; regs })
+      else
+        Some
+          (Insn.B { cond; link = flag w 24; offset = sign_extend (bits w 23 0) 24 })
+    | _ -> (
+      (* 0b11: coprocessor / SVC space *)
+      match bits w 27 24 with
+      | 0b1111 -> Some (Insn.Svc { cond; imm = bits w 23 0 })
+      | 0b1101 | 0b1110 -> decode_vfp w cond
+      | _ -> None))

@@ -1,0 +1,30 @@
+(** Disassembler.
+
+    NDroid's authors "manually disassemble libdvm.so, libc.so, libm.so, etc.
+    and determine the offsets of these functions" (paper, Sec. V-G); this is
+    the corresponding tool for the simulated libraries: raw bytes back to
+    the instruction AST, with symbol annotations when a program's label
+    table is available. *)
+
+type line = {
+  l_addr : int;
+  l_raw : int;  (** the encoded word (ARM) or halfword(s) (Thumb) *)
+  l_size : int;
+  l_insn : Insn.t option;  (** [None] for data / undecodable bytes *)
+  l_label : string option;  (** symbol defined at this address *)
+}
+
+val range :
+  ?mode:Cpu.mode -> ?symbols:(string * int) list -> Memory.t -> start:int ->
+  size:int -> line list
+(** Decode [size] bytes starting at [start].  Decoding is linear sweep:
+    undecodable words are emitted as data lines and skipped by one
+    instruction width. *)
+
+val program : Asm.program -> line list
+(** Disassemble an assembled program with its own symbols. *)
+
+val pp_line : Format.formatter -> line -> unit
+(** e.g. [4a000010:  e0810002    ADD r0, r1, r2]. *)
+
+val pp_listing : Format.formatter -> line list -> unit

@@ -1,0 +1,211 @@
+(* Binary encoder for the ARM instruction subset.
+
+   Produces real ARMv5/VFPv2-compatible 32-bit words so that the decoder (and
+   NDroid's instruction tracer, which works from decoded instructions, paper
+   Sec. V-C) operates on genuine machine code rather than on an AST shipped
+   around the simulator. *)
+
+exception Encode_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Encode_error s)) fmt
+
+let mask32 = 0xFFFFFFFF
+
+(* ARM immediates are an 8-bit value rotated right by an even amount.  Find
+   the encoding of [v] or raise. *)
+let rotated_imm v =
+  let v = v land mask32 in
+  let rec try_rot rot =
+    if rot >= 16 then None
+    else
+      let amount = rot * 2 in
+      (* value = imm8 ror amount, so imm8 = value rol amount *)
+      let rotated = ((v lsl amount) lor (v lsr (32 - amount))) land mask32 in
+      if amount = 0 then if v < 256 then Some (0, v) else try_rot (rot + 1)
+      else if rotated < 256 then Some (rot, rotated)
+      else try_rot (rot + 1)
+  in
+  try_rot 0
+
+let imm_encodable v = rotated_imm (v land mask32) <> None
+
+let check_reg name r = if r < 0 || r > 15 then err "%s: bad register %d" name r
+
+let op2_bits = function
+  | Insn.Imm v -> (
+    match rotated_imm v with
+    | Some (rot, imm8) -> (1, (rot lsl 8) lor imm8)
+    | None -> err "immediate %d not encodable as rotated imm8" v)
+  | Insn.Reg rm ->
+    check_reg "op2" rm;
+    (0, rm)
+  | Insn.Reg_shift_imm (rm, kind, amount) ->
+    check_reg "op2" rm;
+    if amount < 0 || amount > 31 then err "shift amount %d out of range" amount;
+    (0, (amount lsl 7) lor (Insn.shift_code kind lsl 5) lor rm)
+  | Insn.Reg_shift_reg (rm, kind, rs) ->
+    check_reg "op2" rm;
+    check_reg "shift reg" rs;
+    (0, (rs lsl 8) lor (Insn.shift_code kind lsl 5) lor 0x10 lor rm)
+
+let bit b v = if b then v else 0
+
+(* Single-precision VFP register s<n> splits as (hi4, lowbit); double d<n> as
+   (lowbit? no: D is the high bit). *)
+let sreg n =
+  if n < 0 || n > 31 then err "s%d out of range" n;
+  (n lsr 1, n land 1)
+
+let dreg n =
+  if n < 0 || n > 15 then err "d%d out of range" n;
+  (n, 0)
+
+let vfp_regs prec n =
+  match prec with Insn.F32 -> sreg n | Insn.F64 -> dreg n
+
+let encode insn =
+  let cond c = Insn.cond_code c lsl 28 in
+  let word =
+    match insn with
+    | Insn.Dp { cond = c; op; s; rd; rn; op2 } ->
+      check_reg "rd" rd;
+      check_reg "rn" rn;
+      let i, operand = op2_bits op2 in
+      (* Test ops always set flags; encode them with S=1 as the architecture
+         requires. *)
+      let s = s || Insn.is_test_op op in
+      cond c lor (i lsl 25)
+      lor (Insn.dp_code op lsl 21)
+      lor bit s (1 lsl 20)
+      lor (rn lsl 16) lor (rd lsl 12) lor operand
+    | Insn.Mul { cond = c; s; rd; rm; rs } ->
+      check_reg "rd" rd;
+      check_reg "rm" rm;
+      check_reg "rs" rs;
+      cond c lor bit s (1 lsl 20) lor (rd lsl 16) lor (rs lsl 8) lor 0x90 lor rm
+    | Insn.Mla { cond = c; s; rd; rm; rs; rn } ->
+      check_reg "rd" rd;
+      cond c lor (1 lsl 21) lor bit s (1 lsl 20) lor (rd lsl 16) lor (rn lsl 12)
+      lor (rs lsl 8) lor 0x90 lor rm
+    | Insn.Mull { cond = c; signed; s; rdlo; rdhi; rm; rs } ->
+      check_reg "rdlo" rdlo;
+      check_reg "rdhi" rdhi;
+      cond c lor (1 lsl 23) lor bit signed (1 lsl 22) lor bit s (1 lsl 20)
+      lor (rdhi lsl 16) lor (rdlo lsl 12) lor (rs lsl 8) lor 0x90 lor rm
+    | Insn.Clz { cond = c; rd; rm } ->
+      check_reg "rd" rd;
+      check_reg "rm" rm;
+      cond c lor 0x016F0F10 lor (rd lsl 12) lor rm
+    | Insn.Mem { cond = c; load; width = Insn.Half; rd; rn; offset; pre; writeback }
+      ->
+      check_reg "rd" rd;
+      check_reg "rn" rn;
+      let u, ibits =
+        match offset with
+        | Insn.Off_imm v ->
+          let a = abs v in
+          if a > 255 then err "halfword offset %d out of range" v;
+          (v >= 0, (1 lsl 22) lor ((a lsr 4) lsl 8) lor (a land 0xF))
+        | Insn.Off_reg (up, rm, Insn.LSL, 0) -> (up, rm)
+        | Insn.Off_reg _ -> err "halfword transfers take unshifted registers"
+      in
+      cond c lor bit pre (1 lsl 24) lor bit u (1 lsl 23) lor bit writeback (1 lsl 21)
+      lor bit load (1 lsl 20)
+      lor (rn lsl 16) lor (rd lsl 12) lor 0xB0 lor ibits
+    | Insn.Mem { cond = c; load; width; rd; rn; offset; pre; writeback } ->
+      check_reg "rd" rd;
+      check_reg "rn" rn;
+      let byte = width = Insn.Byte in
+      let i, u, off =
+        match offset with
+        | Insn.Off_imm v ->
+          let a = abs v in
+          if a > 4095 then err "offset %d out of range" v;
+          (0, v >= 0, a)
+        | Insn.Off_reg (up, rm, kind, amount) ->
+          check_reg "offset reg" rm;
+          if amount < 0 || amount > 31 then err "shift %d out of range" amount;
+          (1, up, (amount lsl 7) lor (Insn.shift_code kind lsl 5) lor rm)
+      in
+      cond c lor (1 lsl 26) lor (i lsl 25) lor bit pre (1 lsl 24)
+      lor bit u (1 lsl 23) lor bit byte (1 lsl 22)
+      lor bit writeback (1 lsl 21)
+      lor bit load (1 lsl 20)
+      lor (rn lsl 16) lor (rd lsl 12) lor off
+    | Insn.Block { cond = c; load; rn; mode; writeback; regs } ->
+      check_reg "rn" rn;
+      if regs land 0xFFFF <> regs || regs = 0 then err "bad register list %x" regs;
+      let p, u =
+        match mode with
+        | Insn.IA -> (false, true)
+        | Insn.IB -> (true, true)
+        | Insn.DA -> (false, false)
+        | Insn.DB -> (true, false)
+      in
+      cond c lor (1 lsl 27) lor bit p (1 lsl 24) lor bit u (1 lsl 23)
+      lor bit writeback (1 lsl 21)
+      lor bit load (1 lsl 20)
+      lor (rn lsl 16) lor regs
+    | Insn.B { cond = c; link; offset } ->
+      if offset < -(1 lsl 23) || offset >= 1 lsl 23 then
+        err "branch offset %d out of range" offset;
+      cond c lor (5 lsl 25) lor bit link (1 lsl 24) lor (offset land 0xFFFFFF)
+    | Insn.Bx { cond = c; link; rm } ->
+      check_reg "rm" rm;
+      cond c lor 0x012FFF10 lor bit link 0x20 lor rm
+    | Insn.Svc { cond = c; imm } ->
+      if imm < 0 || imm > 0xFFFFFF then err "svc %d out of range" imm;
+      cond c lor (0xF lsl 24) lor imm
+    | Insn.Vdp { cond = c; op; prec; vd; vn; vm } ->
+      let vd4, d = vfp_regs prec vd
+      and vn4, n = vfp_regs prec vn
+      and vm4, m = vfp_regs prec vm in
+      let sz = match prec with Insn.F32 -> 0 | Insn.F64 -> 1 in
+      let hi, op21_20, bit6 =
+        match op with
+        | Insn.VADD -> (0b11100, 0b11, 0)
+        | Insn.VSUB -> (0b11100, 0b11, 1)
+        | Insn.VMUL -> (0b11100, 0b10, 0)
+        | Insn.VDIV -> (0b11101, 0b00, 0)
+      in
+      cond c lor (hi lsl 23) lor (d lsl 22) lor (op21_20 lsl 20) lor (vn4 lsl 16)
+      lor (vd4 lsl 12) lor (0b101 lsl 9) lor (sz lsl 8) lor (n lsl 7)
+      lor (bit6 lsl 6) lor (m lsl 5) lor vm4
+    | Insn.Vmem { cond = c; load; prec; vd; rn; offset } ->
+      check_reg "rn" rn;
+      if offset mod 4 <> 0 then err "vfp offset %d not word aligned" offset;
+      let words = offset / 4 in
+      if abs words > 255 then err "vfp offset %d out of range" offset;
+      let vd4, d = vfp_regs prec vd in
+      let sz = match prec with Insn.F32 -> 0 | Insn.F64 -> 1 in
+      cond c lor (0b1101 lsl 24)
+      lor bit (words >= 0) (1 lsl 23)
+      lor (d lsl 22)
+      lor bit load (1 lsl 20)
+      lor (rn lsl 16) lor (vd4 lsl 12) lor (0b101 lsl 9) lor (sz lsl 8)
+      lor (abs words land 0xFF)
+    | Insn.Vmov_core { cond = c; to_core; rt; sn } ->
+      check_reg "rt" rt;
+      let vn4, n = sreg sn in
+      cond c lor (0b1110000 lsl 21)
+      lor bit to_core (1 lsl 20)
+      lor (vn4 lsl 16) lor (rt lsl 12) lor (0b1010 lsl 8) lor (n lsl 7) lor 0x10
+    | Insn.Vcvt { cond = c; to_double; vd; vm } ->
+      (* VCVT.F64.F32 (sz=0, source single) / VCVT.F32.F64 (sz=1) *)
+      let (vd4, d), (vm4, m), sz =
+        if to_double then (dreg vd, sreg vm, 0) else (sreg vd, dreg vm, 1)
+      in
+      cond c lor (0b11101 lsl 23) lor (d lsl 22) lor (0b11 lsl 20)
+      lor (0b0111 lsl 16) lor (vd4 lsl 12) lor (0b101 lsl 9) lor (sz lsl 8)
+      lor (0b11 lsl 6) lor (m lsl 5) lor vm4
+    | Insn.Vcvt_int { cond = c; to_float; prec; vd; vm } ->
+      let sz = match prec with Insn.F32 -> 0 | Insn.F64 -> 1 in
+      let opc2 = if to_float then 0b1000 else 0b1101 in
+      let (vd4, d), (vm4, m) =
+        if to_float then (vfp_regs prec vd, sreg vm) else (sreg vd, vfp_regs prec vm)
+      in
+      cond c lor (0b11101 lsl 23) lor (d lsl 22) lor (0b11 lsl 20) lor (opc2 lsl 16)
+      lor (vd4 lsl 12) lor (0b101 lsl 9) lor (sz lsl 8) lor (1 lsl 7) lor (1 lsl 6)
+      lor (m lsl 5) lor vm4
+  in
+  word land mask32

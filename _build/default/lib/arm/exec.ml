@@ -1,0 +1,373 @@
+exception Undefined of int * int
+
+type step = {
+  addr : int;
+  insn : Insn.t;
+  size : int;
+  mode : Cpu.mode;
+  executed : bool;
+  branch : (int * int) option;
+  is_call : bool;
+  is_return : bool;
+  svc : int option;
+}
+
+let mask32 = 0xFFFFFFFF
+
+(* PC as read by an instruction's operands: two instructions ahead. *)
+let pc_read mode addr =
+  match mode with Cpu.Arm -> addr + 8 | Cpu.Thumb -> addr + 4
+
+let read_op_reg cpu mode addr r =
+  if r = 15 then pc_read mode addr land mask32 else Cpu.reg cpu r
+
+(* Barrel shifter.  Returns (value, carry_out). *)
+let shifted value kind amount carry_in =
+  let value = value land mask32 in
+  match (kind, amount) with
+  | _, 0 -> (value, carry_in)
+  | Insn.LSL, n when n < 32 ->
+    ((value lsl n) land mask32, value land (1 lsl (32 - n)) <> 0)
+  | Insn.LSL, 32 -> (0, value land 1 <> 0)
+  | Insn.LSL, _ -> (0, false)
+  | Insn.LSR, n when n < 32 -> (value lsr n, value land (1 lsl (n - 1)) <> 0)
+  | Insn.LSR, 32 -> (0, value land 0x80000000 <> 0)
+  | Insn.LSR, _ -> (0, false)
+  | Insn.ASR, n when n < 32 ->
+    let sign = value land 0x80000000 <> 0 in
+    let v = value lsr n in
+    let v = if sign then v lor (mask32 lsl (32 - n)) land mask32 else v in
+    (v land mask32, value land (1 lsl (n - 1)) <> 0)
+  | Insn.ASR, _ ->
+    let sign = value land 0x80000000 <> 0 in
+    ((if sign then mask32 else 0), sign)
+  | Insn.ROR, n ->
+    let n = n land 31 in
+    if n = 0 then (value, value land 0x80000000 <> 0)
+    else
+      let v = ((value lsr n) lor (value lsl (32 - n))) land mask32 in
+      (v, v land 0x80000000 <> 0)
+
+(* Evaluate a flexible operand2.  Immediate shift of 0 for LSR/ASR means 32
+   in the architecture; the assembler never emits those so we treat literal
+   AST values directly. *)
+let eval_op2 cpu mode addr op2 =
+  match op2 with
+  | Insn.Imm v -> (v land mask32, cpu.Cpu.c)
+  | Insn.Reg r -> (read_op_reg cpu mode addr r, cpu.Cpu.c)
+  | Insn.Reg_shift_imm (r, kind, amount) ->
+    shifted (read_op_reg cpu mode addr r) kind amount cpu.Cpu.c
+  | Insn.Reg_shift_reg (r, kind, rs) ->
+    let amount = Cpu.reg cpu rs land 0xFF in
+    shifted (read_op_reg cpu mode addr r) kind amount cpu.Cpu.c
+
+let signed32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let add_with_carry a b carry_in =
+  let a = a land mask32 and b = b land mask32 in
+  let cin = if carry_in then 1 else 0 in
+  let unsigned = a + b + cin in
+  let result = unsigned land mask32 in
+  let carry = unsigned > mask32 in
+  let signed = signed32 a + signed32 b + cin in
+  let overflow = signed <> signed32 result in
+  (result, carry, overflow)
+
+type outcome = { mutable branch_to : int option; mutable svc : int option }
+
+let interwork cpu target =
+  if target land 1 = 1 then (
+    cpu.Cpu.mode <- Cpu.Thumb;
+    target land lnot 1)
+  else (
+    cpu.Cpu.mode <- Cpu.Arm;
+    target land lnot 3)
+
+let exec_dp cpu mode addr (out : outcome) op s rd rn op2 =
+  let rn_v = read_op_reg cpu mode addr rn in
+  let op2_v, shifter_c = eval_op2 cpu mode addr op2 in
+  let logical result =
+    if s then (
+      Cpu.set_nz cpu result;
+      cpu.Cpu.c <- shifter_c);
+    Some result
+  in
+  let arith result carry overflow =
+    if s then (
+      Cpu.set_nz cpu result;
+      cpu.Cpu.c <- carry;
+      cpu.Cpu.v <- overflow);
+    Some result
+  in
+  let result =
+    match op with
+    | Insn.AND -> logical (rn_v land op2_v)
+    | Insn.EOR -> logical (rn_v lxor op2_v)
+    | Insn.ORR -> logical (rn_v lor op2_v)
+    | Insn.BIC -> logical (rn_v land lnot op2_v land mask32)
+    | Insn.MOV -> logical op2_v
+    | Insn.MVN -> logical (lnot op2_v land mask32)
+    | Insn.SUB ->
+      let r, c, v = add_with_carry rn_v (lnot op2_v land mask32) true in
+      arith r c v
+    | Insn.RSB ->
+      let r, c, v = add_with_carry op2_v (lnot rn_v land mask32) true in
+      arith r c v
+    | Insn.ADD ->
+      let r, c, v = add_with_carry rn_v op2_v false in
+      arith r c v
+    | Insn.ADC ->
+      let r, c, v = add_with_carry rn_v op2_v cpu.Cpu.c in
+      arith r c v
+    | Insn.SBC ->
+      let r, c, v = add_with_carry rn_v (lnot op2_v land mask32) cpu.Cpu.c in
+      arith r c v
+    | Insn.RSC ->
+      let r, c, v = add_with_carry op2_v (lnot rn_v land mask32) cpu.Cpu.c in
+      arith r c v
+    | Insn.TST ->
+      let r = rn_v land op2_v in
+      Cpu.set_nz cpu r;
+      cpu.Cpu.c <- shifter_c;
+      None
+    | Insn.TEQ ->
+      let r = rn_v lxor op2_v in
+      Cpu.set_nz cpu r;
+      cpu.Cpu.c <- shifter_c;
+      None
+    | Insn.CMP ->
+      let r, c, v = add_with_carry rn_v (lnot op2_v land mask32) true in
+      Cpu.set_nz cpu r;
+      cpu.Cpu.c <- c;
+      cpu.Cpu.v <- v;
+      None
+    | Insn.CMN ->
+      let r, c, v = add_with_carry rn_v op2_v false in
+      Cpu.set_nz cpu r;
+      cpu.Cpu.c <- c;
+      cpu.Cpu.v <- v;
+      None
+  in
+  match result with
+  | None -> ()
+  | Some r ->
+    if rd = 15 then out.branch_to <- Some (interwork cpu r)
+    else Cpu.set_reg cpu rd r
+
+let mem_offset_value cpu mode addr = function
+  | Insn.Off_imm v -> v
+  | Insn.Off_reg (up, rm, kind, amount) ->
+    let v, _ = shifted (read_op_reg cpu mode addr rm) kind amount false in
+    if up then v else -v
+
+let exec_mem cpu mem mode addr (out : outcome) ~load ~width ~rd ~rn ~offset ~pre
+    ~writeback =
+  let base = read_op_reg cpu mode addr rn in
+  let off = mem_offset_value cpu mode addr offset in
+  let access_addr = if pre then (base + off) land mask32 else base in
+  if load then (
+    let v =
+      match width with
+      | Insn.Word -> Memory.read_u32 mem access_addr
+      | Insn.Byte -> Memory.read_u8 mem access_addr
+      | Insn.Half -> Memory.read_u16 mem access_addr
+    in
+    if rd = 15 then out.branch_to <- Some (interwork cpu v)
+    else Cpu.set_reg cpu rd v)
+  else begin
+    let v = read_op_reg cpu mode addr rd in
+    match width with
+    | Insn.Word -> Memory.write_u32 mem access_addr v
+    | Insn.Byte -> Memory.write_u8 mem access_addr v
+    | Insn.Half -> Memory.write_u16 mem access_addr v
+  end;
+  if (not pre) || writeback then
+    if not (load && rd = rn) then Cpu.set_reg cpu rn ((base + off) land mask32)
+
+let exec_block cpu mem (out : outcome) ~load ~rn ~mode:bmode ~writeback ~regs =
+  let base = Cpu.reg cpu rn in
+  let count = List.length (Insn.regs_of_mask regs) in
+  let start =
+    match bmode with
+    | Insn.IA -> base
+    | Insn.IB -> base + 4
+    | Insn.DA -> base - (4 * count) + 4
+    | Insn.DB -> base - (4 * count)
+  in
+  let final =
+    match bmode with
+    | Insn.IA | Insn.IB -> base + (4 * count)
+    | Insn.DA | Insn.DB -> base - (4 * count)
+  in
+  let addr = ref start in
+  List.iter
+    (fun r ->
+      if load then (
+        let v = Memory.read_u32 mem (!addr land mask32) in
+        if r = 15 then out.branch_to <- Some (interwork cpu v)
+        else Cpu.set_reg cpu r v)
+      else Memory.write_u32 mem (!addr land mask32) (Cpu.reg cpu r);
+      addr := !addr + 4)
+    (Insn.regs_of_mask regs);
+  if writeback && not (load && regs land (1 lsl rn) <> 0) then
+    Cpu.set_reg cpu rn (final land mask32)
+
+let exec_vfp cpu mem mode addr (out : outcome) insn =
+  ignore out;
+  match insn with
+  | Insn.Vdp { op; prec; vd; vn; vm; _ } ->
+    let f a b =
+      match op with
+      | Insn.VADD -> a +. b
+      | Insn.VSUB -> a -. b
+      | Insn.VMUL -> a *. b
+      | Insn.VDIV -> a /. b
+    in
+    (match prec with
+     | Insn.F32 ->
+       let r = f cpu.Cpu.vfp_s.(vn) cpu.Cpu.vfp_s.(vm) in
+       cpu.Cpu.vfp_s.(vd) <- Int32.float_of_bits (Int32.bits_of_float r)
+     | Insn.F64 -> cpu.Cpu.vfp_d.(vd) <- f cpu.Cpu.vfp_d.(vn) cpu.Cpu.vfp_d.(vm))
+  | Insn.Vmem { load; prec; vd; rn; offset; _ } ->
+    let a = (read_op_reg cpu mode addr rn + offset) land mask32 in
+    (match (load, prec) with
+     | true, Insn.F32 -> cpu.Cpu.vfp_s.(vd) <- Memory.read_f32 mem a
+     | true, Insn.F64 -> cpu.Cpu.vfp_d.(vd) <- Memory.read_f64 mem a
+     | false, Insn.F32 -> Memory.write_f32 mem a cpu.Cpu.vfp_s.(vd)
+     | false, Insn.F64 -> Memory.write_f64 mem a cpu.Cpu.vfp_d.(vd))
+  | Insn.Vmov_core { to_core; rt; sn; _ } ->
+    if to_core then
+      Cpu.set_reg cpu rt
+        (Int32.to_int (Int32.bits_of_float cpu.Cpu.vfp_s.(sn)) land mask32)
+    else
+      cpu.Cpu.vfp_s.(sn) <-
+        Int32.float_of_bits (Int32.of_int (Cpu.reg cpu rt))
+  | Insn.Vcvt { to_double; vd; vm; _ } ->
+    if to_double then cpu.Cpu.vfp_d.(vd) <- cpu.Cpu.vfp_s.(vm)
+    else
+      cpu.Cpu.vfp_s.(vd) <-
+        Int32.float_of_bits (Int32.bits_of_float cpu.Cpu.vfp_d.(vm))
+  | Insn.Vcvt_int { to_float; prec; vd; vm; _ } ->
+    if to_float then (
+      (* source: signed int bits held in s[vm] *)
+      let bits = Int32.bits_of_float cpu.Cpu.vfp_s.(vm) in
+      let i = Int32.to_int bits in
+      match prec with
+      | Insn.F32 -> cpu.Cpu.vfp_s.(vd) <- float_of_int i
+      | Insn.F64 -> cpu.Cpu.vfp_d.(vd) <- float_of_int i)
+    else
+      let src =
+        match prec with Insn.F32 -> cpu.Cpu.vfp_s.(vm) | Insn.F64 -> cpu.Cpu.vfp_d.(vm)
+      in
+      let i = Int32.of_float src in
+      cpu.Cpu.vfp_s.(vd) <- Int32.float_of_bits i
+  | _ -> assert false
+
+let fetch_decode ?icache cpu mem addr =
+  let cached = match icache with None -> None | Some c -> Icache.find c addr in
+  match cached with
+  | Some entry -> entry
+  | None ->
+    let entry =
+      match cpu.Cpu.mode with
+      | Cpu.Arm -> (
+        let word = Memory.read_u32 mem addr in
+        match Decode.decode word with
+        | Some insn -> (insn, 4)
+        | None -> raise (Undefined (addr, word)))
+      | Cpu.Thumb -> (
+        let half = Memory.read_u16 mem addr in
+        let next = Some (Memory.read_u16 mem (addr + 2)) in
+        match Thumb.decode half next with
+        | Some (insn, size) -> (insn, size)
+        | None -> raise (Undefined (addr, half)))
+    in
+    (match icache with None -> () | Some c -> Icache.store c addr entry);
+    entry
+
+let is_return_insn insn =
+  match insn with
+  | Insn.Bx { link = false; rm = 14; _ } -> true
+  | Insn.Block { load = true; regs; _ } when regs land 0x8000 <> 0 -> true
+  | Insn.Dp { op = Insn.MOV; rd = 15; op2 = Insn.Reg 14; _ } -> true
+  | _ -> false
+
+let step ?icache cpu mem =
+  let addr = Cpu.pc cpu in
+  let mode = cpu.Cpu.mode in
+  let insn, size = fetch_decode ?icache cpu mem addr in
+  let executed = Cpu.cond_passed cpu (Insn.cond_of insn) in
+  (* Fall-through PC first; execution may override it. *)
+  Cpu.set_pc cpu (addr + size);
+  let out = { branch_to = None; svc = None } in
+  let is_call = ref false in
+  if executed then begin
+    match insn with
+    | Insn.Dp { op; s; rd; rn; op2; _ } -> exec_dp cpu mode addr out op s rd rn op2
+    | Insn.Mul { s; rd; rm; rs; _ } ->
+      let r = Cpu.reg cpu rm * Cpu.reg cpu rs land mask32 in
+      let r = r land mask32 in
+      Cpu.set_reg cpu rd r;
+      if s then Cpu.set_nz cpu r
+    | Insn.Mla { s; rd; rm; rs; rn; _ } ->
+      let r = ((Cpu.reg cpu rm * Cpu.reg cpu rs) + Cpu.reg cpu rn) land mask32 in
+      Cpu.set_reg cpu rd r;
+      if s then Cpu.set_nz cpu r
+    | Insn.Mull { signed; s; rdlo; rdhi; rm; rs; _ } ->
+      let to64 v =
+        if signed && v land 0x80000000 <> 0 then
+          Int64.of_int (v - 0x100000000)
+        else Int64.of_int v
+      in
+      let product = Int64.mul (to64 (Cpu.reg cpu rm)) (to64 (Cpu.reg cpu rs)) in
+      let lo = Int64.to_int (Int64.logand product 0xFFFFFFFFL) in
+      let hi = Int64.to_int (Int64.logand (Int64.shift_right_logical product 32) 0xFFFFFFFFL) in
+      Cpu.set_reg cpu rdlo lo;
+      Cpu.set_reg cpu rdhi hi;
+      if s then begin
+        cpu.Cpu.n <- hi land 0x80000000 <> 0;
+        cpu.Cpu.z <- lo = 0 && hi = 0
+      end
+    | Insn.Clz { rd; rm; _ } ->
+      let v = Cpu.reg cpu rm in
+      let rec count i = if i < 0 then 32 else if v land (1 lsl i) <> 0 then 31 - i else count (i - 1) in
+      Cpu.set_reg cpu rd (count 31)
+    | Insn.Mem { load; width; rd; rn; offset; pre; writeback; _ } ->
+      exec_mem cpu mem mode addr out ~load ~width ~rd ~rn ~offset ~pre ~writeback
+    | Insn.Block { load; rn; mode = bmode; writeback; regs; _ } ->
+      exec_block cpu mem out ~load ~rn ~mode:bmode ~writeback ~regs
+    | Insn.B { link; offset; _ } ->
+      let unit_size = match mode with Cpu.Arm -> 4 | Cpu.Thumb -> 2 in
+      let target = (pc_read mode addr + (offset * unit_size)) land mask32 in
+      if link then begin
+        is_call := true;
+        let ret = addr + size in
+        Cpu.set_reg cpu 14
+          (match mode with Cpu.Arm -> ret | Cpu.Thumb -> ret lor 1)
+      end;
+      out.branch_to <- Some target
+    | Insn.Bx { link; rm; _ } ->
+      let target = read_op_reg cpu mode addr rm in
+      if link then begin
+        is_call := true;
+        let ret = addr + size in
+        Cpu.set_reg cpu 14
+          (match mode with Cpu.Arm -> ret | Cpu.Thumb -> ret lor 1)
+      end;
+      out.branch_to <- Some (interwork cpu target)
+    | Insn.Svc { imm; _ } -> out.svc <- Some imm
+    | Insn.Vdp _ | Insn.Vmem _ | Insn.Vmov_core _ | Insn.Vcvt _ | Insn.Vcvt_int _ ->
+      exec_vfp cpu mem mode addr out insn
+  end;
+  (match out.branch_to with
+   | Some target -> Cpu.set_pc cpu target
+   | None -> ());
+  { addr;
+    insn;
+    size;
+    mode;
+    executed;
+    branch = (match out.branch_to with Some t -> Some (addr, t) | None -> None);
+    is_call = !is_call;
+    is_return = executed && is_return_insn insn;
+    svc = out.svc }

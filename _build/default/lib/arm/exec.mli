@@ -1,0 +1,35 @@
+(** Single-step instruction executor.
+
+    Fetches at the CPU's PC (in the CPU's current instruction-set mode),
+    decodes (through the optional hot-instruction cache), checks the
+    condition, executes, and reports what happened.  Control transfers are
+    reported so the emulator layer can drive hooks and host-function
+    dispatch: "when processing a branch instruction, if the target method is
+    in the list, NDroid will call its analysis functions" (paper,
+    Sec. V-G). *)
+
+exception Undefined of int * int
+(** [Undefined (addr, word)]: fetched bits that the decoder rejects. *)
+
+(** What one step did. *)
+type step = {
+  addr : int;  (** address the instruction was fetched from *)
+  insn : Insn.t;
+  size : int;  (** 2 or 4 bytes *)
+  mode : Cpu.mode;  (** mode the instruction executed in *)
+  executed : bool;  (** [false] when the condition failed *)
+  branch : (int * int) option;
+      (** [(from, to)] when control transferred anywhere but fall-through *)
+  is_call : bool;  (** BL / BLX: a function call *)
+  is_return : bool;  (** a recognised return idiom: BX lr, POP {..pc}, MOV pc *)
+  svc : int option;  (** SVC immediate when a supervisor call was made *)
+}
+
+val fetch_decode : ?icache:Icache.t -> Cpu.t -> Memory.t -> int -> Insn.t * int
+(** [fetch_decode cpu mem addr] decodes the instruction at [addr] in the
+    CPU's current mode.  @raise Undefined on unsupported encodings. *)
+
+val step : ?icache:Icache.t -> Cpu.t -> Memory.t -> step
+(** Execute one instruction at the current PC.  Updates all CPU and memory
+    state, including the PC (fall-through or branch target).
+    @raise Undefined on unsupported encodings. *)

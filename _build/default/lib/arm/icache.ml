@@ -1,0 +1,26 @@
+type t = {
+  table : (int, Insn.t * int) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 4096; hits = 0; misses = 0 }
+
+let find c addr =
+  match Hashtbl.find_opt c.table addr with
+  | Some _ as r ->
+    c.hits <- c.hits + 1;
+    r
+  | None ->
+    c.misses <- c.misses + 1;
+    None
+
+let store c addr entry = Hashtbl.replace c.table addr entry
+
+let clear c =
+  Hashtbl.reset c.table;
+  c.hits <- 0;
+  c.misses <- 0
+
+let hits c = c.hits
+let misses c = c.misses

@@ -1,0 +1,19 @@
+(** Hot-instruction decode cache.
+
+    "To speed up the identification of the instruction type and the search of
+    the handler, NDroid caches hot instructions and the corresponding
+    handlers" (paper, Sec. V-C).  The cache maps a fetch address to the
+    decoded instruction and its byte size, avoiding re-decoding in loops.
+    Disable it to run ablation A1. *)
+
+type t
+
+val create : unit -> t
+val find : t -> int -> (Insn.t * int) option
+val store : t -> int -> Insn.t * int -> unit
+val clear : t -> unit
+
+val hits : t -> int
+(** Lookup hits since creation (or the last {!clear}). *)
+
+val misses : t -> int

@@ -1,0 +1,93 @@
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+
+type t = { pages : (int, Bytes.t) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 64 }
+
+let page m addr =
+  let key = addr lsr page_bits in
+  match Hashtbl.find_opt m.pages key with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make page_size '\000' in
+    Hashtbl.replace m.pages key p;
+    p
+
+let norm addr = addr land 0xFFFFFFFF
+
+let read_u8 m addr =
+  let addr = norm addr in
+  Char.code (Bytes.get (page m addr) (addr land page_mask))
+
+let write_u8 m addr v =
+  let addr = norm addr in
+  Bytes.set (page m addr) (addr land page_mask) (Char.chr (v land 0xFF))
+
+let read_u16 m addr = read_u8 m addr lor (read_u8 m (addr + 1) lsl 8)
+
+let read_u32 m addr =
+  read_u8 m addr
+  lor (read_u8 m (addr + 1) lsl 8)
+  lor (read_u8 m (addr + 2) lsl 16)
+  lor (read_u8 m (addr + 3) lsl 24)
+
+let write_u16 m addr v =
+  write_u8 m addr v;
+  write_u8 m (addr + 1) (v lsr 8)
+
+let write_u32 m addr v =
+  write_u8 m addr v;
+  write_u8 m (addr + 1) (v lsr 8);
+  write_u8 m (addr + 2) (v lsr 16);
+  write_u8 m (addr + 3) (v lsr 24)
+
+let read_bytes m addr n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr (read_u8 m (addr + i)))
+  done;
+  b
+
+let write_bytes m addr b =
+  for i = 0 to Bytes.length b - 1 do
+    write_u8 m (addr + i) (Char.code (Bytes.get b i))
+  done
+
+let write_string m addr s = write_bytes m addr (Bytes.of_string s)
+
+let read_cstring m ?(max = 65536) addr =
+  let buf = Buffer.create 32 in
+  let rec loop i =
+    if i >= max then Buffer.contents buf
+    else
+      let c = read_u8 m (addr + i) in
+      if c = 0 then Buffer.contents buf
+      else (
+        Buffer.add_char buf (Char.chr c);
+        loop (i + 1))
+  in
+  loop 0
+
+let write_cstring m addr s =
+  write_string m addr s;
+  write_u8 m (addr + String.length s) 0
+
+let read_f32 m addr = Int32.float_of_bits (Int32.of_int (read_u32 m addr))
+
+let read_f64 m addr =
+  let lo = Int64.of_int (read_u32 m addr)
+  and hi = Int64.of_int (read_u32 m (addr + 4)) in
+  Int64.float_of_bits (Int64.logor lo (Int64.shift_left hi 32))
+
+let write_f32 m addr f =
+  write_u32 m addr (Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF)
+
+let write_f64 m addr f =
+  let bits = Int64.bits_of_float f in
+  write_u32 m addr (Int64.to_int (Int64.logand bits 0xFFFFFFFFL));
+  write_u32 m (addr + 4) (Int64.to_int (Int64.shift_right_logical bits 32))
+
+let pages_touched m = Hashtbl.length m.pages
+let clear m = Hashtbl.reset m.pages

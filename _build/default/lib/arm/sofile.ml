@@ -1,0 +1,81 @@
+exception Bad_sofile of string
+
+let magic = "\x7fSO\x01"
+
+let err fmt = Format.kasprintf (fun s -> raise (Bad_sofile s)) fmt
+
+(* little-endian primitives over Buffer / string *)
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let put_u32 b v =
+  put_u8 b v;
+  put_u8 b (v lsr 8);
+  put_u8 b (v lsr 16);
+  put_u8 b (v lsr 24)
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+type reader = { src : string; mutable pos : int }
+
+let need r n = if r.pos + n > String.length r.src then err "truncated at %d" r.pos
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r =
+  let a = get_u8 r in
+  let b = get_u8 r in
+  let c = get_u8 r in
+  let d = get_u8 r in
+  a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+let get_str r =
+  let n = get_u32 r in
+  if n > 0x100000 then err "string length %d implausible" n;
+  need r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let to_string prog =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  put_u8 b (match Asm.mode prog with Cpu.Arm -> 0 | Cpu.Thumb -> 1);
+  put_u32 b (Asm.base prog);
+  let code = Asm.code prog in
+  put_u32 b (Bytes.length code);
+  Buffer.add_bytes b code;
+  let symbols = List.sort compare (Asm.symbols prog) in
+  put_u32 b (List.length symbols);
+  List.iter
+    (fun (name, addr) ->
+      put_str b name;
+      put_u32 b addr)
+    symbols;
+  Buffer.contents b
+
+let of_string s =
+  let r = { src = s; pos = 0 } in
+  need r 4;
+  if String.sub s 0 4 <> magic then err "bad magic";
+  r.pos <- 4;
+  let mode = match get_u8 r with 0 -> Cpu.Arm | 1 -> Cpu.Thumb | m -> err "bad mode %d" m in
+  let base = get_u32 r in
+  let code_len = get_u32 r in
+  if code_len > 0x1000000 then err "code size %d implausible" code_len;
+  need r code_len;
+  let code = Bytes.of_string (String.sub s r.pos code_len) in
+  r.pos <- r.pos + code_len;
+  let nsyms = get_u32 r in
+  if nsyms > 0x10000 then err "symbol count %d implausible" nsyms;
+  let symbols = List.init nsyms (fun _ ->
+      let name = get_str r in
+      let addr = get_u32 r in
+      (name, addr))
+  in
+  Asm.of_raw ~base ~mode ~code ~symbols

@@ -1,0 +1,278 @@
+let bits h hi lo = (h lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+let flag h b = (h lsr b) land 1 = 1
+
+let sign_extend v width =
+  let m = 1 lsl (width - 1) in
+  (v lxor m) - m
+
+open Insn
+
+let dp_s op rd rn op2 = Dp { cond = AL; op; s = true; rd; rn; op2 }
+
+(* Format 4 "ALU operations" opcode table. *)
+let alu_op code rd rm =
+  match code with
+  | 0 -> Some (dp_s AND rd rd (Reg rm))
+  | 1 -> Some (dp_s EOR rd rd (Reg rm))
+  | 2 -> Some (dp_s MOV rd 0 (Reg_shift_reg (rd, LSL, rm)))
+  | 3 -> Some (dp_s MOV rd 0 (Reg_shift_reg (rd, LSR, rm)))
+  | 4 -> Some (dp_s MOV rd 0 (Reg_shift_reg (rd, ASR, rm)))
+  | 5 -> Some (dp_s ADC rd rd (Reg rm))
+  | 6 -> Some (dp_s SBC rd rd (Reg rm))
+  | 7 -> Some (dp_s MOV rd 0 (Reg_shift_reg (rd, ROR, rm)))
+  | 8 -> Some (dp_s TST 0 rd (Reg rm))
+  | 9 -> Some (dp_s RSB rd rm (Imm 0)) (* NEG *)
+  | 10 -> Some (dp_s CMP 0 rd (Reg rm))
+  | 11 -> Some (dp_s CMN 0 rd (Reg rm))
+  | 12 -> Some (dp_s ORR rd rd (Reg rm))
+  | 13 -> Some (Mul { cond = AL; s = true; rd; rm; rs = rd })
+  | 14 -> Some (dp_s BIC rd rd (Reg rm))
+  | 15 -> Some (dp_s MVN rd 0 (Reg rm))
+  | _ -> None
+
+let decode half next =
+  let h = half land 0xFFFF in
+  let ok insn = Some (insn, 2) in
+  match bits h 15 13 with
+  | 0b000 -> (
+    match bits h 12 11 with
+    | 0b11 ->
+      (* add/sub register or 3-bit immediate *)
+      let rd = bits h 2 0 and rn = bits h 5 3 in
+      let op = if flag h 9 then SUB else ADD in
+      let op2 = if flag h 10 then Imm (bits h 8 6) else Reg (bits h 8 6) in
+      ok (dp_s op rd rn op2)
+    | shift_code ->
+      let rd = bits h 2 0 and rm = bits h 5 3 and imm5 = bits h 10 6 in
+      let kind = Insn.shift_of_code shift_code in
+      ok (dp_s MOV rd 0 (Reg_shift_imm (rm, kind, imm5))))
+  | 0b001 ->
+    let rd = bits h 10 8 and imm8 = bits h 7 0 in
+    (match bits h 12 11 with
+     | 0b00 -> ok (dp_s MOV rd 0 (Imm imm8))
+     | 0b01 -> ok (dp_s CMP 0 rd (Imm imm8))
+     | 0b10 -> ok (dp_s ADD rd rd (Imm imm8))
+     | _ -> ok (dp_s SUB rd rd (Imm imm8)))
+  | 0b010 ->
+    if bits h 12 10 = 0b000 then
+      (* format 4 ALU *)
+      match alu_op (bits h 9 6) (bits h 2 0) (bits h 5 3) with
+      | Some insn -> ok insn
+      | None -> None
+    else if bits h 12 10 = 0b001 then
+      (* hi-register ops / BX *)
+      let op = bits h 9 8 in
+      let rm = bits h 6 3 in
+      let rd = bits h 2 0 lor (if flag h 7 then 8 else 0) in
+      (match op with
+       | 0b00 -> ok (Dp { cond = AL; op = ADD; s = false; rd; rn = rd; op2 = Reg rm })
+       | 0b01 -> ok (dp_s CMP 0 rd (Reg rm))
+       | 0b10 -> ok (Dp { cond = AL; op = MOV; s = false; rd; rn = 0; op2 = Reg rm })
+       | _ -> ok (Bx { cond = AL; link = flag h 7; rm }))
+    else if bits h 12 11 = 0b01 then
+      (* PC-relative load *)
+      let rd = bits h 10 8 and imm8 = bits h 7 0 in
+      ok
+        (Mem
+           { cond = AL; load = true; width = Word; rd; rn = 15;
+             offset = Off_imm (imm8 * 4); pre = true; writeback = false })
+    else
+      (* register-offset load/store *)
+      let rd = bits h 2 0 and rn = bits h 5 3 and rm = bits h 8 6 in
+      let mk load width =
+        ok
+          (Mem
+             { cond = AL; load; width; rd; rn;
+               offset = Off_reg (true, rm, LSL, 0); pre = true; writeback = false })
+      in
+      (match bits h 11 9 with
+       | 0b000 -> mk false Word
+       | 0b001 -> mk false Half
+       | 0b010 -> mk false Byte
+       | 0b100 -> mk true Word
+       | 0b101 -> mk true Half
+       | 0b110 -> mk true Byte
+       | _ -> None (* LDRSB / LDRSH unsupported *))
+  | 0b011 ->
+    let rd = bits h 2 0 and rn = bits h 5 3 and imm5 = bits h 10 6 in
+    let byte = flag h 12 and load = flag h 11 in
+    let width = if byte then Byte else Word in
+    let off = if byte then imm5 else imm5 * 4 in
+    ok
+      (Mem
+         { cond = AL; load; width; rd; rn; offset = Off_imm off; pre = true;
+           writeback = false })
+  | 0b100 ->
+    if not (flag h 12) then
+      (* halfword imm *)
+      let rd = bits h 2 0 and rn = bits h 5 3 and imm5 = bits h 10 6 in
+      ok
+        (Mem
+           { cond = AL; load = flag h 11; width = Half; rd; rn;
+             offset = Off_imm (imm5 * 2); pre = true; writeback = false })
+    else
+      (* SP-relative load/store *)
+      let rd = bits h 10 8 and imm8 = bits h 7 0 in
+      ok
+        (Mem
+           { cond = AL; load = flag h 11; width = Word; rd; rn = 13;
+             offset = Off_imm (imm8 * 4); pre = true; writeback = false })
+  | 0b101 ->
+    if not (flag h 12) then
+      (* ADD Rd, PC/SP, #imm8*4 *)
+      let rd = bits h 10 8 and imm8 = bits h 7 0 in
+      let rn = if flag h 11 then 13 else 15 in
+      ok (Dp { cond = AL; op = ADD; s = false; rd; rn; op2 = Imm (imm8 * 4) })
+    else if bits h 11 8 = 0b0000 then
+      (* ADD/SUB SP, #imm7*4 *)
+      let imm = bits h 6 0 * 4 in
+      let op = if flag h 7 then SUB else ADD in
+      ok (Dp { cond = AL; op; s = false; rd = 13; rn = 13; op2 = Imm imm })
+    else if bits h 11 9 = 0b010 then
+      (* PUSH, optionally with LR *)
+      let regs = bits h 7 0 lor if flag h 8 then 1 lsl 14 else 0 in
+      if regs = 0 then None
+      else ok (Block { cond = AL; load = false; rn = 13; mode = DB; writeback = true; regs })
+    else if bits h 11 9 = 0b110 then
+      (* POP, optionally with PC *)
+      let regs = bits h 7 0 lor if flag h 8 then 1 lsl 15 else 0 in
+      if regs = 0 then None
+      else ok (Block { cond = AL; load = true; rn = 13; mode = IA; writeback = true; regs })
+    else None
+  | 0b110 ->
+    if not (flag h 12) then
+      (* LDMIA/STMIA Rn!, {...} *)
+      let rn = bits h 10 8 and regs = bits h 7 0 in
+      if regs = 0 then None
+      else
+        ok (Block { cond = AL; load = flag h 11; rn; mode = IA; writeback = true; regs })
+    else
+      let cond_bits = bits h 11 8 in
+      if cond_bits = 0b1111 then ok (Svc { cond = AL; imm = bits h 7 0 })
+      else (
+        match Insn.cond_of_code cond_bits with
+        | Some AL | None -> None
+        | Some cond ->
+          ok (B { cond; link = false; offset = sign_extend (bits h 7 0) 8 }))
+  | _ ->
+    (* 0b111 *)
+    if bits h 12 11 = 0b00 then
+      ok (B { cond = AL; link = false; offset = sign_extend (bits h 10 0) 11 })
+    else if bits h 12 11 = 0b10 then (
+      (* BL prefix; needs suffix halfword 11111 imm11 *)
+      match next with
+      | Some n when bits n 15 11 = 0b11111 ->
+        let offset = (sign_extend (bits h 10 0) 11 lsl 11) lor bits n 10 0 in
+        Some (B { cond = AL; link = true; offset }, 4)
+      | _ -> None)
+    else None
+
+let fits_low r = r >= 0 && r <= 7
+let fits_imm8 v = v >= 0 && v <= 255
+
+let encode insn =
+  match insn with
+  | Dp { cond = AL; op = MOV; s = true; rd; rn = _; op2 = Imm v }
+    when fits_low rd && fits_imm8 v ->
+    Some [ (0b00100 lsl 11) lor (rd lsl 8) lor v ]
+  | Dp { cond = AL; op = CMP; s = true; rd = _; rn; op2 = Imm v }
+    when fits_low rn && fits_imm8 v ->
+    Some [ (0b00101 lsl 11) lor (rn lsl 8) lor v ]
+  | Dp { cond = AL; op = ADD; s = true; rd; rn; op2 = Imm v }
+    when rd = rn && fits_low rd && fits_imm8 v ->
+    Some [ (0b00110 lsl 11) lor (rd lsl 8) lor v ]
+  | Dp { cond = AL; op = SUB; s = true; rd; rn; op2 = Imm v }
+    when rd = rn && fits_low rd && fits_imm8 v ->
+    Some [ (0b00111 lsl 11) lor (rd lsl 8) lor v ]
+  | Dp { cond = AL; op = ADD; s = true; rd; rn; op2 = Reg rm }
+    when fits_low rd && fits_low rn && fits_low rm ->
+    Some [ (0b0001100 lsl 9) lor (rm lsl 6) lor (rn lsl 3) lor rd ]
+  | Dp { cond = AL; op = SUB; s = true; rd; rn; op2 = Reg rm }
+    when fits_low rd && fits_low rn && fits_low rm ->
+    Some [ (0b0001101 lsl 9) lor (rm lsl 6) lor (rn lsl 3) lor rd ]
+  | Dp { cond = AL; op = ADD; s = true; rd; rn; op2 = Imm v }
+    when fits_low rd && fits_low rn && v >= 0 && v <= 7 ->
+    Some [ (0b0001110 lsl 9) lor (v lsl 6) lor (rn lsl 3) lor rd ]
+  | Dp { cond = AL; op = SUB; s = true; rd; rn; op2 = Imm v }
+    when fits_low rd && fits_low rn && v >= 0 && v <= 7 ->
+    Some [ (0b0001111 lsl 9) lor (v lsl 6) lor (rn lsl 3) lor rd ]
+  | Dp { cond = AL; op = MOV; s = true; rd; rn = _; op2 = Reg_shift_imm (rm, kind, n) }
+    when fits_low rd && fits_low rm && kind <> ROR && n <= 31 ->
+    Some [ (Insn.shift_code kind lsl 11) lor (n lsl 6) lor (rm lsl 3) lor rd ]
+  | Dp { cond = AL; op; s = true; rd; rn; op2 = Reg rm }
+    when fits_low rd && fits_low rm
+         && (match op with
+             | AND | EOR | ADC | SBC | ORR | BIC -> rd = rn
+             | TST | CMP | CMN -> fits_low rn
+             | MVN -> true
+             | _ -> false) ->
+    let code =
+      match op with
+      | AND -> Some 0
+      | EOR -> Some 1
+      | ADC -> Some 5
+      | SBC -> Some 6
+      | TST -> Some 8
+      | CMP -> Some 10
+      | CMN -> Some 11
+      | ORR -> Some 12
+      | BIC -> Some 14
+      | MVN -> Some 15
+      | _ -> None
+    in
+    (match code with
+     | Some c ->
+       let rdn = if Insn.is_test_op op then rn else rd in
+       Some [ (0b010000 lsl 10) lor (c lsl 6) lor (rm lsl 3) lor rdn ]
+     | None -> None)
+  | Dp { cond = AL; op = RSB; s = true; rd; rn; op2 = Imm 0 }
+    when fits_low rd && fits_low rn ->
+    Some [ (0b010000 lsl 10) lor (9 lsl 6) lor (rn lsl 3) lor rd ]
+  | Dp { cond = AL; op = MOV; s = false; rd; rn = _; op2 = Reg rm } ->
+    let h1 = if rd > 7 then 1 else 0 in
+    Some [ (0b01000110 lsl 8) lor (h1 lsl 7) lor (rm lsl 3) lor (rd land 7) ]
+  | Mul { cond = AL; s = true; rd; rm; rs } when fits_low rd && fits_low rm && rd = rs
+    ->
+    Some [ (0b010000 lsl 10) lor (13 lsl 6) lor (rm lsl 3) lor rd ]
+  | Mem { cond = AL; load; width = Word; rd; rn; offset = Off_imm v; pre = true;
+          writeback = false }
+    when fits_low rd && fits_low rn && v >= 0 && v <= 124 && v mod 4 = 0 ->
+    let l = if load then 1 else 0 in
+    Some [ (0b011 lsl 13) lor (0 lsl 12) lor (l lsl 11) lor ((v / 4) lsl 6)
+           lor (rn lsl 3) lor rd ]
+  | Mem { cond = AL; load; width = Byte; rd; rn; offset = Off_imm v; pre = true;
+          writeback = false }
+    when fits_low rd && fits_low rn && v >= 0 && v <= 31 ->
+    let l = if load then 1 else 0 in
+    Some [ (0b011 lsl 13) lor (1 lsl 12) lor (l lsl 11) lor (v lsl 6) lor (rn lsl 3)
+           lor rd ]
+  | Mem { cond = AL; load; width = Half; rd; rn; offset = Off_imm v; pre = true;
+          writeback = false }
+    when fits_low rd && fits_low rn && v >= 0 && v <= 62 && v mod 2 = 0 ->
+    let l = if load then 1 else 0 in
+    Some [ (0b1000 lsl 12) lor (l lsl 11) lor ((v / 2) lsl 6) lor (rn lsl 3) lor rd ]
+  | Block { cond = AL; load = false; rn = 13; mode = DB; writeback = true; regs }
+    when regs land lnot 0x40FF = 0 && regs <> 0 ->
+    let r = if regs land 0x4000 <> 0 then 1 else 0 in
+    Some [ (0b1011010 lsl 9) lor (r lsl 8) lor (regs land 0xFF) ]
+  | Block { cond = AL; load = true; rn = 13; mode = IA; writeback = true; regs }
+    when regs land lnot 0x80FF = 0 && regs <> 0 ->
+    let r = if regs land 0x8000 <> 0 then 1 else 0 in
+    Some [ (0b1011110 lsl 9) lor (r lsl 8) lor (regs land 0xFF) ]
+  | B { cond = AL; link = false; offset } when offset >= -1024 && offset < 1024 ->
+    Some [ (0b11100 lsl 11) lor (offset land 0x7FF) ]
+  | B { cond = AL; link = true; offset }
+    when offset >= -(1 lsl 21) && offset < 1 lsl 21 ->
+    let hi = (offset asr 11) land 0x7FF and lo = offset land 0x7FF in
+    Some [ (0b11110 lsl 11) lor hi; (0b11111 lsl 11) lor lo ]
+  | B { cond; link = false; offset }
+    when cond <> AL && offset >= -128 && offset < 128 ->
+    Some [ (0b1101 lsl 12) lor (Insn.cond_code cond lsl 8) lor (offset land 0xFF) ]
+  | Bx { cond = AL; link; rm } ->
+    let l = if link then 1 else 0 in
+    Some [ (0b01000111 lsl 8) lor (l lsl 7) lor (rm lsl 3) ]
+  | Svc { cond = AL; imm } when fits_imm8 imm ->
+    Some [ (0b11011111 lsl 8) lor imm ]
+  | _ -> None
+
+let encodable insn = encode insn <> None

@@ -1,0 +1,24 @@
+(** Thumb (16-bit) instruction support.
+
+    Thumb instructions decode into the same {!Insn.t} AST as ARM ones, so the
+    executor and NDroid's taint rules (Table V applies to "ARM/Thumb
+    instructions" uniformly) need a single implementation.  BL is the only
+    32-bit encoding supported, consuming two halfwords.
+
+    In this AST, a Thumb [LSLS rd, rm, #n] becomes
+    [Dp {op = MOV; s = true; op2 = Reg_shift_imm (rm, LSL, n)}], a Thumb
+    [NEG rd, rm] becomes [RSB rd, rm, #0], and so on: the mapping preserves
+    semantics exactly, including flag setting. *)
+
+val decode : int -> int option -> (Insn.t * int) option
+(** [decode half next] decodes the halfword [half]; [next] supplies the
+    following halfword for 32-bit BL pairs.  Returns the instruction and its
+    size in bytes (2 or 4), or [None] outside the supported subset. *)
+
+val encode : Insn.t -> int list option
+(** [encode insn] is the halfword sequence encoding [insn] in Thumb, or
+    [None] when the instruction has no Thumb-16 encoding (e.g. it uses high
+    registers, shifts, or conditions that require ARM or Thumb-2). *)
+
+val encodable : Insn.t -> bool
+(** [encodable insn] is [true] iff {!encode} succeeds. *)

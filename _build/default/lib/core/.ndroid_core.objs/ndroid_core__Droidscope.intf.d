@@ -1,0 +1,1 @@
+lib/core/droidscope.mli: Ndroid_runtime

@@ -1,0 +1,1 @@
+lib/core/dvm_hook_engine.ml: Array Flow_log Hashtbl List Ndroid_android Ndroid_arm Ndroid_dalvik Ndroid_emulator Ndroid_runtime Ndroid_taint Source_policy String Taint_engine

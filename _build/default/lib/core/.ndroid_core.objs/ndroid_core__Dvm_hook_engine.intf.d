@@ -1,0 +1,1 @@
+lib/core/dvm_hook_engine.mli: Flow_log Ndroid_runtime Source_policy Taint_engine

@@ -1,0 +1,1 @@
+lib/core/insn_taint.ml: List Ndroid_arm Ndroid_taint Taint_engine

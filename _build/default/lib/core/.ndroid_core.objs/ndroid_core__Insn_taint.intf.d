@@ -1,0 +1,1 @@
+lib/core/insn_taint.mli: Ndroid_arm Taint_engine

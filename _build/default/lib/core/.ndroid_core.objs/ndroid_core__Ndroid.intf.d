@@ -1,0 +1,1 @@
+lib/core/ndroid.mli: Flow_log Format Ndroid_android Ndroid_runtime Taint_engine

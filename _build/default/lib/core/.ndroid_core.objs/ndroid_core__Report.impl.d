@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Flow_log Format List Ndroid Ndroid_android Ndroid_taint Printf String

@@ -1,0 +1,1 @@
+lib/core/source_policy.ml: Array Format Hashtbl Ndroid_arm Ndroid_dalvik Ndroid_runtime Ndroid_taint Taint_engine

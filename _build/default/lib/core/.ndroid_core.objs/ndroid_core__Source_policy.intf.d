@@ -1,0 +1,1 @@
+lib/core/source_policy.mli: Format Ndroid_arm Ndroid_runtime Ndroid_taint Taint_engine

@@ -1,0 +1,1 @@
+lib/core/syslib_hook_engine.ml: Array Bytes Char Flow_log List Ndroid_android Ndroid_arm Ndroid_emulator Ndroid_runtime Ndroid_taint Printf String Taint_engine

@@ -1,0 +1,1 @@
+lib/core/syslib_hook_engine.mli: Flow_log Ndroid_runtime Taint_engine

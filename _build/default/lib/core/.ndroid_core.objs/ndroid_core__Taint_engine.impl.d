@@ -1,0 +1,1 @@
+lib/core/taint_engine.ml: Ndroid_arm Ndroid_taint

@@ -1,0 +1,1 @@
+lib/core/taint_engine.mli: Ndroid_arm Ndroid_taint

@@ -1,0 +1,31 @@
+(** The DroidScope baseline.
+
+    DroidScope "tracks information flow at the instruction level by
+    enhancing QEMU and it may incur 11 to 34 times slowdown.  Moreover, it
+    reconstructs OS level and DVM level information only from the machine
+    instructions without exploiting JNI's semantic information" (paper,
+    Secs. I-II).  Two consequences this module reproduces:
+
+    - {b cost}: every instruction in the whole system — including the ones
+      "executed by" the Dalvik interpreter for each bytecode — pays for
+      virtual-machine introspection plus an instruction-level taint
+      operation.  Nothing is summarised, nothing is filtered.
+    - {b detection}: "no new information flows than TaintDroid were
+      reported" — the source/sink model is TaintDroid's, so the Table I
+      detection matrix matches TaintDroid's row. *)
+
+type t
+
+val attach :
+  ?vmi_work_per_insn:int -> ?insns_per_bytecode:int ->
+  ?insns_per_host_call:int -> Ndroid_runtime.Device.t -> t
+(** Instrument a device.  [vmi_work_per_insn] (default 90) is the
+    introspection work performed per machine instruction;
+    [insns_per_bytecode] (default 3) models the per-bytecode dispatch +
+    execute instruction count per DVM bytecode, each of which also pays the
+    per-instruction cost; [insns_per_host_call] (default 110) models a
+    library function's body, which DroidScope instruments in full where
+    NDroid substitutes a summary. *)
+
+val instructions_processed : t -> int
+(** Machine instructions (real + interpreter-generated) instrumented. *)

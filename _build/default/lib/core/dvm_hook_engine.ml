@@ -1,0 +1,406 @@
+module Taint = Ndroid_taint.Taint
+module Device = Ndroid_runtime.Device
+module Machine = Ndroid_emulator.Machine
+module Layout = Ndroid_emulator.Layout
+module Multilevel = Ndroid_emulator.Multilevel
+module Cpu = Ndroid_arm.Cpu
+module Memory = Ndroid_arm.Memory
+module Vm = Ndroid_dalvik.Vm
+module Classes = Ndroid_dalvik.Classes
+module A = Ndroid_android
+
+type frame_snapshot = { fs_name : string; fs_regs : int array }
+
+type t = {
+  device : Device.t;
+  engine : Taint_engine.t;
+  log : Flow_log.t;
+  table : Source_policy.Table.t;
+  multilevel : Multilevel.t;
+  use_multilevel : bool;
+  mutable pre_stack : frame_snapshot list;
+  mutable policies_applied : int;
+  mutable always_hook_scans : int;
+}
+
+let policies t = t.table
+let policies_applied t = t.policies_applied
+let multilevel_checks t = Multilevel.checks t.multilevel
+let multilevel_level t = Multilevel.level t.multilevel
+let always_hook_scans t = t.always_hook_scans
+
+(* ---- helpers ---- *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix)
+     = suffix
+
+(* Call<Type>Method... wrappers: extract the return-type name. *)
+let call_method_type name =
+  let strip_prefix p s =
+    if starts_with ~prefix:p s then
+      Some (String.sub s (String.length p) (String.length s - String.length p))
+    else None
+  in
+  let rest =
+    match strip_prefix "CallNonvirtual" name with
+    | Some r -> Some r
+    | None -> (
+      match strip_prefix "CallStatic" name with
+      | Some r -> Some r
+      | None -> strip_prefix "Call" name)
+  in
+  match rest with
+  | None -> None
+  | Some r ->
+    let r =
+      if ends_with ~suffix:"MethodV" r || ends_with ~suffix:"MethodA" r then
+        String.sub r 0 (String.length r - 7)
+      else if ends_with ~suffix:"Method" r then
+        String.sub r 0 (String.length r - 6)
+      else r
+    in
+    if r = "" then None else Some r
+
+let field_access name =
+  (* Get/Set[Static]<Type>Field *)
+  if not (ends_with ~suffix:"Field" name) then None
+  else if starts_with ~prefix:"GetStatic" name then Some (`Get, true)
+  else if starts_with ~prefix:"SetStatic" name then Some (`Set, true)
+  else if starts_with ~prefix:"Get" name then Some (`Get, false)
+  else if starts_with ~prefix:"Set" name then Some (`Set, false)
+  else None
+
+let array_elements name =
+  if not (ends_with ~suffix:"ArrayElements" name) then None
+  else if starts_with ~prefix:"Get" name then Some `Get
+  else if starts_with ~prefix:"Release" name then Some `Release
+  else None
+
+let array_region name =
+  if not (ends_with ~suffix:"ArrayRegion" name) then None
+  else if starts_with ~prefix:"Get" name then Some `Get
+  else if starts_with ~prefix:"Set" name then Some `Set
+  else None
+
+let region_width name =
+  if starts_with ~prefix:"GetLong" name || starts_with ~prefix:"SetLong" name
+     || starts_with ~prefix:"GetDouble" name
+     || starts_with ~prefix:"SetDouble" name
+  then 8
+  else 4
+
+let elem_width name =
+  if starts_with ~prefix:"GetLong" name || starts_with ~prefix:"ReleaseLong" name
+     || starts_with ~prefix:"GetDouble" name
+     || starts_with ~prefix:"ReleaseDouble" name
+  then 8
+  else 4
+
+(* ---- event handling ---- *)
+
+let on_host_pre t (hf : Machine.host_fn) =
+  let cpu = Machine.cpu (Device.machine t.device) in
+  let name = hf.Machine.hf_name in
+  t.pre_stack <-
+    { fs_name = name; fs_regs = Array.copy cpu.Cpu.regs } :: t.pre_stack;
+  match name with
+  | "dvmCallJNIMethod" -> (
+    match Device.current_jni_call t.device with
+    | Some jc ->
+      let p = Source_policy.of_jni_call jc in
+      Flow_log.recordf t.log "name: %s" p.Source_policy.method_name;
+      Flow_log.recordf t.log "shorty: %s" p.Source_policy.method_shorty;
+      Flow_log.recordf t.log "class: %s" p.Source_policy.class_name;
+      Array.iteri
+        (fun i (v, tag) ->
+          if Taint.is_tainted tag then
+            Flow_log.recordf t.log "args[%d]@%s taint: %a" i
+              (Ndroid_dalvik.Dvalue.to_string v) Taint.pp tag)
+        jc.Device.jc_args;
+      if Source_policy.any_tainted p then begin
+        Source_policy.Table.add t.table p;
+        Flow_log.recordf t.log "Find a source function @0x%x"
+          p.Source_policy.method_address
+      end
+    | None -> ())
+  | "dvmInterpret" -> (
+    (* Fig. 9: log the frame about to be interpreted and the taints NDroid
+       injects into its slots. *)
+    match Device.pending_interp_args t.device with
+    | Some (args, jm) ->
+      Flow_log.recordf t.log "dvmInterpret Begin";
+      Flow_log.recordf t.log "Method Name: %s" jm.Classes.m_name;
+      Flow_log.recordf t.log "Method Shorty: %s" jm.Classes.m_shorty;
+      Array.iteri
+        (fun i (_, tag) ->
+          if Taint.is_tainted tag then begin
+            Flow_log.recordf t.log "args[%d] taint: %a" i Taint.pp tag;
+            Flow_log.recordf t.log "add taint to new method frame"
+          end)
+        args
+    | None -> ())
+  | "SetObjectArrayElement" -> (
+    let arr = Cpu.reg cpu 1 and v = Cpu.reg cpu 3 in
+    let tag =
+      Taint.union (Taint_engine.reg t.engine 3)
+        (Device.object_taint t.device ~iref:v)
+    in
+    if Taint.is_tainted tag then Device.add_object_taint t.device ~iref:arr tag)
+  | _ -> (
+    match field_access name with
+    | Some (`Set, _static) ->
+      (* value is argument 3; objects contribute their own tag *)
+      let fid = Cpu.reg cpu 2 and obj_iref = Cpu.reg cpu 1 in
+      let raw = Cpu.reg cpu 3 in
+      let tag =
+        Taint.union (Taint_engine.reg t.engine 3)
+          (Device.object_taint t.device ~iref:raw)
+      in
+      if Taint.is_tainted tag then begin
+        Device.add_field_taint t.device ~obj_iref ~fid tag;
+        Flow_log.recordf t.log "TrustCallHandler[%s]: field taint := %a" name
+          Taint.pp tag
+      end
+    | Some (`Get, _) | None -> (
+      match array_elements name with
+      | Some `Release ->
+        let arr = Cpu.reg cpu 1 and buf = Cpu.reg cpu 2 and mode = Cpu.reg cpu 3 in
+        if mode <> 2 then (
+          match Device.array_length t.device ~iref:arr with
+          | Some len ->
+            let tag = Taint_engine.mem t.engine buf (len * elem_width name) in
+            if Taint.is_tainted tag then
+              Device.add_object_taint t.device ~iref:arr tag
+          | None -> ())
+      | Some `Get | None -> (
+        match array_region name with
+        | Some `Set ->
+          (* native buffer contents flow into the Java array *)
+          let machine = Device.machine t.device in
+          let mem = Machine.mem machine in
+          let arr = Cpu.reg cpu 1
+          and len = Cpu.reg cpu 3
+          and buf = A.Libc_model.arg cpu mem 4 in
+          let tag = Taint_engine.mem t.engine buf (len * region_width name) in
+          if Taint.is_tainted tag then
+            Device.add_object_taint t.device ~iref:arr tag
+        | Some `Get | None -> ())))
+
+let wide_return ty = ty = "Long" || ty = "Double"
+
+let on_host_post t (hf : Machine.host_fn) =
+  let machine = Device.machine t.device in
+  let cpu = Machine.cpu machine in
+  let mem = Machine.mem machine in
+  let name = hf.Machine.hf_name in
+  let pre =
+    match t.pre_stack with
+    | top :: rest when top.fs_name = name ->
+      t.pre_stack <- rest;
+      Some top.fs_regs
+    | _ -> None
+  in
+  let pre_reg i = match pre with Some regs -> regs.(i) | None -> Cpu.reg cpu i in
+  (match call_method_type name with
+   | Some ty ->
+     (* JNI exit: Java's return taint enters the native shadow registers. *)
+     let _, ret_taint = (Device.vm t.device).Vm.ret in
+     Taint_engine.set_reg t.engine 0 ret_taint;
+     if wide_return ty then Taint_engine.set_reg t.engine 1 ret_taint;
+     if Taint.is_tainted ret_taint then
+       Flow_log.recordf t.log "%s End (return taint %a)" name Taint.pp ret_taint
+   | None -> ());
+  match name with
+  | "NewStringUTF" ->
+    let cstr = pre_reg 1 in
+    let s = Memory.read_cstring mem cstr in
+    let tag =
+      Taint.union
+        (Taint_engine.mem t.engine cstr (String.length s + 1))
+        (Taint_engine.reg t.engine 1)
+    in
+    let iref = Cpu.reg cpu 0 in
+    if Taint.is_tainted tag then begin
+      Device.add_object_taint t.device ~iref tag;
+      (match Device.object_addr t.device ~iref with
+       | Some addr ->
+         Flow_log.recordf t.log "realStringAddr:0x%x" addr;
+         Flow_log.recordf t.log "add taint %a to new string object@0x%x" Taint.pp
+           tag addr;
+         Flow_log.recordf t.log "t(%x) := %a" addr Taint.pp tag
+       | None -> ());
+      Flow_log.recordf t.log "NewStringUTF return 0x%x" iref
+    end
+  | "NewString" ->
+    let ptr = pre_reg 1 and len = pre_reg 2 in
+    let tag =
+      Taint.union (Taint_engine.mem t.engine ptr (2 * len))
+        (Taint_engine.reg t.engine 1)
+    in
+    let iref = Cpu.reg cpu 0 in
+    if Taint.is_tainted tag then Device.add_object_taint t.device ~iref tag
+  | "dvmCreateStringFromCstr" ->
+    let s = Memory.read_cstring mem (pre_reg 1) in
+    Flow_log.recordf t.log "dvmCreateStringFromCstr Begin";
+    Flow_log.recordf t.log "%s" s;
+    Flow_log.recordf t.log "dvmCreateStringFromCstr return 0x%x" (Cpu.reg cpu 0)
+  | "GetStringUTFChars" ->
+    let jstring = pre_reg 1 in
+    let buf = Cpu.reg cpu 0 in
+    if buf <> 0 then begin
+      let s = Memory.read_cstring mem buf in
+      let tag = Device.object_taint t.device ~iref:jstring in
+      Flow_log.recordf t.log "TrustCallHandler[GetStringUTFChars] begin";
+      if Taint.is_tainted tag then begin
+        Taint_engine.add_mem t.engine buf (String.length s + 1) tag;
+        Taint_engine.set_reg t.engine 0 tag;
+        Flow_log.recordf t.log "jstring taint:%a" Taint.pp tag;
+        Flow_log.recordf t.log "t(%x) := %a" buf Taint.pp tag
+      end;
+      Flow_log.recordf t.log "TrustCallHandler[GetStringUTFChars] end"
+    end
+  | "GetStringChars" ->
+    let jstring = pre_reg 1 in
+    let buf = Cpu.reg cpu 0 in
+    (match Device.array_length t.device ~iref:jstring with
+     | Some len when buf <> 0 ->
+       let tag = Device.object_taint t.device ~iref:jstring in
+       if Taint.is_tainted tag then begin
+         Taint_engine.add_mem t.engine buf ((2 * len) + 2) tag;
+         Taint_engine.set_reg t.engine 0 tag
+       end
+     | Some _ | None -> ())
+  | "GetStringUTFLength" | "GetStringLength" | "GetArrayLength" ->
+    Taint_engine.set_reg t.engine 0 (Device.object_taint t.device ~iref:(pre_reg 1))
+  | "GetObjectArrayElement" ->
+    let arr_tag = Device.object_taint t.device ~iref:(pre_reg 1) in
+    let elem = Cpu.reg cpu 0 in
+    Taint_engine.set_reg t.engine 0 arr_tag;
+    if elem <> 0 && Taint.is_tainted arr_tag then
+      Device.add_object_taint t.device ~iref:elem arr_tag
+  | "ThrowNew" ->
+    Flow_log.recordf t.log "ThrowNew: exception carries native taint"
+  | "GetStringUTFRegion" | "GetStringRegion" ->
+    (* Java string chars landed in a native buffer (arg 4, on the stack) *)
+    let jstring = pre_reg 1 and len = pre_reg 3 in
+    let buf = Memory.read_u32 mem (pre_reg 13) in
+    let tag = Device.object_taint t.device ~iref:jstring in
+    let width = if name = "GetStringRegion" then 2 else 1 in
+    if Taint.is_tainted tag && len > 0 then
+      Taint_engine.add_mem t.engine buf ((len * width) + 1) tag
+  | _ -> (
+    match field_access name with
+    | Some (`Get, _static) ->
+      let fid = pre_reg 2 and obj_iref = pre_reg 1 in
+      let tag = Device.field_taint t.device ~obj_iref ~fid in
+      Taint_engine.set_reg t.engine 0 tag;
+      if Taint.is_tainted tag then
+        Flow_log.recordf t.log "TrustCallHandler[%s]: t(r0) := %a" name Taint.pp tag
+    | Some (`Set, _) | None -> (
+      match array_elements name with
+      | Some `Get ->
+        let arr = pre_reg 1 in
+        let buf = Cpu.reg cpu 0 in
+        (match Device.array_length t.device ~iref:arr with
+         | Some len when buf <> 0 ->
+           let tag = Device.object_taint t.device ~iref:arr in
+           if Taint.is_tainted tag then
+             Taint_engine.add_mem t.engine buf (len * elem_width name) tag
+         | Some _ | None -> ())
+      | Some `Release | None -> (
+        match array_region name with
+        | Some `Get ->
+          (* Java array contents landed in a native buffer *)
+          let arr = pre_reg 1 and len = pre_reg 3 in
+          let buf = Memory.read_u32 mem (pre_reg 13) in
+          let tag = Device.object_taint t.device ~iref:arr in
+          if Taint.is_tainted tag && len > 0 then
+            Taint_engine.add_mem t.engine buf (len * region_width name) tag
+        | Some `Set | None -> ())))
+
+let on_insn t ~addr =
+  match Source_policy.Table.find t.table addr with
+  | Some p ->
+    let cpu = Machine.cpu (Device.machine t.device) in
+    Source_policy.apply p t.engine cpu;
+    t.policies_applied <- t.policies_applied + 1;
+    Flow_log.recordf t.log "SourceHandler @0x%x" addr;
+    List.iter
+      (fun (tag, r) ->
+        if Taint.is_tainted tag then
+          Flow_log.recordf t.log "t(r%d) := %a" r Taint.pp tag)
+      [ (p.Source_policy.t_r0, 0); (p.Source_policy.t_r1, 1);
+        (p.Source_policy.t_r2, 2); (p.Source_policy.t_r3, 3) ]
+  | None -> ()
+
+let attach ?(use_multilevel = true) device engine log =
+  let machine = Device.machine device in
+  let call_entry =
+    let cache = Hashtbl.create 512 in
+    fun addr ->
+      match Hashtbl.find_opt cache addr with
+      | Some b -> b
+      | None ->
+        let b =
+          match Machine.find_host_fn machine addr with
+          | Some hf -> call_method_type hf.Machine.hf_name <> None
+          | None -> false
+        in
+        Hashtbl.replace cache addr b;
+        b
+  in
+  let dvm_call_method addr =
+    match Machine.find_host_fn machine addr with
+    | Some hf -> starts_with ~prefix:"dvmCallMethod" hf.Machine.hf_name
+    | None -> false
+  in
+  let interpret_addr =
+    try Machine.host_fn_addr machine "dvmInterpret" with Not_found -> -1
+  in
+  let multilevel =
+    Multilevel.create
+      ~chain:[ call_entry; dvm_call_method; Multilevel.exact interpret_addr ]
+      ~in_native:Layout.in_app_lib
+  in
+  let t =
+    { device;
+      engine;
+      log;
+      table = Source_policy.Table.create ();
+      multilevel;
+      use_multilevel;
+      pre_stack = [];
+      policies_applied = 0;
+      always_hook_scans = 0 }
+  in
+  if not use_multilevel then
+    (* Ablation A2: hook every interpreter entry instead of only the ones a
+       native-originated chain reaches. *)
+    (Device.vm device).Vm.on_invoke <-
+      Some
+        (fun jm ->
+          t.always_hook_scans <- t.always_hook_scans + 1;
+          (* the scan the hook would do: inspect each would-be argument
+             slot of the frame *)
+          let n = Classes.ins_count jm in
+          for i = 0 to n - 1 do
+            ignore (Taint_engine.reg t.engine (i land 15))
+          done);
+  Machine.add_listener machine (fun ev ->
+      match ev with
+      | Machine.Ev_host_pre hf when hf.Machine.hf_lib = "libdvm.so" ->
+        on_host_pre t hf
+      | Machine.Ev_host_post hf when hf.Machine.hf_lib = "libdvm.so" ->
+        on_host_post t hf
+      | Machine.Ev_host_pre _ | Machine.Ev_host_post _ -> ()
+      | Machine.Ev_insn { addr; _ } -> on_insn t ~addr
+      | Machine.Ev_branch { from_; to_; _ } ->
+        if t.use_multilevel then ignore (Multilevel.observe t.multilevel ~from_ ~to_)
+      | Machine.Ev_svc _ -> ());
+  t

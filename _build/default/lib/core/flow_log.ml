@@ -1,0 +1,29 @@
+type t = { mutable log : string list; mutable n : int }
+
+let create () = { log = []; n = 0 }
+
+let record t line =
+  t.log <- line :: t.log;
+  t.n <- t.n + 1
+
+let recordf t fmt = Format.kasprintf (record t) fmt
+let entries t = List.rev t.log
+
+let clear t =
+  t.log <- [];
+  t.n <- 0
+
+let count t = t.n
+
+let contains_substring hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  if nl = 0 then true
+  else
+    let rec loop i =
+      if i + nl > hl then false
+      else if String.sub hay i nl = needle then true
+      else loop (i + 1)
+    in
+    loop 0
+
+let matching t needle = List.filter (fun e -> contains_substring e needle) (entries t)

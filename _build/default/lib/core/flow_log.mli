@@ -1,0 +1,23 @@
+(** Structured flow log.
+
+    NDroid's output in the paper is a log of the functions on an
+    information flow (Figs. 6-9: SourcePolicy firings, JNI function
+    begin/end markers, taint assignments like [t(412a3320) := 0x202], sink
+    handler reports).  The engines append here; the case-study experiments
+    print it. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> string -> unit
+val recordf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val entries : t -> string list
+(** Oldest first. *)
+
+val clear : t -> unit
+val count : t -> int
+
+val matching : t -> string -> string list
+(** Entries containing a substring. *)

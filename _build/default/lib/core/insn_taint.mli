@@ -1,0 +1,33 @@
+(** Table V: the taint propagation logic for ARM/Thumb instructions.
+
+    One rule per instruction class, applied by the instruction tracer
+    {e before} the instruction executes (so register values still describe
+    the state the instruction consumes):
+
+    - [binary-op Rd, Rn, Rm]   : t(Rd) := t(Rn) ∪ t(Rm)
+    - [binary-op Rd, Rm]       : t(Rd) := t(Rd) ∪ t(Rm)
+    - [binary-op Rd, Rm, #imm] : t(Rd) := t(Rm)
+    - [unary Rd, Rm]           : t(Rd) := t(Rm)
+    - [mov Rd, #imm]           : t(Rd) := clear
+    - [mov Rd, Rm]             : t(Rd) := t(Rm)
+    - [LDR* Rd, Rn, #imm]      : t(Rd) := t(M[addr]) ∪ t(Rn)
+    - [LDM/POP]                : t(Ri) := t(M[a_i]) ∪ t(Rn) for each listed Ri
+    - [STR* Rd, Rn, #imm]      : t(M[addr]) := t(Rd)
+    - [STM/PUSH]               : t(M[a_i]) := t(Ri)
+
+    The LDR rule's "∪ t(Rn)" is deliberate: "if the tainted input is the
+    address of an untainted value, the taint will be propagated to it"
+    (paper, Sec. V-C).  Instructions whose condition fails propagate
+    nothing.  VFP instructions are handled as an extension (the paper
+    defers them to future work) with the analogous rules on shadow VFP
+    registers. *)
+
+val step :
+  Taint_engine.t -> Ndroid_arm.Cpu.t -> addr:int -> Ndroid_arm.Insn.t -> unit
+(** Apply the propagation rule for one instruction about to execute at
+    [addr] on the given CPU state. *)
+
+val rules_table : (string * string * string) list
+(** The table itself — (instruction format, semantics, propagation) — used
+    by the E9 verification bench to print Table V alongside test
+    outcomes. *)

@@ -1,0 +1,96 @@
+module Taint = Ndroid_taint.Taint
+module Device = Ndroid_runtime.Device
+module Machine = Ndroid_emulator.Machine
+module Tracer = Ndroid_emulator.Tracer
+module Classes = Ndroid_dalvik.Classes
+module Taintdroid = Ndroid_taintdroid.Taintdroid
+
+type t = {
+  t_device : Device.t;
+  t_engine : Taint_engine.t;
+  t_log : Flow_log.t;
+  dvm_hooks : Dvm_hook_engine.t;
+  syslib : Syslib_hook_engine.t;
+  tracer : Tracer.t;
+  _taintdroid : Taintdroid.t;
+}
+
+type stats = {
+  source_policies : int;
+  policies_applied : int;
+  traced_instructions : int;
+  skipped_instructions : int;
+  summaries_applied : int;
+  sink_checks : int;
+  multilevel_checks : int;
+  tainted_bytes : int;
+}
+
+let attach ?(use_multilevel = true) ?trace_filter device =
+  let td = Taintdroid.attach device in
+  let engine = Taint_engine.create () in
+  let log = Flow_log.create () in
+  (* Order matters: the DVM hook engine's listener must run before the
+     tracer's so a SourcePolicy initialises the shadow registers before the
+     entry instruction's own propagation rule fires. *)
+  let dvm_hooks = Dvm_hook_engine.attach ~use_multilevel device engine log in
+  let syslib = Syslib_hook_engine.attach device engine log in
+  let machine = Device.machine device in
+  let cpu = Machine.cpu machine in
+  let handler ~addr ~insn = Insn_taint.step engine cpu ~addr insn in
+  let tracer = Tracer.attach ?filter:trace_filter ~handler machine in
+  (* data entering Java from the native context carries the engine's taint *)
+  (Device.native_taint_source device :=
+     fun loc ->
+       match loc with
+       | Device.Loc_reg i -> Taint_engine.reg engine i
+       | Device.Loc_mem (addr, len) -> Taint_engine.mem engine addr len
+       | Device.Loc_iref iref -> Device.object_taint device ~iref);
+  (* the JNI call bridge's return taint: TaintDroid's black-box rule
+     unioned with the tracked native taint *)
+  (Device.jni_return_policy device :=
+     fun jc ~r0 ~r1:_ ->
+       let black_box = Taintdroid.return_policy jc ~r0 ~r1:0 in
+       let tracked = Taint_engine.reg engine 0 in
+       let wide =
+         match Classes.return_type jc.Device.jc_method with
+         | 'J' | 'D' -> Taint_engine.reg engine 1
+         | _ -> Taint.clear
+       in
+       let obj =
+         match Classes.return_type jc.Device.jc_method with
+         | 'L' when r0 <> 0 -> Device.object_taint device ~iref:r0
+         | _ -> Taint.clear
+       in
+       Taint.union (Taint.union black_box tracked) (Taint.union wide obj));
+  { t_device = device;
+    t_engine = engine;
+    t_log = log;
+    dvm_hooks;
+    syslib;
+    tracer;
+    _taintdroid = td }
+
+let device t = t.t_device
+let engine t = t.t_engine
+let log t = t.t_log
+
+let stats t =
+  { source_policies = Source_policy.Table.size (Dvm_hook_engine.policies t.dvm_hooks);
+    policies_applied = Dvm_hook_engine.policies_applied t.dvm_hooks;
+    traced_instructions = Tracer.traced t.tracer;
+    skipped_instructions = Tracer.skipped t.tracer;
+    summaries_applied = Syslib_hook_engine.summaries_applied t.syslib;
+    sink_checks = Syslib_hook_engine.sink_checks t.syslib;
+    multilevel_checks = Dvm_hook_engine.multilevel_checks t.dvm_hooks;
+    tainted_bytes = Taint_engine.tainted_bytes t.t_engine }
+
+let leaks t = Ndroid_android.Sink_monitor.leaks (Device.monitor t.t_device)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "source policies: %d (applied %d); traced insns: %d (skipped %d); summaries: \
+     %d; sink checks: %d; multilevel checks: %d; tainted bytes: %d"
+    s.source_policies s.policies_applied s.traced_instructions
+    s.skipped_instructions s.summaries_applied s.sink_checks s.multilevel_checks
+    s.tainted_bytes

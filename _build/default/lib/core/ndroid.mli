@@ -1,0 +1,47 @@
+(** NDroid: the complete analysis (paper, Fig. 4).
+
+    Attaching composes, over one {!Ndroid_runtime.Device}:
+    - TaintDroid in the DVM (NDroid "employs it to run apps and track
+      information flow in the Java context", Sec. VI);
+    - the {!Dvm_hook_engine} (five JNI hook groups + multilevel hooking);
+    - the {!Syslib_hook_engine} (Table VI summaries, Table VII sinks);
+    - the instruction tracer running {!Insn_taint} (Table V) over
+      third-party native code only;
+    - the {!Taint_engine} (shadow registers + byte-granularity taint map);
+    and installs the two device policies: data entering Java from native
+    carries the engine's taint, and a native method's return value carries
+    the union of TaintDroid's black-box rule and the tracked taint of
+    r0/r1 (plus the returned object's tag). *)
+
+type t
+
+type stats = {
+  source_policies : int;  (** SourcePolicy records created *)
+  policies_applied : int;
+  traced_instructions : int;
+  skipped_instructions : int;  (** filtered out (system libs etc.) *)
+  summaries_applied : int;
+  sink_checks : int;
+  multilevel_checks : int;
+  tainted_bytes : int;  (** bytes currently tainted in the native map *)
+}
+
+val attach :
+  ?use_multilevel:bool ->
+  ?trace_filter:(int -> bool) ->
+  Ndroid_runtime.Device.t ->
+  t
+(** Instrument a device.  [use_multilevel:false] is ablation A2;
+    [trace_filter] overrides which addresses the instruction tracer
+    covers (default: the third-party app library region only). *)
+
+val device : t -> Ndroid_runtime.Device.t
+val engine : t -> Taint_engine.t
+val log : t -> Flow_log.t
+val stats : t -> stats
+
+val leaks : t -> Ndroid_android.Sink_monitor.leak list
+(** Everything the device's sink monitor has caught (Java and native
+    context). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,22 @@
+(** Analysis report.
+
+    Renders everything an attached NDroid instance learned about one app
+    run — the verdict, each leak with its taint categories, the source
+    policies that fired, the engine statistics, and the flow log — as the
+    kind of triage report an analyst (or the paper's Sec. VI evaluation)
+    works from. *)
+
+val generate :
+  ?app_name:string ->
+  ?transmissions:Ndroid_android.Network.transmission list ->
+  ?file_writes:Ndroid_android.Filesystem.write_record list ->
+  Ndroid.t ->
+  string
+
+val print :
+  ?app_name:string ->
+  ?transmissions:Ndroid_android.Network.transmission list ->
+  ?file_writes:Ndroid_android.Filesystem.write_record list ->
+  Ndroid.t ->
+  unit
+(** {!generate} to stdout. *)

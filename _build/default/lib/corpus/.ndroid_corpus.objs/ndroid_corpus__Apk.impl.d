@@ -1,0 +1,1 @@
+lib/corpus/apk.ml: App_model Array Classifier List Ndroid_arm Ndroid_dalvik Printf String

@@ -1,0 +1,1 @@
+lib/corpus/apk.mli: App_model Classifier

@@ -1,0 +1,1 @@
+lib/corpus/app_model.mli:

@@ -1,0 +1,1 @@
+lib/corpus/classifier.ml: App_model List

@@ -1,0 +1,1 @@
+lib/corpus/classifier.mli: App_model

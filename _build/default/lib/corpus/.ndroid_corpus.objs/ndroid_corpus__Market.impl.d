@@ -1,0 +1,1 @@
+lib/corpus/market.ml: App_model Char List Printf Seq

@@ -1,0 +1,1 @@
+lib/corpus/market.mli: App_model Seq

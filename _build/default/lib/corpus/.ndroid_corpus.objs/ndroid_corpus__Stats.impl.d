@@ -1,0 +1,1 @@
+lib/corpus/stats.ml: App_model Classifier Format Hashtbl List Option Seq String

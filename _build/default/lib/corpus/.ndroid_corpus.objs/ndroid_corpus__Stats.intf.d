@@ -1,0 +1,1 @@
+lib/corpus/stats.mli: App_model Format Seq

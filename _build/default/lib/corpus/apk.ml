@@ -1,0 +1,132 @@
+module Dexfile = Ndroid_dalvik.Dexfile
+module Classes = Ndroid_dalvik.Classes
+module B = Ndroid_dalvik.Bytecode
+module Dvalue = Ndroid_dalvik.Dvalue
+module Asm = Ndroid_arm.Asm
+module Insn = Ndroid_arm.Insn
+module Sofile = Ndroid_arm.Sofile
+
+type t = { apk_package : string; entries : (string * string) list }
+
+(* turn a symbolic method-reference signature, e.g.
+   "Ljava/lang/System;->loadLibrary(Ljava/lang/String;)V", into an invoke *)
+let invoke_of_sig signature regs =
+  match String.index_opt signature '-' with
+  | Some i when i + 1 < String.length signature && signature.[i + 1] = '>' ->
+    let cls = String.sub signature 0 i in
+    let rest = String.sub signature (i + 2) (String.length signature - i - 2) in
+    let name =
+      match String.index_opt rest '(' with
+      | Some j -> String.sub rest 0 j
+      | None -> rest
+    in
+    B.Invoke (B.Static, { B.m_class = cls; m_name = name }, regs)
+  | _ -> B.Nop
+
+(* a class whose onCreate body performs the dex's method references; load
+   calls take a string register, the rest take none (static data — the dex
+   is never executed, only scanned) *)
+let main_class_of_dex package (dex : App_model.dex) =
+  let cls = Printf.sprintf "L%s/Main;" (String.map (fun c -> if c = '.' then '/' else c) package) in
+  let body =
+    [ B.Const_string (0, "native-lib") ]
+    @ List.map
+        (fun signature ->
+          if List.mem signature App_model.load_invocation_sigs then
+            invoke_of_sig signature [ 0 ]
+          else invoke_of_sig signature [])
+        dex.App_model.method_refs
+    @ [ B.Return_void ]
+  in
+  let main =
+    { Classes.m_class = cls; m_name = "onCreate"; m_shorty = "V";
+      m_static = true; m_registers = 4;
+      m_body = Classes.Bytecode (Array.of_list body, []) }
+  in
+  { Classes.c_name = cls; c_super = Some "Ljava/lang/Object;"; c_fields = [];
+    c_methods = [ main ] }
+
+let native_decl_class name =
+  { Classes.c_name = name; c_super = Some "Ljava/lang/Object;"; c_fields = [];
+    c_methods =
+      [ { Classes.m_class = name; m_name = "nativeOp"; m_shorty = "II";
+          m_static = true; m_registers = 0; m_body = Classes.Native "nativeOp" } ] }
+
+let dex_image package (dex : App_model.dex) =
+  Dexfile.to_string
+    (main_class_of_dex package dex
+    :: List.map native_decl_class dex.App_model.native_decl_classes)
+
+let so_image () =
+  (* a minimal but genuine library: one exported function *)
+  Sofile.to_string
+    (Asm.assemble ~base:0x4A000000
+       [ Asm.Label "JNI_OnLoad";
+         Asm.I (Insn.mov 0 (Insn.Imm 4));
+         Asm.I Insn.bx_lr ])
+
+let abi_dir = function
+  | App_model.Armeabi -> "armeabi"
+  | App_model.X86 -> "x86"
+  | App_model.Mips -> "mips"
+
+let of_app_model (app : App_model.t) =
+  let dex_entries =
+    match app.App_model.main_dex with
+    | Some dex -> [ ("classes.dex", dex_image app.App_model.package dex) ]
+    | None -> []
+  in
+  let embedded =
+    List.mapi
+      (fun i dex ->
+        (Printf.sprintf "assets/payload%d.dex" i, dex_image app.App_model.package dex))
+      app.App_model.embedded_dexes
+  in
+  let libs =
+    List.map
+      (fun l ->
+        (Printf.sprintf "lib/%s/%s" (abi_dir l.App_model.abi) l.App_model.lib_name,
+         so_image ()))
+      app.App_model.libs
+  in
+  { apk_package = app.App_model.package; entries = dex_entries @ embedded @ libs }
+
+(* ---- scanning ---- *)
+
+let insn_is_load_call = function
+  | B.Invoke (_, { B.m_class = "Ljava/lang/System;"; m_name }, _) ->
+    m_name = "loadLibrary" || m_name = "load"
+  | _ -> false
+
+let dex_calls_load image =
+  let classes = Dexfile.of_string image in
+  List.exists
+    (fun (c : Classes.class_def) ->
+      List.exists
+        (fun (m : Classes.method_def) ->
+          match m.Classes.m_body with
+          | Classes.Bytecode (code, _) -> Array.exists insn_is_load_call code
+          | Classes.Native _ | Classes.Intrinsic _ -> false)
+        c.Classes.c_methods)
+    classes
+
+let is_dex path =
+  String.length path > 4 && String.sub path (String.length path - 4) 4 = ".dex"
+
+let is_lib path = String.length path > 4 && String.sub path 0 4 = "lib/"
+
+let classify apk =
+  let main_dex = List.assoc_opt "classes.dex" apk.entries in
+  let embedded =
+    List.filter (fun (p, _) -> p <> "classes.dex" && is_dex p) apk.entries
+  in
+  let has_libs = List.exists (fun (p, _) -> is_lib p) apk.entries in
+  match main_dex with
+  | None -> if has_libs then Classifier.Type_III else Classifier.Not_native
+  | Some image ->
+    if dex_calls_load image then Classifier.Type_I
+    else if has_libs then
+      Classifier.Type_II
+        { loadable_via_embedded_dex =
+            List.exists (fun (_, img) -> dex_calls_load img) embedded }
+    else Classifier.Not_native

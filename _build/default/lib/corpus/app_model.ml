@@ -1,0 +1,101 @@
+type category =
+  | Game
+  | Music_and_audio
+  | Personalization
+  | Communication
+  | Entertainment
+  | Tools
+  | Books
+  | Business
+  | Education
+  | Finance
+  | Health
+  | Lifestyle
+  | Media_video
+  | News
+  | Photography
+  | Productivity
+  | Shopping
+  | Social
+  | Sports
+  | Travel
+  | Weather
+
+let category_name = function
+  | Game -> "Game"
+  | Music_and_audio -> "Music And Audio"
+  | Personalization -> "Personalization"
+  | Communication -> "Communication"
+  | Entertainment -> "Entertainment"
+  | Tools -> "Tools"
+  | Books -> "Books"
+  | Business -> "Business"
+  | Education -> "Education"
+  | Finance -> "Finance"
+  | Health -> "Health"
+  | Lifestyle -> "Lifestyle"
+  | Media_video -> "Media & Video"
+  | News -> "News"
+  | Photography -> "Photography"
+  | Productivity -> "Productivity"
+  | Shopping -> "Shopping"
+  | Social -> "Social"
+  | Sports -> "Sports"
+  | Travel -> "Travel"
+  | Weather -> "Weather"
+
+let all_categories =
+  [ Game; Music_and_audio; Personalization; Communication; Entertainment; Tools;
+    Books; Business; Education; Finance; Health; Lifestyle; Media_video; News;
+    Photography; Productivity; Shopping; Social; Sports; Travel; Weather ]
+
+type abi = Armeabi | X86 | Mips
+type native_lib = { lib_name : string; abi : abi }
+
+type dex = { method_refs : string list; native_decl_classes : string list }
+
+let load_invocation_sigs =
+  [ "Ljava/lang/System;->loadLibrary(Ljava/lang/String;)V";
+    "Ljava/lang/System;->load(Ljava/lang/String;)V" ]
+
+let dex_calls_load dex =
+  List.exists (fun r -> List.mem r load_invocation_sigs) dex.method_refs
+
+type t = {
+  app_id : int;
+  package : string;
+  category : category;
+  main_dex : dex option;
+  embedded_dexes : dex list;
+  libs : native_lib list;
+  downloads : int;
+}
+
+let admob_classes =
+  [ "Lcom/google/ads/AdActivity;"; "Lcom/google/ads/AdMobAdapter;";
+    "Lcom/google/ads/AdRequest;"; "Lcom/google/ads/AdSize;";
+    "Lcom/google/ads/AdView;"; "Lcom/google/ads/InterstitialAd;";
+    "Lcom/google/ads/mediation/MediationAdapter;";
+    "Lcom/google/ads/util/AdUtil;" ]
+
+let popular_libs =
+  [ ("libunity.so", Some Game);
+    ("libmono.so", Some Game);
+    ("libgdx.so", Some Game);
+    ("libgdx-box2d.so", Some Game);
+    ("libbox2d.so", Some Game);
+    ("libcocos2dcpp.so", Some Game);
+    ("libandengine.so", Some Game);
+    ("libopenal.so", Some Music_and_audio);
+    ("libmp3lame.so", Some Music_and_audio);
+    ("libffmpeg.so", Some Media_video);
+    ("libvlc.so", Some Media_video);
+    ("libcrypto_client.so", Some Communication);
+    ("libvoip.so", Some Communication);
+    ("libstlport_shared.so", None);
+    ("libcore.so", None);
+    ("libstagefright_froyo.so", None);
+    ("libcutils.so", None);
+    ("libsqlite_jni.so", None);
+    ("libpng_ndk.so", None);
+    ("libjpeg_turbo.so", None) ]

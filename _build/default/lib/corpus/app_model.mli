@@ -1,0 +1,69 @@
+(** Model of a market app, carrying exactly the artifacts the Section III
+    study inspects: does any dex call [System.load]/[System.loadLibrary],
+    which Java classes declare native methods, which [.so] files are
+    bundled (and for which ABI), are there embedded (compressed) dex files,
+    and is the app pure-native. *)
+
+type category =
+  | Game
+  | Music_and_audio
+  | Personalization
+  | Communication
+  | Entertainment
+  | Tools
+  | Books
+  | Business
+  | Education
+  | Finance
+  | Health
+  | Lifestyle
+  | Media_video
+  | News
+  | Photography
+  | Productivity
+  | Shopping
+  | Social
+  | Sports
+  | Travel
+  | Weather
+
+val category_name : category -> string
+val all_categories : category list
+
+type abi = Armeabi | X86 | Mips
+
+type native_lib = { lib_name : string; abi : abi }
+
+type dex = {
+  method_refs : string list;
+      (** invoked-method signatures found in the dex, e.g.
+          ["Ljava/lang/System;->loadLibrary(Ljava/lang/String;)V"] *)
+  native_decl_classes : string list;
+      (** classes declaring [native] methods *)
+}
+
+val load_invocation_sigs : string list
+(** The two signatures whose presence makes an app Type I:
+    [System.loadLibrary] and [System.load]. *)
+
+val dex_calls_load : dex -> bool
+(** Scan the dex's method references for either load invocation. *)
+
+type t = {
+  app_id : int;
+  package : string;
+  category : category;
+  main_dex : dex option;  (** [None] for pure-native apps *)
+  embedded_dexes : dex list;  (** compressed dex files inside the APK *)
+  libs : native_lib list;
+  downloads : int;
+}
+
+val admob_classes : string list
+(** The eight AdMob-plugin classes the study found in 48.1% of the Type I
+    apps that bundle no libraries. *)
+
+val popular_libs : (string * category option) list
+(** Well-known native libraries and the category they are typical of:
+    game engines (Unity, libgdx, Box2D, Cocos2D), media codecs, and the
+    NDK/system libraries apps bundle for compatibility. *)

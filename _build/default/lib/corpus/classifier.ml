@@ -1,0 +1,26 @@
+open App_model
+
+type classification =
+  | Type_I
+  | Type_II of { loadable_via_embedded_dex : bool }
+  | Type_III
+  | Not_native
+
+let classify app =
+  match app.main_dex with
+  | None -> if app.libs <> [] then Type_III else Not_native
+  | Some dex ->
+    if dex_calls_load dex then Type_I
+    else if app.libs <> [] then
+      Type_II
+        { loadable_via_embedded_dex = List.exists dex_calls_load app.embedded_dexes }
+    else Not_native
+
+let classification_name = function
+  | Type_I -> "Type I"
+  | Type_II { loadable_via_embedded_dex = true } -> "Type II (loadable)"
+  | Type_II _ -> "Type II"
+  | Type_III -> "Type III"
+  | Not_native -> "not native"
+
+let uses_native_libraries app = classify app = Type_I

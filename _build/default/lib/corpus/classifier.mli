@@ -1,0 +1,26 @@
+(** The Section III classifier.
+
+    "We pick out three types of apps that may use JNI, including (I) apps
+    that invoke System.load() or System.loadLibrary() to load native
+    libraries; (II) apps that contain native libraries without calling
+    System.load() or System.loadLibrary(); (III) apps written in pure
+    native code."
+
+    Classification looks only at app artifacts — never at how the generator
+    happened to construct the app. *)
+
+type classification =
+  | Type_I
+  | Type_II of { loadable_via_embedded_dex : bool }
+      (** [loadable_via_embedded_dex]: a compressed dex inside the APK
+          contains the load invocation, so "once these apps dynamically
+          load these dex files, they can load the native libraries" *)
+  | Type_III
+  | Not_native
+
+val classify : App_model.t -> classification
+val classification_name : classification -> string
+
+val uses_native_libraries : App_model.t -> bool
+(** The headline "16.46% of them use native libraries" population:
+    Type I. *)

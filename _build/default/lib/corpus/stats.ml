@@ -1,0 +1,179 @@
+open App_model
+
+type summary = {
+  total : int;
+  type1 : int;
+  type1_pct : float;
+  type1_no_libs : int;
+  type1_no_libs_admob : int;
+  admob_pct_of_no_libs : float;
+  type2 : int;
+  type2_loadable : int;
+  type3 : int;
+  type3_game : int;
+  type3_entertainment : int;
+  category_hist : (category * int) list;
+  top_libs : (string * int) list;
+}
+
+let has_admob app =
+  match app.main_dex with
+  | Some dex ->
+    List.exists (fun c -> List.mem c admob_classes) dex.native_decl_classes
+  | None -> false
+
+let summarize apps =
+  let total = ref 0 in
+  let type1 = ref 0
+  and type1_no_libs = ref 0
+  and type1_admob = ref 0
+  and type2 = ref 0
+  and type2_loadable = ref 0
+  and type3 = ref 0
+  and type3_game = ref 0
+  and type3_ent = ref 0 in
+  let cat_hist = Hashtbl.create 32 in
+  let lib_hist = Hashtbl.create 64 in
+  let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)) in
+  Seq.iter
+    (fun app ->
+      incr total;
+      match Classifier.classify app with
+      | Classifier.Type_I ->
+        incr type1;
+        bump cat_hist app.category;
+        List.iter (fun l -> bump lib_hist l.lib_name) app.libs;
+        if app.libs = [] then begin
+          incr type1_no_libs;
+          if has_admob app then incr type1_admob
+        end
+      | Classifier.Type_II { loadable_via_embedded_dex } ->
+        incr type2;
+        if loadable_via_embedded_dex then incr type2_loadable
+      | Classifier.Type_III ->
+        incr type3;
+        (match app.category with
+         | Game -> incr type3_game
+         | Entertainment -> incr type3_ent
+         | _ -> ())
+      | Classifier.Not_native -> ())
+    apps;
+  let sorted tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  { total = !total;
+    type1 = !type1;
+    type1_pct = 100.0 *. float_of_int !type1 /. float_of_int (max 1 !total);
+    type1_no_libs = !type1_no_libs;
+    type1_no_libs_admob = !type1_admob;
+    admob_pct_of_no_libs =
+      100.0 *. float_of_int !type1_admob /. float_of_int (max 1 !type1_no_libs);
+    type2 = !type2;
+    type2_loadable = !type2_loadable;
+    type3 = !type3;
+    type3_game = !type3_game;
+    type3_entertainment = !type3_ent;
+    category_hist = sorted cat_hist;
+    top_libs = sorted lib_hist }
+
+let fig2_distribution s =
+  let t1 = float_of_int (max 1 s.type1) in
+  List.map
+    (fun (cat, n) -> (category_name cat, 100.0 *. float_of_int n /. t1))
+    s.category_hist
+
+let pp_summary ppf s =
+  Format.fprintf ppf "apps crawled:              %d@." s.total;
+  Format.fprintf ppf "Type I (use JNI):          %d (%.2f%%)@." s.type1 s.type1_pct;
+  Format.fprintf ppf "  without native libs:     %d@." s.type1_no_libs;
+  Format.fprintf ppf "    with AdMob classes:    %d (%.1f%%)@." s.type1_no_libs_admob
+    s.admob_pct_of_no_libs;
+  Format.fprintf ppf "Type II (libs, no load):   %d@." s.type2;
+  Format.fprintf ppf "  loadable via hidden dex: %d@." s.type2_loadable;
+  Format.fprintf ppf "Type III (pure native):    %d (%d game, %d entertainment)@."
+    s.type3 s.type3_game s.type3_entertainment;
+  Format.fprintf ppf "top native libraries:@.";
+  List.iteri
+    (fun i (lib, n) ->
+      if i < 10 then Format.fprintf ppf "  %-24s %d@." lib n)
+    s.top_libs
+
+type lib_kind = Game_engine | Media | Compatibility | Other
+
+type lib_entry = {
+  le_name : string;
+  le_count : int;
+  le_kind : lib_kind;
+  le_top_category : App_model.category;
+}
+
+let lib_kind_name = function
+  | Game_engine -> "game engine"
+  | Media -> "audio/video"
+  | Compatibility -> "NDK/system compatibility"
+  | Other -> "other"
+
+let kind_of_lib name =
+  let game = [ "libunity.so"; "libmono.so"; "libgdx.so"; "libgdx-box2d.so";
+               "libbox2d.so"; "libcocos2dcpp.so"; "libandengine.so" ]
+  and media = [ "libopenal.so"; "libmp3lame.so"; "libffmpeg.so"; "libvlc.so" ]
+  and compat = [ "libstlport_shared.so"; "libcore.so"; "libstagefright_froyo.so";
+                 "libcutils.so" ] in
+  if List.mem name game then Game_engine
+  else if List.mem name media then Media
+  else if List.mem name compat then Compatibility
+  else Other
+
+let library_distribution apps =
+  (* count bundles per (lib, category) *)
+  let counts = Hashtbl.create 64 in
+  Seq.iter
+    (fun app ->
+      List.iter
+        (fun l ->
+          let key = l.App_model.lib_name in
+          let total, per_cat =
+            match Hashtbl.find_opt counts key with
+            | Some v -> v
+            | None -> (0, Hashtbl.create 8)
+          in
+          Hashtbl.replace per_cat app.App_model.category
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per_cat app.App_model.category));
+          Hashtbl.replace counts key (total + 1, per_cat))
+        app.App_model.libs)
+    apps;
+  Hashtbl.fold
+    (fun name (total, per_cat) acc ->
+      let top_cat =
+        Hashtbl.fold
+          (fun cat n (best_cat, best_n) ->
+            if n > best_n then (cat, n) else (best_cat, best_n))
+          per_cat (App_model.Game, 0)
+        |> fst
+      in
+      { le_name = name; le_count = total; le_kind = kind_of_lib name;
+        le_top_category = top_cat }
+      :: acc)
+    counts []
+  |> List.sort (fun a b -> compare b.le_count a.le_count)
+
+let pp_library_distribution ppf entries =
+  Format.fprintf ppf "library distribution (top %d):@."
+    (min 20 (List.length entries));
+  List.iteri
+    (fun i e ->
+      if i < 20 then
+        Format.fprintf ppf "  %-26s %6d  %-26s mostly in %s@." e.le_name
+          e.le_count (lib_kind_name e.le_kind)
+          (App_model.category_name e.le_top_category))
+    entries
+
+let pp_fig2 ppf s =
+  Format.fprintf ppf "Type I category distribution (Fig. 2):@.";
+  List.iter
+    (fun (name, pct) ->
+      if pct >= 0.5 then
+        Format.fprintf ppf "  %-18s %5.1f%%  %s@." name pct
+          (String.make (int_of_float (pct +. 0.5)) '#'))
+    (fig2_distribution s)

@@ -1,0 +1,1 @@
+lib/dalvik/bytecode.ml: Array Dvalue Format

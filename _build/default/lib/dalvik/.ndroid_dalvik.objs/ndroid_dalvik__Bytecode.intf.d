@@ -1,0 +1,1 @@
+lib/dalvik/bytecode.mli: Dvalue Format

@@ -1,0 +1,1 @@
+lib/dalvik/classes.mli: Bytecode

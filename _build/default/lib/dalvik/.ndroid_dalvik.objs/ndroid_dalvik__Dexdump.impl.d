@@ -1,0 +1,1 @@
+lib/dalvik/dexdump.ml: Array Bytecode Classes Format List Printf

@@ -1,0 +1,1 @@
+lib/dalvik/dexdump.mli: Classes Format

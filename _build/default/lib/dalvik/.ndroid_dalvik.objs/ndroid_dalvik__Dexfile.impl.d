@@ -1,0 +1,1 @@
+lib/dalvik/dexfile.ml: Array Buffer Bytecode Char Classes Dvalue Format Hashtbl Int32 Int64 List String

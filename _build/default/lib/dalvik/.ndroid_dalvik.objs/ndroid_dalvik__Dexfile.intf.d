@@ -1,0 +1,1 @@
+lib/dalvik/dexfile.mli: Classes

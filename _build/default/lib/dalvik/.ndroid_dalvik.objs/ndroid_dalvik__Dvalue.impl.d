@@ -1,0 +1,1 @@
+lib/dalvik/dvalue.ml: Format Int32 Int64

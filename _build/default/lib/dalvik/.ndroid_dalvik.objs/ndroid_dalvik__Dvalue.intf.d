@@ -1,0 +1,1 @@
+lib/dalvik/dvalue.mli: Format

@@ -1,0 +1,1 @@
+lib/dalvik/heap.ml: Array Dvalue Hashtbl List Ndroid_taint String

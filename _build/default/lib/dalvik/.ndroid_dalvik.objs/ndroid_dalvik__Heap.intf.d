@@ -1,0 +1,1 @@
+lib/dalvik/heap.mli: Dvalue Ndroid_taint

@@ -1,0 +1,1 @@
+lib/dalvik/interp.ml: Array Bytecode Classes Dvalue Float Hashtbl Heap Int32 Int64 List Ndroid_taint Printf String Vm

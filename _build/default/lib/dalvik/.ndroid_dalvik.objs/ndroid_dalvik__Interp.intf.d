@@ -1,0 +1,1 @@
+lib/dalvik/interp.mli: Classes Vm

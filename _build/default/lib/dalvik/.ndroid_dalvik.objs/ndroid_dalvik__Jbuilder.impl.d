@@ -1,0 +1,1 @@
+lib/dalvik/jbuilder.ml: Array Bytecode Classes Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/dalvik/jbuilder.mli: Bytecode Classes

@@ -1,0 +1,1 @@
+lib/dalvik/vm.ml: Array Bytecode Classes Dvalue Format Hashtbl Heap List Ndroid_taint

@@ -1,0 +1,1 @@
+lib/dalvik/vm.mli: Bytecode Classes Dvalue Hashtbl Heap Ndroid_taint

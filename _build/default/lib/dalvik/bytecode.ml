@@ -1,0 +1,146 @@
+type reg = int
+type cmp = Eq | Ne | Lt | Ge | Gt | Le
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Ushr
+
+type unop =
+  | Neg
+  | Not
+  | Int_to_long
+  | Int_to_float
+  | Int_to_double
+  | Long_to_int
+  | Float_to_int
+  | Double_to_int
+  | Float_to_double
+  | Double_to_float
+
+type invoke_kind = Virtual | Static | Direct
+
+type field_ref = { f_class : string; f_name : string }
+type method_ref = { m_class : string; m_name : string }
+
+type t =
+  | Nop
+  | Const of reg * Dvalue.t
+  | Const_string of reg * string
+  | Move of reg * reg
+  | Move_result of reg
+  | Move_exception of reg
+  | Return_void
+  | Return of reg
+  | Binop of binop * reg * reg * reg
+  | Binop_wide of binop * reg * reg * reg
+  | Binop_float of binop * reg * reg * reg
+  | Binop_double of binop * reg * reg * reg
+  | Binop_lit of binop * reg * reg * int32
+  | Unop of unop * reg * reg
+  | Cmp_long of reg * reg * reg
+  | If of cmp * reg * reg * int
+  | Ifz of cmp * reg * int
+  | Goto of int
+  | New_instance of reg * string
+  | New_array of reg * reg * string
+  | Array_length of reg * reg
+  | Aget of reg * reg * reg
+  | Aput of reg * reg * reg
+  | Iget of reg * reg * field_ref
+  | Iput of reg * reg * field_ref
+  | Sget of reg * field_ref
+  | Sput of reg * field_ref
+  | Invoke of invoke_kind * method_ref * reg list
+  | Throw of reg
+  | Check_cast of reg * string
+  | Instance_of of reg * reg * string
+  | Packed_switch of reg * int32 * int array
+  | Sparse_switch of reg * (int32 * int) array
+
+let cmp_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Ge -> "ge"
+  | Gt -> "gt"
+  | Le -> "le"
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Ushr -> "ushr"
+
+let unop_name = function
+  | Neg -> "neg"
+  | Not -> "not"
+  | Int_to_long -> "int-to-long"
+  | Int_to_float -> "int-to-float"
+  | Int_to_double -> "int-to-double"
+  | Long_to_int -> "long-to-int"
+  | Float_to_int -> "float-to-int"
+  | Double_to_int -> "double-to-int"
+  | Float_to_double -> "float-to-double"
+  | Double_to_float -> "double-to-float"
+
+let kind_name = function Virtual -> "virtual" | Static -> "static" | Direct -> "direct"
+
+let pp_regs ppf regs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf r -> Format.fprintf ppf "v%d" r)
+    ppf regs
+
+let pp ppf = function
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Const (r, v) -> Format.fprintf ppf "const v%d, %a" r Dvalue.pp v
+  | Const_string (r, s) -> Format.fprintf ppf "const-string v%d, %S" r s
+  | Move (d, s) -> Format.fprintf ppf "move v%d, v%d" d s
+  | Move_result r -> Format.fprintf ppf "move-result v%d" r
+  | Move_exception r -> Format.fprintf ppf "move-exception v%d" r
+  | Return_void -> Format.pp_print_string ppf "return-void"
+  | Return r -> Format.fprintf ppf "return v%d" r
+  | Binop (op, d, a, b) ->
+    Format.fprintf ppf "%s-int v%d, v%d, v%d" (binop_name op) d a b
+  | Binop_wide (op, d, a, b) ->
+    Format.fprintf ppf "%s-long v%d, v%d, v%d" (binop_name op) d a b
+  | Binop_float (op, d, a, b) ->
+    Format.fprintf ppf "%s-float v%d, v%d, v%d" (binop_name op) d a b
+  | Binop_double (op, d, a, b) ->
+    Format.fprintf ppf "%s-double v%d, v%d, v%d" (binop_name op) d a b
+  | Binop_lit (op, d, a, lit) ->
+    Format.fprintf ppf "%s-int/lit v%d, v%d, #%ld" (binop_name op) d a lit
+  | Unop (op, d, s) -> Format.fprintf ppf "%s v%d, v%d" (unop_name op) d s
+  | Cmp_long (d, a, b) -> Format.fprintf ppf "cmp-long v%d, v%d, v%d" d a b
+  | If (c, a, b, t) -> Format.fprintf ppf "if-%s v%d, v%d, @%d" (cmp_name c) a b t
+  | Ifz (c, a, t) -> Format.fprintf ppf "if-%sz v%d, @%d" (cmp_name c) a t
+  | Goto t -> Format.fprintf ppf "goto @%d" t
+  | New_instance (r, cls) -> Format.fprintf ppf "new-instance v%d, %s" r cls
+  | New_array (d, n, ty) -> Format.fprintf ppf "new-array v%d, v%d, %s" d n ty
+  | Array_length (d, a) -> Format.fprintf ppf "array-length v%d, v%d" d a
+  | Aget (v, a, i) -> Format.fprintf ppf "aget v%d, v%d, v%d" v a i
+  | Aput (v, a, i) -> Format.fprintf ppf "aput v%d, v%d, v%d" v a i
+  | Iget (v, o, f) ->
+    Format.fprintf ppf "iget v%d, v%d, %s->%s" v o f.f_class f.f_name
+  | Iput (v, o, f) ->
+    Format.fprintf ppf "iput v%d, v%d, %s->%s" v o f.f_class f.f_name
+  | Sget (v, f) -> Format.fprintf ppf "sget v%d, %s->%s" v f.f_class f.f_name
+  | Sput (v, f) -> Format.fprintf ppf "sput v%d, %s->%s" v f.f_class f.f_name
+  | Invoke (k, m, regs) ->
+    Format.fprintf ppf "invoke-%s {%a}, %s->%s" (kind_name k) pp_regs regs
+      m.m_class m.m_name
+  | Throw r -> Format.fprintf ppf "throw v%d" r
+  | Check_cast (r, cls) -> Format.fprintf ppf "check-cast v%d, %s" r cls
+  | Instance_of (d, r, cls) ->
+    Format.fprintf ppf "instance-of v%d, v%d, %s" d r cls
+  | Packed_switch (r, first, targets) ->
+    Format.fprintf ppf "packed-switch v%d, first=%ld, %d targets" r first
+      (Array.length targets)
+  | Sparse_switch (r, entries) ->
+    Format.fprintf ppf "sparse-switch v%d, %d entries" r (Array.length entries)
+
+let to_string i = Format.asprintf "%a" pp i

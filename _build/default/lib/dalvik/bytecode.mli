@@ -1,0 +1,84 @@
+(** Dalvik-like register bytecode.
+
+    A compact model of the Dalvik instruction set: enough to express the
+    paper's scenario apps (sources, string handling, JNI invocations, field
+    traffic, control flow, exceptions) while keeping one taint-propagation
+    rule per constructor, as TaintDroid defines one rule per DVM opcode
+    (paper, Sec. II-B). Branch targets are instruction indexes, resolved
+    from symbolic labels by {!Jbuilder}. *)
+
+type reg = int
+
+type cmp = Eq | Ne | Lt | Ge | Gt | Le
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Ushr
+
+type unop =
+  | Neg
+  | Not
+  | Int_to_long
+  | Int_to_float
+  | Int_to_double
+  | Long_to_int
+  | Float_to_int
+  | Double_to_int
+  | Float_to_double
+  | Double_to_float
+
+type invoke_kind = Virtual | Static | Direct
+
+type field_ref = { f_class : string; f_name : string }
+type method_ref = { m_class : string; m_name : string }
+
+type t =
+  | Nop
+  | Const of reg * Dvalue.t  (** const / const-wide; clears the register taint *)
+  | Const_string of reg * string  (** const-string: allocates a String *)
+  | Move of reg * reg
+  | Move_result of reg  (** move-result(-object): reads InterpSaveState *)
+  | Move_exception of reg
+  | Return_void
+  | Return of reg
+  | Binop of binop * reg * reg * reg  (** dst, src1, src2 — int arithmetic *)
+  | Binop_wide of binop * reg * reg * reg  (** 64-bit long arithmetic *)
+  | Binop_float of binop * reg * reg * reg
+  | Binop_double of binop * reg * reg * reg
+  | Binop_lit of binop * reg * reg * int32  (** dst, src, literal *)
+  | Unop of unop * reg * reg
+  | Cmp_long of reg * reg * reg  (** -1/0/1 comparison result *)
+  | If of cmp * reg * reg * int
+  | Ifz of cmp * reg * int
+  | Goto of int
+  | New_instance of reg * string
+  | New_array of reg * reg * string  (** dst, size-reg, element type *)
+  | Array_length of reg * reg
+  | Aget of reg * reg * reg  (** value, array, index *)
+  | Aput of reg * reg * reg  (** value, array, index *)
+  | Iget of reg * reg * field_ref  (** value, object *)
+  | Iput of reg * reg * field_ref
+  | Sget of reg * field_ref
+  | Sput of reg * field_ref
+  | Invoke of invoke_kind * method_ref * reg list
+      (** args include [this] for non-static calls *)
+  | Throw of reg
+  | Check_cast of reg * string
+  | Instance_of of reg * reg * string
+  | Packed_switch of reg * int32 * int array
+      (** [(value, first_key, targets)]: jump to [targets.(v - first_key)]
+          when in range, else fall through *)
+  | Sparse_switch of reg * (int32 * int) array
+      (** (key, target) pairs; fall through when no key matches *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,33 @@
+type method_body =
+  | Bytecode of Bytecode.t array * handler list
+  | Native of string
+  | Intrinsic of string
+
+and handler = { try_start : int; try_end : int; handler_pc : int }
+
+type method_def = {
+  m_class : string;
+  m_name : string;
+  m_shorty : string;
+  m_static : bool;
+  m_registers : int;
+  m_body : method_body;
+}
+
+type field_def = { fd_name : string; fd_static : bool }
+
+type class_def = {
+  c_name : string;
+  c_super : string option;
+  c_fields : field_def list;
+  c_methods : method_def list;
+}
+
+let shorty_params shorty =
+  if shorty = "" then []
+  else List.init (String.length shorty - 1) (fun i -> shorty.[i + 1])
+
+let param_count m = List.length (shorty_params m.m_shorty)
+let ins_count m = param_count m + if m.m_static then 0 else 1
+let return_type m = if m.m_shorty = "" then 'V' else m.m_shorty.[0]
+let qualified_name m = m.m_class ^ "->" ^ m.m_name

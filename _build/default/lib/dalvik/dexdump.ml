@@ -1,0 +1,56 @@
+let pp_method ppf (m : Classes.method_def) =
+  let kind =
+    match m.Classes.m_body with
+    | Classes.Bytecode (code, handlers) ->
+      Printf.sprintf "bytecode (%d insns%s)" (Array.length code)
+        (if handlers = [] then ""
+         else Printf.sprintf ", %d handlers" (List.length handlers))
+    | Classes.Native symbol -> Printf.sprintf "native (%s)" symbol
+    | Classes.Intrinsic key -> Printf.sprintf "intrinsic (%s)" key
+  in
+  Format.fprintf ppf "  %s %s : %s   [%s, %d registers]@."
+    (if m.Classes.m_static then "static" else "virtual")
+    m.Classes.m_name m.Classes.m_shorty kind m.Classes.m_registers;
+  match m.Classes.m_body with
+  | Classes.Bytecode (code, handlers) ->
+    Array.iteri
+      (fun i insn -> Format.fprintf ppf "    %04d: %a@." i Bytecode.pp insn)
+      code;
+    List.iter
+      (fun h ->
+        Format.fprintf ppf "    catch-all [%04d, %04d) -> %04d@."
+          h.Classes.try_start h.Classes.try_end h.Classes.handler_pc)
+      handlers
+  | Classes.Native _ | Classes.Intrinsic _ -> ()
+
+let pp_class ppf (c : Classes.class_def) =
+  Format.fprintf ppf "class %s" c.Classes.c_name;
+  (match c.Classes.c_super with
+   | Some s -> Format.fprintf ppf " extends %s" s
+   | None -> ());
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "  %sfield %s@."
+        (if f.Classes.fd_static then "static " else "")
+        f.Classes.fd_name)
+    c.Classes.c_fields;
+  List.iter (pp_method ppf) c.Classes.c_methods
+
+let pp_classes ppf classes =
+  List.iter
+    (fun c ->
+      pp_class ppf c;
+      Format.fprintf ppf "@.")
+    classes
+
+let native_methods classes =
+  List.concat_map
+    (fun (c : Classes.class_def) ->
+      List.filter_map
+        (fun (m : Classes.method_def) ->
+          match m.Classes.m_body with
+          | Classes.Native symbol -> Some (c.Classes.c_name, m.Classes.m_name, symbol)
+          | Classes.Bytecode _ | Classes.Intrinsic _ -> None)
+        c.Classes.c_methods)
+    classes

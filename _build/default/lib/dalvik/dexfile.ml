@@ -1,0 +1,595 @@
+exception Bad_dex of string
+
+let magic = "dex\n042\x00"
+
+let err fmt = Format.kasprintf (fun s -> raise (Bad_dex s)) fmt
+
+(* ---- little-endian writer / reader with a string pool ---- *)
+
+type writer = { buf : Buffer.t; pool : (string, int) Hashtbl.t; mutable strings : string list; mutable nstrings : int }
+
+let put_u8 w v = Buffer.add_char w.buf (Char.chr (v land 0xFF))
+
+let put_u32 w v =
+  put_u8 w v;
+  put_u8 w (v lsr 8);
+  put_u8 w (v lsr 16);
+  put_u8 w (v lsr 24)
+
+let put_i32 w (v : int32) = put_u32 w (Int32.to_int v land 0xFFFFFFFF)
+
+let put_u64 w (v : int64) =
+  put_u32 w (Int64.to_int (Int64.logand v 0xFFFFFFFFL));
+  put_u32 w (Int64.to_int (Int64.shift_right_logical v 32))
+
+let intern w s =
+  match Hashtbl.find_opt w.pool s with
+  | Some i -> i
+  | None ->
+    let i = w.nstrings in
+    Hashtbl.replace w.pool s i;
+    w.strings <- s :: w.strings;
+    w.nstrings <- i + 1;
+    i
+
+let put_str w s = put_u32 w (intern w s)
+
+type reader = { src : string; mutable pos : int; mutable rpool : string array }
+
+let need r n = if r.pos + n > String.length r.src then err "truncated at %d" r.pos
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r =
+  let a = get_u8 r in
+  let b = get_u8 r in
+  let c = get_u8 r in
+  let d = get_u8 r in
+  a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+let get_i32 r = Int32.of_int (get_u32 r)
+
+let get_u64 r =
+  let lo = Int64.of_int (get_u32 r) in
+  let hi = Int64.of_int (get_u32 r) in
+  Int64.logor lo (Int64.shift_left hi 32)
+
+let get_str r =
+  let i = get_u32 r in
+  if i >= Array.length r.rpool then err "string index %d out of pool" i;
+  r.rpool.(i)
+
+let get_list r f =
+  let n = get_u32 r in
+  if n > 0x100000 then err "list length %d implausible" n;
+  List.init n (fun _ -> f r)
+
+(* ---- value encoding ---- *)
+
+let put_value w = function
+  | Dvalue.Null -> put_u8 w 0
+  | Dvalue.Int v ->
+    put_u8 w 1;
+    put_i32 w v
+  | Dvalue.Long v ->
+    put_u8 w 2;
+    put_u64 w v
+  | Dvalue.Float f ->
+    put_u8 w 3;
+    put_u32 w (Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF)
+  | Dvalue.Double f ->
+    put_u8 w 4;
+    put_u64 w (Int64.bits_of_float f)
+  | Dvalue.Obj _ -> err "object constants cannot be serialized"
+
+let get_value r =
+  match get_u8 r with
+  | 0 -> Dvalue.Null
+  | 1 -> Dvalue.Int (get_i32 r)
+  | 2 -> Dvalue.Long (get_u64 r)
+  | 3 -> Dvalue.Float (Int32.float_of_bits (get_i32 r))
+  | 4 -> Dvalue.Double (Int64.float_of_bits (get_u64 r))
+  | t -> err "bad value tag %d" t
+
+(* ---- enum encodings ---- *)
+
+let binop_code = function
+  | Bytecode.Add -> 0
+  | Bytecode.Sub -> 1
+  | Bytecode.Mul -> 2
+  | Bytecode.Div -> 3
+  | Bytecode.Rem -> 4
+  | Bytecode.And -> 5
+  | Bytecode.Or -> 6
+  | Bytecode.Xor -> 7
+  | Bytecode.Shl -> 8
+  | Bytecode.Shr -> 9
+  | Bytecode.Ushr -> 10
+
+let binop_of_code = function
+  | 0 -> Bytecode.Add
+  | 1 -> Bytecode.Sub
+  | 2 -> Bytecode.Mul
+  | 3 -> Bytecode.Div
+  | 4 -> Bytecode.Rem
+  | 5 -> Bytecode.And
+  | 6 -> Bytecode.Or
+  | 7 -> Bytecode.Xor
+  | 8 -> Bytecode.Shl
+  | 9 -> Bytecode.Shr
+  | 10 -> Bytecode.Ushr
+  | n -> err "bad binop %d" n
+
+let unop_code = function
+  | Bytecode.Neg -> 0
+  | Bytecode.Not -> 1
+  | Bytecode.Int_to_long -> 2
+  | Bytecode.Int_to_float -> 3
+  | Bytecode.Int_to_double -> 4
+  | Bytecode.Long_to_int -> 5
+  | Bytecode.Float_to_int -> 6
+  | Bytecode.Double_to_int -> 7
+  | Bytecode.Float_to_double -> 8
+  | Bytecode.Double_to_float -> 9
+
+let unop_of_code = function
+  | 0 -> Bytecode.Neg
+  | 1 -> Bytecode.Not
+  | 2 -> Bytecode.Int_to_long
+  | 3 -> Bytecode.Int_to_float
+  | 4 -> Bytecode.Int_to_double
+  | 5 -> Bytecode.Long_to_int
+  | 6 -> Bytecode.Float_to_int
+  | 7 -> Bytecode.Double_to_int
+  | 8 -> Bytecode.Float_to_double
+  | 9 -> Bytecode.Double_to_float
+  | n -> err "bad unop %d" n
+
+let cmp_code = function
+  | Bytecode.Eq -> 0
+  | Bytecode.Ne -> 1
+  | Bytecode.Lt -> 2
+  | Bytecode.Ge -> 3
+  | Bytecode.Gt -> 4
+  | Bytecode.Le -> 5
+
+let cmp_of_code = function
+  | 0 -> Bytecode.Eq
+  | 1 -> Bytecode.Ne
+  | 2 -> Bytecode.Lt
+  | 3 -> Bytecode.Ge
+  | 4 -> Bytecode.Gt
+  | 5 -> Bytecode.Le
+  | n -> err "bad cmp %d" n
+
+let kind_code = function
+  | Bytecode.Virtual -> 0
+  | Bytecode.Static -> 1
+  | Bytecode.Direct -> 2
+
+let kind_of_code = function
+  | 0 -> Bytecode.Virtual
+  | 1 -> Bytecode.Static
+  | 2 -> Bytecode.Direct
+  | n -> err "bad invoke kind %d" n
+
+(* ---- instruction encoding: one opcode byte + operands ---- *)
+
+let put_fref w (f : Bytecode.field_ref) =
+  put_str w f.Bytecode.f_class;
+  put_str w f.Bytecode.f_name
+
+let get_fref r =
+  let f_class = get_str r in
+  let f_name = get_str r in
+  { Bytecode.f_class; f_name }
+
+let put_insn w insn =
+  let op = put_u8 w in
+  let reg = put_u32 w in
+  match insn with
+  | Bytecode.Nop -> op 0
+  | Bytecode.Const (d, v) ->
+    op 1;
+    reg d;
+    put_value w v
+  | Bytecode.Const_string (d, s) ->
+    op 2;
+    reg d;
+    put_str w s
+  | Bytecode.Move (d, s) ->
+    op 3;
+    reg d;
+    reg s
+  | Bytecode.Move_result d ->
+    op 4;
+    reg d
+  | Bytecode.Move_exception d ->
+    op 5;
+    reg d
+  | Bytecode.Return_void -> op 6
+  | Bytecode.Return d ->
+    op 7;
+    reg d
+  | Bytecode.Binop (o, d, a, b) ->
+    op 8;
+    put_u8 w (binop_code o);
+    reg d;
+    reg a;
+    reg b
+  | Bytecode.Binop_wide (o, d, a, b) ->
+    op 9;
+    put_u8 w (binop_code o);
+    reg d;
+    reg a;
+    reg b
+  | Bytecode.Binop_float (o, d, a, b) ->
+    op 10;
+    put_u8 w (binop_code o);
+    reg d;
+    reg a;
+    reg b
+  | Bytecode.Binop_double (o, d, a, b) ->
+    op 11;
+    put_u8 w (binop_code o);
+    reg d;
+    reg a;
+    reg b
+  | Bytecode.Binop_lit (o, d, a, lit) ->
+    op 12;
+    put_u8 w (binop_code o);
+    reg d;
+    reg a;
+    put_i32 w lit
+  | Bytecode.Unop (o, d, s) ->
+    op 13;
+    put_u8 w (unop_code o);
+    reg d;
+    reg s
+  | Bytecode.Cmp_long (d, a, b) ->
+    op 14;
+    reg d;
+    reg a;
+    reg b
+  | Bytecode.If (c, a, b, t) ->
+    op 15;
+    put_u8 w (cmp_code c);
+    reg a;
+    reg b;
+    put_u32 w t
+  | Bytecode.Ifz (c, a, t) ->
+    op 16;
+    put_u8 w (cmp_code c);
+    reg a;
+    put_u32 w t
+  | Bytecode.Goto t ->
+    op 17;
+    put_u32 w t
+  | Bytecode.New_instance (d, cls) ->
+    op 18;
+    reg d;
+    put_str w cls
+  | Bytecode.New_array (d, n, ty) ->
+    op 19;
+    reg d;
+    reg n;
+    put_str w ty
+  | Bytecode.Array_length (d, a) ->
+    op 20;
+    reg d;
+    reg a
+  | Bytecode.Aget (v, a, i) ->
+    op 21;
+    reg v;
+    reg a;
+    reg i
+  | Bytecode.Aput (v, a, i) ->
+    op 22;
+    reg v;
+    reg a;
+    reg i
+  | Bytecode.Iget (v, o, f) ->
+    op 23;
+    reg v;
+    reg o;
+    put_fref w f
+  | Bytecode.Iput (v, o, f) ->
+    op 24;
+    reg v;
+    reg o;
+    put_fref w f
+  | Bytecode.Sget (v, f) ->
+    op 25;
+    reg v;
+    put_fref w f
+  | Bytecode.Sput (v, f) ->
+    op 26;
+    reg v;
+    put_fref w f
+  | Bytecode.Invoke (k, m, regs) ->
+    op 27;
+    put_u8 w (kind_code k);
+    put_str w m.Bytecode.m_class;
+    put_str w m.Bytecode.m_name;
+    put_u32 w (List.length regs);
+    List.iter reg regs
+  | Bytecode.Throw d ->
+    op 28;
+    reg d
+  | Bytecode.Check_cast (d, cls) ->
+    op 29;
+    reg d;
+    put_str w cls
+  | Bytecode.Instance_of (d, s, cls) ->
+    op 30;
+    reg d;
+    reg s;
+    put_str w cls
+  | Bytecode.Packed_switch (d, first, targets) ->
+    op 31;
+    reg d;
+    put_i32 w first;
+    put_u32 w (Array.length targets);
+    Array.iter (put_u32 w) targets
+  | Bytecode.Sparse_switch (d, entries) ->
+    op 32;
+    reg d;
+    put_u32 w (Array.length entries);
+    Array.iter
+      (fun (k, t) ->
+        put_i32 w k;
+        put_u32 w t)
+      entries
+
+let get_insn r =
+  let reg () = get_u32 r in
+  match get_u8 r with
+  | 0 -> Bytecode.Nop
+  | 1 ->
+    let d = reg () in
+    Bytecode.Const (d, get_value r)
+  | 2 ->
+    let d = reg () in
+    Bytecode.Const_string (d, get_str r)
+  | 3 ->
+    let d = reg () in
+    Bytecode.Move (d, reg ())
+  | 4 -> Bytecode.Move_result (reg ())
+  | 5 -> Bytecode.Move_exception (reg ())
+  | 6 -> Bytecode.Return_void
+  | 7 -> Bytecode.Return (reg ())
+  | 8 ->
+    let o = binop_of_code (get_u8 r) in
+    let d = reg () in
+    let a = reg () in
+    Bytecode.Binop (o, d, a, reg ())
+  | 9 ->
+    let o = binop_of_code (get_u8 r) in
+    let d = reg () in
+    let a = reg () in
+    Bytecode.Binop_wide (o, d, a, reg ())
+  | 10 ->
+    let o = binop_of_code (get_u8 r) in
+    let d = reg () in
+    let a = reg () in
+    Bytecode.Binop_float (o, d, a, reg ())
+  | 11 ->
+    let o = binop_of_code (get_u8 r) in
+    let d = reg () in
+    let a = reg () in
+    Bytecode.Binop_double (o, d, a, reg ())
+  | 12 ->
+    let o = binop_of_code (get_u8 r) in
+    let d = reg () in
+    let a = reg () in
+    Bytecode.Binop_lit (o, d, a, get_i32 r)
+  | 13 ->
+    let o = unop_of_code (get_u8 r) in
+    let d = reg () in
+    Bytecode.Unop (o, d, reg ())
+  | 14 ->
+    let d = reg () in
+    let a = reg () in
+    Bytecode.Cmp_long (d, a, reg ())
+  | 15 ->
+    let c = cmp_of_code (get_u8 r) in
+    let a = reg () in
+    let b = reg () in
+    Bytecode.If (c, a, b, get_u32 r)
+  | 16 ->
+    let c = cmp_of_code (get_u8 r) in
+    let a = reg () in
+    Bytecode.Ifz (c, a, get_u32 r)
+  | 17 -> Bytecode.Goto (get_u32 r)
+  | 18 ->
+    let d = reg () in
+    Bytecode.New_instance (d, get_str r)
+  | 19 ->
+    let d = reg () in
+    let n = reg () in
+    Bytecode.New_array (d, n, get_str r)
+  | 20 ->
+    let d = reg () in
+    Bytecode.Array_length (d, reg ())
+  | 21 ->
+    let v = reg () in
+    let a = reg () in
+    Bytecode.Aget (v, a, reg ())
+  | 22 ->
+    let v = reg () in
+    let a = reg () in
+    Bytecode.Aput (v, a, reg ())
+  | 23 ->
+    let v = reg () in
+    let o = reg () in
+    Bytecode.Iget (v, o, get_fref r)
+  | 24 ->
+    let v = reg () in
+    let o = reg () in
+    Bytecode.Iput (v, o, get_fref r)
+  | 25 ->
+    let v = reg () in
+    Bytecode.Sget (v, get_fref r)
+  | 26 ->
+    let v = reg () in
+    Bytecode.Sput (v, get_fref r)
+  | 27 ->
+    let k = kind_of_code (get_u8 r) in
+    let m_class = get_str r in
+    let m_name = get_str r in
+    let regs = get_list r (fun r -> get_u32 r) in
+    Bytecode.Invoke (k, { Bytecode.m_class; m_name }, regs)
+  | 28 -> Bytecode.Throw (reg ())
+  | 29 ->
+    let d = reg () in
+    Bytecode.Check_cast (d, get_str r)
+  | 30 ->
+    let d = reg () in
+    let s = reg () in
+    Bytecode.Instance_of (d, s, get_str r)
+  | 31 ->
+    let d = reg () in
+    let first = get_i32 r in
+    let n = get_u32 r in
+    if n > 0x10000 then err "switch too large";
+    Bytecode.Packed_switch (d, first, Array.init n (fun _ -> get_u32 r))
+  | 32 ->
+    let d = reg () in
+    let n = get_u32 r in
+    if n > 0x10000 then err "switch too large";
+    Bytecode.Sparse_switch
+      (d, Array.init n (fun _ ->
+              let k = get_i32 r in
+              let t = get_u32 r in
+              (k, t)))
+  | op -> err "bad opcode %d" op
+
+(* ---- methods / classes ---- *)
+
+let put_method w (m : Classes.method_def) =
+  put_str w m.Classes.m_class;
+  put_str w m.Classes.m_name;
+  put_str w m.Classes.m_shorty;
+  put_u8 w (if m.Classes.m_static then 1 else 0);
+  put_u32 w m.Classes.m_registers;
+  match m.Classes.m_body with
+  | Classes.Bytecode (code, handlers) ->
+    put_u8 w 0;
+    put_u32 w (Array.length code);
+    Array.iter (put_insn w) code;
+    put_u32 w (List.length handlers);
+    List.iter
+      (fun h ->
+        put_u32 w h.Classes.try_start;
+        put_u32 w h.Classes.try_end;
+        put_u32 w h.Classes.handler_pc)
+      handlers
+  | Classes.Native symbol ->
+    put_u8 w 1;
+    put_str w symbol
+  | Classes.Intrinsic key ->
+    put_u8 w 2;
+    put_str w key
+
+let get_method r =
+  let m_class = get_str r in
+  let m_name = get_str r in
+  let m_shorty = get_str r in
+  let m_static = get_u8 r = 1 in
+  let m_registers = get_u32 r in
+  let m_body =
+    match get_u8 r with
+    | 0 ->
+      let n = get_u32 r in
+      if n > 0x100000 then err "method too large";
+      let code = Array.init n (fun _ -> get_insn r) in
+      let handlers =
+        get_list r (fun r ->
+            let try_start = get_u32 r in
+            let try_end = get_u32 r in
+            let handler_pc = get_u32 r in
+            { Classes.try_start; try_end; handler_pc })
+      in
+      Classes.Bytecode (code, handlers)
+    | 1 -> Classes.Native (get_str r)
+    | 2 -> Classes.Intrinsic (get_str r)
+    | t -> err "bad body tag %d" t
+  in
+  { Classes.m_class; m_name; m_shorty; m_static; m_registers; m_body }
+
+let put_class w (c : Classes.class_def) =
+  put_str w c.Classes.c_name;
+  (match c.Classes.c_super with
+   | None -> put_u8 w 0
+   | Some s ->
+     put_u8 w 1;
+     put_str w s);
+  put_u32 w (List.length c.Classes.c_fields);
+  List.iter
+    (fun f ->
+      put_str w f.Classes.fd_name;
+      put_u8 w (if f.Classes.fd_static then 1 else 0))
+    c.Classes.c_fields;
+  put_u32 w (List.length c.Classes.c_methods);
+  List.iter (put_method w) c.Classes.c_methods
+
+let get_class r =
+  let c_name = get_str r in
+  let c_super = match get_u8 r with 0 -> None | _ -> Some (get_str r) in
+  let c_fields =
+    get_list r (fun r ->
+        let fd_name = get_str r in
+        let fd_static = get_u8 r = 1 in
+        { Classes.fd_name; fd_static })
+  in
+  let c_methods = get_list r get_method in
+  { Classes.c_name; c_super; c_fields; c_methods }
+
+(* ---- container: magic, string pool, class table ---- *)
+
+let to_string classes =
+  let w =
+    { buf = Buffer.create 1024; pool = Hashtbl.create 64; strings = [];
+      nstrings = 0 }
+  in
+  put_u32 w (List.length classes);
+  List.iter (put_class w) classes;
+  let body = Buffer.contents w.buf in
+  let out = Buffer.create (Buffer.length w.buf + 256) in
+  Buffer.add_string out magic;
+  let pool = List.rev w.strings in
+  let put_out_u32 v =
+    Buffer.add_char out (Char.chr (v land 0xFF));
+    Buffer.add_char out (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char out (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char out (Char.chr ((v lsr 24) land 0xFF))
+  in
+  put_out_u32 (List.length pool);
+  List.iter
+    (fun s ->
+      put_out_u32 (String.length s);
+      Buffer.add_string out s)
+    pool;
+  Buffer.add_string out body;
+  Buffer.contents out
+
+let of_string s =
+  if String.length s < String.length magic
+     || String.sub s 0 (String.length magic) <> magic
+  then err "bad magic";
+  let r = { src = s; pos = String.length magic; rpool = [||] } in
+  let npool = get_u32 r in
+  if npool > 0x100000 then err "pool size %d implausible" npool;
+  r.rpool <-
+    Array.init npool (fun _ ->
+        let n = get_u32 r in
+        if n > 0x100000 then err "pool string too large";
+        need r n;
+        let str = String.sub r.src r.pos n in
+        r.pos <- r.pos + n;
+        str);
+  get_list r get_class

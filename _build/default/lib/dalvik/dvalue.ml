@@ -1,0 +1,69 @@
+type t =
+  | Null
+  | Int of int32
+  | Long of int64
+  | Float of float
+  | Double of float
+  | Obj of int
+
+let zero = Int 0l
+
+let truthy = function
+  | Null -> false
+  | Int n -> n <> 0l
+  | Long n -> n <> 0L
+  | Float f -> f <> 0.0
+  | Double f -> f <> 0.0
+  | Obj _ -> true
+
+let as_int = function
+  | Int n -> n
+  | Long n -> Int64.to_int32 n
+  | Float f -> Int32.of_float f
+  | Double f -> Int32.of_float f
+  | Null -> 0l
+  | Obj _ -> invalid_arg "Dvalue.as_int: object value"
+
+let as_long = function
+  | Int n -> Int64.of_int32 n
+  | Long n -> n
+  | Float f -> Int64.of_float f
+  | Double f -> Int64.of_float f
+  | Null -> 0L
+  | Obj _ -> invalid_arg "Dvalue.as_long: object value"
+
+let as_float = function
+  | Int n -> Int32.to_float n
+  | Long n -> Int64.to_float n
+  | Float f -> f
+  | Double f -> Int32.float_of_bits (Int32.bits_of_float f)
+  | Null -> 0.0
+  | Obj _ -> invalid_arg "Dvalue.as_float: object value"
+
+let as_double = function
+  | Int n -> Int32.to_float n
+  | Long n -> Int64.to_float n
+  | Float f -> f
+  | Double f -> f
+  | Null -> 0.0
+  | Obj _ -> invalid_arg "Dvalue.as_double: object value"
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Long x, Long y -> x = y
+  | Float x, Float y -> x = y
+  | Double x, Double y -> x = y
+  | Obj x, Obj y -> x = y
+  | (Null | Int _ | Long _ | Float _ | Double _ | Obj _), _ -> false
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Int n -> Format.fprintf ppf "%ld" n
+  | Long n -> Format.fprintf ppf "%LdL" n
+  | Float f -> Format.fprintf ppf "%gf" f
+  | Double f -> Format.fprintf ppf "%g" f
+  | Obj id -> Format.fprintf ppf "obj#%d" id
+
+let to_string v = Format.asprintf "%a" pp v

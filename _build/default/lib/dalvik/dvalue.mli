@@ -1,0 +1,32 @@
+(** Dalvik runtime values.
+
+    The register-based VM stores one value per register slot.  Object values
+    hold a stable heap id — never a raw address — because the heap's
+    compacting GC moves objects (the Android ≥ 4.0 behaviour that forces
+    NDroid to track indirect references, paper Sec. II-A). *)
+
+type t =
+  | Null
+  | Int of int32
+  | Long of int64
+  | Float of float  (** single precision, kept rounded to 32 bits *)
+  | Double of float
+  | Obj of int  (** heap id, see {!Heap} *)
+
+val zero : t
+(** The default register value, [Int 0l]. *)
+
+val truthy : t -> bool
+(** Used by [if-*z]: non-zero / non-null. *)
+
+val as_int : t -> int32
+(** Numeric coercion used by int instructions. @raise Invalid_argument on
+    objects. *)
+
+val as_long : t -> int64
+val as_float : t -> float
+val as_double : t -> float
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,394 @@
+module Taint = Ndroid_taint.Taint
+
+exception Wrong_arity of string
+
+let exec_binop op a b =
+  let open Int32 in
+  match op with
+  | Bytecode.Add -> add a b
+  | Bytecode.Sub -> sub a b
+  | Bytecode.Mul -> mul a b
+  | Bytecode.Div -> if b = 0l then raise Division_by_zero else div a b
+  | Bytecode.Rem -> if b = 0l then raise Division_by_zero else rem a b
+  | Bytecode.And -> logand a b
+  | Bytecode.Or -> logor a b
+  | Bytecode.Xor -> logxor a b
+  | Bytecode.Shl -> shift_left a (to_int b land 31)
+  | Bytecode.Shr -> shift_right a (to_int b land 31)
+  | Bytecode.Ushr -> shift_right_logical a (to_int b land 31)
+
+let exec_binop_wide op a b =
+  let open Int64 in
+  match op with
+  | Bytecode.Add -> add a b
+  | Bytecode.Sub -> sub a b
+  | Bytecode.Mul -> mul a b
+  | Bytecode.Div -> if b = 0L then raise Division_by_zero else div a b
+  | Bytecode.Rem -> if b = 0L then raise Division_by_zero else rem a b
+  | Bytecode.And -> logand a b
+  | Bytecode.Or -> logor a b
+  | Bytecode.Xor -> logxor a b
+  | Bytecode.Shl -> shift_left a (to_int b land 63)
+  | Bytecode.Shr -> shift_right a (to_int b land 63)
+  | Bytecode.Ushr -> shift_right_logical a (to_int b land 63)
+
+let exec_binop_float op a b =
+  match op with
+  | Bytecode.Add -> a +. b
+  | Bytecode.Sub -> a -. b
+  | Bytecode.Mul -> a *. b
+  | Bytecode.Div -> a /. b
+  | Bytecode.Rem -> Float.rem a b
+  | Bytecode.And | Bytecode.Or | Bytecode.Xor | Bytecode.Shl | Bytecode.Shr
+  | Bytecode.Ushr ->
+    invalid_arg "bitwise operation on float"
+
+let exec_unop op v =
+  match (op, v) with
+  | Bytecode.Neg, Dvalue.Int n -> Dvalue.Int (Int32.neg n)
+  | Bytecode.Neg, Dvalue.Long n -> Dvalue.Long (Int64.neg n)
+  | Bytecode.Neg, Dvalue.Float f -> Dvalue.Float (-.f)
+  | Bytecode.Neg, Dvalue.Double f -> Dvalue.Double (-.f)
+  | Bytecode.Not, v -> Dvalue.Int (Int32.lognot (Dvalue.as_int v))
+  | Bytecode.Int_to_long, v -> Dvalue.Long (Dvalue.as_long v)
+  | Bytecode.Int_to_float, v ->
+    Dvalue.Float (Int32.float_of_bits (Int32.bits_of_float (Dvalue.as_float v)))
+  | Bytecode.Int_to_double, v -> Dvalue.Double (Dvalue.as_double v)
+  | Bytecode.Long_to_int, v -> Dvalue.Int (Dvalue.as_int v)
+  | Bytecode.Float_to_int, v -> Dvalue.Int (Dvalue.as_int v)
+  | Bytecode.Double_to_int, v -> Dvalue.Int (Dvalue.as_int v)
+  | Bytecode.Float_to_double, v -> Dvalue.Double (Dvalue.as_double v)
+  | Bytecode.Double_to_float, v ->
+    Dvalue.Float (Int32.float_of_bits (Int32.bits_of_float (Dvalue.as_float v)))
+  | Bytecode.Neg, (Dvalue.Null | Dvalue.Obj _) ->
+    invalid_arg "neg on reference value"
+
+let compare_values cmp a b =
+  let c =
+    match (a, b) with
+    | Dvalue.Obj x, Dvalue.Obj y -> compare x y
+    | Dvalue.Null, Dvalue.Null -> 0
+    | Dvalue.Null, Dvalue.Obj _ -> -1
+    | Dvalue.Obj _, Dvalue.Null -> 1
+    | _ -> Int32.compare (Dvalue.as_int a) (Dvalue.as_int b)
+  in
+  match cmp with
+  | Bytecode.Eq -> c = 0
+  | Bytecode.Ne -> c <> 0
+  | Bytecode.Lt -> c < 0
+  | Bytecode.Ge -> c >= 0
+  | Bytecode.Gt -> c > 0
+  | Bytecode.Le -> c <= 0
+
+let rec invoke vm (m : Classes.method_def) args =
+  vm.Vm.counters.Vm.invokes <- vm.Vm.counters.Vm.invokes + 1;
+  let expected = Classes.ins_count m in
+  if Array.length args <> expected then
+    raise
+      (Wrong_arity
+         (Printf.sprintf "%s expects %d args, got %d" (Classes.qualified_name m)
+            expected (Array.length args)));
+  match m.Classes.m_body with
+  | Classes.Intrinsic key -> (
+    match Hashtbl.find_opt vm.Vm.intrinsics key with
+    | Some f ->
+      let r = f vm args in
+      vm.Vm.ret <- r;
+      r
+    | None -> raise (Vm.Dvm_error (Printf.sprintf "intrinsic %s not registered" key)))
+  | Classes.Native _ -> (
+    vm.Vm.counters.Vm.native_calls <- vm.Vm.counters.Vm.native_calls + 1;
+    match vm.Vm.native_dispatch with
+    | Some dispatch ->
+      let r = dispatch vm m args in
+      vm.Vm.ret <- r;
+      r
+    | None ->
+      raise
+        (Vm.Dvm_error
+           (Printf.sprintf "no native dispatch installed for %s"
+              (Classes.qualified_name m))))
+  | Classes.Bytecode (code, handlers) ->
+    (match vm.Vm.on_invoke with Some f -> f m | None -> ());
+    run_bytecode vm m args code handlers
+
+and run_bytecode vm m args code handlers =
+  (* TaintDroid stack layout (Fig. 1): parameters land in the highest
+     registers; locals occupy the low ones.  Taints sit next to values. *)
+  let nregs = max m.Classes.m_registers (Array.length args) in
+  let regs = Array.make nregs Dvalue.zero in
+  let taints = Array.make nregs Taint.clear in
+  let first_in = nregs - Array.length args in
+  Array.iteri
+    (fun i (v, t) ->
+      regs.(first_in + i) <- v;
+      taints.(first_in + i) <- t)
+    args;
+  let track = vm.Vm.track_taint in
+  let pending_exception = ref (Dvalue.Null, Taint.clear) in
+  let get r = regs.(r) in
+  let taint_of r = if track then taints.(r) else Taint.clear in
+  let set r v t =
+    regs.(r) <- v;
+    if track then taints.(r) <- t
+  in
+  let heap_obj v =
+    match v with
+    | Dvalue.Obj id -> (
+      try Heap.get vm.Vm.heap id
+      with Not_found -> Vm.throw vm "Ljava/lang/RuntimeException;" "dangling ref")
+    | Dvalue.Null ->
+      Vm.throw vm "Ljava/lang/NullPointerException;" "null dereference"
+    | Dvalue.Int _ | Dvalue.Long _ | Dvalue.Float _ | Dvalue.Double _ ->
+      Vm.throw vm "Ljava/lang/RuntimeException;" "not a reference"
+  in
+  let cur_pc = ref 0 in
+  let rec step pc =
+    if pc < 0 || pc >= Array.length code then
+      raise (Vm.Dvm_error (Printf.sprintf "pc %d out of range in %s" pc
+                             (Classes.qualified_name m)));
+    cur_pc := pc;
+    vm.Vm.counters.Vm.bytecodes <- vm.Vm.counters.Vm.bytecodes + 1;
+    (match vm.Vm.on_bytecode with Some f -> f m code.(pc) | None -> ());
+    match code.(pc) with
+    | Bytecode.Nop -> step (pc + 1)
+    | Bytecode.Const (r, v) ->
+      set r v Taint.clear;
+      step (pc + 1)
+    | Bytecode.Const_string (r, s) ->
+      let v, t = Vm.new_string vm s in
+      set r v t;
+      step (pc + 1)
+    | Bytecode.Move (d, s) ->
+      set d (get s) (taint_of s);
+      step (pc + 1)
+    | Bytecode.Move_result r ->
+      let v, t = vm.Vm.ret in
+      set r v (if track then t else Taint.clear);
+      step (pc + 1)
+    | Bytecode.Move_exception r ->
+      let v, t = !pending_exception in
+      set r v (if track then t else Taint.clear);
+      step (pc + 1)
+    | Bytecode.Return_void ->
+      vm.Vm.ret <- (Dvalue.zero, Taint.clear);
+      vm.Vm.ret
+    | Bytecode.Return r ->
+      vm.Vm.ret <- (get r, taint_of r);
+      vm.Vm.ret
+    | Bytecode.Binop (op, d, a, b) ->
+      set d
+        (Dvalue.Int (exec_binop op (Dvalue.as_int (get a)) (Dvalue.as_int (get b))))
+        (Taint.union (taint_of a) (taint_of b));
+      step (pc + 1)
+    | Bytecode.Binop_wide (op, d, a, b) ->
+      set d
+        (Dvalue.Long
+           (exec_binop_wide op (Dvalue.as_long (get a)) (Dvalue.as_long (get b))))
+        (Taint.union (taint_of a) (taint_of b));
+      step (pc + 1)
+    | Bytecode.Binop_float (op, d, a, b) ->
+      let r = exec_binop_float op (Dvalue.as_float (get a)) (Dvalue.as_float (get b)) in
+      set d
+        (Dvalue.Float (Int32.float_of_bits (Int32.bits_of_float r)))
+        (Taint.union (taint_of a) (taint_of b));
+      step (pc + 1)
+    | Bytecode.Binop_double (op, d, a, b) ->
+      set d
+        (Dvalue.Double
+           (exec_binop_float op (Dvalue.as_double (get a)) (Dvalue.as_double (get b))))
+        (Taint.union (taint_of a) (taint_of b));
+      step (pc + 1)
+    | Bytecode.Binop_lit (op, d, a, lit) ->
+      set d
+        (Dvalue.Int (exec_binop op (Dvalue.as_int (get a)) lit))
+        (taint_of a);
+      step (pc + 1)
+    | Bytecode.Unop (op, d, s) ->
+      set d (exec_unop op (get s)) (taint_of s);
+      step (pc + 1)
+    | Bytecode.Cmp_long (d, a, b) ->
+      let c = Int64.compare (Dvalue.as_long (get a)) (Dvalue.as_long (get b)) in
+      set d (Dvalue.Int (Int32.of_int c)) (Taint.union (taint_of a) (taint_of b));
+      step (pc + 1)
+    | Bytecode.If (c, a, b, target) ->
+      if compare_values c (get a) (get b) then step target else step (pc + 1)
+    | Bytecode.Ifz (c, a, target) ->
+      let test =
+        match c with
+        | Bytecode.Eq -> not (Dvalue.truthy (get a))
+        | Bytecode.Ne -> Dvalue.truthy (get a)
+        | Bytecode.Lt | Bytecode.Ge | Bytecode.Gt | Bytecode.Le ->
+          compare_values c (get a) (Dvalue.Int 0l)
+      in
+      if test then step target else step (pc + 1)
+    | Bytecode.Goto target -> step target
+    | Bytecode.New_instance (r, cls) ->
+      let o = Heap.alloc_instance vm.Vm.heap cls (Vm.instance_size vm cls) in
+      set r (Dvalue.Obj o.Heap.id) Taint.clear;
+      step (pc + 1)
+    | Bytecode.New_array (d, n, elem_type) ->
+      let size = Int32.to_int (Dvalue.as_int (get n)) in
+      if size < 0 then
+        Vm.throw vm "Ljava/lang/NegativeArraySizeException;" (string_of_int size);
+      let o = Heap.alloc_array vm.Vm.heap elem_type size in
+      set d (Dvalue.Obj o.Heap.id) Taint.clear;
+      step (pc + 1)
+    | Bytecode.Array_length (d, a) ->
+      let o = heap_obj (get a) in
+      let len =
+        match o.Heap.kind with
+        | Heap.Array { elems; _ } -> Array.length elems
+        | Heap.String s -> String.length s
+        | Heap.Instance _ ->
+          Vm.throw vm "Ljava/lang/RuntimeException;" "array-length on non-array"
+      in
+      (* TaintDroid: array length carries the array object's taint. *)
+      set d (Dvalue.Int (Int32.of_int len)) (if track then o.Heap.taint else Taint.clear);
+      step (pc + 1)
+    | Bytecode.Aget (v, a, i) ->
+      let o = heap_obj (get a) in
+      let idx = Int32.to_int (Dvalue.as_int (get i)) in
+      (match o.Heap.kind with
+       | Heap.Array { elems; _ } ->
+         if idx < 0 || idx >= Array.length elems then
+           Vm.throw vm "Ljava/lang/ArrayIndexOutOfBoundsException;"
+             (string_of_int idx);
+         (* TaintDroid: one taint per array — the whole array's tag flows. *)
+         set v elems.(idx)
+           (if track then Taint.union o.Heap.taint (taint_of i) else Taint.clear)
+       | Heap.String _ | Heap.Instance _ ->
+         Vm.throw vm "Ljava/lang/RuntimeException;" "aget on non-array");
+      step (pc + 1)
+    | Bytecode.Aput (v, a, i) ->
+      let o = heap_obj (get a) in
+      let idx = Int32.to_int (Dvalue.as_int (get i)) in
+      (match o.Heap.kind with
+       | Heap.Array { elems; _ } ->
+         if idx < 0 || idx >= Array.length elems then
+           Vm.throw vm "Ljava/lang/ArrayIndexOutOfBoundsException;"
+             (string_of_int idx);
+         elems.(idx) <- get v;
+         if track then o.Heap.taint <- Taint.union o.Heap.taint (taint_of v)
+       | Heap.String _ | Heap.Instance _ ->
+         Vm.throw vm "Ljava/lang/RuntimeException;" "aput on non-array");
+      step (pc + 1)
+    | Bytecode.Iget (v, ob, fref) ->
+      let o = heap_obj (get ob) in
+      (match o.Heap.kind with
+       | Heap.Instance { cls; values; taints = ftaints } ->
+         let idx = Vm.field_index vm cls fref.Bytecode.f_name in
+         set v values.(idx) (if track then ftaints.(idx) else Taint.clear)
+       | Heap.String _ | Heap.Array _ ->
+         Vm.throw vm "Ljava/lang/RuntimeException;" "iget on non-instance");
+      step (pc + 1)
+    | Bytecode.Iput (v, ob, fref) ->
+      let o = heap_obj (get ob) in
+      (match o.Heap.kind with
+       | Heap.Instance { cls; values; taints = ftaints } ->
+         let idx = Vm.field_index vm cls fref.Bytecode.f_name in
+         values.(idx) <- get v;
+         if track then ftaints.(idx) <- taint_of v
+       | Heap.String _ | Heap.Array _ ->
+         Vm.throw vm "Ljava/lang/RuntimeException;" "iput on non-instance");
+      step (pc + 1)
+    | Bytecode.Sget (v, fref) ->
+      let cell = Vm.static_ref vm fref.Bytecode.f_class fref.Bytecode.f_name in
+      let value, t = !cell in
+      set v value (if track then t else Taint.clear);
+      step (pc + 1)
+    | Bytecode.Sput (v, fref) ->
+      let cell = Vm.static_ref vm fref.Bytecode.f_class fref.Bytecode.f_name in
+      cell := (get v, taint_of v);
+      step (pc + 1)
+    | Bytecode.Invoke (kind, mref, arg_regs) ->
+      let callee =
+        match kind with
+        | Bytecode.Static | Bytecode.Direct ->
+          Vm.find_method vm mref.Bytecode.m_class mref.Bytecode.m_name
+        | Bytecode.Virtual -> (
+          (* dynamic dispatch on the receiver's class *)
+          match arg_regs with
+          | this_reg :: _ -> (
+            match get this_reg with
+            | Dvalue.Obj id -> (
+              let o = Heap.get vm.Vm.heap id in
+              match o.Heap.kind with
+              | Heap.Instance { cls; _ } -> Vm.find_method vm cls mref.Bytecode.m_name
+              | Heap.String _ | Heap.Array _ ->
+                Vm.find_method vm mref.Bytecode.m_class mref.Bytecode.m_name)
+            | Dvalue.Null ->
+              Vm.throw vm "Ljava/lang/NullPointerException;"
+                (mref.Bytecode.m_class ^ "->" ^ mref.Bytecode.m_name)
+            | Dvalue.Int _ | Dvalue.Long _ | Dvalue.Float _ | Dvalue.Double _ ->
+              Vm.find_method vm mref.Bytecode.m_class mref.Bytecode.m_name)
+          | [] -> raise (Vm.Dvm_error "virtual invoke without receiver"))
+      in
+      let args =
+        Array.of_list (List.map (fun r -> (get r, taint_of r)) arg_regs)
+      in
+      ignore (invoke vm callee args);
+      step (pc + 1)
+    | Bytecode.Packed_switch (r, first_key, targets) ->
+      let v = Int32.to_int (Int32.sub (Dvalue.as_int (get r)) first_key) in
+      if v >= 0 && v < Array.length targets then step targets.(v)
+      else step (pc + 1)
+    | Bytecode.Sparse_switch (r, entries) ->
+      let v = Dvalue.as_int (get r) in
+      (match Array.find_opt (fun (k, _) -> k = v) entries with
+       | Some (_, target) -> step target
+       | None -> step (pc + 1))
+    | Bytecode.Throw r -> raise (Vm.Java_throw (get r, taint_of r))
+    | Bytecode.Check_cast (_, _) -> step (pc + 1)
+    | Bytecode.Instance_of (d, r, cls) ->
+      let is =
+        match get r with
+        | Dvalue.Obj id -> (
+          match (Heap.get vm.Vm.heap id).Heap.kind with
+          | Heap.Instance { cls = c; _ } -> c = cls
+          | Heap.String _ -> cls = "Ljava/lang/String;"
+          | Heap.Array _ -> false)
+        | Dvalue.Null | Dvalue.Int _ | Dvalue.Long _ | Dvalue.Float _
+        | Dvalue.Double _ ->
+          false
+      in
+      set d (Dvalue.Int (if is then 1l else 0l)) (taint_of r);
+      step (pc + 1)
+  in
+  let find_handler pc =
+    List.find_opt
+      (fun h -> pc >= h.Classes.try_start && pc < h.Classes.try_end)
+      handlers
+  in
+  let rec run pc =
+    let outcome =
+      try `Done (step pc) with
+      | Vm.Java_throw (v, t) -> `Thrown (v, t)
+      | Division_by_zero -> `Div_zero
+      | Invalid_argument msg ->
+        (* type-confused bytecode (e.g. arithmetic on a reference): a real
+           VM's verifier rejects it; at runtime it is a VM error, never a
+           crash of the VM process itself *)
+        `Vm_error msg
+    in
+    match outcome with
+    | `Done r -> r
+    | `Thrown (v, t) -> (
+      match find_handler !cur_pc with
+      | Some h ->
+        pending_exception := (v, t);
+        run h.Classes.handler_pc
+      | None -> raise (Vm.Java_throw (v, t)))
+    | `Div_zero -> (
+      match find_handler !cur_pc with
+      | Some h ->
+        let v, t = Vm.new_string vm "divide by zero" in
+        pending_exception := (v, t);
+        run h.Classes.handler_pc
+      | None -> Vm.throw vm "Ljava/lang/ArithmeticException;" "divide by zero")
+    | `Vm_error msg -> Vm.throw vm "Ljava/lang/VirtualMachineError;" msg
+  in
+  run 0
+
+and invoke_by_name vm cls_name m_name args =
+  invoke vm (Vm.find_method vm cls_name m_name) args

@@ -1,0 +1,26 @@
+(** The bytecode interpreter, with TaintDroid's taint propagation built in.
+
+    TaintDroid "tracks the taints of primitive type variables and object
+    references according to the logic of each DVM instruction" (paper,
+    Sec. II-B).  Every frame carries a taint tag per register, interleaved
+    with the values exactly as Fig. 1 lays the stack out; the return value's
+    tag lands in the VM's [InterpSaveState] ([Vm.t.ret]).
+
+    Key TaintDroid storage rules reproduced here:
+    - arrays and strings carry a {e single} taint for all elements;
+    - instance and static fields carry one tag per field;
+    - when [Vm.track_taint] is off, tags are neither read nor written
+      (the vanilla baseline). *)
+
+exception Wrong_arity of string
+(** Raised when a call supplies the wrong number of arguments. *)
+
+val invoke : Vm.t -> Classes.method_def -> Vm.tval array -> Vm.tval
+(** [invoke vm m args] runs a method to completion.  [args] are the input
+    registers ([this] first for non-static methods).  Returns the value and
+    taint; [Vm.Java_throw] escapes if no handler in [m] catches.  Native
+    bodies go through [vm.native_dispatch]; intrinsic bodies through the
+    intrinsic table. *)
+
+val invoke_by_name : Vm.t -> string -> string -> Vm.tval array -> Vm.tval
+(** Resolve by class and method name, then {!invoke}. *)

@@ -1,0 +1,115 @@
+module Taint = Ndroid_taint.Taint
+
+type tval = Dvalue.t * Taint.t
+
+exception Dvm_error of string
+exception Java_throw of tval
+
+type counters = {
+  mutable bytecodes : int;
+  mutable invokes : int;
+  mutable native_calls : int;
+  mutable jni_env_calls : int;
+}
+
+type t = {
+  classes : (string, Classes.class_def) Hashtbl.t;
+  statics : (string, tval ref) Hashtbl.t;
+  heap : Heap.t;
+  intrinsics : (string, t -> tval array -> tval) Hashtbl.t;
+  mutable native_dispatch : (t -> Classes.method_def -> tval array -> tval) option;
+  mutable track_taint : bool;
+  mutable on_bytecode : (Classes.method_def -> Bytecode.t -> unit) option;
+  mutable on_invoke : (Classes.method_def -> unit) option;
+  mutable ret : tval;
+  counters : counters;
+}
+
+let err fmt = Format.kasprintf (fun s -> raise (Dvm_error s)) fmt
+
+let create () =
+  { classes = Hashtbl.create 64;
+    statics = Hashtbl.create 64;
+    heap = Heap.create ();
+    intrinsics = Hashtbl.create 64;
+    native_dispatch = None;
+    track_taint = true;
+    on_bytecode = None;
+    on_invoke = None;
+    ret = (Dvalue.zero, Taint.clear);
+    counters = { bytecodes = 0; invokes = 0; native_calls = 0; jni_env_calls = 0 } }
+
+let define_class vm cls =
+  if Hashtbl.mem vm.classes cls.Classes.c_name then
+    err "class %s already defined" cls.Classes.c_name;
+  Hashtbl.replace vm.classes cls.Classes.c_name cls
+
+let find_class vm name =
+  match Hashtbl.find_opt vm.classes name with
+  | Some c -> c
+  | None -> err "class %s not found" name
+
+let rec find_method vm cls_name m_name =
+  let cls = find_class vm cls_name in
+  match
+    List.find_opt (fun m -> m.Classes.m_name = m_name) cls.Classes.c_methods
+  with
+  | Some m -> m
+  | None -> (
+    match cls.Classes.c_super with
+    | Some super -> find_method vm super m_name
+    | None -> err "method %s->%s not found" cls_name m_name)
+
+let rec field_layout vm cls_name =
+  let cls = find_class vm cls_name in
+  let inherited =
+    match cls.Classes.c_super with Some s -> field_layout vm s | None -> []
+  in
+  let next = List.length inherited in
+  let own =
+    List.filteri (fun _ f -> not f.Classes.fd_static) cls.Classes.c_fields
+  in
+  inherited
+  @ List.mapi (fun i f -> (f.Classes.fd_name, next + i)) own
+
+let field_index vm cls_name f_name =
+  match List.assoc_opt f_name (field_layout vm cls_name) with
+  | Some i -> i
+  | None -> err "field %s->%s not found" cls_name f_name
+
+let instance_size vm cls_name = List.length (field_layout vm cls_name)
+
+let static_ref vm cls_name f_name =
+  let key = cls_name ^ "." ^ f_name in
+  match Hashtbl.find_opt vm.statics key with
+  | Some r -> r
+  | None ->
+    let r = ref (Dvalue.zero, Taint.clear) in
+    Hashtbl.replace vm.statics key r;
+    r
+
+let register_intrinsic vm key f = Hashtbl.replace vm.intrinsics key f
+
+let new_string vm ?(taint = Taint.clear) s =
+  let o = Heap.alloc_string vm.heap s in
+  o.Heap.taint <- taint;
+  (Dvalue.Obj o.Heap.id, taint)
+
+let string_of_value vm = function
+  | Dvalue.Obj id -> (
+    try Heap.string_value vm.heap id
+    with Invalid_argument _ | Not_found -> err "not a string object")
+  | Dvalue.Null -> err "null string"
+  | Dvalue.Int _ | Dvalue.Long _ | Dvalue.Float _ | Dvalue.Double _ ->
+    err "not a string object"
+
+let throw vm cls msg =
+  (* A Java exception object: one slot for the detail message. *)
+  let o = Heap.alloc_instance vm.heap cls 1 in
+  let msg_v, msg_t = new_string vm msg in
+  (match o.Heap.kind with
+   | Heap.Instance { values; taints; _ } ->
+     values.(0) <- msg_v;
+     taints.(0) <- msg_t
+   | Heap.String _ | Heap.Array _ -> assert false);
+  raise (Java_throw (Dvalue.Obj o.Heap.id, Taint.clear))

@@ -1,0 +1,75 @@
+(** The Dalvik VM state: loaded classes, static fields, the heap, the
+    intrinsic (framework-method) table, and the native-dispatch hook that the
+    runtime layer points at the JNI call bridge.
+
+    Mirrors the pieces of TaintDroid's modified DVM that matter for taint:
+    static fields store their tag next to the value, the per-thread
+    [InterpSaveState] holds the return value's taint (paper, Fig. 1), and
+    [track_taint] turns the whole propagation machinery on or off (off =
+    the "vanilla" baseline of the Fig. 10 experiment). *)
+
+module Taint = Ndroid_taint.Taint
+
+type tval = Dvalue.t * Taint.t
+(** A value together with its taint tag. *)
+
+exception Dvm_error of string
+(** Linkage-style error: missing class, method, field, … *)
+
+exception Java_throw of tval
+(** An in-flight Java exception (the thrown object and its taint). *)
+
+type counters = {
+  mutable bytecodes : int;  (** bytecode instructions executed *)
+  mutable invokes : int;  (** method invocations *)
+  mutable native_calls : int;  (** JNI call-bridge crossings *)
+  mutable jni_env_calls : int;  (** native→Java JNI function calls *)
+}
+
+type t = {
+  classes : (string, Classes.class_def) Hashtbl.t;
+  statics : (string, tval ref) Hashtbl.t;
+  heap : Heap.t;
+  intrinsics : (string, t -> tval array -> tval) Hashtbl.t;
+  mutable native_dispatch : (t -> Classes.method_def -> tval array -> tval) option;
+  mutable track_taint : bool;
+  mutable on_bytecode : (Classes.method_def -> Bytecode.t -> unit) option;
+  mutable on_invoke : (Classes.method_def -> unit) option;
+      (** fired at every bytecode-method entry — the [dvmInterpret] entry
+          point; the always-hook ablation (A2) instruments here *)
+  mutable ret : tval;  (** InterpSaveState: last returned value + taint *)
+  counters : counters;
+}
+
+val create : unit -> t
+
+val define_class : t -> Classes.class_def -> unit
+(** Register a class. @raise Dvm_error on redefinition. *)
+
+val find_class : t -> string -> Classes.class_def
+val find_method : t -> string -> string -> Classes.method_def
+(** [find_method vm cls name] resolves along the superclass chain.
+    @raise Dvm_error when absent. *)
+
+val field_layout : t -> string -> (string * int) list
+(** Flattened instance-field layout (field name, slot index) including
+    superclass fields. *)
+
+val field_index : t -> string -> string -> int
+val instance_size : t -> string -> int
+
+val static_ref : t -> string -> string -> tval ref
+(** The cell of a static field, creating it (zero, clear) on first use. *)
+
+val register_intrinsic : t -> string -> (t -> tval array -> tval) -> unit
+(** [register_intrinsic vm "Lcls;->name" f] provides a framework method. *)
+
+val new_string : t -> ?taint:Taint.t -> string -> tval
+(** Allocate a Java string; convenience for intrinsics and JNI. *)
+
+val string_of_value : t -> Dvalue.t -> string
+(** Chars of a string-object value. @raise Dvm_error otherwise. *)
+
+val throw : t -> string -> string -> 'a
+(** [throw vm cls msg] allocates an exception object carrying [msg] and
+    raises {!Java_throw}. *)

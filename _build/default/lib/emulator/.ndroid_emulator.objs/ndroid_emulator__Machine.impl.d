@@ -1,0 +1,1 @@
+lib/emulator/machine.ml: Array Fun Hashtbl Layout List Ndroid_arm Printf Sys

@@ -1,0 +1,1 @@
+lib/emulator/machine.mli: Ndroid_arm

@@ -1,0 +1,1 @@
+lib/emulator/os_view.ml: Format Hashtbl List Machine Ndroid_arm

@@ -1,0 +1,1 @@
+lib/emulator/os_view.mli: Format Machine

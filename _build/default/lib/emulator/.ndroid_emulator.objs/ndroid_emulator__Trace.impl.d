@@ -1,0 +1,1 @@
+lib/emulator/trace.ml: Array Format List Machine Ndroid_arm

@@ -1,0 +1,1 @@
+lib/emulator/trace.mli: Format Machine Ndroid_arm

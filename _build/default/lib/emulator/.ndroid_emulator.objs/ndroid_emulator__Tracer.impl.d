@@ -1,0 +1,1 @@
+lib/emulator/tracer.ml: Layout Machine

@@ -1,0 +1,1 @@
+lib/emulator/tracer.mli: Machine Ndroid_arm

@@ -1,0 +1,203 @@
+module Cpu = Ndroid_arm.Cpu
+module Memory = Ndroid_arm.Memory
+module Insn = Ndroid_arm.Insn
+module Exec = Ndroid_arm.Exec
+module Icache = Ndroid_arm.Icache
+module Asm = Ndroid_arm.Asm
+
+type host_fn = { hf_name : string; hf_lib : string; hf_addr : int }
+
+type event =
+  | Ev_insn of { addr : int; insn : Insn.t }
+  | Ev_branch of { from_ : int; to_ : int; is_call : bool }
+  | Ev_host_pre of host_fn
+  | Ev_host_post of host_fn
+  | Ev_svc of int
+
+exception Runaway of int
+
+type t = {
+  m_cpu : Cpu.t;
+  m_mem : Memory.t;
+  host_by_addr : (int, host_fn * (Cpu.t -> Memory.t -> unit)) Hashtbl.t;
+  host_by_name : (string, host_fn * (Cpu.t -> Memory.t -> unit)) Hashtbl.t;
+  mutable listeners : (event -> unit) list;
+  mutable icache : Icache.t option;
+  mutable insn_count : int;
+  mutable host_calls : int;
+  mutable libs : (string * int * int) list;
+  mutable fuel : int option;  (* set by the outermost call_native *)
+  mutable host_work : int;
+}
+
+let create () =
+  let cpu = Cpu.create () in
+  Cpu.set_sp cpu Layout.stack_top;
+  { m_cpu = cpu;
+    m_mem = Memory.create ();
+    host_by_addr = Hashtbl.create 256;
+    host_by_name = Hashtbl.create 256;
+    listeners = [];
+    icache = Some (Icache.create ());
+    insn_count = 0;
+    host_calls = 0;
+    libs = Layout.regions;
+    fuel = None;
+    host_work = 2500 }
+
+let cpu t = t.m_cpu
+let mem t = t.m_mem
+
+let set_icache_enabled t enabled =
+  t.icache <- (if enabled then Some (Icache.create ()) else None)
+
+let set_host_fn_work t n = t.host_work <- max 0 n
+
+(* The stand-in for the instructions a real library function body would
+   execute: paid in every configuration. *)
+let burn_host_work t =
+  let acc = ref 1 in
+  for i = 1 to t.host_work do
+    acc := (!acc * 33) + i
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let icache_stats t =
+  match t.icache with
+  | Some c -> (Icache.hits c, Icache.misses c)
+  | None -> (0, 0)
+
+let mount_host_fn t ~lib ~name ~addr run =
+  if Hashtbl.mem t.host_by_addr addr then
+    invalid_arg (Printf.sprintf "host address 0x%x already mounted" addr);
+  let hf = { hf_name = name; hf_lib = lib; hf_addr = addr } in
+  Hashtbl.replace t.host_by_addr addr (hf, run);
+  Hashtbl.replace t.host_by_name name (hf, run);
+  hf
+
+let host_fn_addr t name = (fst (Hashtbl.find t.host_by_name name)).hf_addr
+
+let find_host_fn t addr =
+  match Hashtbl.find_opt t.host_by_addr addr with
+  | Some (hf, _) -> Some hf
+  | None -> None
+
+let add_listener t f = t.listeners <- t.listeners @ [ f ]
+let clear_listeners t = t.listeners <- []
+
+let emit t ev = List.iter (fun f -> f ev) t.listeners
+
+let emit_branch t ~from_ ~to_ ~is_call =
+  if t.listeners <> [] then emit t (Ev_branch { from_; to_; is_call })
+
+let call_host t ~from_ name =
+  let hf, run = Hashtbl.find t.host_by_name name in
+  t.host_calls <- t.host_calls + 1;
+  burn_host_work t;
+  if t.listeners <> [] then begin
+    emit t (Ev_branch { from_; to_ = hf.hf_addr; is_call = true });
+    emit t (Ev_host_pre hf)
+  end;
+  run t.m_cpu t.m_mem;
+  if t.listeners <> [] then begin
+    emit t (Ev_host_post hf);
+    emit t (Ev_branch { from_ = hf.hf_addr; to_ = from_ + 4; is_call = false })
+  end
+
+let load_program t prog =
+  Asm.load prog t.m_mem;
+  t.libs <- t.libs @ [ (Printf.sprintf "lib@%x" (Asm.base prog), Asm.base prog,
+                        Asm.size prog) ]
+
+let mask32 = 0xFFFFFFFF
+
+let burn t =
+  match t.fuel with
+  | Some n ->
+    if n <= 0 then raise (Runaway t.insn_count);
+    t.fuel <- Some (n - 1)
+  | None -> ()
+
+(* One scheduling quantum: either dispatch a host function or execute one
+   guest instruction.  Returns unit; the caller polls the PC. *)
+let step t =
+  let pc = Cpu.pc t.m_cpu in
+  match Hashtbl.find_opt t.host_by_addr pc with
+  | Some (hf, run) ->
+    burn t;
+    t.host_calls <- t.host_calls + 1;
+    burn_host_work t;
+    if t.listeners <> [] then emit t (Ev_host_pre hf);
+    run t.m_cpu t.m_mem;
+    if t.listeners <> [] then emit t (Ev_host_post hf);
+    (* return to the caller, honouring interworking *)
+    let ret = Cpu.lr t.m_cpu in
+    if ret land 1 = 1 then begin
+      t.m_cpu.Cpu.mode <- Cpu.Thumb;
+      Cpu.set_pc t.m_cpu (ret land lnot 1)
+    end
+    else begin
+      t.m_cpu.Cpu.mode <- Cpu.Arm;
+      Cpu.set_pc t.m_cpu (ret land mask32)
+    end;
+    emit_branch t ~from_:hf.hf_addr ~to_:(ret land lnot 1) ~is_call:false
+  | None ->
+    burn t;
+    t.insn_count <- t.insn_count + 1;
+    if t.listeners <> [] then begin
+      let insn, _size = Exec.fetch_decode ?icache:t.icache t.m_cpu t.m_mem pc in
+      emit t (Ev_insn { addr = pc; insn })
+    end;
+    let s = Exec.step ?icache:t.icache t.m_cpu t.m_mem in
+    (match s.Exec.branch with
+     | Some (from_, to_) when t.listeners <> [] ->
+       emit t (Ev_branch { from_; to_; is_call = s.Exec.is_call })
+     | Some _ | None -> ());
+    (match s.Exec.svc with
+     | Some imm when t.listeners <> [] -> emit t (Ev_svc imm)
+     | Some _ | None -> ())
+
+let call_native t ?(fuel = 50_000_000) ~addr ~args ?(stack_args = []) () =
+  let cpu = t.m_cpu in
+  let saved = Cpu.copy cpu in
+  let outermost = t.fuel = None in
+  if outermost then t.fuel <- Some fuel;
+  Fun.protect
+    ~finally:(fun () ->
+      if outermost then t.fuel <- None;
+      (* restore everything; results were read before the restore *)
+      Array.blit saved.Cpu.regs 0 cpu.Cpu.regs 0 16;
+      cpu.Cpu.n <- saved.Cpu.n;
+      cpu.Cpu.z <- saved.Cpu.z;
+      cpu.Cpu.c <- saved.Cpu.c;
+      cpu.Cpu.v <- saved.Cpu.v;
+      cpu.Cpu.mode <- saved.Cpu.mode;
+      Array.blit saved.Cpu.vfp_s 0 cpu.Cpu.vfp_s 0 32;
+      Array.blit saved.Cpu.vfp_d 0 cpu.Cpu.vfp_d 0 16)
+    (fun () ->
+      List.iteri (fun i v -> if i < 4 then Cpu.set_reg cpu i v) args;
+      (* excess register args spill to the stack before explicit stack args *)
+      let reg_overflow =
+        if List.length args > 4 then List.filteri (fun i _ -> i >= 4) args else []
+      in
+      let pushes = reg_overflow @ stack_args in
+      let sp = Cpu.sp cpu - (4 * List.length pushes) in
+      List.iteri (fun i v -> Memory.write_u32 t.m_mem (sp + (4 * i)) v) pushes;
+      Cpu.set_sp cpu sp;
+      Cpu.set_reg cpu 14 Layout.return_sentinel;
+      if addr land 1 = 1 then begin
+        cpu.Cpu.mode <- Cpu.Thumb;
+        Cpu.set_pc cpu (addr land lnot 1)
+      end
+      else begin
+        cpu.Cpu.mode <- Cpu.Arm;
+        Cpu.set_pc cpu addr
+      end;
+      while Cpu.pc cpu <> Layout.return_sentinel do
+        step t
+      done;
+      (Cpu.reg cpu 0, Cpu.reg cpu 1))
+
+let insn_count t = t.insn_count
+let host_calls t = t.host_calls
+let libs t = t.libs

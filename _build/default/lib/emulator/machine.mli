@@ -1,0 +1,105 @@
+(** The whole-system machine: CPU + memory + host-function dispatch + the
+    instrumentation event stream.
+
+    This plays QEMU's role in NDroid's architecture (paper, Fig. 4).
+    Library functions ([libdvm]'s JNI functions, libc, libm) are {e host
+    functions}: OCaml handlers mounted at guest addresses.  A branch that
+    lands on one runs the handler and returns — and, like NDroid's
+    TCG-insertion hooking (Sec. V-G), emits pre/post events keyed by the
+    function's address and name.  Everything else is stepped instruction by
+    instruction, with a pre-execution event per instruction so an attached
+    tracer sees the machine state the instruction is about to consume. *)
+
+module Cpu = Ndroid_arm.Cpu
+module Memory = Ndroid_arm.Memory
+module Insn = Ndroid_arm.Insn
+module Exec = Ndroid_arm.Exec
+module Icache = Ndroid_arm.Icache
+
+type host_fn = { hf_name : string; hf_lib : string; hf_addr : int }
+
+type event =
+  | Ev_insn of { addr : int; insn : Insn.t }
+      (** emitted {e before} the instruction executes *)
+  | Ev_branch of { from_ : int; to_ : int; is_call : bool }
+      (** any control transfer, including synthetic ones host functions emit
+          when they call other host functions *)
+  | Ev_host_pre of host_fn
+  | Ev_host_post of host_fn
+  | Ev_svc of int
+
+exception Runaway of int
+(** Raised when a run exceeds its fuel (instruction budget). *)
+
+type t
+
+val create : unit -> t
+(** Fresh machine: empty memory, stack pointer at the top of the stack
+    region, no listeners, instruction cache enabled. *)
+
+val cpu : t -> Cpu.t
+val mem : t -> Memory.t
+
+val set_icache_enabled : t -> bool -> unit
+(** Ablation A1: disable the hot-instruction decode cache. *)
+
+val set_host_fn_work : t -> int -> unit
+(** Baseline cost of one host-function dispatch, in abstract work units
+    (default 48).  A mounted library function stands for a real function
+    body of dozens-to-hundreds of instructions; charging that body in
+    {e every} configuration is what makes summary-based instrumentation
+    nearly free relative to it (the Fig. 10 MALLOCS/Disk rows) while
+    instruction-level instrumentation (DroidScope) still pays per
+    instruction. *)
+
+val icache_stats : t -> int * int
+(** (hits, misses). *)
+
+val mount_host_fn : t -> lib:string -> name:string -> addr:int ->
+  (Cpu.t -> Memory.t -> unit) -> host_fn
+(** Mount a host function at a guest address.  The handler must follow the
+    AAPCS (result in r0).  @raise Invalid_argument if the address is
+    taken. *)
+
+val host_fn_addr : t -> string -> int
+(** Address of a mounted function by name. @raise Not_found. *)
+
+val find_host_fn : t -> int -> host_fn option
+
+val add_listener : t -> (event -> unit) -> unit
+(** Attach an analysis.  Listeners run in attachment order. *)
+
+val clear_listeners : t -> unit
+
+val emit_branch : t -> from_:int -> to_:int -> is_call:bool -> unit
+(** Host functions use this to surface their internal call chains (e.g.
+    [CallVoidMethodA] → [dvmCallMethodA] → [dvmInterpret]) as branch events
+    so multilevel hooking can follow them (paper, Fig. 5). *)
+
+val call_host : t -> from_:int -> string -> unit
+(** [call_host t ~from_ name] invokes a mounted host function from host
+    code, producing the full event sequence a guest call would: a call
+    branch [from_ → addr], [Ev_host_pre], the handler, [Ev_host_post], and
+    a return branch [addr → from_ + 4].  This is how libdvm internals
+    surface their call chains ([NewStringUTF] → [dvmCreateStringFromCstr],
+    Fig. 6; the Fig. 5 chain).  Arguments and results travel in registers,
+    as they would on hardware.  @raise Not_found for unmounted names. *)
+
+val load_program : t -> Ndroid_arm.Asm.program -> unit
+(** Copy an assembled library into guest memory and remember it in the
+    memory map. *)
+
+val call_native : t -> ?fuel:int -> addr:int -> args:int list ->
+  ?stack_args:int list -> unit -> int * int
+(** Call a guest function: set up arguments per the AAPCS, run until it
+    returns, give back (r0, r1).  Re-entrant — host functions may call back
+    into guest code.  [fuel] (default 50M) bounds the instruction count.
+    @raise Runaway when the fuel runs out. *)
+
+val insn_count : t -> int
+(** Guest instructions executed so far. *)
+
+val host_calls : t -> int
+val libs : t -> (string * int * int) list
+(** Loaded/mounted regions (name, base, size) — input to the OS-level view
+    reconstructor. *)

@@ -1,0 +1,42 @@
+type process = { pid : int; name : string; uid : int }
+type region = { r_name : string; r_base : int; r_size : int; r_pages : int }
+type view = { processes : process list; memory_map : region list }
+
+let reconstruct machine =
+  let pages = Ndroid_arm.Memory.pages_touched (Machine.mem machine) in
+  let memory_map =
+    List.map
+      (fun (name, base, size) ->
+        { r_name = name; r_base = base; r_size = size;
+          r_pages = min pages (size / 4096) })
+      (Machine.libs machine)
+  in
+  { processes =
+      [ { pid = 1; name = "init"; uid = 0 };
+        { pid = 52; name = "zygote"; uid = 0 };
+        { pid = 734; name = "com.ndroid.app"; uid = 10052 } ];
+    memory_map }
+
+let find_region view addr =
+  List.find_opt
+    (fun r -> addr >= r.r_base && addr < r.r_base + r.r_size)
+    view.memory_map
+
+let pp ppf view =
+  Format.fprintf ppf "processes:@.";
+  List.iter
+    (fun p -> Format.fprintf ppf "  pid=%d uid=%d %s@." p.pid p.uid p.name)
+    view.processes;
+  Format.fprintf ppf "memory map:@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %08x-%08x %s@." r.r_base (r.r_base + r.r_size) r.r_name)
+    view.memory_map
+
+let introspection_work view =
+  (* Hash every region descriptor: a stand-in for walking task_struct +
+     mm_struct the way instruction-level VMI must. *)
+  List.fold_left
+    (fun acc r -> acc + (Hashtbl.hash (r.r_name, r.r_base, r.r_size) land 0xFF))
+    (List.length view.processes)
+    view.memory_map

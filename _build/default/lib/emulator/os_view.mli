@@ -1,0 +1,27 @@
+(** OS-level view reconstructor.
+
+    "NDroid contains a customized OS-level view reconstructor motivated by
+    DroidScope for obtaining the information of processes and memory map in
+    Linux" (paper, Sec. V-A / V-F).  It rebuilds, from the machine's state
+    alone, the process list and each region of the memory map — which is how
+    NDroid knows where third-party libraries start (Sec. V-G: "obtains the
+    start addresses of the system libraries from the memory map"). *)
+
+type process = { pid : int; name : string; uid : int }
+
+type region = { r_name : string; r_base : int; r_size : int; r_pages : int }
+
+type view = { processes : process list; memory_map : region list }
+
+val reconstruct : Machine.t -> view
+(** Walk the machine's mapped libraries and touched pages. *)
+
+val find_region : view -> int -> region option
+(** Which mapped region an address falls in. *)
+
+val pp : Format.formatter -> view -> unit
+
+val introspection_work : view -> int
+(** A deterministic "cost" proxy: how much work a per-instruction VMI pass
+    (DroidScope's approach) performs per query.  Used by the DroidScope
+    baseline's overhead model. *)

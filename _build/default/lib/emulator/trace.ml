@@ -1,0 +1,54 @@
+type entry =
+  | Insn of { addr : int; insn : Ndroid_arm.Insn.t }
+  | Host_enter of string
+  | Host_leave of string
+
+type t = {
+  ring : entry option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let record t entry =
+  t.ring.(t.next) <- Some entry;
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let attach ?(capacity = 4096) ?(filter = fun _ -> true) machine =
+  let t = { ring = Array.make (max 16 capacity) None; next = 0; total = 0 } in
+  Machine.add_listener machine (fun ev ->
+      match ev with
+      | Machine.Ev_insn { addr; insn } ->
+        if filter addr then record t (Insn { addr; insn })
+      | Machine.Ev_host_pre hf -> record t (Host_enter hf.Machine.hf_name)
+      | Machine.Ev_host_post hf -> record t (Host_leave hf.Machine.hf_name)
+      | Machine.Ev_branch _ | Machine.Ev_svc _ -> ());
+  t
+
+let entries t =
+  let n = Array.length t.ring in
+  let rec collect acc i remaining =
+    if remaining = 0 then acc
+    else
+      let idx = (t.next - 1 - i + (2 * n)) mod n in
+      match t.ring.(idx) with
+      | Some e -> collect (e :: acc) (i + 1) (remaining - 1)
+      | None -> acc
+  in
+  collect [] 0 n
+
+let total t = t.total
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp_entry ppf = function
+  | Insn { addr; insn } ->
+    Format.fprintf ppf "%08x:  %a" addr Ndroid_arm.Insn.pp insn
+  | Host_enter name -> Format.fprintf ppf "--> %s" name
+  | Host_leave name -> Format.fprintf ppf "<-- %s" name
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

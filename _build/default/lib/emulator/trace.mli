@@ -1,0 +1,27 @@
+(** Execution trace: a bounded ring of the most recent machine activity.
+
+    Useful when a native flow misbehaves: attach, run, then print the tail —
+    each line is an executed instruction (with address) or a host-function
+    boundary, in order.  Bounded so tracing a long CF-Bench run cannot eat
+    the heap. *)
+
+type entry =
+  | Insn of { addr : int; insn : Ndroid_arm.Insn.t }
+  | Host_enter of string
+  | Host_leave of string
+
+type t
+
+val attach : ?capacity:int -> ?filter:(int -> bool) -> Machine.t -> t
+(** Start recording ([capacity] defaults to 4096 entries; [filter] defaults
+    to accepting every address). *)
+
+val entries : t -> entry list
+(** Oldest first, at most [capacity]. *)
+
+val total : t -> int
+(** Entries ever recorded (including those that fell off the ring). *)
+
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

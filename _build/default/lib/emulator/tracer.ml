@@ -1,0 +1,19 @@
+type t = { mutable traced : int; mutable skipped : int }
+
+let attach ?(filter = Layout.in_app_lib) ~handler machine =
+  let t = { traced = 0; skipped = 0 } in
+  Machine.add_listener machine (fun ev ->
+      match ev with
+      | Machine.Ev_insn { addr; insn } ->
+        if filter addr then begin
+          t.traced <- t.traced + 1;
+          handler ~addr ~insn
+        end
+        else t.skipped <- t.skipped + 1
+      | Machine.Ev_branch _ | Machine.Ev_host_pre _ | Machine.Ev_host_post _
+      | Machine.Ev_svc _ ->
+        ());
+  t
+
+let traced t = t.traced
+let skipped t = t.skipped

@@ -1,0 +1,25 @@
+(** Instruction tracer: the filtered, per-instruction event stream.
+
+    "By instrumenting third-party native libraries, the instruction tracer
+    monitors each ARM/Thumb instruction to determine how the taint
+    propagates" (paper, Sec. V-C).  The tracer attaches to a machine,
+    filters events down to a predicate over addresses (by default: only the
+    third-party app library, never the system libraries — whose effects are
+    modeled as summaries instead), and feeds surviving instructions to its
+    handler. *)
+
+type t
+
+val attach :
+  ?filter:(int -> bool) ->
+  handler:(addr:int -> insn:Ndroid_arm.Insn.t -> unit) ->
+  Machine.t ->
+  t
+(** [filter] defaults to {!Layout.in_app_lib}. The handler runs before the
+    instruction executes. *)
+
+val traced : t -> int
+(** Instructions that passed the filter. *)
+
+val skipped : t -> int
+(** Instructions filtered out. *)

@@ -1,0 +1,1 @@
+lib/jni/indirect_ref.ml: Hashtbl

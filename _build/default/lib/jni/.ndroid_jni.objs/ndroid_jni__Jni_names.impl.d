@@ -1,0 +1,1 @@
+lib/jni/jni_names.ml: Buffer List String

@@ -1,0 +1,1 @@
+lib/jni/jni_names.mli:

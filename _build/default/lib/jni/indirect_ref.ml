@@ -1,0 +1,41 @@
+type t = {
+  by_iref : (int, int) Hashtbl.t;
+  by_obj : (int, int) Hashtbl.t;
+  mutable serial : int;
+}
+
+let create () = { by_iref = Hashtbl.create 64; by_obj = Hashtbl.create 64; serial = 0 }
+
+(* References look like the local-ref values in Dalvik logs: high bit set,
+   a scrambled cookie in the middle, and the low bits encoding the kind
+   (0b01 = local reference). *)
+let make_iref serial =
+  let cookie = serial * 0x9E3779B land 0x3FFFFFF in
+  0x80000000 lor (cookie lsl 4) lor 0b0101
+
+let add table ~obj_id =
+  match Hashtbl.find_opt table.by_obj obj_id with
+  | Some iref -> iref
+  | None ->
+    let rec fresh () =
+      table.serial <- table.serial + 1;
+      let iref = make_iref table.serial in
+      if Hashtbl.mem table.by_iref iref then fresh () else iref
+    in
+    let iref = fresh () in
+    Hashtbl.replace table.by_iref iref obj_id;
+    Hashtbl.replace table.by_obj obj_id iref;
+    iref
+
+let resolve table iref = Hashtbl.find_opt table.by_iref iref
+
+let delete table iref =
+  match Hashtbl.find_opt table.by_iref iref with
+  | Some obj_id ->
+    Hashtbl.remove table.by_iref iref;
+    Hashtbl.remove table.by_obj obj_id
+  | None -> ()
+
+let iref_of_obj table obj_id = Hashtbl.find_opt table.by_obj obj_id
+let count table = Hashtbl.length table.by_iref
+let is_iref v = v land 0x80000000 <> 0 && v land 0xF = 0b0101

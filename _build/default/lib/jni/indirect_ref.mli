@@ -1,0 +1,36 @@
+(** Indirect reference table.
+
+    "Since version 4.0, Android uses indirect references in native code
+    rather than direct pointers to reference objects.  When the garbage
+    collector moves an object, it updates the indirect reference table with
+    the object's new location" (paper, Sec. II-A).
+
+    Native code therefore only ever sees opaque 32-bit indirect references
+    (the [0xa8900025]-style values in the paper's logs); resolving one gives
+    the stable heap id regardless of how many times the GC has moved the
+    object.  NDroid keys its native-side object taint by indirect reference
+    for exactly this reason (Sec. V-B). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> obj_id:int -> int
+(** Register an object and return a fresh indirect reference.  Registering
+    the same object twice returns the same reference (local-ref reuse). *)
+
+val resolve : t -> int -> int option
+(** [resolve table iref] is the heap id, or [None] for a stale/foreign
+    reference. *)
+
+val delete : t -> int -> unit
+(** Remove a reference (JNI [DeleteLocalRef]). *)
+
+val iref_of_obj : t -> int -> int option
+(** Reverse lookup: the reference already issued for a heap id, if any. *)
+
+val count : t -> int
+
+val is_iref : int -> bool
+(** Quick structural check: indirect references live in the high half of
+    the address space with the tag bits this table issues. *)

@@ -1,0 +1,119 @@
+type group =
+  | Jni_entry
+  | Jni_exit
+  | Object_creation
+  | Field_access
+  | Exception
+  | String_ops
+  | Array_ops
+  | Ref_management
+  | Internal
+
+let group_name = function
+  | Jni_entry -> "JNI entry"
+  | Jni_exit -> "JNI exit"
+  | Object_creation -> "object creation"
+  | Field_access -> "field access"
+  | Exception -> "exception"
+  | String_ops -> "string operations"
+  | Array_ops -> "array operations"
+  | Ref_management -> "reference management"
+  | Internal -> "libdvm internal"
+
+let jni_types =
+  [ "Object"; "Boolean"; "Byte"; "Char"; "Short"; "Int"; "Long"; "Float";
+    "Double"; "Void" ]
+
+let primitive_types =
+  [ "Boolean"; "Byte"; "Char"; "Short"; "Int"; "Long"; "Float"; "Double" ]
+
+let call_method_families =
+  [ "CallTypeMethod"; "CallNonvirtualTypeMethod"; "CallStaticTypeMethod";
+    "CallTypeMethodV"; "CallNonvirtualTypeMethodV"; "CallStaticTypeMethodV";
+    "CallTypeMethodA"; "CallNonvirtualTypeMethodA"; "CallStaticTypeMethodA" ]
+
+let functions =
+  let replace_type template ty =
+    (* substitute the literal "Type" in the template *)
+    let b = Buffer.create (String.length template + 4) in
+    let n = String.length template in
+    let rec go i =
+      if i >= n then Buffer.contents b
+      else if i + 4 <= n && String.sub template i 4 = "Type" then (
+        Buffer.add_string b ty;
+        go (i + 4))
+      else (
+        Buffer.add_char b template.[i];
+        go (i + 1))
+    in
+    go 0
+  in
+  let call_methods =
+    List.concat_map
+      (fun family -> List.map (fun ty -> (replace_type family ty, Jni_exit)) jni_types)
+      call_method_families
+  in
+  let field_access =
+    List.concat_map
+      (fun ty ->
+        [ ("Get" ^ ty ^ "Field", Field_access);
+          ("Set" ^ ty ^ "Field", Field_access);
+          ("GetStatic" ^ ty ^ "Field", Field_access);
+          ("SetStatic" ^ ty ^ "Field", Field_access) ])
+      ("Object" :: primitive_types)
+  in
+  let array_ops =
+    List.concat_map
+      (fun ty ->
+        [ ("New" ^ ty ^ "Array", Object_creation);
+          ("Get" ^ ty ^ "ArrayElements", Array_ops);
+          ("Release" ^ ty ^ "ArrayElements", Array_ops);
+          ("Get" ^ ty ^ "ArrayRegion", Array_ops);
+          ("Set" ^ ty ^ "ArrayRegion", Array_ops) ])
+      primitive_types
+  in
+  [ ("dvmCallJNIMethod", Jni_entry);
+    ("dvmCallMethod", Jni_exit);
+    ("dvmCallMethodV", Jni_exit);
+    ("dvmCallMethodA", Jni_exit);
+    ("dvmInterpret", Jni_exit);
+    ("NewObject", Object_creation);
+    ("NewObjectV", Object_creation);
+    ("NewObjectA", Object_creation);
+    ("NewString", Object_creation);
+    ("NewStringUTF", Object_creation);
+    ("NewObjectArray", Object_creation);
+    ("dvmAllocObject", Internal);
+    ("dvmCreateStringFromUnicode", Internal);
+    ("dvmCreateStringFromCstr", Internal);
+    ("dvmAllocArrayByClass", Internal);
+    ("dvmAllocPrimitiveArray", Internal);
+    ("dvmDecodeIndirectRef", Internal);
+    ("initException", Internal);
+    ("ThrowNew", Exception);
+    ("Throw", Exception);
+    ("ExceptionOccurred", Exception);
+    ("ExceptionClear", Exception);
+    ("GetStringUTFChars", String_ops);
+    ("ReleaseStringUTFChars", String_ops);
+    ("GetStringChars", String_ops);
+    ("ReleaseStringChars", String_ops);
+    ("GetStringLength", String_ops);
+    ("GetStringUTFLength", String_ops);
+    ("GetArrayLength", Array_ops);
+    ("GetObjectArrayElement", Array_ops);
+    ("SetObjectArrayElement", Array_ops);
+    ("FindClass", Ref_management);
+    ("GetObjectClass", Ref_management);
+    ("GetMethodID", Ref_management);
+    ("GetStaticMethodID", Ref_management);
+    ("GetFieldID", Ref_management);
+    ("GetStaticFieldID", Ref_management);
+    ("NewGlobalRef", Ref_management);
+    ("DeleteGlobalRef", Ref_management);
+    ("NewLocalRef", Ref_management);
+    ("DeleteLocalRef", Ref_management) ]
+  @ call_methods @ field_access @ array_ops
+
+let group_of name = List.assoc_opt name functions
+let mem name = List.mem_assoc name functions

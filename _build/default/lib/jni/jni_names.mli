@@ -1,0 +1,31 @@
+(** The JNI function surface NDroid instruments, grouped exactly as the
+    paper's DVM hook engine groups them (Sec. V-B): JNI entry, JNI exit,
+    object creation, field access, and exception — plus the string/array
+    helpers the case studies traverse ([GetStringUTFChars] in Figs. 7-8). *)
+
+type group =
+  | Jni_entry  (** Java→native: the call bridge ([dvmCallJNIMethod]) *)
+  | Jni_exit  (** native→Java: [Call*Method*] → [dvmCallMethod*] → [dvmInterpret] *)
+  | Object_creation  (** [New*] and the allocation functions they wrap (Table III) *)
+  | Field_access  (** [Get/Set*Field] (Table IV) *)
+  | Exception  (** [ThrowNew] and its helpers *)
+  | String_ops  (** [GetStringUTFChars] and friends *)
+  | Array_ops  (** primitive-array element access *)
+  | Ref_management  (** local/global reference bookkeeping *)
+  | Internal  (** libdvm internals reached only through other JNI functions *)
+
+val group_name : group -> string
+
+val functions : (string * group) list
+(** Every hooked function with its group.  The [Call<type>Method{,V,A}]
+    families of Table II are expanded over all ten return types. *)
+
+val group_of : string -> group option
+(** Lookup by function name. *)
+
+val call_method_families : string list
+(** The 9 families of Table II: [CallTypeMethod], [CallNonvirtualTypeMethod],
+    [CallStaticTypeMethod] and their V/A variants, with [Type] left as a
+    placeholder. *)
+
+val mem : string -> bool

@@ -1,0 +1,1 @@
+lib/runtime/device.ml: Array Buffer Char Filename Hashtbl Int32 Int64 List Ndroid_android Ndroid_arm Ndroid_dalvik Ndroid_emulator Ndroid_jni Ndroid_taint Printf String

@@ -1,0 +1,1 @@
+lib/runtime/device.mli: Ndroid_android Ndroid_arm Ndroid_dalvik Ndroid_emulator Ndroid_jni Ndroid_taint

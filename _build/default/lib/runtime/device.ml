@@ -1,0 +1,1166 @@
+module Vm = Ndroid_dalvik.Vm
+module Interp = Ndroid_dalvik.Interp
+module Classes = Ndroid_dalvik.Classes
+module Dvalue = Ndroid_dalvik.Dvalue
+module Heap = Ndroid_dalvik.Heap
+module Jbuilder = Ndroid_dalvik.Jbuilder
+module Machine = Ndroid_emulator.Machine
+module Layout = Ndroid_emulator.Layout
+module Cpu = Ndroid_arm.Cpu
+module Memory = Ndroid_arm.Memory
+module Asm = Ndroid_arm.Asm
+module Taint = Ndroid_taint.Taint
+module Indirect_ref = Ndroid_jni.Indirect_ref
+module A = Ndroid_android
+
+type taint_loc = Loc_mem of int * int | Loc_reg of int | Loc_iref of int
+
+type jni_call = {
+  jc_method : Classes.method_def;
+  jc_addr : int;
+  jc_entry : int;
+  jc_args : Vm.tval array;
+  jc_slots : (int * Taint.t) array;
+}
+
+type t = {
+  d_vm : Vm.t;
+  d_machine : Machine.t;
+  d_fs : A.Filesystem.t;
+  d_net : A.Network.t;
+  d_nheap : A.Native_heap.t;
+  d_monitor : A.Sink_monitor.t;
+  d_irefs : Indirect_ref.t;
+  d_profile : A.Device_profile.t;
+  d_libc : A.Libc_model.ctx;
+  available_libs : (string, Asm.program) Hashtbl.t;
+  loaded_libs : (string, Asm.program) Hashtbl.t;
+  symbols : (string, int) Hashtbl.t;
+  registered_natives : (string * string, int) Hashtbl.t;
+      (* (class, method) -> entry point, via RegisterNatives *)
+  dl_handles : (int, Asm.program) Hashtbl.t;
+  mutable next_dl_handle : int;
+  (* JNI handle tables *)
+  class_handles : (int, string) Hashtbl.t;
+  class_handle_of : (string, int) Hashtbl.t;
+  mutable next_class_handle : int;
+  method_handles : (int, Classes.method_def) Hashtbl.t;
+  mutable next_method_handle : int;
+  field_handles : (int, string * string * bool) Hashtbl.t;  (* class, field, static *)
+  mutable next_field_handle : int;
+  (* bridge state *)
+  mutable cur_call : jni_call option;
+  mutable bridge_result : Vm.tval;
+  mutable pending_interp : (Vm.tval array * Classes.method_def) option;
+  mutable pending_throw : Vm.tval option;
+  (* analysis plug points *)
+  ret_policy : (jni_call -> r0:int -> r1:int -> Taint.t) ref;
+  taint_source : (taint_loc -> Taint.t) ref;
+}
+
+let jni_env_ptr = Layout.libdvm_base + 0x7F000
+
+let vm d = d.d_vm
+let machine d = d.d_machine
+let fs d = d.d_fs
+let net d = d.d_net
+let native_heap d = d.d_nheap
+let monitor d = d.d_monitor
+let irefs d = d.d_irefs
+let profile d = d.d_profile
+let libc_ctx d = d.d_libc
+let jni_return_policy d = d.ret_policy
+let native_taint_source d = d.taint_source
+let current_jni_call d = d.cur_call
+let pending_interp_args d = d.pending_interp
+
+let mask32 = 0xFFFFFFFF
+
+(* ---------------- handle tables ---------------- *)
+
+let normalize_class_name name =
+  if String.length name > 0 && name.[0] = 'L' then name else "L" ^ name ^ ";"
+
+let class_handle d name =
+  let name = normalize_class_name name in
+  match Hashtbl.find_opt d.class_handle_of name with
+  | Some h -> h
+  | None ->
+    let h = 0x70000000 lor (d.next_class_handle lsl 2) in
+    d.next_class_handle <- d.next_class_handle + 1;
+    Hashtbl.replace d.class_handles h name;
+    Hashtbl.replace d.class_handle_of name h;
+    h
+
+let class_of_handle d h = Hashtbl.find_opt d.class_handles h
+
+let method_handle d m =
+  let h = 0x71000000 lor (d.next_method_handle lsl 2) in
+  d.next_method_handle <- d.next_method_handle + 1;
+  Hashtbl.replace d.method_handles h m;
+  h
+
+let field_handle d cls fld static =
+  let h = 0x72000000 lor (d.next_field_handle lsl 2) in
+  d.next_field_handle <- d.next_field_handle + 1;
+  Hashtbl.replace d.field_handles h (cls, fld, static);
+  h
+
+(* ---------------- value marshaling ---------------- *)
+
+let iref_of_value d = function
+  | Dvalue.Obj id -> Indirect_ref.add d.d_irefs ~obj_id:id
+  | Dvalue.Null -> 0
+  | Dvalue.Int _ | Dvalue.Long _ | Dvalue.Float _ | Dvalue.Double _ ->
+    invalid_arg "iref_of_value: not a reference"
+
+let value_of_iref d iref =
+  if iref = 0 then Dvalue.Null
+  else
+    match Indirect_ref.resolve d.d_irefs iref with
+    | Some id -> Dvalue.Obj id
+    | None -> Dvalue.Null
+
+let obj_taint d = function
+  | Dvalue.Obj id -> (
+    match Heap.get d.d_vm.Vm.heap id with
+    | o -> o.Heap.taint
+    | exception Not_found -> Taint.clear)
+  | Dvalue.Null | Dvalue.Int _ | Dvalue.Long _ | Dvalue.Float _ | Dvalue.Double _ ->
+    Taint.clear
+
+(* Marshal one Java argument into AAPCS slots. *)
+let slots_of_arg d ty ((v, t) : Vm.tval) =
+  match ty with
+  | 'J' ->
+    let n = Dvalue.as_long v in
+    [ (Int64.to_int (Int64.logand n 0xFFFFFFFFL), t);
+      (Int64.to_int (Int64.shift_right_logical n 32), t) ]
+  | 'D' ->
+    let bits = Int64.bits_of_float (Dvalue.as_double v) in
+    [ (Int64.to_int (Int64.logand bits 0xFFFFFFFFL), t);
+      (Int64.to_int (Int64.shift_right_logical bits 32), t) ]
+  | 'F' -> [ (Int32.to_int (Int32.bits_of_float (Dvalue.as_float v)) land mask32, t) ]
+  | 'L' -> [ (iref_of_value d v, Taint.union t (obj_taint d v)) ]
+  | _ -> [ (Int32.to_int (Dvalue.as_int v) land mask32, t) ]
+
+let value_of_raw d ty ~r0 ~r1 =
+  match ty with
+  | 'V' -> Dvalue.zero
+  | 'L' -> value_of_iref d r0
+  | 'J' ->
+    Dvalue.Long
+      (Int64.logor (Int64.of_int r0) (Int64.shift_left (Int64.of_int r1) 32))
+  | 'D' ->
+    Dvalue.Double
+      (Int64.float_of_bits
+         (Int64.logor (Int64.of_int r0) (Int64.shift_left (Int64.of_int r1) 32)))
+  | 'F' -> Dvalue.Float (Int32.float_of_bits (Int32.of_int r0))
+  | 'Z' | 'B' | 'C' | 'S' | 'I' -> Dvalue.Int (Int32.of_int r0)
+  | c -> raise (Vm.Dvm_error (Printf.sprintf "bad return shorty %c" c))
+
+(* ---------------- native library management ---------------- *)
+
+let provide_library d name prog = Hashtbl.replace d.available_libs name prog
+
+let load_library d name =
+  if not (Hashtbl.mem d.loaded_libs name) then begin
+    let prog = Hashtbl.find d.available_libs name in
+    Machine.load_program d.d_machine prog;
+    Hashtbl.replace d.loaded_libs name prog;
+    List.iter
+      (fun (sym, _addr) -> Hashtbl.replace d.symbols sym (Asm.fn_addr prog sym))
+      (Asm.symbols prog);
+    (* a library with a JNI_OnLoad runs it at load time, as on Android —
+       this is where apps call RegisterNatives *)
+    match Asm.fn_addr prog "JNI_OnLoad" with
+    | entry ->
+      ignore
+        (Machine.call_native d.d_machine ~addr:entry ~args:[ jni_env_ptr; 0 ] ())
+    | exception Not_found -> ()
+  end
+
+let dl_open d name =
+  (* accept "libfoo.so", "foo.so" or plain "foo" *)
+  let base = Filename.remove_extension (Filename.basename name) in
+  let base =
+    if String.length base > 3 && String.sub base 0 3 = "lib" then
+      String.sub base 3 (String.length base - 3)
+    else base
+  in
+  let resolved =
+    if Hashtbl.mem d.available_libs name then Some name
+    else if Hashtbl.mem d.available_libs base then Some base
+    else None
+  in
+  match resolved with
+  | None -> 0
+  | Some lib ->
+    load_library d lib;
+    let prog = Hashtbl.find d.loaded_libs lib in
+    let handle = d.next_dl_handle in
+    d.next_dl_handle <- handle + 2;
+    Hashtbl.replace d.dl_handles handle prog;
+    handle
+
+let dl_sym d handle sym =
+  match Hashtbl.find_opt d.dl_handles handle with
+  | Some prog -> (
+    match Asm.fn_addr prog sym with a -> a | exception Not_found -> 0)
+  | None -> 0
+
+let native_symbol d sym =
+  match Hashtbl.find_opt d.symbols sym with
+  | Some addr -> addr
+  | None -> raise Not_found
+
+(* ---------------- JNI call bridge: Java -> native ---------------- *)
+
+let dvm_call_jni_method_addr d = Machine.host_fn_addr d.d_machine "dvmCallJNIMethod"
+
+let native_dispatch d vm jm (args : Vm.tval array) =
+  ignore vm;
+  let symbol =
+    match jm.Classes.m_body with
+    | Classes.Native s -> s
+    | Classes.Bytecode _ | Classes.Intrinsic _ -> assert false
+  in
+  let addr =
+    match
+      Hashtbl.find_opt d.registered_natives (jm.Classes.m_class, jm.Classes.m_name)
+    with
+    | Some a -> a
+    | None -> (
+      match Hashtbl.find_opt d.symbols symbol with
+      | Some a -> a
+      | None ->
+        raise
+          (Vm.Dvm_error
+             (Printf.sprintf "UnsatisfiedLinkError: %s (library not loaded?)"
+                symbol)))
+  in
+  (* marshal: (env, this|class, params...) *)
+  let params = Classes.shorty_params jm.Classes.m_shorty in
+  let receiver_slots, param_args =
+    if jm.Classes.m_static then
+      ([ (class_handle d jm.Classes.m_class, Taint.clear) ], Array.to_list args)
+    else
+      match Array.to_list args with
+      | this :: rest ->
+        let v, t = this in
+        ([ (iref_of_value d v, Taint.union t (obj_taint d v)) ], rest)
+      | [] -> raise (Vm.Dvm_error "native instance method without this")
+  in
+  let param_slots =
+    List.concat (List.map2 (fun ty arg -> slots_of_arg d ty arg) params param_args)
+  in
+  let slots =
+    Array.of_list (((jni_env_ptr, Taint.clear) :: receiver_slots) @ param_slots)
+  in
+  let jc =
+    { jc_method = jm; jc_addr = addr land lnot 1; jc_entry = addr; jc_args = args;
+      jc_slots = slots }
+  in
+  let saved_call = d.cur_call in
+  d.cur_call <- Some jc;
+  d.pending_throw <- None;
+  (* The bridge itself is a hooked libdvm function: fire its events, then
+     transfer control to the native method. *)
+  Machine.call_host d.d_machine ~from_:Layout.libdvm_base "dvmCallJNIMethod";
+  let result = d.bridge_result in
+  d.cur_call <- saved_call;
+  match d.pending_throw with
+  | Some exn ->
+    d.pending_throw <- None;
+    raise (Vm.Java_throw exn)
+  | None -> result
+
+(* The body of the mounted dvmCallJNIMethod host function. *)
+let run_call_bridge d _cpu _mem =
+  match d.cur_call with
+  | None -> raise (Vm.Dvm_error "dvmCallJNIMethod without a pending call")
+  | Some jc ->
+    let reg_args, stack_args =
+      let all = Array.to_list (Array.map fst jc.jc_slots) in
+      if List.length all <= 4 then (all, [])
+      else (List.filteri (fun i _ -> i < 4) all, List.filteri (fun i _ -> i >= 4) all)
+    in
+    Machine.emit_branch d.d_machine ~from_:(dvm_call_jni_method_addr d)
+      ~to_:jc.jc_addr ~is_call:true;
+    let r0, r1 =
+      Machine.call_native d.d_machine ~addr:jc.jc_entry ~args:reg_args ~stack_args ()
+    in
+    let rt = Classes.return_type jc.jc_method in
+    let v = value_of_raw d rt ~r0 ~r1 in
+    let taint = !(d.ret_policy) jc ~r0 ~r1 in
+    d.bridge_result <- (v, taint)
+
+(* ---------------- JNI env: native -> Java and helpers ---------------- *)
+
+let arg = A.Libc_model.arg
+
+let cstring d addr = Memory.read_cstring (Machine.mem d.d_machine) addr
+
+let string_obj d iref =
+  match value_of_iref d iref with
+  | Dvalue.Obj id -> (
+    match (Heap.get d.d_vm.Vm.heap id).Heap.kind with
+    | Heap.String s -> Some (id, s)
+    | Heap.Array _ | Heap.Instance _ -> None)
+  | Dvalue.Null | Dvalue.Int _ | Dvalue.Long _ | Dvalue.Float _ | Dvalue.Double _ ->
+    None
+
+let query_taint d loc = !(d.taint_source) loc
+
+(* Read the arguments of a native→Java invocation.  [style] selects where
+   they come from: registers+stack varargs, a va_list block, or a jvalue
+   array (8 bytes per element, like the real union). *)
+let read_java_args d cpu mem ~style ~first_vararg ~params =
+  let vararg_slot = ref first_vararg in
+  let next_reg_slot () =
+    let i = !vararg_slot in
+    incr vararg_slot;
+    let v = arg cpu mem i in
+    let loc = if i < 4 then Loc_reg i else Loc_mem (Cpu.sp cpu + (4 * (i - 4)), 4) in
+    (v, loc)
+  in
+  let va_ptr = ref (match style with `Va_list p -> p | _ -> 0) in
+  let next_va () =
+    let p = !va_ptr in
+    va_ptr := p + 4;
+    (Memory.read_u32 mem p, Loc_mem (p, 4))
+  in
+  let jv_base = match style with `Jvalue_array p -> p | _ -> 0 in
+  let jv_index = ref 0 in
+  let next_jv ~wide =
+    let p = jv_base + (!jv_index * 8) in
+    incr jv_index;
+    if wide then
+      ((Memory.read_u32 mem p, Memory.read_u32 mem (p + 4)), Loc_mem (p, 8))
+    else ((Memory.read_u32 mem p, 0), Loc_mem (p, 4))
+  in
+  let next ~wide =
+    match style with
+    | `Varargs ->
+      let lo, loc1 = next_reg_slot () in
+      if wide then
+        let hi, _loc2 = next_reg_slot () in
+        ((lo, hi), loc1)
+      else ((lo, 0), loc1)
+    | `Va_list _ ->
+      let lo, loc1 = next_va () in
+      if wide then
+        let hi, _ = next_va () in
+        ((lo, hi), loc1)
+      else ((lo, 0), loc1)
+    | `Jvalue_array _ -> next_jv ~wide
+  in
+  List.map
+    (fun ty ->
+      let wide = ty = 'J' || ty = 'D' in
+      let (lo, hi), loc = next ~wide in
+      let v = value_of_raw d ty ~r0:lo ~r1:hi in
+      let t = query_taint d loc in
+      let t =
+        match ty with
+        | 'L' -> (
+          Taint.union t
+            (match Indirect_ref.resolve d.d_irefs lo with
+             | Some _ -> query_taint d (Loc_iref lo)
+             | None -> Taint.clear))
+        | _ -> t
+      in
+      (v, t))
+    params
+
+(* dvmCallMethod* handler: decode irefs, build the frame, hand to
+   dvmInterpret.  [style]'s data was captured by the Call*Method* wrapper
+   before it delegated here (it lives in pending_interp). *)
+let run_dvm_interpret d _cpu _mem =
+  match d.pending_interp with
+  | None -> raise (Vm.Dvm_error "dvmInterpret without a pending frame")
+  | Some (args, jm) ->
+    d.pending_interp <- None;
+    let result = Interp.invoke d.d_vm jm args in
+    d.d_vm.Vm.ret <- result
+
+let resolve_virtual d jm receiver =
+  if jm.Classes.m_static then jm
+  else
+    match receiver with
+    | Dvalue.Obj id -> (
+      match (Heap.get d.d_vm.Vm.heap id).Heap.kind with
+      | Heap.Instance { cls; _ } -> (
+        try Vm.find_method d.d_vm cls jm.Classes.m_name with Vm.Dvm_error _ -> jm)
+      | Heap.String _ | Heap.Array _ -> jm)
+    | Dvalue.Null | Dvalue.Int _ | Dvalue.Long _ | Dvalue.Float _ | Dvalue.Double _
+      ->
+      jm
+
+(* Shared implementation of every Call<Type>Method{,V,A} entry (Table II). *)
+let run_call_java d variant static_ ret_ty cpu mem =
+  d.d_vm.Vm.counters.Vm.jni_env_calls <-
+    d.d_vm.Vm.counters.Vm.jni_env_calls + 1;
+  let mid = arg cpu mem 2 in
+  let jm =
+    match Hashtbl.find_opt d.method_handles mid with
+    | Some m -> m
+    | None -> raise (Vm.Dvm_error (Printf.sprintf "bad jmethodID 0x%x" mid))
+  in
+  let params = Classes.shorty_params jm.Classes.m_shorty in
+  let style =
+    match variant with
+    | `Plain -> `Varargs
+    | `V -> `Va_list (arg cpu mem 3)
+    | `A -> `Jvalue_array (arg cpu mem 3)
+  in
+  let first_vararg = 3 in
+  let call_args = read_java_args d cpu mem ~style ~first_vararg ~params in
+  let receiver_iref = arg cpu mem 1 in
+  let full_args =
+    if static_ then Array.of_list call_args
+    else begin
+      let this_v = value_of_iref d receiver_iref in
+      let this_t = query_taint d (Loc_iref receiver_iref) in
+      Array.of_list ((this_v, this_t) :: call_args)
+    end
+  in
+  let jm =
+    if static_ then jm
+    else resolve_virtual d jm (fst full_args.(0))
+  in
+  (* Fig. 5: the wrapper jumps into dvmCallMethod*, which scans arguments
+     (dvmDecodeIndirectRef per object) and then enters dvmInterpret. *)
+  let self_addr =
+    match Machine.find_host_fn d.d_machine (Cpu.pc cpu) with
+    | Some hf -> hf.Machine.hf_addr
+    | None -> Layout.libdvm_base
+  in
+  let inner =
+    match variant with
+    | `Plain -> "dvmCallMethod"
+    | `V -> "dvmCallMethodV"
+    | `A -> "dvmCallMethodA"
+  in
+  d.pending_interp <- Some (full_args, jm);
+  Machine.call_host d.d_machine ~from_:self_addr inner;
+  (* result (value and taint) is in vm.ret; convert to raw for the caller *)
+  let v, _t = d.d_vm.Vm.ret in
+  (match ret_ty with
+   | 'V' -> Cpu.set_reg cpu 0 0
+   | 'L' ->
+     Cpu.set_reg cpu 0 (match v with Dvalue.Null -> 0 | _ -> iref_of_value d v)
+   | 'J' ->
+     let n = Dvalue.as_long v in
+     Cpu.set_reg cpu 0 (Int64.to_int (Int64.logand n 0xFFFFFFFFL));
+     Cpu.set_reg cpu 1 (Int64.to_int (Int64.shift_right_logical n 32))
+   | 'D' ->
+     let bits = Int64.bits_of_float (Dvalue.as_double v) in
+     Cpu.set_reg cpu 0 (Int64.to_int (Int64.logand bits 0xFFFFFFFFL));
+     Cpu.set_reg cpu 1 (Int64.to_int (Int64.shift_right_logical bits 32))
+   | 'F' ->
+     Cpu.set_reg cpu 0 (Int32.to_int (Int32.bits_of_float (Dvalue.as_float v)) land mask32)
+   | _ -> Cpu.set_reg cpu 0 (Int32.to_int (Dvalue.as_int v) land mask32))
+
+(* dvmCallMethod* body: emits the dvmDecodeIndirectRef scans, then enters
+   the interpreter. *)
+let run_dvm_call_method d name cpu mem =
+  ignore mem;
+  (match d.pending_interp with
+   | Some (args, _) ->
+     Array.iter
+       (fun (v, _) ->
+         match v with
+         | Dvalue.Obj _ ->
+           Machine.call_host d.d_machine
+             ~from_:(Machine.host_fn_addr d.d_machine name)
+             "dvmDecodeIndirectRef"
+         | Dvalue.Null | Dvalue.Int _ | Dvalue.Long _ | Dvalue.Float _
+         | Dvalue.Double _ ->
+           ())
+       args
+   | None -> ());
+  Machine.call_host d.d_machine ~from_:(Machine.host_fn_addr d.d_machine name)
+    "dvmInterpret";
+  ignore cpu
+
+(* ---------------- JNI env installation ---------------- *)
+
+let jni_types = [ 'V'; 'L'; 'Z'; 'B'; 'C'; 'S'; 'I'; 'J'; 'F'; 'D' ]
+
+let type_name = function
+  | 'V' -> "Void"
+  | 'L' -> "Object"
+  | 'Z' -> "Boolean"
+  | 'B' -> "Byte"
+  | 'C' -> "Char"
+  | 'S' -> "Short"
+  | 'I' -> "Int"
+  | 'J' -> "Long"
+  | 'F' -> "Float"
+  | 'D' -> "Double"
+  | _ -> assert false
+
+let install_jni d =
+  let next_addr = ref (Layout.libdvm_base + 0x1000) in
+  let mount name run =
+    let addr = !next_addr in
+    next_addr := addr + 0x40;
+    ignore
+      (Machine.mount_host_fn d.d_machine ~lib:"libdvm.so" ~name ~addr (fun cpu mem ->
+           run cpu mem))
+  in
+  (* --- internals (MAF column of Table III + bridge machinery) --- *)
+  mount "dvmCallJNIMethod" (fun cpu mem -> run_call_bridge d cpu mem);
+  mount "dvmInterpret" (fun cpu mem -> run_dvm_interpret d cpu mem);
+  mount "dvmCallMethod" (run_dvm_call_method d "dvmCallMethod");
+  mount "dvmCallMethodV" (run_dvm_call_method d "dvmCallMethodV");
+  mount "dvmCallMethodA" (run_dvm_call_method d "dvmCallMethodA");
+  mount "dvmDecodeIndirectRef" (fun _cpu _mem -> ());
+  mount "dvmCreateStringFromCstr" (fun cpu mem ->
+      (* r1 = char* ; returns the real object address in r0 (Fig. 6) *)
+      let s = Memory.read_cstring mem (arg cpu mem 1) in
+      let o = Heap.alloc_string d.d_vm.Vm.heap s in
+      Cpu.set_reg cpu 0 o.Heap.addr);
+  mount "dvmCreateStringFromUnicode" (fun cpu mem ->
+      let ptr = arg cpu mem 1 and len = arg cpu mem 2 in
+      let b = Buffer.create len in
+      for i = 0 to len - 1 do
+        Buffer.add_char b (Char.chr (Memory.read_u16 mem (ptr + (2 * i)) land 0xFF))
+      done;
+      let o = Heap.alloc_string d.d_vm.Vm.heap (Buffer.contents b) in
+      Cpu.set_reg cpu 0 o.Heap.addr);
+  mount "dvmAllocObject" (fun cpu _mem ->
+      let h = Cpu.reg cpu 1 in
+      match class_of_handle d h with
+      | Some cls ->
+        let o = Heap.alloc_instance d.d_vm.Vm.heap cls (Vm.instance_size d.d_vm cls) in
+        Cpu.set_reg cpu 0 o.Heap.addr
+      | None -> raise (Vm.Dvm_error (Printf.sprintf "bad jclass 0x%x" h)));
+  mount "dvmAllocPrimitiveArray" (fun cpu _mem ->
+      let len = Cpu.reg cpu 1 in
+      let o = Heap.alloc_array d.d_vm.Vm.heap "prim" len in
+      Cpu.set_reg cpu 0 o.Heap.addr);
+  mount "dvmAllocArrayByClass" (fun cpu _mem ->
+      let len = Cpu.reg cpu 2 in
+      let o = Heap.alloc_array d.d_vm.Vm.heap "Ljava/lang/Object;" len in
+      Cpu.set_reg cpu 0 o.Heap.addr);
+  mount "initException" (fun cpu mem ->
+      (* r1 = class handle, r2 = message char* *)
+      let cls =
+        match class_of_handle d (arg cpu mem 1) with
+        | Some c -> c
+        | None -> "Ljava/lang/Exception;"
+      in
+      let self = Machine.host_fn_addr d.d_machine "initException" in
+      (* create the message string through the normal allocation path *)
+      Cpu.set_reg cpu 1 (arg cpu mem 2);
+      Machine.call_host d.d_machine ~from_:self "dvmCreateStringFromCstr";
+      let str_addr = Cpu.reg cpu 0 in
+      let msg_obj =
+        match Heap.find_by_addr d.d_vm.Vm.heap str_addr with
+        | Some o -> o
+        | None -> raise (Vm.Dvm_error "initException: lost message string")
+      in
+      let exn_obj =
+        Heap.alloc_instance d.d_vm.Vm.heap cls
+          (max 1 (try Vm.instance_size d.d_vm cls with Vm.Dvm_error _ -> 1))
+      in
+      (match exn_obj.Heap.kind with
+       | Heap.Instance { values; taints; _ } ->
+         values.(0) <- Dvalue.Obj msg_obj.Heap.id;
+         taints.(0) <- msg_obj.Heap.taint
+       | Heap.String _ | Heap.Array _ -> ());
+      Cpu.set_reg cpu 0 exn_obj.Heap.addr);
+
+  (* --- class / method / field lookup --- *)
+  mount "FindClass" (fun cpu mem ->
+      let name = cstring d (arg cpu mem 1) in
+      let norm = normalize_class_name name in
+      ignore (Vm.find_class d.d_vm norm);
+      Cpu.set_reg cpu 0 (class_handle d norm));
+  mount "GetObjectClass" (fun cpu mem ->
+      match value_of_iref d (arg cpu mem 1) with
+      | Dvalue.Obj id ->
+        let cls =
+          match (Heap.get d.d_vm.Vm.heap id).Heap.kind with
+          | Heap.Instance { cls; _ } -> cls
+          | Heap.String _ -> "Ljava/lang/String;"
+          | Heap.Array _ -> "Ljava/lang/Object;"
+        in
+        Cpu.set_reg cpu 0 (class_handle d cls)
+      | _ -> Cpu.set_reg cpu 0 0);
+  let get_method_id cpu mem =
+    let h = arg cpu mem 1 in
+    let name = cstring d (arg cpu mem 2) in
+    match class_of_handle d h with
+    | Some cls ->
+      let m = Vm.find_method d.d_vm cls name in
+      Cpu.set_reg cpu 0 (method_handle d m)
+    | None -> raise (Vm.Dvm_error (Printf.sprintf "bad jclass 0x%x" h))
+  in
+  mount "GetMethodID" get_method_id;
+  mount "GetStaticMethodID" get_method_id;
+  let get_field_id static cpu mem =
+    let h = arg cpu mem 1 in
+    let name = cstring d (arg cpu mem 2) in
+    match class_of_handle d h with
+    | Some cls -> Cpu.set_reg cpu 0 (field_handle d cls name static)
+    | None -> raise (Vm.Dvm_error (Printf.sprintf "bad jclass 0x%x" h))
+  in
+  mount "GetFieldID" (get_field_id false);
+  mount "GetStaticFieldID" (get_field_id true);
+
+  (* --- Table II: the 90 Call<Type>Method{,V,A} wrappers --- *)
+  List.iter
+    (fun ty ->
+      let tn = type_name ty in
+      let families =
+        [ (Printf.sprintf "Call%sMethod" tn, `Plain, false);
+          (Printf.sprintf "CallNonvirtual%sMethod" tn, `Plain, false);
+          (Printf.sprintf "CallStatic%sMethod" tn, `Plain, true);
+          (Printf.sprintf "Call%sMethodV" tn, `V, false);
+          (Printf.sprintf "CallNonvirtual%sMethodV" tn, `V, false);
+          (Printf.sprintf "CallStatic%sMethodV" tn, `V, true);
+          (Printf.sprintf "Call%sMethodA" tn, `A, false);
+          (Printf.sprintf "CallNonvirtual%sMethodA" tn, `A, false);
+          (Printf.sprintf "CallStatic%sMethodA" tn, `A, true) ]
+      in
+      List.iter
+        (fun (name, variant, static_) ->
+          mount name (fun cpu mem -> run_call_java d variant static_ ty cpu mem))
+        families)
+    jni_types;
+
+  (* --- object creation (NOF column of Table III) --- *)
+  let new_object style cpu mem =
+    let self = Cpu.pc cpu in
+    let self =
+      match Machine.find_host_fn d.d_machine self with
+      | Some hf -> hf.Machine.hf_addr
+      | None -> Layout.libdvm_base
+    in
+    Machine.call_host d.d_machine ~from_:self "dvmAllocObject";
+    let addr = Cpu.reg cpu 0 in
+    let o =
+      match Heap.find_by_addr d.d_vm.Vm.heap addr with
+      | Some o -> o
+      | None -> raise (Vm.Dvm_error "NewObject: allocation lost")
+    in
+    let iref = Indirect_ref.add d.d_irefs ~obj_id:o.Heap.id in
+    (* run the constructor with the fresh object as receiver *)
+    let mid = arg cpu mem 2 in
+    (match Hashtbl.find_opt d.method_handles mid with
+     | Some ctor ->
+       let params = Classes.shorty_params ctor.Classes.m_shorty in
+       let style_v =
+         match style with
+         | `Plain -> `Varargs
+         | `V -> `Va_list (arg cpu mem 3)
+         | `A -> `Jvalue_array (arg cpu mem 3)
+       in
+       let call_args = read_java_args d cpu mem ~style:style_v ~first_vararg:3 ~params in
+       let full = Array.of_list ((Dvalue.Obj o.Heap.id, Taint.clear) :: call_args) in
+       d.pending_interp <- Some (full, ctor);
+       Machine.call_host d.d_machine ~from_:self "dvmInterpret"
+     | None -> ());
+    Cpu.set_reg cpu 0 iref
+  in
+  mount "NewObject" (new_object `Plain);
+  mount "NewObjectV" (new_object `V);
+  mount "NewObjectA" (new_object `A);
+  mount "NewStringUTF" (fun cpu mem ->
+      ignore mem;
+      let self = Machine.host_fn_addr d.d_machine "NewStringUTF" in
+      (* r1 already holds the char*; delegate to the MAF *)
+      Machine.call_host d.d_machine ~from_:self "dvmCreateStringFromCstr";
+      let addr = Cpu.reg cpu 0 in
+      match Heap.find_by_addr d.d_vm.Vm.heap addr with
+      | Some o -> Cpu.set_reg cpu 0 (Indirect_ref.add d.d_irefs ~obj_id:o.Heap.id)
+      | None -> raise (Vm.Dvm_error "NewStringUTF: allocation lost"));
+  mount "NewString" (fun cpu mem ->
+      ignore mem;
+      let self = Machine.host_fn_addr d.d_machine "NewString" in
+      Machine.call_host d.d_machine ~from_:self "dvmCreateStringFromUnicode";
+      let addr = Cpu.reg cpu 0 in
+      match Heap.find_by_addr d.d_vm.Vm.heap addr with
+      | Some o -> Cpu.set_reg cpu 0 (Indirect_ref.add d.d_irefs ~obj_id:o.Heap.id)
+      | None -> raise (Vm.Dvm_error "NewString: allocation lost"));
+  mount "NewObjectArray" (fun cpu mem ->
+      ignore mem;
+      let self = Machine.host_fn_addr d.d_machine "NewObjectArray" in
+      Machine.call_host d.d_machine ~from_:self "dvmAllocArrayByClass";
+      let addr = Cpu.reg cpu 0 in
+      match Heap.find_by_addr d.d_vm.Vm.heap addr with
+      | Some o -> Cpu.set_reg cpu 0 (Indirect_ref.add d.d_irefs ~obj_id:o.Heap.id)
+      | None -> raise (Vm.Dvm_error "NewObjectArray: allocation lost"));
+  List.iter
+    (fun ty ->
+      let tn = type_name ty in
+      mount
+        (Printf.sprintf "New%sArray" tn)
+        (fun cpu mem ->
+          ignore mem;
+          let self = Machine.host_fn_addr d.d_machine (Printf.sprintf "New%sArray" tn) in
+          Machine.call_host d.d_machine ~from_:self "dvmAllocPrimitiveArray";
+          let addr = Cpu.reg cpu 0 in
+          match Heap.find_by_addr d.d_vm.Vm.heap addr with
+          | Some o -> Cpu.set_reg cpu 0 (Indirect_ref.add d.d_irefs ~obj_id:o.Heap.id)
+          | None -> raise (Vm.Dvm_error "NewArray: allocation lost")))
+    [ 'Z'; 'B'; 'C'; 'S'; 'I'; 'J'; 'F'; 'D' ];
+
+  (* --- strings --- *)
+  mount "GetStringUTFChars" (fun cpu mem ->
+      match string_obj d (arg cpu mem 1) with
+      | Some (_id, s) ->
+        let buf = A.Native_heap.malloc d.d_nheap (String.length s + 1) in
+        Memory.write_cstring mem buf s;
+        let is_copy = arg cpu mem 2 in
+        if is_copy <> 0 then Memory.write_u8 mem is_copy 1;
+        Cpu.set_reg cpu 0 buf
+      | None -> Cpu.set_reg cpu 0 0);
+  mount "ReleaseStringUTFChars" (fun cpu mem ->
+      A.Native_heap.free d.d_nheap (arg cpu mem 2);
+      ignore cpu);
+  mount "GetStringUTFLength" (fun cpu mem ->
+      match string_obj d (arg cpu mem 1) with
+      | Some (_, s) -> Cpu.set_reg cpu 0 (String.length s)
+      | None -> Cpu.set_reg cpu 0 0);
+  mount "GetStringLength" (fun cpu mem ->
+      match string_obj d (arg cpu mem 1) with
+      | Some (_, s) -> Cpu.set_reg cpu 0 (String.length s)
+      | None -> Cpu.set_reg cpu 0 0);
+  mount "GetStringChars" (fun cpu mem ->
+      match string_obj d (arg cpu mem 1) with
+      | Some (_, s) ->
+        let buf = A.Native_heap.malloc d.d_nheap ((String.length s + 1) * 2) in
+        String.iteri
+          (fun i c -> Memory.write_u16 mem (buf + (2 * i)) (Char.code c))
+          s;
+        Memory.write_u16 mem (buf + (2 * String.length s)) 0;
+        Cpu.set_reg cpu 0 buf
+      | None -> Cpu.set_reg cpu 0 0);
+  mount "ReleaseStringChars" (fun cpu mem ->
+      A.Native_heap.free d.d_nheap (arg cpu mem 2);
+      ignore cpu);
+
+  (* --- arrays --- *)
+  let array_of_iref iref =
+    match value_of_iref d iref with
+    | Dvalue.Obj id -> (
+      match (Heap.get d.d_vm.Vm.heap id).Heap.kind with
+      | Heap.Array { elems; _ } -> Some (id, elems)
+      | Heap.String _ | Heap.Instance _ -> None)
+    | _ -> None
+  in
+  mount "GetArrayLength" (fun cpu mem ->
+      match array_of_iref (arg cpu mem 1) with
+      | Some (_, elems) -> Cpu.set_reg cpu 0 (Array.length elems)
+      | None -> Cpu.set_reg cpu 0 0);
+  mount "GetObjectArrayElement" (fun cpu mem ->
+      match array_of_iref (arg cpu mem 1) with
+      | Some (_, elems) ->
+        let idx = arg cpu mem 2 in
+        if idx >= 0 && idx < Array.length elems then
+          Cpu.set_reg cpu 0
+            (match elems.(idx) with
+             | Dvalue.Obj _ as v -> iref_of_value d v
+             | _ -> 0)
+        else Cpu.set_reg cpu 0 0
+      | None -> Cpu.set_reg cpu 0 0);
+  mount "SetObjectArrayElement" (fun cpu mem ->
+      match array_of_iref (arg cpu mem 1) with
+      | Some (_, elems) ->
+        let idx = arg cpu mem 2 in
+        if idx >= 0 && idx < Array.length elems then
+          elems.(idx) <- value_of_iref d (arg cpu mem 3)
+      | None -> ());
+  List.iter
+    (fun ty ->
+      let tn = type_name ty in
+      let width = match ty with 'J' | 'D' -> 8 | _ -> 4 in
+      mount
+        (Printf.sprintf "Get%sArrayElements" tn)
+        (fun cpu mem ->
+          match array_of_iref (arg cpu mem 1) with
+          | Some (_, elems) ->
+            let buf = A.Native_heap.malloc d.d_nheap (Array.length elems * width) in
+            Array.iteri
+              (fun i v ->
+                Memory.write_u32 mem
+                  (buf + (i * width))
+                  (Int32.to_int (Dvalue.as_int v) land mask32))
+              elems;
+            Cpu.set_reg cpu 0 buf
+          | None -> Cpu.set_reg cpu 0 0);
+      mount
+        (Printf.sprintf "Release%sArrayElements" tn)
+        (fun cpu mem ->
+          let mode = arg cpu mem 3 in
+          (match array_of_iref (arg cpu mem 1) with
+           | Some (_, elems) when mode <> 2 (* JNI_ABORT *) ->
+             let buf = arg cpu mem 2 in
+             Array.iteri
+               (fun i _ ->
+                 elems.(i) <-
+                   Dvalue.Int (Int32.of_int (Memory.read_u32 mem (buf + (i * width)))))
+               elems
+           | Some _ | None -> ());
+          A.Native_heap.free d.d_nheap (arg cpu mem 2)))
+    [ 'Z'; 'B'; 'C'; 'S'; 'I'; 'J'; 'F'; 'D' ];
+
+  (* --- array/string regions --- *)
+  List.iter
+    (fun ty ->
+      let tn = type_name ty in
+      let width = match ty with 'J' | 'D' -> 8 | _ -> 4 in
+      mount
+        (Printf.sprintf "Get%sArrayRegion" tn)
+        (fun cpu mem ->
+          match array_of_iref (arg cpu mem 1) with
+          | Some (_, elems) ->
+            let start = arg cpu mem 2
+            and len = arg cpu mem 3
+            and buf = arg cpu mem 4 in
+            for i = 0 to len - 1 do
+              if start + i >= 0 && start + i < Array.length elems then
+                Memory.write_u32 mem
+                  (buf + (i * width))
+                  (Int32.to_int (Dvalue.as_int elems.(start + i)) land mask32)
+            done
+          | None -> ());
+      mount
+        (Printf.sprintf "Set%sArrayRegion" tn)
+        (fun cpu mem ->
+          match array_of_iref (arg cpu mem 1) with
+          | Some (_, elems) ->
+            let start = arg cpu mem 2
+            and len = arg cpu mem 3
+            and buf = arg cpu mem 4 in
+            for i = 0 to len - 1 do
+              if start + i >= 0 && start + i < Array.length elems then
+                elems.(start + i) <-
+                  Dvalue.Int (Int32.of_int (Memory.read_u32 mem (buf + (i * width))))
+            done
+          | None -> ()))
+    [ 'Z'; 'B'; 'C'; 'S'; 'I'; 'J'; 'F'; 'D' ];
+  mount "GetStringUTFRegion" (fun cpu mem ->
+      match string_obj d (arg cpu mem 1) with
+      | Some (_, s) ->
+        let start = arg cpu mem 2 and len = arg cpu mem 3 and buf = arg cpu mem 4 in
+        let start = max 0 start in
+        let len = min len (String.length s - start) in
+        if len > 0 then Memory.write_string mem buf (String.sub s start len);
+        Memory.write_u8 mem (buf + max 0 len) 0
+      | None -> ());
+  mount "GetStringRegion" (fun cpu mem ->
+      match string_obj d (arg cpu mem 1) with
+      | Some (_, s) ->
+        let start = arg cpu mem 2 and len = arg cpu mem 3 and buf = arg cpu mem 4 in
+        for i = 0 to len - 1 do
+          if start + i < String.length s then
+            Memory.write_u16 mem (buf + (2 * i)) (Char.code s.[start + i])
+        done
+      | None -> ());
+
+  (* --- Table IV: field access --- *)
+  let find_field cpu mem =
+    let fid = arg cpu mem 2 in
+    match Hashtbl.find_opt d.field_handles fid with
+    | Some f -> f
+    | None -> raise (Vm.Dvm_error (Printf.sprintf "bad jfieldID 0x%x" fid))
+  in
+  let get_field cpu mem =
+    let cls, fld, static = find_field cpu mem in
+    if static then
+      let cell = Vm.static_ref d.d_vm cls fld in
+      fst !cell
+    else
+      match value_of_iref d (arg cpu mem 1) with
+      | Dvalue.Obj id -> (
+        match (Heap.get d.d_vm.Vm.heap id).Heap.kind with
+        | Heap.Instance { cls = real_cls; values; _ } ->
+          values.(Vm.field_index d.d_vm real_cls fld)
+        | Heap.String _ | Heap.Array _ -> Dvalue.zero)
+      | _ -> Dvalue.zero
+  in
+  let set_field cpu mem value =
+    let cls, fld, static = find_field cpu mem in
+    if static then begin
+      let cell = Vm.static_ref d.d_vm cls fld in
+      cell := (value, snd !cell)
+    end
+    else
+      match value_of_iref d (arg cpu mem 1) with
+      | Dvalue.Obj id -> (
+        match (Heap.get d.d_vm.Vm.heap id).Heap.kind with
+        | Heap.Instance { cls = real_cls; values; _ } ->
+          values.(Vm.field_index d.d_vm real_cls fld) <- value
+        | Heap.String _ | Heap.Array _ -> ())
+      | _ -> ()
+  in
+  List.iter
+    (fun (prefix, _static) ->
+      List.iter
+        (fun ty ->
+          let tn = type_name ty in
+          mount
+            (Printf.sprintf "Get%s%sField" prefix tn)
+            (fun cpu mem ->
+              let v = get_field cpu mem in
+              match ty with
+              | 'L' ->
+                Cpu.set_reg cpu 0
+                  (match v with Dvalue.Null -> 0 | _ -> iref_of_value d v)
+              | _ -> Cpu.set_reg cpu 0 (Int32.to_int (Dvalue.as_int v) land mask32));
+          mount
+            (Printf.sprintf "Set%s%sField" prefix tn)
+            (fun cpu mem ->
+              let raw = arg cpu mem 3 in
+              let v =
+                match ty with
+                | 'L' -> value_of_iref d raw
+                | _ -> Dvalue.Int (Int32.of_int raw)
+              in
+              set_field cpu mem v))
+        [ 'L'; 'Z'; 'B'; 'C'; 'S'; 'I'; 'J'; 'F'; 'D' ])
+    [ ("", false); ("Static", true) ];
+
+  (* --- exceptions --- *)
+  mount "ThrowNew" (fun cpu mem ->
+      let self = Machine.host_fn_addr d.d_machine "ThrowNew" in
+      (* initException reads r1 = jclass, r2 = message char* — already set *)
+      let msg_addr = arg cpu mem 2 in
+      Machine.call_host d.d_machine ~from_:self "initException";
+      let exn_addr = Cpu.reg cpu 0 in
+      (match Heap.find_by_addr d.d_vm.Vm.heap exn_addr with
+       | Some o ->
+         let taint =
+           query_taint d (Loc_mem (msg_addr, String.length (cstring d msg_addr) + 1))
+         in
+         o.Heap.taint <- Taint.union o.Heap.taint taint;
+         (* propagate onto the message string object too *)
+         (match o.Heap.kind with
+          | Heap.Instance { values; taints; _ } ->
+            (match values.(0) with
+             | Dvalue.Obj sid ->
+               (Heap.get d.d_vm.Vm.heap sid).Heap.taint <- taint
+             | _ -> ());
+            taints.(0) <- Taint.union taints.(0) taint
+          | Heap.String _ | Heap.Array _ -> ());
+         d.pending_throw <- Some (Dvalue.Obj o.Heap.id, taint)
+       | None -> ());
+      Cpu.set_reg cpu 0 0);
+  mount "Throw" (fun cpu mem ->
+      let iref = arg cpu mem 1 in
+      let v = value_of_iref d iref in
+      d.pending_throw <- Some (v, query_taint d (Loc_iref iref));
+      Cpu.set_reg cpu 0 0);
+  mount "ExceptionOccurred" (fun cpu _mem ->
+      match d.pending_throw with
+      | Some (v, _) ->
+        Cpu.set_reg cpu 0 (match v with Dvalue.Null -> 0 | _ -> iref_of_value d v)
+      | None -> Cpu.set_reg cpu 0 0);
+  mount "ExceptionClear" (fun _cpu _mem -> d.pending_throw <- None);
+
+  (* --- reference management --- *)
+  mount "RegisterNatives" (fun cpu mem ->
+      (* (env, jclass, JNINativeMethod* {name, sig, fnPtr} x n, n) *)
+      match class_of_handle d (arg cpu mem 1) with
+      | None -> Cpu.set_reg cpu 0 (0xFFFFFFFF (* JNI_ERR *))
+      | Some cls ->
+        let table = arg cpu mem 2 and n = arg cpu mem 3 in
+        for i = 0 to n - 1 do
+          let entry = table + (12 * i) in
+          let name = Memory.read_cstring mem (Memory.read_u32 mem entry) in
+          let fn_ptr = Memory.read_u32 mem (entry + 8) in
+          Hashtbl.replace d.registered_natives (cls, name) fn_ptr
+        done;
+        Cpu.set_reg cpu 0 0);
+  mount "UnregisterNatives" (fun cpu mem ->
+      (match class_of_handle d (arg cpu mem 1) with
+       | Some cls ->
+         Hashtbl.iter
+           (fun (c, m) _ -> if c = cls then Hashtbl.remove d.registered_natives (c, m))
+           (Hashtbl.copy d.registered_natives)
+       | None -> ());
+      Cpu.set_reg cpu 0 0);
+  mount "NewGlobalRef" (fun cpu mem -> Cpu.set_reg cpu 0 (arg cpu mem 1));
+  mount "NewLocalRef" (fun cpu mem -> Cpu.set_reg cpu 0 (arg cpu mem 1));
+  mount "DeleteGlobalRef" (fun cpu mem ->
+      Indirect_ref.delete d.d_irefs (arg cpu mem 1);
+      ignore cpu);
+  mount "DeleteLocalRef" (fun cpu mem ->
+      Indirect_ref.delete d.d_irefs (arg cpu mem 1);
+      ignore cpu)
+
+(* ---------------- libc / libm mounting ---------------- *)
+
+let install_system_libs d =
+  let next = ref (Layout.libc_base + 0x100) in
+  List.iter
+    (fun (name, run) ->
+      let addr = !next in
+      next := addr + 0x40;
+      ignore (Machine.mount_host_fn d.d_machine ~lib:"libc.so" ~name ~addr run))
+    (A.Libc_model.functions d.d_libc);
+  let next = ref (Layout.libm_base + 0x100) in
+  List.iter
+    (fun (name, run) ->
+      let addr = !next in
+      next := addr + 0x40;
+      ignore (Machine.mount_host_fn d.d_machine ~lib:"libm.so" ~name ~addr run))
+    A.Libm_model.functions
+
+(* ---------------- construction ---------------- *)
+
+let install_system_class d =
+  let sys = "Ljava/lang/System;" in
+  Vm.define_class d.d_vm
+    (Jbuilder.class_ ~name:sys ~super:"Ljava/lang/Object;"
+       [ Jbuilder.intrinsic_method ~cls:sys ~name:"loadLibrary" ~shorty:"VL"
+           "System.loadLibrary";
+         Jbuilder.intrinsic_method ~cls:sys ~name:"load" ~shorty:"VL" "System.load" ]);
+  let loader vm (args : Vm.tval array) =
+    let name = Vm.string_of_value vm (fst args.(0)) in
+    (* System.load takes a path; strip directories and the lib/so fix *)
+    let base = Filename.basename name in
+    let base =
+      if String.length base > 3 && String.sub base 0 3 = "lib" then
+        String.sub base 3 (String.length base - 3)
+      else base
+    in
+    let base = Filename.remove_extension base in
+    (match
+       ( Hashtbl.mem d.available_libs name,
+         Hashtbl.mem d.available_libs base )
+     with
+     | true, _ -> load_library d name
+     | _, true -> load_library d base
+     | false, false ->
+       raise (Vm.Dvm_error (Printf.sprintf "UnsatisfiedLinkError: %s" name)));
+    (Dvalue.zero, Taint.clear)
+  in
+  Vm.register_intrinsic d.d_vm "System.loadLibrary" loader;
+  Vm.register_intrinsic d.d_vm "System.load" loader
+
+let create ?(profile = A.Device_profile.default) () =
+  let vm = Vm.create () in
+  let machine = Machine.create () in
+  let fs = A.Filesystem.create () in
+  let net = A.Network.create () in
+  let nheap = A.Native_heap.create () in
+  let monitor = A.Sink_monitor.create () in
+  let d =
+    { d_vm = vm;
+      d_machine = machine;
+      d_fs = fs;
+      d_net = net;
+      d_nheap = nheap;
+      d_monitor = monitor;
+      d_irefs = Indirect_ref.create ();
+      d_profile = profile;
+      d_libc = A.Libc_model.create_ctx fs net nheap;
+      available_libs = Hashtbl.create 8;
+      loaded_libs = Hashtbl.create 8;
+      symbols = Hashtbl.create 64;
+      registered_natives = Hashtbl.create 8;
+      dl_handles = Hashtbl.create 8;
+      next_dl_handle = 0x60000001;
+      class_handles = Hashtbl.create 32;
+      class_handle_of = Hashtbl.create 32;
+      next_class_handle = 1;
+      method_handles = Hashtbl.create 32;
+      next_method_handle = 1;
+      field_handles = Hashtbl.create 32;
+      next_field_handle = 1;
+      cur_call = None;
+      bridge_result = (Dvalue.zero, Taint.clear);
+      pending_interp = None;
+      pending_throw = None;
+      ret_policy = ref (fun _ ~r0:_ ~r1:_ -> Taint.clear);
+      taint_source = ref (fun _ -> Taint.clear) }
+  in
+  A.Framework.install vm;
+  A.Sources.install vm profile;
+  A.Sinks.install vm net fs monitor;
+  install_system_class d;
+  install_jni d;
+  install_system_libs d;
+  vm.Vm.native_dispatch <- Some (fun vm jm args -> native_dispatch d vm jm args);
+  A.Libc_model.set_dl d.d_libc ~dl_open:(dl_open d) ~dl_sym:(dl_sym d);
+  d
+
+let install_classes d classes = List.iter (Vm.define_class d.d_vm) classes
+
+let field_cell d ~obj_iref ~fid =
+  match Hashtbl.find_opt d.field_handles fid with
+  | None -> None
+  | Some (cls, fld, true) -> Some (`Static (Vm.static_ref d.d_vm cls fld))
+  | Some (_, fld, false) -> (
+    match value_of_iref d obj_iref with
+    | Dvalue.Obj id -> (
+      match (Heap.get d.d_vm.Vm.heap id).Heap.kind with
+      | Heap.Instance { cls = real_cls; taints; _ } ->
+        Some (`Instance (taints, Vm.field_index d.d_vm real_cls fld))
+      | Heap.String _ | Heap.Array _ -> None)
+    | _ -> None)
+
+let field_taint d ~obj_iref ~fid =
+  match field_cell d ~obj_iref ~fid with
+  | Some (`Static cell) -> snd !cell
+  | Some (`Instance (taints, idx)) -> taints.(idx)
+  | None -> Taint.clear
+
+let add_field_taint d ~obj_iref ~fid taint =
+  match field_cell d ~obj_iref ~fid with
+  | Some (`Static cell) ->
+    let v, t = !cell in
+    cell := (v, Taint.union t taint)
+  | Some (`Instance (taints, idx)) -> taints.(idx) <- Taint.union taints.(idx) taint
+  | None -> ()
+
+let method_of_handle d h = Hashtbl.find_opt d.method_handles h
+
+let object_taint d ~iref =
+  match Indirect_ref.resolve d.d_irefs iref with
+  | Some id -> (
+    match Heap.get d.d_vm.Vm.heap id with
+    | o -> o.Heap.taint
+    | exception Not_found -> Taint.clear)
+  | None -> Taint.clear
+
+let add_object_taint d ~iref taint =
+  match Indirect_ref.resolve d.d_irefs iref with
+  | Some id -> (
+    match Heap.get d.d_vm.Vm.heap id with
+    | o -> o.Heap.taint <- Taint.union o.Heap.taint taint
+    | exception Not_found -> ())
+  | None -> ()
+
+let find_object_by_addr d addr =
+  match Heap.find_by_addr d.d_vm.Vm.heap addr with
+  | Some o -> Some o.Heap.id
+  | None -> None
+
+let object_addr d ~iref =
+  match Indirect_ref.resolve d.d_irefs iref with
+  | Some id -> (
+    match Heap.get d.d_vm.Vm.heap id with
+    | o -> Some o.Heap.addr
+    | exception Not_found -> None)
+  | None -> None
+
+let array_length d ~iref =
+  match Indirect_ref.resolve d.d_irefs iref with
+  | Some id -> (
+    match (Heap.get d.d_vm.Vm.heap id).Heap.kind with
+    | Heap.Array { elems; _ } -> Some (Array.length elems)
+    | Heap.String s -> Some (String.length s)
+    | Heap.Instance _ -> None
+    | exception Not_found -> None)
+  | None -> None
+
+let run d cls name args = Interp.invoke_by_name d.d_vm cls name args
+
+let gc d = Heap.compact d.d_vm.Vm.heap

@@ -1,0 +1,1 @@
+lib/taint/shadow_regs.mli: Taint

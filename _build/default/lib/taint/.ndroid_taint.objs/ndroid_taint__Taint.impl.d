@@ -1,0 +1,1 @@
+lib/taint/taint.ml: Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/taint/taint.mli: Format

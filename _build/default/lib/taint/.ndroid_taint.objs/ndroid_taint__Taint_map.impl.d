@@ -1,0 +1,1 @@
+lib/taint/taint_map.ml: Array Hashtbl Taint

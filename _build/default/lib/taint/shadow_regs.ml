@@ -1,0 +1,29 @@
+type t = Taint.t array
+
+let create n = Array.make n Taint.clear
+let size s = Array.length s
+
+let check s i =
+  if i < 0 || i >= Array.length s then
+    invalid_arg (Printf.sprintf "Shadow_regs: register %d out of range" i)
+
+let get s i =
+  check s i;
+  s.(i)
+
+let set s i tag =
+  check s i;
+  s.(i) <- tag
+
+let add s i tag =
+  check s i;
+  s.(i) <- Taint.union s.(i) tag
+
+let clear_all s = Array.fill s 0 (Array.length s) Taint.clear
+let any_tainted s = Array.exists Taint.is_tainted s
+let snapshot s = Array.copy s
+
+let restore s saved =
+  if Array.length saved <> Array.length s then
+    invalid_arg "Shadow_regs.restore: size mismatch";
+  Array.blit saved 0 s 0 (Array.length s)

@@ -1,0 +1,51 @@
+type t = (int, Taint.t) Hashtbl.t
+
+let create () = Hashtbl.create 1024
+
+let get m addr =
+  match Hashtbl.find_opt m addr with Some t -> t | None -> Taint.clear
+
+let set m addr tag =
+  if Taint.is_clear tag then Hashtbl.remove m addr
+  else Hashtbl.replace m addr tag
+
+let add m addr tag =
+  if Taint.is_tainted tag then set m addr (Taint.union (get m addr) tag)
+
+let get_range m addr n =
+  if Hashtbl.length m = 0 then Taint.clear
+  else
+    let rec loop acc i =
+      if i >= n then acc else loop (Taint.union acc (get m (addr + i))) (i + 1)
+    in
+    loop Taint.clear 0
+
+let set_range m addr n tag =
+  for i = 0 to n - 1 do
+    set m (addr + i) tag
+  done
+
+let add_range m addr n tag =
+  if Taint.is_tainted tag then
+    for i = 0 to n - 1 do
+      add m (addr + i) tag
+    done
+
+let clear_range m addr n =
+  if Hashtbl.length m > 0 then
+    for i = 0 to n - 1 do
+      Hashtbl.remove m (addr + i)
+    done
+
+let copy_range m ~src ~dst ~len =
+  if Hashtbl.length m > 0 then begin
+    (* Snapshot first so overlapping ranges behave like memmove. *)
+    let snapshot = Array.init len (fun i -> get m (src + i)) in
+    for i = 0 to len - 1 do
+      set m (dst + i) snapshot.(i)
+    done
+  end
+
+let tainted_bytes m = Hashtbl.length m
+let iter m f = Hashtbl.iter f m
+let reset m = Hashtbl.reset m

@@ -1,0 +1,1 @@
+lib/taintdroid/taintdroid.ml: Array Ndroid_dalvik Ndroid_runtime Ndroid_taint

@@ -1,0 +1,1 @@
+lib/taintdroid/taintdroid.mli: Ndroid_runtime Ndroid_taint

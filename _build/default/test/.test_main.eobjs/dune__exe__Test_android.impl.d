@@ -1,0 +1,1 @@
+test/test_android.ml: Alcotest Int32 Int64 List Ndroid_android Ndroid_arm Ndroid_dalvik Ndroid_emulator Ndroid_runtime Ndroid_taint

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Lazy List Ndroid_android Ndroid_apps Ndroid_core Ndroid_runtime Ndroid_taint Ndroid_taintdroid String

@@ -1,0 +1,1 @@
+test/test_arm.ml: Alcotest List Ndroid_arm QCheck QCheck_alcotest

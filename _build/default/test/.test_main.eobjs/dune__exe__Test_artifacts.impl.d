@@ -1,0 +1,1 @@
+test/test_artifacts.ml: Alcotest Array Gen Int32 List Ndroid_android Ndroid_apps Ndroid_arm Ndroid_core Ndroid_corpus Ndroid_dalvik Ndroid_runtime Printf QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest List Ndroid_arm Printf

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Lazy List Ndroid_corpus Printf QCheck QCheck_alcotest Seq String

@@ -1,0 +1,1 @@
+test/test_dalvik.ml: Alcotest Int32 Ndroid_android Ndroid_dalvik Ndroid_taint

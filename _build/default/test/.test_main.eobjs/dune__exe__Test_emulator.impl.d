@@ -1,0 +1,1 @@
+test/test_emulator.ml: Alcotest List Ndroid_arm Ndroid_emulator Ndroid_runtime

@@ -1,0 +1,1 @@
+test/test_enforcement.ml: Alcotest List Ndroid_android Ndroid_apps Ndroid_core Ndroid_dalvik Ndroid_runtime Ndroid_taint String

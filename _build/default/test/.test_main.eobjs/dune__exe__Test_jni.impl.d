@@ -1,0 +1,1 @@
+test/test_jni.ml: Alcotest Fun List Ndroid_jni QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Format List Ndroid_apps Ndroid_arm Ndroid_core Ndroid_dalvik Ndroid_emulator Ndroid_runtime Ndroid_taint String

@@ -1,0 +1,1 @@
+test/test_ndroid.ml: Alcotest List Ndroid_android Ndroid_apps Ndroid_arm Ndroid_core Ndroid_dalvik Ndroid_runtime Ndroid_taint QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Char Int32 Ndroid_arm Ndroid_dalvik Ndroid_emulator Ndroid_runtime Ndroid_taint String

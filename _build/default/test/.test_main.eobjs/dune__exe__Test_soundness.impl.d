@@ -1,0 +1,1 @@
+test/test_soundness.ml: Array Int32 List Ndroid_android Ndroid_arm Ndroid_core Ndroid_dalvik Ndroid_taint QCheck QCheck_alcotest String

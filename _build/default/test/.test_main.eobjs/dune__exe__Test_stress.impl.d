@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Bytes Char Int32 Lazy List Ndroid_android Ndroid_apps Ndroid_arm Ndroid_core Ndroid_dalvik Ndroid_emulator Ndroid_runtime Ndroid_taint QCheck QCheck_alcotest

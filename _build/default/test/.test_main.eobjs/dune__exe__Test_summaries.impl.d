@@ -1,0 +1,1 @@
+test/test_summaries.ml: Alcotest Char Int64 Ndroid_android Ndroid_arm Ndroid_core Ndroid_emulator Ndroid_runtime Ndroid_taint String

@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest Format List Ndroid_taint QCheck QCheck_alcotest

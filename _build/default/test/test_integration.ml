@@ -1,0 +1,286 @@
+(* End-to-end flows across the JNI boundary that combine several hook
+   groups at once: exceptions, field traffic, arrays, wide arguments. *)
+
+module Device = Ndroid_runtime.Device
+module Machine = Ndroid_emulator.Machine
+module Layout = Ndroid_emulator.Layout
+module Vm = Ndroid_dalvik.Vm
+module Dvalue = Ndroid_dalvik.Dvalue
+module J = Ndroid_dalvik.Jbuilder
+module B = Ndroid_dalvik.Bytecode
+module Asm = Ndroid_arm.Asm
+module Insn = Ndroid_arm.Insn
+module Taint = Ndroid_taint.Taint
+module Ndroid = Ndroid_core.Ndroid
+module Taintdroid = Ndroid_taintdroid.Taintdroid
+module A = Ndroid_android
+module H = Ndroid_apps.Harness
+
+let check_taint = Alcotest.testable Taint.pp Taint.equal
+let telephony = "Landroid/telephony/TelephonyManager;"
+let socket = "Ljava/net/Socket;"
+let mov rd rm = Asm.I (Insn.mov rd (Insn.Reg rm))
+
+(* ---- exception group: ThrowNew carries tainted data into Java ---- *)
+
+let exn_cls = "LExnFlow;"
+
+let exn_app : H.app =
+  { H.app_name = "exception-flow";
+    app_case = "exception hook group";
+    description = "tainted data returned to Java inside a thrown exception";
+    classes =
+      [ J.class_ ~name:exn_cls ~super:"Ljava/lang/Object;"
+          [ J.native_method ~cls:exn_cls ~name:"failWith" ~shorty:"VL" "failWith";
+            J.method_ ~cls:exn_cls ~name:"main" ~shorty:"V"
+              ~handlers:[ ("t0", "t1", "h") ]
+              [ J.I (B.Invoke (B.Static, { B.m_class = telephony;
+                                           m_name = "getDeviceId" }, []));
+                J.I (B.Move_result 0);
+                J.L "t0";
+                J.I (B.Invoke (B.Static, { B.m_class = exn_cls;
+                                           m_name = "failWith" }, [ 0 ]));
+                J.L "t1";
+                J.I B.Return_void;
+                J.L "h";
+                J.I (B.Move_exception 1);
+                J.I (B.Invoke (B.Virtual,
+                               { B.m_class = "Ljava/lang/SecurityException;";
+                                 m_name = "getMessage" }, [ 1 ]));
+                J.I (B.Move_result 2);
+                J.I (B.Const_string (3, "exn.sink.example"));
+                J.I (B.Invoke (B.Static, { B.m_class = socket; m_name = "send" },
+                               [ 3; 2 ]));
+                J.I B.Return_void ] ] ];
+    build_libs =
+      (fun extern ->
+        [ ( "exnflow",
+            Asm.assemble ~extern ~base:Layout.app_lib_base
+              [ Asm.Label "failWith";
+                Asm.I (Insn.push [ Insn.r4; Insn.lr ]);
+                Asm.I (Insn.mov 9 (Insn.Reg 0));
+                (* chars = GetStringUTFChars(env, jstr, 0): tainted bytes *)
+                mov 1 2;
+                Asm.I (Insn.mov 2 (Insn.Imm 0));
+                Asm.Call "GetStringUTFChars";
+                Asm.I (Insn.mov 4 (Insn.Reg 0));
+                (* ThrowNew(SecurityException, chars) *)
+                Asm.I (Insn.mov 0 (Insn.Reg 9));
+                Asm.La (1, "exn_name");
+                Asm.Call "FindClass";
+                mov 1 0;
+                mov 2 4;
+                Asm.I (Insn.mov 0 (Insn.Reg 9));
+                Asm.Call "ThrowNew";
+                Asm.I (Insn.pop [ Insn.r4; Insn.pc ]);
+                Asm.Align4;
+                Asm.Label "exn_name";
+                Asm.Asciz "Ljava/lang/SecurityException;" ] ) ]);
+    entry = (exn_cls, "main");
+    expected_sink = "Socket.send" }
+
+let test_exception_flow_ndroid_detects () =
+  let o = H.run H.Ndroid_full exn_app in
+  Alcotest.(check bool) "NDroid detects" true o.H.detected;
+  match o.H.leaks with
+  | leak :: _ ->
+    Alcotest.check check_taint "imei tag through the exception" Taint.imei
+      leak.A.Sink_monitor.taint;
+    Alcotest.(check string) "payload is the IMEI" "357242043237517"
+      leak.A.Sink_monitor.data
+  | [] -> Alcotest.fail "no leak"
+
+let test_exception_flow_taintdroid_misses () =
+  Alcotest.(check bool) "TaintDroid misses" false
+    (H.run H.Taintdroid_only exn_app).H.detected
+
+(* ---- field group: tainted value laundered through object fields ---- *)
+
+let field_cls = "LFieldFlow;"
+
+let field_app : H.app =
+  { H.app_name = "field-flow";
+    app_case = "field hook group";
+    description = "taint moved between object fields from native code";
+    classes =
+      [ J.class_ ~name:field_cls ~super:"Ljava/lang/Object;"
+          ~fields:[ "secret"; "copy" ]
+          [ J.native_method ~cls:field_cls ~name:"shuffle" ~shorty:"VL" "shuffle";
+            J.method_ ~cls:field_cls ~name:"main" ~shorty:"V" ~registers:8
+              [ J.I (B.New_instance (0, field_cls));
+                (* secret := tainted contact count *)
+                J.I (B.Invoke (B.Static,
+                               { B.m_class = "Landroid/provider/ContactsProvider;";
+                                 m_name = "getContactCount" }, []));
+                J.I (B.Move_result 1);
+                J.I (B.Iput (1, 0, { B.f_class = field_cls; f_name = "secret" }));
+                (* native moves secret -> copy through Get/SetIntField *)
+                J.I (B.Invoke (B.Static, { B.m_class = field_cls;
+                                           m_name = "shuffle" }, [ 0 ]));
+                (* leak the copy *)
+                J.I (B.Iget (2, 0, { B.f_class = field_cls; f_name = "copy" }));
+                J.I (B.Invoke (B.Static,
+                               { B.m_class = "Ljava/lang/String;";
+                                 m_name = "valueOf" }, [ 2 ]));
+                J.I (B.Move_result 3);
+                J.I (B.Const_string (4, "fields.example"));
+                J.I (B.Invoke (B.Static, { B.m_class = socket; m_name = "send" },
+                               [ 4; 3 ]));
+                J.I B.Return_void ] ] ];
+    build_libs =
+      (fun extern ->
+        [ ( "fieldflow",
+            Asm.assemble ~extern ~base:Layout.app_lib_base
+              [ Asm.Label "shuffle";
+                Asm.I (Insn.push [ Insn.r4; Insn.r5; Insn.r6; Insn.lr ]);
+                Asm.I (Insn.mov 9 (Insn.Reg 0));
+                Asm.I (Insn.mov 4 (Insn.Reg 2)) (* obj *);
+                (* cls = GetObjectClass(obj) *)
+                mov 1 4;
+                Asm.Call "GetObjectClass";
+                Asm.I (Insn.mov 5 (Insn.Reg 0));
+                (* fid_secret *)
+                Asm.I (Insn.mov 0 (Insn.Reg 9));
+                mov 1 5;
+                Asm.La (2, "f_secret");
+                Asm.La (3, "f_sig");
+                Asm.Call "GetFieldID";
+                Asm.I (Insn.mov 6 (Insn.Reg 0));
+                (* v = GetIntField(obj, fid_secret) *)
+                Asm.I (Insn.mov 0 (Insn.Reg 9));
+                mov 1 4;
+                mov 2 6;
+                Asm.Call "GetIntField";
+                Asm.I (Insn.mov 7 (Insn.Reg 0)) (* shadow r0 tainted -> r7 *);
+                (* fid_copy *)
+                Asm.I (Insn.mov 0 (Insn.Reg 9));
+                mov 1 5;
+                Asm.La (2, "f_copy");
+                Asm.La (3, "f_sig");
+                Asm.Call "GetFieldID";
+                Asm.I (Insn.mov 6 (Insn.Reg 0));
+                (* SetIntField(obj, fid_copy, v) *)
+                mov 3 7;
+                Asm.I (Insn.mov 0 (Insn.Reg 9));
+                mov 1 4;
+                mov 2 6;
+                Asm.Call "SetIntField";
+                Asm.I (Insn.pop [ Insn.r4; Insn.r5; Insn.r6; Insn.pc ]);
+                Asm.Align4;
+                Asm.Label "f_secret";
+                Asm.Asciz "secret";
+                Asm.Label "f_copy";
+                Asm.Asciz "copy";
+                Asm.Label "f_sig";
+                Asm.Asciz "I" ] ) ]);
+    entry = (field_cls, "main");
+    expected_sink = "Socket.send" }
+
+let test_field_flow () =
+  Alcotest.(check bool) "NDroid detects" true (H.run H.Ndroid_full field_app).H.detected;
+  Alcotest.(check bool) "TaintDroid misses" false
+    (H.run H.Taintdroid_only field_app).H.detected
+
+(* ---- wide (64-bit) arguments through the bridge ---- *)
+
+let wide_cls = "LWide;"
+
+let wide_app : H.app =
+  { H.app_name = "wide-args";
+    app_case = "marshaling";
+    description = "long argument and result cross the bridge in two slots";
+    classes =
+      [ J.class_ ~name:wide_cls
+          [ J.native_method ~cls:wide_cls ~name:"dbl" ~shorty:"JJ" "dbl" ] ];
+    build_libs =
+      (fun extern ->
+        [ ( "wide",
+            Asm.assemble ~extern ~base:Layout.app_lib_base
+              [ Asm.Label "dbl";
+                (* lo in r2, hi in r3: 64-bit double via adds/adc *)
+                Asm.I (Insn.adds 0 2 (Insn.Reg 2));
+                Asm.I (Insn.adc 1 3 (Insn.Reg 3));
+                Asm.I Insn.bx_lr ] ) ]);
+    entry = (wide_cls, "dbl");
+    expected_sink = "" }
+
+let test_wide_args_value_and_taint () =
+  let device = H.boot wide_app in
+  ignore (Ndroid.attach device);
+  let v, t =
+    Device.run device wide_cls "dbl"
+      [| (Dvalue.Long 0x1_2345_6789L, Taint.sms) |]
+  in
+  Alcotest.(check bool) "doubled across the word boundary" true
+    (Dvalue.equal v (Dvalue.Long 0x2_468A_CF12L));
+  Alcotest.check check_taint "taint crossed both slots" Taint.sms t
+
+(* ---- vanilla still works with all new apps ---- *)
+
+let test_new_apps_run_vanilla () =
+  List.iter
+    (fun app ->
+      let o = H.run H.Vanilla app in
+      Alcotest.(check bool) (app.H.app_name ^ " is quiet under vanilla") false
+        o.H.detected)
+    [ exn_app; field_app ]
+
+let suite =
+  [ Alcotest.test_case "exception flow: NDroid detects" `Quick
+      test_exception_flow_ndroid_detects;
+    Alcotest.test_case "exception flow: TaintDroid misses" `Quick
+      test_exception_flow_taintdroid_misses;
+    Alcotest.test_case "field flow detected only by NDroid" `Quick test_field_flow;
+    Alcotest.test_case "wide args: value and taint" `Quick
+      test_wide_args_value_and_taint;
+    Alcotest.test_case "new apps quiet under vanilla" `Quick
+      test_new_apps_run_vanilla ]
+
+(* ---- polymorphic malware: every morph detected only by NDroid ---- *)
+
+let test_polymorphic_all_morphs () =
+  List.iter
+    (fun app ->
+      Alcotest.(check bool) (app.H.app_name ^ " caught by NDroid") true
+        (H.run H.Ndroid_full app).H.detected;
+      Alcotest.(check bool) (app.H.app_name ^ " missed by TaintDroid") false
+        (H.run H.Taintdroid_only app).H.detected)
+    Ndroid_apps.Polymorphic.variants
+
+let test_polymorphic_morphs_use_distinct_sinks () =
+  let sinks =
+    List.map
+      (fun app ->
+        match (H.run H.Ndroid_full app).H.leaks with
+        | l :: _ -> l.A.Sink_monitor.sink
+        | [] -> "(none)")
+      Ndroid_apps.Polymorphic.variants
+  in
+  Alcotest.(check (list string)) "three different sinks"
+    [ "send"; "fprintf"; "Socket.send" ] sinks
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "polymorphic: all morphs" `Quick
+        test_polymorphic_all_morphs;
+      Alcotest.test_case "polymorphic: distinct sinks" `Quick
+        test_polymorphic_morphs_use_distinct_sinks ]
+
+(* ---- the Sec. VI batch: 3 deliver, 1 leaks ---- *)
+
+let test_sec6_batch_counts () =
+  let vs = Ndroid_apps.Sec6_batch.summary () in
+  let delivered =
+    List.filter (fun v -> v.Ndroid_apps.Sec6_batch.delivered_to_native) vs
+  in
+  let leaked = List.filter (fun v -> v.Ndroid_apps.Sec6_batch.leaked) vs in
+  Alcotest.(check int) "8 apps" 8 (List.length vs);
+  Alcotest.(check int) "3 delivered" 3 (List.length delivered);
+  Alcotest.(check int) "1 leaked" 1 (List.length leaked);
+  Alcotest.(check string) "the leaker is ePhone" "ePhone3.3"
+    (List.hd leaked).Ndroid_apps.Sec6_batch.v_app
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "Sec. VI batch: 3 deliver, 1 leaks" `Quick
+        test_sec6_batch_counts ]

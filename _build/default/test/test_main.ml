@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "ndroid"
+    [ ("taint", Test_taint.suite);
+      ("arm", Test_arm.suite);
+      ("asm", Test_asm.suite);
+      ("dalvik", Test_dalvik.suite);
+      ("jni", Test_jni.suite);
+      ("android", Test_android.suite);
+      ("emulator", Test_emulator.suite);
+      ("runtime", Test_runtime.suite);
+      ("ndroid", Test_ndroid.suite);
+      ("corpus", Test_corpus.suite);
+      ("apps", Test_apps.suite);
+      ("extensions", Test_extensions.suite);
+      ("soundness", Test_soundness.suite);
+      ("integration", Test_integration.suite);
+      ("summaries", Test_summaries.suite);
+      ("tools", Test_tools.suite);
+      ("enforcement", Test_enforcement.suite);
+      ("artifacts", Test_artifacts.suite);
+      ("jni-surface", Test_jni_surface.suite);
+      ("dynload", Test_dynload.suite);
+      ("file-taint", Test_file_taint.suite);
+      ("stress", Test_stress.suite);
+      ("consistency", Test_consistency.suite);
+      ("misc", Test_misc.suite) ]

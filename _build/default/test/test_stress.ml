@@ -1,0 +1,147 @@
+(* Stress: deep Java <-> native ping-pong recursion, artifact parsers under
+   random corruption, and a long mixed workload with the GC running. *)
+
+module Device = Ndroid_runtime.Device
+module Machine = Ndroid_emulator.Machine
+module Layout = Ndroid_emulator.Layout
+module Vm = Ndroid_dalvik.Vm
+module Dvalue = Ndroid_dalvik.Dvalue
+module J = Ndroid_dalvik.Jbuilder
+module B = Ndroid_dalvik.Bytecode
+module Asm = Ndroid_arm.Asm
+module Insn = Ndroid_arm.Insn
+module Taint = Ndroid_taint.Taint
+module H = Ndroid_apps.Harness
+
+let tv ?(taint = Taint.clear) v : Vm.tval = (v, taint)
+let int32 n = Dvalue.Int (Int32.of_int n)
+let mov rd rm = Asm.I (Insn.mov rd (Insn.Reg rm))
+
+(* Java pingJava(n) calls native pingNative(n-1), which calls back
+   pingJava(n-1)... the bridge nests one native frame and one interpreter
+   frame per level. *)
+let cls = "LPong;"
+
+let pingpong_app : H.app =
+  { H.app_name = "pingpong";
+    app_case = "stress";
+    description = "deep Java<->native recursion";
+    classes =
+      [ J.class_ ~name:cls
+          [ J.native_method ~cls ~name:"pingNative" ~shorty:"II" "pingNative";
+            J.method_ ~cls ~name:"pingJava" ~shorty:"II" ~registers:6
+              [ J.Ifz_l (B.Le, 5, "base");
+                J.I (B.Binop_lit (B.Sub, 0, 5, 1l));
+                J.I (B.Invoke (B.Static, { B.m_class = cls;
+                                           m_name = "pingNative" }, [ 0 ]));
+                J.I (B.Move_result 1);
+                J.I (B.Binop_lit (B.Add, 1, 1, 1l));
+                J.I (B.Return 1);
+                J.L "base";
+                J.I (B.Const (0, Dvalue.Int 0l));
+                J.I (B.Return 0) ] ] ];
+    build_libs =
+      (fun extern ->
+        [ ( "pong",
+            Asm.assemble ~extern ~base:Layout.app_lib_base
+              [ Asm.Label "pingNative";
+                Asm.I (Insn.push [ Insn.r4; Insn.r5; Insn.lr ]);
+                Asm.I (Insn.mov 9 (Insn.Reg 0));
+                Asm.I (Insn.mov 4 (Insn.Reg 2)) (* n *);
+                Asm.La (1, "c");
+                Asm.Call "FindClass";
+                mov 1 0;
+                Asm.La (2, "m");
+                Asm.La (3, "s");
+                Asm.I (Insn.mov 0 (Insn.Reg 9));
+                Asm.Call "GetStaticMethodID";
+                mov 2 0;
+                mov 3 4;
+                Asm.I (Insn.mov 0 (Insn.Reg 9));
+                Asm.Call "CallStaticIntMethod";
+                Asm.I (Insn.add 0 0 (Insn.Imm 1));
+                Asm.I (Insn.pop [ Insn.r4; Insn.r5; Insn.pc ]);
+                Asm.Align4;
+                Asm.Label "c";
+                Asm.Asciz "LPong;";
+                Asm.Label "m";
+                Asm.Asciz "pingJava";
+                Asm.Label "s";
+                Asm.Asciz "(I)I" ] ) ]);
+    entry = (cls, "pingJava");
+    expected_sink = "" }
+
+let test_deep_pingpong () =
+  let device = H.boot pingpong_app in
+  ignore (Ndroid_core.Ndroid.attach device);
+  let depth = 40 in
+  let v, _ = Device.run device cls "pingJava" [| tv (int32 depth) |] in
+  (* each level adds 2 (one in Java, one in native) *)
+  Alcotest.(check bool) "depth x2" true (Dvalue.equal v (int32 (2 * depth)))
+
+let test_pingpong_carries_taint_down () =
+  let device = H.boot pingpong_app in
+  ignore (Ndroid_core.Ndroid.attach device);
+  let v, t = Device.run device cls "pingJava" [| (int32 10, Taint.imei) |] in
+  ignore v;
+  (* the counter is derived from the tainted input at every level *)
+  Alcotest.(check bool) "taint survives 10 crossings" true
+    (Taint.equal t Taint.imei)
+
+(* ---- artifact parsers never crash on corrupt input ---- *)
+
+let base_dex = lazy (Ndroid_dalvik.Dexfile.to_string Ndroid_apps.Cases.case1.H.classes)
+
+let prop_dex_corruption =
+  QCheck.Test.make ~name:"corrupted dex parses or fails cleanly" ~count:300
+    QCheck.(pair (int_bound 10_000) (int_bound 255))
+    (fun (pos, byte) ->
+      let img = Bytes.of_string (Lazy.force base_dex) in
+      let pos = pos mod Bytes.length img in
+      Bytes.set img pos (Char.chr byte);
+      match Ndroid_dalvik.Dexfile.of_string (Bytes.to_string img) with
+      | _ -> true
+      | exception Ndroid_dalvik.Dexfile.Bad_dex _ -> true)
+
+let base_so =
+  lazy
+    (Ndroid_arm.Sofile.to_string
+       (Asm.assemble ~base:0x4A000000
+          [ Asm.Label "f"; Asm.I (Insn.mov 0 (Insn.Imm 1)); Asm.I Insn.bx_lr ]))
+
+let prop_so_corruption =
+  QCheck.Test.make ~name:"corrupted so parses or fails cleanly" ~count:300
+    QCheck.(pair (int_bound 10_000) (int_bound 255))
+    (fun (pos, byte) ->
+      let img = Bytes.of_string (Lazy.force base_so) in
+      let pos = pos mod Bytes.length img in
+      Bytes.set img pos (Char.chr byte);
+      match Ndroid_arm.Sofile.of_string (Bytes.to_string img) with
+      | _ -> true
+      | exception Ndroid_arm.Sofile.Bad_sofile _ -> true)
+
+(* ---- sustained mixed load with periodic GC ---- *)
+
+let test_sustained_load_with_gc () =
+  let device = H.boot Ndroid_apps.Cases.case1' in
+  let nd = Ndroid_core.Ndroid.attach device in
+  for _round = 1 to 25 do
+    ignore (Device.run device "Lcom/ndroid/demos/Case1p;" "main" [||]);
+    Device.gc device
+  done;
+  (* one leak per round, all tagged 0x202 *)
+  let leaks = Ndroid_core.Ndroid.leaks nd in
+  Alcotest.(check int) "25 rounds, 25 leaks" 25 (List.length leaks);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "tag stable across GCs" true
+        (Taint.equal l.Ndroid_android.Sink_monitor.taint (Taint.of_bits 0x202)))
+    leaks
+
+let suite =
+  [ Alcotest.test_case "deep Java<->native ping-pong" `Quick test_deep_pingpong;
+    Alcotest.test_case "taint through 10 crossings" `Quick
+      test_pingpong_carries_taint_down;
+    Alcotest.test_case "sustained load with GC" `Quick test_sustained_load_with_gc;
+    QCheck_alcotest.to_alcotest prop_dex_corruption;
+    QCheck_alcotest.to_alcotest prop_so_corruption ]

@@ -1,0 +1,126 @@
+(* Taint label lattice, taint maps, shadow registers. *)
+
+module Taint = Ndroid_taint.Taint
+module Taint_map = Ndroid_taint.Taint_map
+module Shadow_regs = Ndroid_taint.Shadow_regs
+
+let check_taint = Alcotest.testable Taint.pp Taint.equal
+
+let test_predefined_values () =
+  (* TaintDroid's published constants, which the paper's logs use *)
+  Alcotest.(check int) "contacts" 0x2 (Taint.to_bits Taint.contacts);
+  Alcotest.(check int) "sms" 0x200 (Taint.to_bits Taint.sms);
+  Alcotest.(check int) "imei" 0x400 (Taint.to_bits Taint.imei);
+  Alcotest.(check int) "imsi" 0x800 (Taint.to_bits Taint.imsi);
+  Alcotest.(check int) "iccid" 0x1000 (Taint.to_bits Taint.iccid);
+  Alcotest.(check int) "location" 0x1 (Taint.to_bits Taint.location)
+
+let test_paper_log_values () =
+  (* 0x202 (Fig. 6) and 0x1602 (Fig. 9) decompose as the paper implies *)
+  let qq = Taint.union Taint.contacts Taint.sms in
+  Alcotest.(check int) "contacts|sms" 0x202 (Taint.to_bits qq);
+  let poc3 =
+    List.fold_left Taint.union Taint.clear
+      [ Taint.contacts; Taint.sms; Taint.imei; Taint.iccid ]
+  in
+  Alcotest.(check int) "0x1602" 0x1602 (Taint.to_bits poc3)
+
+let test_union_basics () =
+  Alcotest.check check_taint "clear is identity"
+    Taint.contacts (Taint.union Taint.clear Taint.contacts);
+  Alcotest.(check bool) "clear is clear" true (Taint.is_clear Taint.clear);
+  Alcotest.(check bool) "tainted" true (Taint.is_tainted Taint.sms);
+  Alcotest.(check bool) "subset" true
+    (Taint.subset Taint.sms (Taint.union Taint.sms Taint.imei));
+  Alcotest.(check bool) "not subset" false
+    (Taint.subset (Taint.union Taint.sms Taint.imei) Taint.sms)
+
+let test_categories () =
+  let t = Taint.union Taint.contacts Taint.sms in
+  Alcotest.(check (list string)) "names" [ "contacts"; "sms" ] (Taint.categories t);
+  Alcotest.(check string) "verbose"
+    "0x202(contacts|sms)"
+    (Format.asprintf "%a" Taint.pp_verbose t)
+
+let taint_gen = QCheck.map Taint.of_bits (QCheck.int_bound 0xFFFF)
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"taint union commutative" ~count:200
+    (QCheck.pair taint_gen taint_gen)
+    (fun (a, b) -> Taint.equal (Taint.union a b) (Taint.union b a))
+
+let prop_union_associative =
+  QCheck.Test.make ~name:"taint union associative" ~count:200
+    (QCheck.triple taint_gen taint_gen taint_gen)
+    (fun (a, b, c) ->
+      Taint.equal
+        (Taint.union a (Taint.union b c))
+        (Taint.union (Taint.union a b) c))
+
+let prop_union_idempotent =
+  QCheck.Test.make ~name:"taint union idempotent" ~count:200 taint_gen (fun a ->
+      Taint.equal (Taint.union a a) a)
+
+let prop_union_monotone =
+  QCheck.Test.make ~name:"operands are subsets of the union" ~count:200
+    (QCheck.pair taint_gen taint_gen)
+    (fun (a, b) -> Taint.subset a (Taint.union a b) && Taint.subset b (Taint.union a b))
+
+let test_map_ranges () =
+  let m = Taint_map.create () in
+  Taint_map.add_range m 100 8 Taint.sms;
+  Alcotest.check check_taint "inside" Taint.sms (Taint_map.get m 104);
+  Alcotest.check check_taint "outside" Taint.clear (Taint_map.get m 108);
+  Alcotest.check check_taint "range union" Taint.sms (Taint_map.get_range m 96 16);
+  Alcotest.(check int) "byte count" 8 (Taint_map.tainted_bytes m);
+  Taint_map.clear_range m 100 4;
+  Alcotest.(check int) "after clear" 4 (Taint_map.tainted_bytes m)
+
+let test_map_copy_overlapping () =
+  let m = Taint_map.create () in
+  Taint_map.set m 10 Taint.imei;
+  Taint_map.set m 11 Taint.sms;
+  (* overlapping forward copy must behave like memmove *)
+  Taint_map.copy_range m ~src:10 ~dst:11 ~len:2;
+  Alcotest.check check_taint "dst0" Taint.imei (Taint_map.get m 11);
+  Alcotest.check check_taint "dst1" Taint.sms (Taint_map.get m 12)
+
+let test_map_set_clears () =
+  let m = Taint_map.create () in
+  Taint_map.set m 5 Taint.sms;
+  Taint_map.set m 5 Taint.clear;
+  Alcotest.(check int) "clear removes the entry" 0 (Taint_map.tainted_bytes m)
+
+let test_shadow_regs () =
+  let s = Shadow_regs.create 16 in
+  Shadow_regs.set s 3 Taint.contacts;
+  Shadow_regs.add s 3 Taint.sms;
+  Alcotest.check check_taint "union via add" (Taint.of_bits 0x202)
+    (Shadow_regs.get s 3);
+  Alcotest.(check bool) "any" true (Shadow_regs.any_tainted s);
+  let snap = Shadow_regs.snapshot s in
+  Shadow_regs.clear_all s;
+  Alcotest.(check bool) "cleared" false (Shadow_regs.any_tainted s);
+  Shadow_regs.restore s snap;
+  Alcotest.check check_taint "restored" (Taint.of_bits 0x202) (Shadow_regs.get s 3)
+
+let test_shadow_bounds () =
+  let s = Shadow_regs.create 16 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Shadow_regs: register 16 out of range") (fun () ->
+      ignore (Shadow_regs.get s 16))
+
+let suite =
+  [ Alcotest.test_case "predefined tag values" `Quick test_predefined_values;
+    Alcotest.test_case "paper log tag values" `Quick test_paper_log_values;
+    Alcotest.test_case "union basics" `Quick test_union_basics;
+    Alcotest.test_case "category names" `Quick test_categories;
+    Alcotest.test_case "map ranges" `Quick test_map_ranges;
+    Alcotest.test_case "map overlapping copy" `Quick test_map_copy_overlapping;
+    Alcotest.test_case "map set clear removes" `Quick test_map_set_clears;
+    Alcotest.test_case "shadow registers" `Quick test_shadow_regs;
+    Alcotest.test_case "shadow register bounds" `Quick test_shadow_bounds;
+    QCheck_alcotest.to_alcotest prop_union_commutative;
+    QCheck_alcotest.to_alcotest prop_union_associative;
+    QCheck_alcotest.to_alcotest prop_union_idempotent;
+    QCheck_alcotest.to_alcotest prop_union_monotone ]
