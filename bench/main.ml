@@ -9,6 +9,7 @@
 *)
 
 module Taint = Ndroid_taint.Taint
+module Taint_map = Ndroid_taint.Taint_map
 module Insn = Ndroid_arm.Insn
 module Cpu = Ndroid_arm.Cpu
 module Asm = Ndroid_arm.Asm
@@ -571,6 +572,108 @@ let e12 () =
   Printf.printf "NDroid missed it: %b (expected: true — no control-flow taint)\n"
     missed
 
+(* ---------------------------------------------------------------- perf -- *)
+
+(* Native hot-path throughput: instructions/sec through the traced
+   (NDroid-attached) machine on the E8 native workloads, plus taint-map
+   operation throughput.  Writes BENCH_native.json so successive PRs can
+   track the trajectory of the per-instruction trace loop. *)
+
+let perf_iterations = 12000
+
+let perf_measure_workload device machine (w : CF.workload) =
+  (* one warmup run populates the decode cache, memory pages and policies *)
+  w.CF.w_run device ~iterations:perf_iterations;
+  let c0 = Machine.insn_count machine in
+  let t0 = now () in
+  let reps = ref 0 in
+  while now () -. t0 < 0.35 && !reps < 400 do
+    w.CF.w_run device ~iterations:perf_iterations;
+    incr reps
+  done;
+  let dt = now () -. t0 in
+  (Machine.insn_count machine - c0, dt)
+
+let perf_taint_ops () =
+  (* mixed range-op churn: the operation profile of the modeled libc
+     summaries (memcpy/memset/strcpy) plus per-insn loads and stores *)
+  let m = Taint_map.create () in
+  let ops = ref 0 in
+  let t0 = now () in
+  for _round = 0 to 49 do
+    for i = 0 to 63 do
+      let base = 0x30000000 + (i * 256) in
+      Taint_map.set_range m base 64 Taint.imei;
+      Taint_map.add_range m (base + 32) 64 Taint.sms;
+      ignore (Taint_map.get_range m base 128);
+      Taint_map.copy_range m ~src:base ~dst:(base + 0x10000) ~len:64;
+      Taint_map.clear_range m base 128;
+      ops := !ops + 5
+    done
+  done;
+  let dirty_dt = now () -. t0 in
+  (* the dominant case in practice: lookups against a fully clear map *)
+  Taint_map.reset m;
+  let probes = 2_000_000 in
+  let t1 = now () in
+  for i = 0 to probes - 1 do
+    ignore (Taint_map.get_range m (0x30000000 + (i land 0xFFFF)) 4)
+  done;
+  let clear_dt = now () -. t1 in
+  (float_of_int !ops /. dirty_dt, float_of_int probes /. clear_dt)
+
+let perf () =
+  section "PERF: native hot-path throughput (NDroid-attached E8 configuration)";
+  let device = H.boot CF.app in
+  CF.prepare device;
+  ignore (Ndroid.attach device);
+  let machine = Device.machine device in
+  (* isolate the trace loop from the simulated library-body charge (as A3) *)
+  Machine.set_host_fn_work machine 0;
+  let native = List.filter (fun w -> w.CF.w_kind = CF.Native) CF.workloads in
+  Printf.printf "%-22s %14s %10s %14s\n" "workload" "insns" "seconds"
+    "insns/sec";
+  let rows =
+    List.map
+      (fun (w : CF.workload) ->
+        let insns, dt = perf_measure_workload device machine w in
+        let ips = float_of_int insns /. dt in
+        Printf.printf "%-22s %14d %10.4f %14.0f\n%!" w.CF.w_name insns dt ips;
+        (w.CF.w_name, insns, dt, ips))
+      native
+  in
+  let total_insns = List.fold_left (fun a (_, i, _, _) -> a + i) 0 rows in
+  let total_dt = List.fold_left (fun a (_, _, d, _) -> a +. d) 0.0 rows in
+  let agg = float_of_int total_insns /. total_dt in
+  Printf.printf "%-22s %14d %10.4f %14.0f\n" "TOTAL" total_insns total_dt agg;
+  let taint_ops, clear_probes = perf_taint_ops () in
+  let hits, misses = Machine.icache_stats machine in
+  Printf.printf "taint range ops/sec:     %14.0f\n" taint_ops;
+  Printf.printf "clear-map get_range/sec: %14.0f\n" clear_probes;
+  Printf.printf "icache hits/misses:      %d/%d\n" hits misses;
+  let oc = open_out "BENCH_native.json" in
+  Printf.fprintf oc "{\n  \"experiment\": \"perf\",\n";
+  Printf.fprintf oc "  \"iterations_per_run\": %d,\n" perf_iterations;
+  Printf.fprintf oc "  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, insns, dt, ips) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"insns\": %d, \"seconds\": %.6f, \
+         \"insns_per_sec\": %.0f}%s\n"
+        name insns dt ips
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"total_insns\": %d,\n" total_insns;
+  Printf.fprintf oc "  \"total_seconds\": %.6f,\n" total_dt;
+  Printf.fprintf oc "  \"insns_per_sec\": %.0f,\n" agg;
+  Printf.fprintf oc "  \"taint_range_ops_per_sec\": %.0f,\n" taint_ops;
+  Printf.fprintf oc "  \"clear_map_get_range_per_sec\": %.0f,\n" clear_probes;
+  Printf.fprintf oc "  \"icache_hits\": %d,\n" hits;
+  Printf.fprintf oc "  \"icache_misses\": %d\n}\n" misses;
+  close_out oc;
+  Printf.printf "wrote BENCH_native.json\n"
+
 (* ------------------------------------------------- Bechamel micro-suite -- *)
 
 let micro () =
@@ -647,7 +750,7 @@ let all_experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("a1", a1); ("a2", a2);
-    ("a3", a3); ("micro", micro) ]
+    ("a3", a3); ("perf", perf); ("micro", micro) ]
 
 let () =
   Printf.printf

@@ -23,7 +23,9 @@ let create () =
     vfp_s = Array.make 32 0.0;
     vfp_d = Array.make 16 0.0 }
 
-let reg cpu i = cpu.regs.(i) land mask32
+(* Reads skip masking: every write path masks, so stored values are always
+   already in [0, 2^32). *)
+let reg cpu i = cpu.regs.(i)
 let set_reg cpu i v = cpu.regs.(i) <- v land mask32
 let pc cpu = reg cpu 15
 let set_pc cpu v = set_reg cpu 15 v

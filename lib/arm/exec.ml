@@ -73,7 +73,17 @@ let add_with_carry a b carry_in =
   let overflow = signed <> signed32 result in
   (result, carry, overflow)
 
-type outcome = { mutable branch_to : int option; mutable svc : int option }
+(* Per-step execution result.  The machine's trace loop reuses one [run]
+   across steps, so a step allocates nothing; -1 means "none". *)
+type run = {
+  mutable r_executed : bool;
+  mutable r_branch_to : int;
+  mutable r_is_call : bool;
+  mutable r_svc : int;
+}
+
+let run_create () =
+  { r_executed = false; r_branch_to = -1; r_is_call = false; r_svc = -1 }
 
 let interwork cpu target =
   if target land 1 = 1 then (
@@ -83,7 +93,7 @@ let interwork cpu target =
     cpu.Cpu.mode <- Cpu.Arm;
     target land lnot 3)
 
-let exec_dp cpu mode addr (out : outcome) op s rd rn op2 =
+let exec_dp cpu mode addr (out : run) op s rd rn op2 =
   let rn_v = read_op_reg cpu mode addr rn in
   let op2_v, shifter_c = eval_op2 cpu mode addr op2 in
   let logical result =
@@ -151,7 +161,7 @@ let exec_dp cpu mode addr (out : outcome) op s rd rn op2 =
   match result with
   | None -> ()
   | Some r ->
-    if rd = 15 then out.branch_to <- Some (interwork cpu r)
+    if rd = 15 then out.r_branch_to <- interwork cpu r
     else Cpu.set_reg cpu rd r
 
 let mem_offset_value cpu mode addr = function
@@ -160,7 +170,7 @@ let mem_offset_value cpu mode addr = function
     let v, _ = shifted (read_op_reg cpu mode addr rm) kind amount false in
     if up then v else -v
 
-let exec_mem cpu mem mode addr (out : outcome) ~load ~width ~rd ~rn ~offset ~pre
+let exec_mem cpu mem mode addr (out : run) ~load ~width ~rd ~rn ~offset ~pre
     ~writeback =
   let base = read_op_reg cpu mode addr rn in
   let off = mem_offset_value cpu mode addr offset in
@@ -172,7 +182,7 @@ let exec_mem cpu mem mode addr (out : outcome) ~load ~width ~rd ~rn ~offset ~pre
       | Insn.Byte -> Memory.read_u8 mem access_addr
       | Insn.Half -> Memory.read_u16 mem access_addr
     in
-    if rd = 15 then out.branch_to <- Some (interwork cpu v)
+    if rd = 15 then out.r_branch_to <- interwork cpu v
     else Cpu.set_reg cpu rd v)
   else begin
     let v = read_op_reg cpu mode addr rd in
@@ -184,9 +194,14 @@ let exec_mem cpu mem mode addr (out : outcome) ~load ~width ~rd ~rn ~offset ~pre
   if (not pre) || writeback then
     if not (load && rd = rn) then Cpu.set_reg cpu rn ((base + off) land mask32)
 
-let exec_block cpu mem (out : outcome) ~load ~rn ~mode:bmode ~writeback ~regs =
+(* Population count of a 16-bit register mask: LDM/STM register count. *)
+let popcount16 mask =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go (mask land 0xFFFF) 0
+
+let exec_block cpu mem (out : run) ~load ~rn ~mode:bmode ~writeback ~regs =
   let base = Cpu.reg cpu rn in
-  let count = List.length (Insn.regs_of_mask regs) in
+  let count = popcount16 regs in
   let start =
     match bmode with
     | Insn.IA -> base
@@ -199,20 +214,22 @@ let exec_block cpu mem (out : outcome) ~load ~rn ~mode:bmode ~writeback ~regs =
     | Insn.IA | Insn.IB -> base + (4 * count)
     | Insn.DA | Insn.DB -> base - (4 * count)
   in
+  (* walk mask bits lowest-register-first; no register list is built *)
   let addr = ref start in
-  List.iter
-    (fun r ->
+  for r = 0 to 15 do
+    if regs land (1 lsl r) <> 0 then begin
       if load then (
         let v = Memory.read_u32 mem (!addr land mask32) in
-        if r = 15 then out.branch_to <- Some (interwork cpu v)
+        if r = 15 then out.r_branch_to <- interwork cpu v
         else Cpu.set_reg cpu r v)
       else Memory.write_u32 mem (!addr land mask32) (Cpu.reg cpu r);
-      addr := !addr + 4)
-    (Insn.regs_of_mask regs);
+      addr := !addr + 4
+    end
+  done;
   if writeback && not (load && regs land (1 lsl rn) <> 0) then
     Cpu.set_reg cpu rn (final land mask32)
 
-let exec_vfp cpu mem mode addr (out : outcome) insn =
+let exec_vfp cpu mem mode addr (out : run) insn =
   ignore out;
   match insn with
   | Insn.Vdp { op; prec; vd; vn; vm; _ } ->
@@ -263,27 +280,30 @@ let exec_vfp cpu mem mode addr (out : outcome) insn =
       cpu.Cpu.vfp_s.(vd) <- Int32.float_of_bits i
   | _ -> assert false
 
+let decode_at cpu mem addr =
+  match cpu.Cpu.mode with
+  | Cpu.Arm -> (
+    let word = Memory.read_u32 mem addr in
+    match Decode.decode word with
+    | Some insn -> (insn, 4)
+    | None -> raise (Undefined (addr, word)))
+  | Cpu.Thumb -> (
+    let half = Memory.read_u16 mem addr in
+    let next = Some (Memory.read_u16 mem (addr + 2)) in
+    match Thumb.decode half next with
+    | Some (insn, size) -> (insn, size)
+    | None -> raise (Undefined (addr, half)))
+
 let fetch_decode ?icache cpu mem addr =
-  let cached = match icache with None -> None | Some c -> Icache.find c addr in
-  match cached with
-  | Some entry -> entry
-  | None ->
-    let entry =
-      match cpu.Cpu.mode with
-      | Cpu.Arm -> (
-        let word = Memory.read_u32 mem addr in
-        match Decode.decode word with
-        | Some insn -> (insn, 4)
-        | None -> raise (Undefined (addr, word)))
-      | Cpu.Thumb -> (
-        let half = Memory.read_u16 mem addr in
-        let next = Some (Memory.read_u16 mem (addr + 2)) in
-        match Thumb.decode half next with
-        | Some (insn, size) -> (insn, size)
-        | None -> raise (Undefined (addr, half)))
-    in
-    (match icache with None -> () | Some c -> Icache.store c addr entry);
-    entry
+  match icache with
+  | Some c ->
+    if Icache.probe c addr then Icache.cached c addr
+    else begin
+      let entry = decode_at cpu mem addr in
+      Icache.store c addr entry;
+      entry
+    end
+  | None -> decode_at cpu mem addr
 
 let is_return_insn insn =
   match insn with
@@ -292,15 +312,19 @@ let is_return_insn insn =
   | Insn.Dp { op = Insn.MOV; rd = 15; op2 = Insn.Reg 14; _ } -> true
   | _ -> false
 
-let step ?icache cpu mem =
-  let addr = Cpu.pc cpu in
+(* Execute an already-decoded instruction fetched from [addr], writing the
+   result into the caller-owned [out] record.  The machine's trace loop
+   decodes once, shares the result between its instruction listeners and
+   execution, and reuses a single [run] so the hot path allocates nothing. *)
+let step_into (out : run) cpu mem ~addr insn size =
   let mode = cpu.Cpu.mode in
-  let insn, size = fetch_decode ?icache cpu mem addr in
   let executed = Cpu.cond_passed cpu (Insn.cond_of insn) in
   (* Fall-through PC first; execution may override it. *)
   Cpu.set_pc cpu (addr + size);
-  let out = { branch_to = None; svc = None } in
-  let is_call = ref false in
+  out.r_executed <- executed;
+  out.r_branch_to <- -1;
+  out.r_is_call <- false;
+  out.r_svc <- -1;
   if executed then begin
     match insn with
     | Insn.Dp { op; s; rd; rn; op2; _ } -> exec_dp cpu mode addr out op s rd rn op2
@@ -340,34 +364,44 @@ let step ?icache cpu mem =
       let unit_size = match mode with Cpu.Arm -> 4 | Cpu.Thumb -> 2 in
       let target = (pc_read mode addr + (offset * unit_size)) land mask32 in
       if link then begin
-        is_call := true;
+        out.r_is_call <- true;
         let ret = addr + size in
         Cpu.set_reg cpu 14
           (match mode with Cpu.Arm -> ret | Cpu.Thumb -> ret lor 1)
       end;
-      out.branch_to <- Some target
+      out.r_branch_to <- target
     | Insn.Bx { link; rm; _ } ->
       let target = read_op_reg cpu mode addr rm in
       if link then begin
-        is_call := true;
+        out.r_is_call <- true;
         let ret = addr + size in
         Cpu.set_reg cpu 14
           (match mode with Cpu.Arm -> ret | Cpu.Thumb -> ret lor 1)
       end;
-      out.branch_to <- Some (interwork cpu target)
-    | Insn.Svc { imm; _ } -> out.svc <- Some imm
+      out.r_branch_to <- interwork cpu target
+    | Insn.Svc { imm; _ } -> out.r_svc <- imm
     | Insn.Vdp _ | Insn.Vmem _ | Insn.Vmov_core _ | Insn.Vcvt _ | Insn.Vcvt_int _ ->
       exec_vfp cpu mem mode addr out insn
   end;
-  (match out.branch_to with
-   | Some target -> Cpu.set_pc cpu target
-   | None -> ());
+  if out.r_branch_to >= 0 then Cpu.set_pc cpu out.r_branch_to
+
+(* Record-building variant for callers that want the full step summary. *)
+let step_decoded cpu mem ~addr insn size =
+  let mode = cpu.Cpu.mode in
+  let out = run_create () in
+  step_into out cpu mem ~addr insn size;
   { addr;
     insn;
     size;
     mode;
-    executed;
-    branch = (match out.branch_to with Some t -> Some (addr, t) | None -> None);
-    is_call = !is_call;
-    is_return = executed && is_return_insn insn;
-    svc = out.svc }
+    executed = out.r_executed;
+    branch =
+      (if out.r_branch_to >= 0 then Some (addr, out.r_branch_to) else None);
+    is_call = out.r_is_call;
+    is_return = out.r_executed && is_return_insn insn;
+    svc = (if out.r_svc >= 0 then Some out.r_svc else None) }
+
+let step ?icache cpu mem =
+  let addr = Cpu.pc cpu in
+  let insn, size = fetch_decode ?icache cpu mem addr in
+  step_decoded cpu mem ~addr insn size

@@ -33,3 +33,28 @@ val step : ?icache:Icache.t -> Cpu.t -> Memory.t -> step
 (** Execute one instruction at the current PC.  Updates all CPU and memory
     state, including the PC (fall-through or branch target).
     @raise Undefined on unsupported encodings. *)
+
+val step_decoded : Cpu.t -> Memory.t -> addr:int -> Insn.t -> int -> step
+(** [step_decoded cpu mem ~addr insn size] executes [insn], already decoded
+    from [addr] by {!fetch_decode}.  This is the trace loop's single-decode
+    path: the machine decodes once, shows the instruction to its listeners,
+    then executes the same decode result. *)
+
+(** Mutable per-step result for the allocation-free execution path.
+    Sentinel [-1] means "none" for {!field-r_branch_to} and {!field-r_svc}
+    (branch targets and SVC immediates are always non-negative). *)
+type run = {
+  mutable r_executed : bool;
+  mutable r_branch_to : int;
+  mutable r_is_call : bool;
+  mutable r_svc : int;
+}
+
+val run_create : unit -> run
+(** A fresh result record; the trace loop makes one and reuses it forever. *)
+
+val step_into : run -> Cpu.t -> Memory.t -> addr:int -> Insn.t -> int -> unit
+(** [step_into out cpu mem ~addr insn size] is {!step_decoded} writing into
+    the caller-owned [out] instead of allocating a {!type-step}: every field
+    of [out] is overwritten.  Callers that may re-enter the executor from an
+    event listener must copy what they need out of [out] before emitting. *)

@@ -1,24 +1,51 @@
+(* Direct-mapped decode cache: fetch address -> decoded instruction.
+
+   Slots are indexed by the halfword-aligned fetch address, so consecutive
+   ARM (4-byte) and Thumb (2-byte) instructions land in distinct slots and a
+   lookup is two array reads — no hashing, no probing. *)
+
+let slot_bits = 13
+let slots = 1 lsl slot_bits
+
 type t = {
-  table : (int, Insn.t * int) Hashtbl.t;
+  addrs : int array;  (* -1 = empty slot *)
+  entries : (Insn.t * int) array;
   mutable hits : int;
   mutable misses : int;
 }
 
-let create () = { table = Hashtbl.create 4096; hits = 0; misses = 0 }
+let dummy_entry = (Insn.bx_lr, 4)
 
-let find c addr =
-  match Hashtbl.find_opt c.table addr with
-  | Some _ as r ->
+let create () =
+  { addrs = Array.make slots (-1);
+    entries = Array.make slots dummy_entry;
+    hits = 0;
+    misses = 0 }
+
+let slot addr = (addr lsr 1) land (slots - 1)
+
+let probe c addr =
+  let i = slot addr in
+  if c.addrs.(i) = addr then begin
     c.hits <- c.hits + 1;
-    r
-  | None ->
+    true
+  end
+  else begin
     c.misses <- c.misses + 1;
-    None
+    false
+  end
 
-let store c addr entry = Hashtbl.replace c.table addr entry
+let cached c addr = c.entries.(slot addr)
+
+let find c addr = if probe c addr then Some (cached c addr) else None
+
+let store c addr entry =
+  let i = slot addr in
+  c.addrs.(i) <- addr;
+  c.entries.(i) <- entry
 
 let clear c =
-  Hashtbl.reset c.table;
+  Array.fill c.addrs 0 slots (-1);
   c.hits <- 0;
   c.misses <- 0
 

@@ -4,7 +4,9 @@
     the handler, NDroid caches hot instructions and the corresponding
     handlers" (paper, Sec. V-C).  The cache maps a fetch address to the
     decoded instruction and its byte size, avoiding re-decoding in loops.
-    Disable it to run ablation A1. *)
+    It is direct-mapped over halfword-aligned addresses: a lookup is two
+    array reads, and a conflicting address silently evicts the previous
+    tenant.  Disable it to run ablation A1. *)
 
 type t
 
@@ -12,6 +14,14 @@ val create : unit -> t
 val find : t -> int -> (Insn.t * int) option
 val store : t -> int -> Insn.t * int -> unit
 val clear : t -> unit
+
+val probe : t -> int -> bool
+(** Counter-updating membership test.  The allocation-free hit path of the
+    trace loop: on [true], read the entry with {!cached}. *)
+
+val cached : t -> int -> Insn.t * int
+(** The entry stored in [addr]'s slot — meaningful only immediately after
+    {!probe} returned [true] for the same address. *)
 
 val hits : t -> int
 (** Lookup hits since creation (or the last {!clear}). *)

@@ -2,18 +2,32 @@ let page_bits = 12
 let page_size = 1 lsl page_bits
 let page_mask = page_size - 1
 
-type t = { pages : (int, Bytes.t) Hashtbl.t }
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable last_key : int;  (* last-touched page cache; [no_key] = invalid *)
+  mutable last_page : Bytes.t;
+}
 
-let create () = { pages = Hashtbl.create 64 }
+let no_key = min_int
+
+let create () =
+  { pages = Hashtbl.create 64; last_key = no_key; last_page = Bytes.empty }
 
 let page m addr =
   let key = addr lsr page_bits in
-  match Hashtbl.find_opt m.pages key with
-  | Some p -> p
-  | None ->
-    let p = Bytes.make page_size '\000' in
-    Hashtbl.replace m.pages key p;
-    p
+  if m.last_key = key then m.last_page
+  else
+    match Hashtbl.find_opt m.pages key with
+    | Some p ->
+      m.last_key <- key;
+      m.last_page <- p;
+      p
+    | None ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.replace m.pages key p;
+      m.last_key <- key;
+      m.last_page <- p;
+      p
 
 let norm addr = addr land 0xFFFFFFFF
 
@@ -25,34 +39,68 @@ let write_u8 m addr v =
   let addr = norm addr in
   Bytes.set (page m addr) (addr land page_mask) (Char.chr (v land 0xFF))
 
-let read_u16 m addr = read_u8 m addr lor (read_u8 m (addr + 1) lsl 8)
+(* Word-wide fast paths: an access that falls inside one page is a single
+   fixed-width little-endian Bytes read/write instead of per-byte loops with
+   a page lookup each. *)
+
+let read_u16 m addr =
+  let a = norm addr in
+  let off = a land page_mask in
+  if off <= page_size - 2 then Bytes.get_uint16_le (page m a) off
+  else read_u8 m addr lor (read_u8 m (addr + 1) lsl 8)
 
 let read_u32 m addr =
-  read_u8 m addr
-  lor (read_u8 m (addr + 1) lsl 8)
-  lor (read_u8 m (addr + 2) lsl 16)
-  lor (read_u8 m (addr + 3) lsl 24)
+  let a = norm addr in
+  let off = a land page_mask in
+  if off <= page_size - 4 then
+    Int32.to_int (Bytes.get_int32_le (page m a) off) land 0xFFFFFFFF
+  else
+    read_u8 m addr
+    lor (read_u8 m (addr + 1) lsl 8)
+    lor (read_u8 m (addr + 2) lsl 16)
+    lor (read_u8 m (addr + 3) lsl 24)
 
 let write_u16 m addr v =
-  write_u8 m addr v;
-  write_u8 m (addr + 1) (v lsr 8)
+  let a = norm addr in
+  let off = a land page_mask in
+  if off <= page_size - 2 then Bytes.set_uint16_le (page m a) off (v land 0xFFFF)
+  else begin
+    write_u8 m addr v;
+    write_u8 m (addr + 1) (v lsr 8)
+  end
 
 let write_u32 m addr v =
-  write_u8 m addr v;
-  write_u8 m (addr + 1) (v lsr 8);
-  write_u8 m (addr + 2) (v lsr 16);
-  write_u8 m (addr + 3) (v lsr 24)
+  let a = norm addr in
+  let off = a land page_mask in
+  if off <= page_size - 4 then Bytes.set_int32_le (page m a) off (Int32.of_int v)
+  else begin
+    write_u8 m addr v;
+    write_u8 m (addr + 1) (v lsr 8);
+    write_u8 m (addr + 2) (v lsr 16);
+    write_u8 m (addr + 3) (v lsr 24)
+  end
 
 let read_bytes m addr n =
   let b = Bytes.create n in
-  for i = 0 to n - 1 do
-    Bytes.set b i (Char.chr (read_u8 m (addr + i)))
+  let pos = ref 0 in
+  while !pos < n do
+    let a = norm (addr + !pos) in
+    let off = a land page_mask in
+    let chunk = min (n - !pos) (page_size - off) in
+    Bytes.blit (page m a) off b !pos chunk;
+    pos := !pos + chunk
   done;
   b
 
 let write_bytes m addr b =
-  for i = 0 to Bytes.length b - 1 do
-    write_u8 m (addr + i) (Char.code (Bytes.get b i))
+  let n = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < n do
+    let a = norm (addr + !pos) in
+    let off = a land page_mask in
+    let chunk = min (n - !pos) (page_size - off) in
+    Bytes.blit b !pos (page m a) off chunk;
+    pos := !pos + chunk
   done
 
 let write_string m addr s = write_bytes m addr (Bytes.of_string s)
@@ -90,4 +138,8 @@ let write_f64 m addr f =
   write_u32 m (addr + 4) (Int64.to_int (Int64.shift_right_logical bits 32))
 
 let pages_touched m = Hashtbl.length m.pages
-let clear m = Hashtbl.reset m.pages
+
+let clear m =
+  Hashtbl.reset m.pages;
+  m.last_key <- no_key;
+  m.last_page <- Bytes.empty

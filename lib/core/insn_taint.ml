@@ -44,19 +44,18 @@ let mem_access_addr cpu addr ~rn ~offset ~pre =
 
 let width_bytes = function Insn.Word -> 4 | Insn.Byte -> 1 | Insn.Half -> 2
 
-let block_addresses cpu ~rn ~mode ~regs =
+let popcount16 mask =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go (mask land 0xFFFF) 0
+
+let block_start cpu ~rn ~mode ~regs =
   let base = Cpu.reg cpu rn in
-  let count = List.length (Insn.regs_of_mask regs) in
-  let start =
-    match mode with
-    | Insn.IA -> base
-    | Insn.IB -> base + 4
-    | Insn.DA -> base - (4 * count) + 4
-    | Insn.DB -> base - (4 * count)
-  in
-  List.mapi
-    (fun i r -> (r, (start + (4 * i)) land mask32))
-    (Insn.regs_of_mask regs)
+  let count = popcount16 regs in
+  match mode with
+  | Insn.IA -> base
+  | Insn.IB -> base + 4
+  | Insn.DA -> base - (4 * count) + 4
+  | Insn.DB -> base - (4 * count)
 
 let step engine cpu ~addr insn =
   if Cpu.cond_passed cpu (Insn.cond_of insn) then
@@ -109,18 +108,26 @@ let step engine cpu ~addr insn =
         (* t(M[addr]) := t(Rd) *)
         Taint_engine.set_mem engine a n (Taint_engine.reg engine rd)
     | Insn.Block { load; rn; mode; regs; _ } ->
-      let entries = block_addresses cpu ~rn ~mode ~regs in
-      if load then
+      (* walk mask bits lowest-register-first; no register list is built *)
+      let a = ref (block_start cpu ~rn ~mode ~regs) in
+      if load then begin
         let base_taint = Taint_engine.reg engine rn in
-        List.iter
-          (fun (r, a) ->
+        for r = 0 to 15 do
+          if regs land (1 lsl r) <> 0 then begin
             Taint_engine.set_reg engine r
-              (Taint.union (Taint_engine.mem engine a 4) base_taint))
-          entries
+              (Taint.union (Taint_engine.mem engine (!a land mask32) 4) base_taint);
+            a := !a + 4
+          end
+        done
+      end
       else
-        List.iter
-          (fun (r, a) -> Taint_engine.set_mem engine a 4 (Taint_engine.reg engine r))
-          entries
+        for r = 0 to 15 do
+          if regs land (1 lsl r) <> 0 then begin
+            Taint_engine.set_mem engine (!a land mask32) 4
+              (Taint_engine.reg engine r);
+            a := !a + 4
+          end
+        done
     | Insn.B _ | Insn.Bx _ | Insn.Svc _ -> ()
     | Insn.Vdp { op = _; prec; vd; vn; vm; _ } -> (
       match prec with

@@ -54,12 +54,28 @@ let any_tainted p =
 
 module Table = struct
   type policy = t
-  type nonrec t = (int, policy) Hashtbl.t
 
-  let create () : t = Hashtbl.create 32
-  let add table p = Hashtbl.replace table p.method_address p
-  let find table addr = Hashtbl.find_opt table addr
-  let size table = Hashtbl.length table
+  (* Keyed by method address.  The registered-address bounds let the
+     per-instruction lookup in the trace loop reject almost every address
+     with two compares instead of a hashtable probe. *)
+  type nonrec t = {
+    tbl : (int, policy) Hashtbl.t;
+    mutable lo : int;
+    mutable hi : int;
+  }
+
+  let create () : t = { tbl = Hashtbl.create 32; lo = max_int; hi = min_int }
+
+  let add table p =
+    Hashtbl.replace table.tbl p.method_address p;
+    if p.method_address < table.lo then table.lo <- p.method_address;
+    if p.method_address > table.hi then table.hi <- p.method_address
+
+  let find table addr =
+    if addr < table.lo || addr > table.hi then None
+    else Hashtbl.find_opt table.tbl addr
+
+  let size table = Hashtbl.length table.tbl
 end
 
 let pp ppf p =

@@ -209,6 +209,33 @@ let libm_unary_f = [ "sinf"; "cosf"; "sqrtf"; "expf" ]
 let libm_binary_f = [ "powf"; "atan2f" ]
 let libm_binary_d = [ "pow"; "atan2"; "fmod" ]
 
+(* Precomputed classification of the modeled libm entry points: the post
+   handler's fallthrough case runs for every otherwise-unhandled host call,
+   so it must not scan string lists. *)
+type libm_kind = Lm_unary_f | Lm_binary_f | Lm_binary_d | Lm_unary_d
+
+let libm_kind =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace tbl n Lm_unary_f) libm_unary_f;
+  List.iter (fun n -> Hashtbl.replace tbl n Lm_binary_f) libm_binary_f;
+  List.iter (fun n -> Hashtbl.replace tbl n Lm_binary_d) libm_binary_d;
+  List.iter
+    (fun n -> if not (Hashtbl.mem tbl n) then Hashtbl.replace tbl n Lm_unary_d)
+    A.Syscalls.modeled_libm;
+  fun name -> Hashtbl.find_opt tbl name
+
+(* Host functions whose post handler reads pre-call argument registers; only
+   these pay the register snapshot on entry. *)
+let needs_pre_regs =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun n -> Hashtbl.replace tbl n ())
+    [ "strlen"; "atoi"; "atol"; "strtoul"; "strtol"; "strcmp"; "strcasecmp";
+      "strncmp"; "strncasecmp"; "memcmp"; "strchr"; "strrchr"; "strstr";
+      "memchr"; "strdup"; "sprintf"; "vsprintf"; "snprintf"; "vsnprintf";
+      "sscanf"; "fread"; "fgets"; "getc"; "read"; "strtod" ];
+  fun name -> Hashtbl.mem tbl name
+
 let on_post t name cpu mem pre_regs =
   let r i = Cpu.reg cpu i in
   let pre i = match pre_regs with Some a -> a.(i) | None -> r i in
@@ -313,26 +340,28 @@ let on_post t name cpu mem pre_regs =
     let tag = mt (pre 0) (cstr_len mem (pre 0)) in
     Taint_engine.set_reg t.engine 0 tag;
     Taint_engine.set_reg t.engine 1 tag
-  | _ ->
-    if List.mem name A.Syscalls.modeled_libm then begin
+  | _ -> (
+    match libm_kind name with
+    | None -> ()
+    | Some kind ->
       note t;
-      if List.mem name libm_unary_f then
-        Taint_engine.set_reg t.engine 0 (rt_pre 0)
-      else if List.mem name libm_binary_f then
-        Taint_engine.set_reg t.engine 0 (Taint.union (rt_pre 0) (rt_pre 1))
-      else begin
-        (* double based: result in r0:r1 *)
-        let tag =
-          if List.mem name libm_binary_d then
-            Taint.union
-              (Taint.union (rt_pre 0) (rt_pre 1))
-              (Taint.union (rt_pre 2) (rt_pre 3))
-          else Taint.union (rt_pre 0) (rt_pre 1)
-        in
-        Taint_engine.set_reg t.engine 0 tag;
-        Taint_engine.set_reg t.engine 1 tag
-      end
-    end
+      (match kind with
+       | Lm_unary_f -> Taint_engine.set_reg t.engine 0 (rt_pre 0)
+       | Lm_binary_f ->
+         Taint_engine.set_reg t.engine 0 (Taint.union (rt_pre 0) (rt_pre 1))
+       | Lm_binary_d ->
+         (* double based: result in r0:r1 *)
+         let tag =
+           Taint.union
+             (Taint.union (rt_pre 0) (rt_pre 1))
+             (Taint.union (rt_pre 2) (rt_pre 3))
+         in
+         Taint_engine.set_reg t.engine 0 tag;
+         Taint_engine.set_reg t.engine 1 tag
+       | Lm_unary_d ->
+         let tag = Taint.union (rt_pre 0) (rt_pre 1) in
+         Taint_engine.set_reg t.engine 0 tag;
+         Taint_engine.set_reg t.engine 1 tag))
 
 let attach device engine log =
   let machine = Device.machine device in
@@ -350,7 +379,9 @@ let attach device engine log =
       | Machine.Ev_host_pre hf
         when hf.Machine.hf_lib = "libc.so" || hf.Machine.hf_lib = "libm.so" ->
         let cpu = Machine.cpu machine and mem = Machine.mem machine in
-        t.pre_regs <- (hf.Machine.hf_name, Array.copy cpu.Cpu.regs) :: t.pre_regs;
+        if needs_pre_regs hf.Machine.hf_name then
+          t.pre_regs <-
+            (hf.Machine.hf_name, Array.copy cpu.Cpu.regs) :: t.pre_regs;
         on_pre t hf.Machine.hf_name cpu mem
       | Machine.Ev_host_post hf
         when hf.Machine.hf_lib = "libc.so" || hf.Machine.hf_lib = "libm.so" ->

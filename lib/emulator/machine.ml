@@ -7,9 +7,14 @@ module Asm = Ndroid_arm.Asm
 
 type host_fn = { hf_name : string; hf_lib : string; hf_addr : int }
 
+(* Ev_insn and Ev_branch have mutable payloads: the trace loop emits one
+   preallocated cell of each per machine, overwriting the fields each step,
+   so per-instruction event delivery allocates nothing.  Listeners must read
+   the fields during [emit] and never retain the event value. *)
 type event =
-  | Ev_insn of { addr : int; insn : Insn.t }
-  | Ev_branch of { from_ : int; to_ : int; is_call : bool }
+  | Ev_insn of { mutable addr : int; mutable insn : Insn.t }
+  | Ev_branch of { mutable from_ : int; mutable to_ : int;
+                   mutable is_call : bool }
   | Ev_host_pre of host_fn
   | Ev_host_post of host_fn
   | Ev_svc of int
@@ -21,13 +26,20 @@ type t = {
   m_mem : Memory.t;
   host_by_addr : (int, host_fn * (Cpu.t -> Memory.t -> unit)) Hashtbl.t;
   host_by_name : (string, host_fn * (Cpu.t -> Memory.t -> unit)) Hashtbl.t;
-  mutable listeners : (event -> unit) list;
+  (* mounted-address bounds: the trace loop's cheap "can this PC possibly be
+     a host function?" gate, so guest code pays no hashtable hit per step *)
+  mutable host_lo : int;
+  mutable host_hi : int;
+  mutable listeners : (event -> unit) array;
   mutable icache : Icache.t option;
   mutable insn_count : int;
   mutable host_calls : int;
   mutable libs : (string * int * int) list;
-  mutable fuel : int option;  (* set by the outermost call_native *)
+  mutable fuel : int;  (* set by the outermost call_native; -1 = unlimited *)
   mutable host_work : int;
+  scratch : Exec.run;  (* reused per-step result; never escapes [step] *)
+  ev_insn : event;  (* preallocated Ev_insn cell, fields rewritten per step *)
+  ev_branch : event;  (* preallocated Ev_branch cell, likewise *)
 }
 
 let create () =
@@ -37,13 +49,18 @@ let create () =
     m_mem = Memory.create ();
     host_by_addr = Hashtbl.create 256;
     host_by_name = Hashtbl.create 256;
-    listeners = [];
+    host_lo = max_int;
+    host_hi = min_int;
+    listeners = [||];
     icache = Some (Icache.create ());
     insn_count = 0;
     host_calls = 0;
     libs = Layout.regions;
-    fuel = None;
-    host_work = 2500 }
+    fuel = -1;
+    host_work = 2500;
+    scratch = Exec.run_create ();
+    ev_insn = Ev_insn { addr = 0; insn = Insn.bx_lr };
+    ev_branch = Ev_branch { from_ = 0; to_ = 0; is_call = false } }
 
 let cpu t = t.m_cpu
 let mem t = t.m_mem
@@ -73,6 +90,8 @@ let mount_host_fn t ~lib ~name ~addr run =
   let hf = { hf_name = name; hf_lib = lib; hf_addr = addr } in
   Hashtbl.replace t.host_by_addr addr (hf, run);
   Hashtbl.replace t.host_by_name name (hf, run);
+  if addr < t.host_lo then t.host_lo <- addr;
+  if addr > t.host_hi then t.host_hi <- addr;
   hf
 
 let host_fn_addr t name = (fst (Hashtbl.find t.host_by_name name)).hf_addr
@@ -82,26 +101,51 @@ let find_host_fn t addr =
   | Some (hf, _) -> Some hf
   | None -> None
 
-let add_listener t f = t.listeners <- t.listeners @ [ f ]
-let clear_listeners t = t.listeners <- []
+(* Listeners live in an array: attaching stays in attachment order without
+   the old quadratic list append, and emitting is an allocation-free indexed
+   loop. *)
+let add_listener t f = t.listeners <- Array.append t.listeners [| f |]
+let clear_listeners t = t.listeners <- [||]
+let has_listeners t = Array.length t.listeners > 0
 
-let emit t ev = List.iter (fun f -> f ev) t.listeners
+let emit t ev =
+  let ls = t.listeners in
+  for i = 0 to Array.length ls - 1 do
+    ls.(i) ev
+  done
+
+(* Rewrite the preallocated cells in place and hand them to the listeners. *)
+let emit_insn t ~addr ~insn =
+  (match t.ev_insn with
+   | Ev_insn r ->
+     r.addr <- addr;
+     r.insn <- insn
+   | _ -> assert false);
+  emit t t.ev_insn
 
 let emit_branch t ~from_ ~to_ ~is_call =
-  if t.listeners <> [] then emit t (Ev_branch { from_; to_; is_call })
+  if has_listeners t then begin
+    (match t.ev_branch with
+     | Ev_branch r ->
+       r.from_ <- from_;
+       r.to_ <- to_;
+       r.is_call <- is_call
+     | _ -> assert false);
+    emit t t.ev_branch
+  end
 
 let call_host t ~from_ name =
   let hf, run = Hashtbl.find t.host_by_name name in
   t.host_calls <- t.host_calls + 1;
   burn_host_work t;
-  if t.listeners <> [] then begin
-    emit t (Ev_branch { from_; to_ = hf.hf_addr; is_call = true });
+  if has_listeners t then begin
+    emit_branch t ~from_ ~to_:hf.hf_addr ~is_call:true;
     emit t (Ev_host_pre hf)
   end;
   run t.m_cpu t.m_mem;
-  if t.listeners <> [] then begin
+  if has_listeners t then begin
     emit t (Ev_host_post hf);
-    emit t (Ev_branch { from_ = hf.hf_addr; to_ = from_ + 4; is_call = false })
+    emit_branch t ~from_:hf.hf_addr ~to_:(from_ + 4) ~is_call:false
   end
 
 let load_program t prog =
@@ -112,24 +156,33 @@ let load_program t prog =
 let mask32 = 0xFFFFFFFF
 
 let burn t =
-  match t.fuel with
-  | Some n ->
-    if n <= 0 then raise (Runaway t.insn_count);
-    t.fuel <- Some (n - 1)
-  | None -> ()
+  let f = t.fuel in
+  if f >= 0 then begin
+    if f = 0 then raise (Runaway t.insn_count);
+    t.fuel <- f - 1
+  end
 
 (* One scheduling quantum: either dispatch a host function or execute one
-   guest instruction.  Returns unit; the caller polls the PC. *)
+   guest instruction.  Returns unit; the caller polls the PC.
+
+   Each step decodes at most once: the decode feeds both the Ev_insn
+   listeners and execution via Exec.step_decoded.  Host-function dispatch is
+   gated by the mounted-address bounds, so ordinary guest instructions skip
+   the host hashtable entirely. *)
 let step t =
   let pc = Cpu.pc t.m_cpu in
-  match Hashtbl.find_opt t.host_by_addr pc with
+  match
+    if pc >= t.host_lo && pc <= t.host_hi then
+      Hashtbl.find_opt t.host_by_addr pc
+    else None
+  with
   | Some (hf, run) ->
     burn t;
     t.host_calls <- t.host_calls + 1;
     burn_host_work t;
-    if t.listeners <> [] then emit t (Ev_host_pre hf);
+    if has_listeners t then emit t (Ev_host_pre hf);
     run t.m_cpu t.m_mem;
-    if t.listeners <> [] then emit t (Ev_host_post hf);
+    if has_listeners t then emit t (Ev_host_post hf);
     (* return to the caller, honouring interworking *)
     let ret = Cpu.lr t.m_cpu in
     if ret land 1 = 1 then begin
@@ -144,27 +197,29 @@ let step t =
   | None ->
     burn t;
     t.insn_count <- t.insn_count + 1;
-    if t.listeners <> [] then begin
-      let insn, _size = Exec.fetch_decode ?icache:t.icache t.m_cpu t.m_mem pc in
-      emit t (Ev_insn { addr = pc; insn })
-    end;
-    let s = Exec.step ?icache:t.icache t.m_cpu t.m_mem in
-    (match s.Exec.branch with
-     | Some (from_, to_) when t.listeners <> [] ->
-       emit t (Ev_branch { from_; to_; is_call = s.Exec.is_call })
-     | Some _ | None -> ());
-    (match s.Exec.svc with
-     | Some imm when t.listeners <> [] -> emit t (Ev_svc imm)
-     | Some _ | None -> ())
+    let insn, size = Exec.fetch_decode ?icache:t.icache t.m_cpu t.m_mem pc in
+    if has_listeners t then begin
+      emit_insn t ~addr:pc ~insn;
+      let s = t.scratch in
+      Exec.step_into s t.m_cpu t.m_mem ~addr:pc insn size;
+      (* copy out before emitting: a listener may re-enter [step] (e.g. a
+         hook running guest code) and clobber the shared scratch record *)
+      let branch_to = s.Exec.r_branch_to in
+      let is_call = s.Exec.r_is_call in
+      let svc = s.Exec.r_svc in
+      if branch_to >= 0 then emit_branch t ~from_:pc ~to_:branch_to ~is_call;
+      if svc >= 0 then emit t (Ev_svc svc)
+    end
+    else Exec.step_into t.scratch t.m_cpu t.m_mem ~addr:pc insn size
 
 let call_native t ?(fuel = 50_000_000) ~addr ~args ?(stack_args = []) () =
   let cpu = t.m_cpu in
   let saved = Cpu.copy cpu in
-  let outermost = t.fuel = None in
-  if outermost then t.fuel <- Some fuel;
+  let outermost = t.fuel < 0 in
+  if outermost then t.fuel <- fuel;
   Fun.protect
     ~finally:(fun () ->
-      if outermost then t.fuel <- None;
+      if outermost then t.fuel <- -1;
       (* restore everything; results were read before the restore *)
       Array.blit saved.Cpu.regs 0 cpu.Cpu.regs 0 16;
       cpu.Cpu.n <- saved.Cpu.n;

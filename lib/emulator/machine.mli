@@ -18,10 +18,15 @@ module Icache = Ndroid_arm.Icache
 
 type host_fn = { hf_name : string; hf_lib : string; hf_addr : int }
 
+(** [Ev_insn] and [Ev_branch] carry mutable payloads: the trace loop reuses
+    one preallocated cell of each, rewriting the fields per emission, so
+    per-instruction event delivery allocates nothing.  Listeners must read
+    the fields during the callback and never retain the event value. *)
 type event =
-  | Ev_insn of { addr : int; insn : Insn.t }
+  | Ev_insn of { mutable addr : int; mutable insn : Insn.t }
       (** emitted {e before} the instruction executes *)
-  | Ev_branch of { from_ : int; to_ : int; is_call : bool }
+  | Ev_branch of { mutable from_ : int; mutable to_ : int;
+                   mutable is_call : bool }
       (** any control transfer, including synthetic ones host functions emit
           when they call other host functions *)
   | Ev_host_pre of host_fn

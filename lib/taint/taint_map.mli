@@ -1,10 +1,13 @@
-(** Byte-granularity memory taint map.
+(** Byte-granularity memory taint map over page-based shadow memory.
 
     NDroid's taint engine keeps "a taint map to store the memories' taints"
-    with byte granularity (paper, Sec. V-E).  Keys are guest addresses; a
-    missing key means {!Taint.clear}.  The map is sparse, so tainting a few
-    buffers in a 4 GiB address space costs memory proportional to the number
-    of tainted bytes only. *)
+    with byte granularity (paper, Sec. V-E).  The store is a sparse page
+    table of lazily allocated 4 KiB tag pages mirroring the guest memory's
+    layout; an untainted address means {!Taint.clear}.  Every page carries a
+    tainted-byte summary and the map a global total, so lookups against a
+    fully clear map are O(1) and range operations over clear pages are
+    O(pages), both allocation-free — the dominant cases in the
+    per-instruction trace loop. *)
 
 type t
 

@@ -104,6 +104,139 @@ let test_shadow_regs () =
   Shadow_regs.restore s snap;
   Alcotest.check check_taint "restored" (Taint.of_bits 0x202) (Shadow_regs.get s 3)
 
+(* ---- shadow-memory map vs a naive per-byte reference model ---------- *)
+
+(* The reference model: one hashtable entry per tainted byte, every range
+   operation a byte loop, copies through a snapshot.  Deliberately the
+   simplest possible semantics to check the page-based map against. *)
+module Ref_model = struct
+  type t = (int, Taint.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+  let get m addr = Option.value ~default:Taint.clear (Hashtbl.find_opt m addr)
+
+  let set m addr tag =
+    if Taint.is_clear tag then Hashtbl.remove m addr
+    else Hashtbl.replace m addr tag
+
+  let add m addr tag = set m addr (Taint.union (get m addr) tag)
+
+  let set_range m addr n tag =
+    for i = 0 to n - 1 do
+      set m (addr + i) tag
+    done
+
+  let add_range m addr n tag =
+    for i = 0 to n - 1 do
+      add m (addr + i) tag
+    done
+
+  let clear_range m addr n =
+    for i = 0 to n - 1 do
+      Hashtbl.remove m (addr + i)
+    done
+
+  let get_range m addr n =
+    let acc = ref Taint.clear in
+    for i = 0 to n - 1 do
+      acc := Taint.union !acc (get m (addr + i))
+    done;
+    !acc
+
+  let copy_range m ~src ~dst ~len =
+    let snapshot = Array.init len (fun i -> get m (src + i)) in
+    for i = 0 to len - 1 do
+      set m (dst + i) snapshot.(i)
+    done
+
+  let tainted_bytes m = Hashtbl.length m
+end
+
+type map_op =
+  | Op_set of int * Taint.t
+  | Op_add of int * Taint.t
+  | Op_set_range of int * int * Taint.t
+  | Op_add_range of int * int * Taint.t
+  | Op_clear_range of int * int
+  | Op_copy_range of int * int * int
+  | Op_get_range of int * int
+
+(* Addresses straddle the 4 KiB page boundary at 0x1000 and lengths exceed a
+   chunk remainder, so multi-page paths, page summaries and the overlapping
+   copy directions all get exercised. *)
+let op_gen =
+  let open QCheck.Gen in
+  let addr = map (fun a -> 0x1000 - 40 + a) (int_bound 8300) in
+  let len = int_bound 70 in
+  let tag = map Taint.of_bits (int_bound 0xFFFF) in
+  frequency
+    [ (2, map2 (fun a t -> Op_set (a, t)) addr tag);
+      (2, map2 (fun a t -> Op_add (a, t)) addr tag);
+      (2, map3 (fun a n t -> Op_set_range (a, n, t)) addr len tag);
+      (2, map3 (fun a n t -> Op_add_range (a, n, t)) addr len tag);
+      (2, map2 (fun a n -> Op_clear_range (a, n)) addr len);
+      (2, map3 (fun s d n -> Op_copy_range (s, d, n)) addr addr len);
+      (1, map2 (fun a n -> Op_get_range (a, n)) addr len) ]
+
+let pp_op = function
+  | Op_set (a, t) -> Printf.sprintf "set %#x %#x" a (Taint.to_bits t)
+  | Op_add (a, t) -> Printf.sprintf "add %#x %#x" a (Taint.to_bits t)
+  | Op_set_range (a, n, t) ->
+    Printf.sprintf "set_range %#x %d %#x" a n (Taint.to_bits t)
+  | Op_add_range (a, n, t) ->
+    Printf.sprintf "add_range %#x %d %#x" a n (Taint.to_bits t)
+  | Op_clear_range (a, n) -> Printf.sprintf "clear_range %#x %d" a n
+  | Op_copy_range (s, d, n) -> Printf.sprintf "copy_range %#x->%#x %d" s d n
+  | Op_get_range (a, n) -> Printf.sprintf "get_range %#x %d" a n
+
+let apply_both m r op =
+  (match op with
+   | Op_set (a, t) ->
+     Taint_map.set m a t;
+     Ref_model.set r a t
+   | Op_add (a, t) ->
+     Taint_map.add m a t;
+     Ref_model.add r a t
+   | Op_set_range (a, n, t) ->
+     Taint_map.set_range m a n t;
+     Ref_model.set_range r a n t
+   | Op_add_range (a, n, t) ->
+     Taint_map.add_range m a n t;
+     Ref_model.add_range r a n t
+   | Op_clear_range (a, n) ->
+     Taint_map.clear_range m a n;
+     Ref_model.clear_range r a n
+   | Op_copy_range (s, d, n) ->
+     Taint_map.copy_range m ~src:s ~dst:d ~len:n;
+     Ref_model.copy_range r ~src:s ~dst:d ~len:n
+   | Op_get_range (a, n) ->
+     if not (Taint.equal (Taint_map.get_range m a n) (Ref_model.get_range r a n))
+     then
+       QCheck.Test.fail_reportf "get_range mismatch after %s" (pp_op op));
+  if Taint_map.tainted_bytes m <> Ref_model.tainted_bytes r then
+    QCheck.Test.fail_reportf "tainted_bytes mismatch after %s: map=%d ref=%d"
+      (pp_op op)
+      (Taint_map.tainted_bytes m)
+      (Ref_model.tainted_bytes r)
+
+let prop_map_matches_reference =
+  QCheck.Test.make ~name:"shadow map matches per-byte reference" ~count:150
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+       QCheck.Gen.(list_size (int_range 1 60) op_gen))
+    (fun ops ->
+      let m = Taint_map.create () and r = Ref_model.create () in
+      List.iter (apply_both m r) ops;
+      (* full per-byte sweep over the exercised window, including both page
+         boundaries the generator can reach *)
+      for addr = 0x1000 - 64 to 0x1000 + 8400 do
+        if not (Taint.equal (Taint_map.get m addr) (Ref_model.get r addr)) then
+          QCheck.Test.fail_reportf "byte %#x: map=%#x ref=%#x" addr
+            (Taint.to_bits (Taint_map.get m addr))
+            (Taint.to_bits (Ref_model.get r addr))
+      done;
+      true)
+
 let test_shadow_bounds () =
   let s = Shadow_regs.create 16 in
   Alcotest.check_raises "out of range"
@@ -123,4 +256,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_union_commutative;
     QCheck_alcotest.to_alcotest prop_union_associative;
     QCheck_alcotest.to_alcotest prop_union_idempotent;
-    QCheck_alcotest.to_alcotest prop_union_monotone ]
+    QCheck_alcotest.to_alcotest prop_union_monotone;
+    QCheck_alcotest.to_alcotest prop_map_matches_reference ]
