@@ -674,6 +674,153 @@ let perf () =
   close_out oc;
   Printf.printf "wrote BENCH_native.json\n"
 
+(* ----------------------------------------------------------- STATIC -- *)
+
+module St_analyzer = Ndroid_static.Analyzer
+module St_drive = Ndroid_static.Drive
+module St_report = Ndroid_static.Report
+module Apk = Ndroid_corpus.Apk
+
+let static_registry () =
+  Cases.all @ CS.all @ Ndroid_apps.Polymorphic.variants
+  @ Ndroid_apps.Sec6_batch.apps
+  @ [ Ndroid_apps.Evasion.app;
+      Ndroid_apps.Monkey.gated_app.Ndroid_apps.Monkey.app ]
+  |> List.fold_left
+       (fun acc a ->
+         if List.exists (fun b -> b.H.app_name = a.H.app_name) acc then acc
+         else a :: acc)
+       []
+  |> List.rev
+
+let static () =
+  section "STATIC: dex+native supergraph analysis vs. dynamic NDroid (E3 apps)";
+  let apps = static_registry () in
+  Printf.printf "%-22s %-8s %-8s %s\n" "app" "dynamic" "static" "agreement";
+  let rows =
+    List.map
+      (fun (app : H.app) ->
+        let dynamic = (H.run H.Ndroid_full app).H.detected in
+        let v = St_drive.verdict_of_app app in
+        let static_flag =
+          if app.H.expected_sink = "" then v.St_analyzer.v_flagged
+          else St_analyzer.flagged_at v app.H.expected_sink
+        in
+        let agreement =
+          match (dynamic, static_flag) with
+          | true, true -> "both detect"
+          | false, false -> "both clean"
+          | true, false -> "STATIC FALSE NEGATIVE"
+          | false, true -> "static-only (dynamic blind spot)"
+        in
+        Printf.printf "%-22s %-8s %-8s %s\n%!" app.H.app_name
+          (if dynamic then "detect" else "miss")
+          (if static_flag then "flag" else "clean")
+          agreement;
+        (app, dynamic, static_flag, v))
+      apps
+  in
+  let false_negs =
+    List.filter (fun (_, dyn, st, _) -> dyn && not st) rows
+  in
+  let evasion_flagged =
+    List.exists
+      (fun ((app : H.app), _, st, _) ->
+        app.H.app_name = Ndroid_apps.Evasion.app.H.app_name && st)
+      rows
+  in
+  let static_only =
+    List.filter (fun (_, dyn, st, _) -> st && not dyn) rows
+  in
+  Printf.printf "static false negatives: %d\n" (List.length false_negs);
+  Printf.printf "control-flow evasion app statically flagged: %b\n"
+    evasion_flagged;
+  (* market triage: how much of a 1,200-app slice can static analysis prune
+     before any dynamic run, and at what throughput? *)
+  let slice = 1200 in
+  Printf.printf "\ntriaging a %d-app market slice...\n%!" slice;
+  let params = Market.scaled slice in
+  let total = ref 0 and flagged = ref 0 in
+  let leaky_total = ref 0 and leaky_flagged = ref 0 in
+  let clean_flagged = ref 0 in
+  let t0 = now () in
+  Seq.iter
+    (fun model ->
+      incr total;
+      let leaky = Market.app_is_leaky model in
+      let v = St_analyzer.analyze_apk (Apk.of_app_model model) in
+      if leaky then incr leaky_total;
+      if v.St_analyzer.v_flagged then begin
+        incr flagged;
+        if leaky then incr leaky_flagged else incr clean_flagged
+      end)
+    (Market.generate params);
+  let dt = now () -. t0 in
+  let apps_per_sec = float_of_int !total /. dt in
+  let pruned = !total - !flagged in
+  let pruned_frac = float_of_int pruned /. float_of_int !total in
+  let market_fn = !leaky_total - !leaky_flagged in
+  Printf.printf "market slice:     %d apps in %.2fs (%.1f apps/sec)\n" !total dt
+    apps_per_sec;
+  Printf.printf "statically flagged: %d (%d known-leaky, %d over-approx)\n"
+    !flagged !leaky_flagged !clean_flagged;
+  Printf.printf "pruned for triage:  %d (%.1f%% of the slice)\n" pruned
+    (100.0 *. pruned_frac);
+  Printf.printf "leaky apps missed:  %d of %d\n" market_fn !leaky_total;
+  let oc = open_out "BENCH_static.json" in
+  Printf.fprintf oc "{\n  \"experiment\": \"static\",\n";
+  Printf.fprintf oc "  \"apps\": [\n";
+  List.iteri
+    (fun i ((app : H.app), dyn, st, (v : St_analyzer.verdict)) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"dynamic\": %b, \"static\": %b, \"flows\": %d, \
+         \"jni_sites\": %d, \"native_insns\": %d, \"rounds\": %d}%s\n"
+        app.H.app_name dyn st
+        (List.length v.St_analyzer.v_flows)
+        v.St_analyzer.v_jni_sites v.St_analyzer.v_native_insns
+        v.St_analyzer.v_rounds
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"static_false_negatives\": %d,\n"
+    (List.length false_negs);
+  Printf.fprintf oc "  \"static_only_detections\": %d,\n"
+    (List.length static_only);
+  Printf.fprintf oc "  \"evasion_app_flagged\": %b,\n" evasion_flagged;
+  Printf.fprintf oc "  \"market\": {\n";
+  Printf.fprintf oc "    \"slice\": %d,\n" !total;
+  Printf.fprintf oc "    \"flagged\": %d,\n" !flagged;
+  Printf.fprintf oc "    \"pruned\": %d,\n" pruned;
+  Printf.fprintf oc "    \"pruned_fraction\": %.4f,\n" pruned_frac;
+  Printf.fprintf oc "    \"known_leaky\": %d,\n" !leaky_total;
+  Printf.fprintf oc "    \"leaky_flagged\": %d,\n" !leaky_flagged;
+  Printf.fprintf oc "    \"leaky_missed\": %d,\n" market_fn;
+  Printf.fprintf oc "    \"seconds\": %.4f,\n" dt;
+  Printf.fprintf oc "    \"apps_per_sec\": %.1f\n" apps_per_sec;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_static.json\n";
+  if false_negs <> [] then begin
+    List.iter
+      (fun ((app : H.app), _, _, v) ->
+        Printf.eprintf "STATIC FALSE NEGATIVE: %s (expected sink %S)\n"
+          app.H.app_name app.H.expected_sink;
+        Format.eprintf "%a@." St_report.pp_verdict v)
+      false_negs;
+    exit 1
+  end;
+  if not evasion_flagged then begin
+    Printf.eprintf
+      "FAIL: control-flow evasion app not statically flagged (the static \
+       pass exists to cover exactly this dynamic blind spot)\n";
+    exit 1
+  end;
+  if market_fn > 0 then begin
+    Printf.eprintf "FAIL: %d known-leaky market apps statically missed\n"
+      market_fn;
+    exit 1
+  end
+
 (* ------------------------------------------------- Bechamel micro-suite -- *)
 
 let micro () =
@@ -750,7 +897,7 @@ let all_experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("a1", a1); ("a2", a2);
-    ("a3", a3); ("perf", perf); ("micro", micro) ]
+    ("a3", a3); ("perf", perf); ("static", static); ("micro", micro) ]
 
 let () =
   Printf.printf

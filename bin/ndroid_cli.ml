@@ -278,6 +278,33 @@ let cmd_dump name =
       natives;
     0
 
+let cmd_lint names json =
+  let apps =
+    match names with
+    | [] -> Ok registry
+    | names ->
+      List.fold_left
+        (fun acc name ->
+          match (acc, find_app name) with
+          | Error e, _ -> Error e
+          | _, Error e -> Error e
+          | Ok apps, Ok app -> Ok (apps @ [ app ]))
+        (Ok []) names
+  in
+  match apps with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok apps ->
+    let verdicts = List.map Ndroid_static.Drive.verdict_of_app apps in
+    if json then print_endline (Ndroid_static.Report.verdicts_json verdicts)
+    else
+      List.iter
+        (fun v -> Format.printf "%a" Ndroid_static.Report.pp_verdict v)
+        verdicts;
+    if List.exists (fun v -> v.Ndroid_static.Analyzer.v_flagged) verdicts then 3
+    else 0
+
 let cmd_monkey seeds events =
   let found =
     M.discovery_rate ~seeds ~events ~mode:H.Ndroid_full M.gated_app
@@ -375,6 +402,22 @@ let scan_cmd =
              classify by parsing them.")
     Term.(const cmd_scan $ total)
 
+let lint_cmd =
+  let apps_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"APP" ~doc:"Apps to lint (default: every bundled app).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit verdicts as a JSON array on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze apps without running them: parse the dex and \
+             native artifacts, build the JNI supergraph and report \
+             source-to-sink flows.  Exits 3 if any app is flagged.")
+    Term.(const cmd_lint $ apps_arg $ json_arg)
+
 let dump_cmd =
   let app_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"APP") in
   Cmd.v
@@ -388,4 +431,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
           [ list_cmd; run_cmd; matrix_cmd; study_cmd; monkey_cmd; disasm_cmd;
-            dump_cmd; scan_cmd; pack_cmd; classify_cmd ]))
+            dump_cmd; scan_cmd; pack_cmd; classify_cmd; lint_cmd ]))

@@ -7,11 +7,14 @@ type line = {
 }
 
 let range ?(mode = Cpu.Arm) ?(symbols = []) mem ~start ~size =
-  let label_at addr =
-    match List.find_opt (fun (_, a) -> a = addr) symbols with
-    | Some (name, _) -> Some name
-    | None -> None
-  in
+  (* index symbols once — a per-address List.find_opt makes the sweep
+     O(n·m) on large libraries *)
+  let index = Hashtbl.create (max 16 (List.length symbols)) in
+  List.iter
+    (fun (name, addr) ->
+      if not (Hashtbl.mem index addr) then Hashtbl.add index addr name)
+    symbols;
+  let label_at addr = Hashtbl.find_opt index addr in
   let rec sweep acc addr =
     if addr >= start + size then List.rev acc
     else

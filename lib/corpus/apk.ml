@@ -23,18 +23,28 @@ let invoke_of_sig signature regs =
     B.Invoke (B.Static, { B.m_class = cls; m_name = name }, regs)
   | _ -> B.Nop
 
+(* does the signature's return type say it produces a value? *)
+let sig_returns_value signature =
+  match String.rindex_opt signature ')' with
+  | Some i -> i + 1 < String.length signature && signature.[i + 1] <> 'V'
+  | None -> false
+
 (* a class whose onCreate body performs the dex's method references; load
-   calls take a string register, the rest take none (static data — the dex
-   is never executed, only scanned) *)
+   calls take the library-name string register, every other call takes the
+   running "last result" register (and stores its result back there when it
+   returns one) — so the materialized bodies carry a genuine def-use chain
+   from source results to sink arguments, not just a bag of call sites *)
 let main_class_of_dex package (dex : App_model.dex) =
   let cls = Printf.sprintf "L%s/Main;" (String.map (fun c -> if c = '.' then '/' else c) package) in
   let body =
-    [ B.Const_string (0, "native-lib") ]
-    @ List.map
+    [ B.Const_string (0, "native-lib"); B.Const (1, Dvalue.zero) ]
+    @ List.concat_map
         (fun signature ->
           if List.mem signature App_model.load_invocation_sigs then
-            invoke_of_sig signature [ 0 ]
-          else invoke_of_sig signature [])
+            [ invoke_of_sig signature [ 0 ] ]
+          else if sig_returns_value signature then
+            [ invoke_of_sig signature [ 1 ]; B.Move_result 1 ]
+          else [ invoke_of_sig signature [ 1 ] ])
         dex.App_model.method_refs
     @ [ B.Return_void ]
   in
@@ -93,22 +103,7 @@ let of_app_model (app : App_model.t) =
 
 (* ---- scanning ---- *)
 
-let insn_is_load_call = function
-  | B.Invoke (_, { B.m_class = "Ljava/lang/System;"; m_name }, _) ->
-    m_name = "loadLibrary" || m_name = "load"
-  | _ -> false
-
-let dex_calls_load image =
-  let classes = Dexfile.of_string image in
-  List.exists
-    (fun (c : Classes.class_def) ->
-      List.exists
-        (fun (m : Classes.method_def) ->
-          match m.Classes.m_body with
-          | Classes.Bytecode (code, _) -> Array.exists insn_is_load_call code
-          | Classes.Native _ | Classes.Intrinsic _ -> false)
-        c.Classes.c_methods)
-    classes
+let dex_calls_load = Classifier.dex_bytes_call_load
 
 let is_dex path =
   String.length path > 4 && String.sub path (String.length path - 4) 4 = ".dex"
@@ -118,15 +113,9 @@ let is_lib path = String.length path > 4 && String.sub path 0 4 = "lib/"
 let classify apk =
   let main_dex = List.assoc_opt "classes.dex" apk.entries in
   let embedded =
-    List.filter (fun (p, _) -> p <> "classes.dex" && is_dex p) apk.entries
+    List.filter_map
+      (fun (p, img) -> if p <> "classes.dex" && is_dex p then Some img else None)
+      apk.entries
   in
   let has_libs = List.exists (fun (p, _) -> is_lib p) apk.entries in
-  match main_dex with
-  | None -> if has_libs then Classifier.Type_III else Classifier.Not_native
-  | Some image ->
-    if dex_calls_load image then Classifier.Type_I
-    else if has_libs then
-      Classifier.Type_II
-        { loadable_via_embedded_dex =
-            List.exists (fun (_, img) -> dex_calls_load img) embedded }
-    else Classifier.Not_native
+  Classifier.classify_dex_bytes ~main_dex ~embedded_dexes:embedded ~has_libs

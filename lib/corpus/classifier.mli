@@ -21,6 +21,17 @@ type classification =
 val classify : App_model.t -> classification
 val classification_name : classification -> string
 
+val classify_dex_bytes :
+  main_dex:string option -> embedded_dexes:string list -> has_libs:bool ->
+  classification
+(** Same verdict computed from binary APK entries ([Dexfile] images) instead
+    of the symbolic app model; shares the classification core with
+    {!classify} so the two cannot drift.
+    @raise Ndroid_dalvik.Dexfile.Bad_dex on a malformed image. *)
+
+val dex_bytes_call_load : string -> bool
+(** Does this binary dex image invoke [System.loadLibrary]/[System.load]? *)
+
 val uses_native_libraries : App_model.t -> bool
 (** The headline "16.46% of them use native libraries" population:
     Type I. *)

@@ -114,6 +114,37 @@ let loader_refs params i =
   in
   sig_ :: common_method_refs params i
 
+(* A deterministic sliver of the market actually leaks: its dex references a
+   privacy source and then a sink, with the materialized bodies threading the
+   source's result to the sink's argument (Apk.main_class_of_dex).  These are
+   the apps a static triage pass must NOT prune. *)
+let source_sigs =
+  [ "Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String;";
+    "Landroid/telephony/TelephonyManager;->getSubscriberId()Ljava/lang/String;";
+    "Landroid/provider/ContactsProvider;->getContactEmail(I)Ljava/lang/String;";
+    "Landroid/provider/SmsProvider;->getSmsBody(I)Ljava/lang/String;" ]
+
+let sink_sigs =
+  [ "Ljava/net/Socket;->send(Ljava/lang/String;)V";
+    "Landroid/telephony/SmsManager;->sendTextMessage(Ljava/lang/String;)V";
+    "Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I" ]
+
+let leak_refs params i =
+  [ List.nth source_sigs (rand params i 34 (List.length source_sigs));
+    List.nth sink_sigs (rand params i 35 (List.length sink_sigs)) ]
+
+(* ~12% of Type I apps and ~3% of plain-Java apps leak *)
+let type1_leaky params i = rand params i 33 1000 < 120
+let java_leaky params i = rand params i 33 1000 < 30
+
+(* ground truth, rederivable from the artifacts alone *)
+let app_is_leaky (app : App_model.t) =
+  match app.main_dex with
+  | None -> false
+  | Some d ->
+    List.exists (fun r -> List.mem r source_sigs) d.method_refs
+    && List.exists (fun r -> List.mem r sink_sigs) d.method_refs
+
 let app params i =
   let q = quotas params in
   (* Band layout by id (the stream is a deterministic permutation of bands:
@@ -131,10 +162,14 @@ let app params i =
       if admob then admob_classes
       else native_classes params i (1 + rand params i 21 3)
     in
+    let refs =
+      loader_refs params i
+      @ (if type1_leaky params i then leak_refs params i else [])
+    in
     { app_id = i;
       package = package params i;
       category;
-      main_dex = Some { method_refs = loader_refs params i; native_decl_classes = decl };
+      main_dex = Some { method_refs = refs; native_decl_classes = decl };
       embedded_dexes = [];
       libs = (if without_libs then [] else libs_for params i category);
       downloads }
@@ -179,16 +214,20 @@ let app params i =
         :: libs_for params i category;
       downloads }
   end
-  else
+  else begin
     (* ---- plain Java app ---- *)
+    let refs =
+      common_method_refs params i
+      @ (if java_leaky params i then leak_refs params i else [])
+    in
     { app_id = i;
       package = package params i;
       category = uniform_category params i;
-      main_dex = Some { method_refs = common_method_refs params i;
-                        native_decl_classes = [] };
+      main_dex = Some { method_refs = refs; native_decl_classes = [] };
       embedded_dexes = [];
       libs = [];
       downloads }
+  end
 
 let generate params = Seq.init params.total (fun i -> app params i)
 

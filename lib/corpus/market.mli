@@ -38,6 +38,17 @@ val generate : params -> App_model.t Seq.t
 val app : params -> int -> App_model.t
 (** Generate one app by id (0-based), identical to the stream's element. *)
 
+val source_sigs : string list
+val sink_sigs : string list
+(** The privacy-source / sink method references the leaky sub-population
+    carries (~12% of Type I, ~3% of plain-Java apps).  Materialized bodies
+    thread the source's result into the sink's argument, so a static triage
+    pass must keep these apps. *)
+
+val app_is_leaky : App_model.t -> bool
+(** Ground truth for the triage benchmark, rederived from the app's own
+    method references (source AND sink present in the main dex). *)
+
 (** A published measurement of native-code prevalence, for the trend the
     paper's introduction traces: Zhou et al. measured 4.52% (May-Jun 2011)
     then 9.42% (Sep-Oct 2011); this paper measures 16.46% (Jun 2012 -

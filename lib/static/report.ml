@@ -1,0 +1,56 @@
+module Taint = Ndroid_taint.Taint
+module Classifier = Ndroid_corpus.Classifier
+
+let pp_verdict ppf (v : Analyzer.verdict) =
+  Format.fprintf ppf "%s: %s@." v.Analyzer.v_name
+    (if v.Analyzer.v_flagged then "FLAGGED" else "clean");
+  (match v.Analyzer.v_classification with
+   | Some c ->
+     Format.fprintf ppf "  classification:   %s@." (Classifier.classification_name c)
+   | None -> ());
+  Format.fprintf ppf "  loads native lib: %b@." v.Analyzer.v_loads_library;
+  Format.fprintf ppf "  JNI call sites:   %d@." v.Analyzer.v_jni_sites;
+  Format.fprintf ppf "  app methods:      %d@." v.Analyzer.v_methods;
+  Format.fprintf ppf "  native insns:     %d@." v.Analyzer.v_native_insns;
+  Format.fprintf ppf "  fixpoint rounds:  %d@." v.Analyzer.v_rounds;
+  List.iter
+    (fun f -> Format.fprintf ppf "  flow: %a@." Flow.pp f)
+    v.Analyzer.v_flows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let flow_json (f : Flow.t) =
+  Printf.sprintf
+    {|{"taint":"0x%x","sink":"%s","context":"%s","site":"%s"}|}
+    (Taint.to_bits f.Flow.f_taint)
+    (json_escape f.Flow.f_sink)
+    (Flow.context_name f.Flow.f_context)
+    (json_escape f.Flow.f_site)
+
+let verdict_json (v : Analyzer.verdict) =
+  let cls =
+    match v.Analyzer.v_classification with
+    | Some c -> Printf.sprintf {|"%s"|} (json_escape (Classifier.classification_name c))
+    | None -> "null"
+  in
+  Printf.sprintf
+    {|{"app":"%s","flagged":%b,"classification":%s,"loads_library":%b,"jni_sites":%d,"methods":%d,"native_insns":%d,"rounds":%d,"flows":[%s]}|}
+    (json_escape v.Analyzer.v_name)
+    v.Analyzer.v_flagged cls v.Analyzer.v_loads_library v.Analyzer.v_jni_sites
+    v.Analyzer.v_methods v.Analyzer.v_native_insns v.Analyzer.v_rounds
+    (String.concat "," (List.map flow_json v.Analyzer.v_flows))
+
+let verdicts_json vs =
+  "[" ^ String.concat ",\n " (List.map verdict_json vs) ^ "]"

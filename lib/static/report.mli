@@ -1,0 +1,9 @@
+(** Rendering static verdicts, human-readable and as JSON. *)
+
+val pp_verdict : Format.formatter -> Analyzer.verdict -> unit
+
+val verdict_json : Analyzer.verdict -> string
+(** One verdict as a JSON object. *)
+
+val verdicts_json : Analyzer.verdict list -> string
+(** A JSON array of verdicts, the [ndroid lint --json] payload. *)

@@ -23,4 +23,5 @@ let () =
       ("file-taint", Test_file_taint.suite);
       ("stress", Test_stress.suite);
       ("consistency", Test_consistency.suite);
-      ("misc", Test_misc.suite) ]
+      ("misc", Test_misc.suite);
+      ("static", Test_static.suite) ]

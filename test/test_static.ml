@@ -1,0 +1,287 @@
+(* Static analysis: CFG recovery, stream disassembly roundtrips, and the
+   static-vs-dynamic agreement property over the scenario apps. *)
+
+module T = Ndroid_taint.Taint
+module Insn = Ndroid_arm.Insn
+module Asm = Ndroid_arm.Asm
+module Disasm = Ndroid_arm.Disasm
+module Cpu = Ndroid_arm.Cpu
+module B = Ndroid_dalvik.Bytecode
+module Dvalue = Ndroid_dalvik.Dvalue
+module H = Ndroid_apps.Harness
+module Market = Ndroid_corpus.Market
+module Apk = Ndroid_corpus.Apk
+module Classifier = Ndroid_corpus.Classifier
+module St = Ndroid_static
+
+(* ---- Dalvik CFG recovery ---- *)
+
+(*  0: const v0
+    1: ifz-eq v0 -> 4
+    2: const v1
+    3: goto 5
+    4: const-string v1
+    5: return v1 *)
+let diamond =
+  [| B.Const (0, Dvalue.zero);
+     B.Ifz (B.Eq, 0, 4);
+     B.Const (1, Dvalue.zero);
+     B.Goto 5;
+     B.Const_string (1, "x");
+     B.Return 1 |]
+
+let test_dex_cfg_blocks () =
+  let cfg = St.Dex_cfg.of_code diamond in
+  let blocks = St.Dex_cfg.blocks cfg in
+  Alcotest.(check (list (pair int int)))
+    "diamond blocks"
+    [ (0, 2); (2, 4); (4, 5); (5, 6) ]
+    blocks;
+  Alcotest.(check (list int)) "if successors" [ 2; 4 ] (List.sort compare (St.Dex_cfg.succs cfg 1));
+  Alcotest.(check (list int)) "goto successor" [ 5 ] (St.Dex_cfg.succs cfg 3);
+  Alcotest.(check (list int)) "return has no successors" [] (St.Dex_cfg.succs cfg 5)
+
+let test_dex_cfg_reaching_defs () =
+  let cfg = St.Dex_cfg.of_code diamond in
+  Alcotest.(check (list int))
+    "both arms reach the return"
+    [ 2; 4 ]
+    (List.sort compare (St.Dex_cfg.reaching_defs cfg 5 1));
+  Alcotest.(check (list int))
+    "v0's only def"
+    [ 0 ]
+    (St.Dex_cfg.reaching_defs cfg 1 0)
+
+(* ---- native CFG recovery ---- *)
+
+let small_lib () =
+  let open Asm in
+  assemble ~base:0x4a000000
+    [ Label "f";
+      I (Insn.cmp 0 (Insn.Imm 0));
+      Br (Insn.NE, "skip");
+      I (Insn.mov 0 (Insn.Imm 1));
+      Label "skip";
+      I Insn.bx_lr;
+      Label "msg";
+      Asciz "hello" ]
+
+let test_native_cfg_blocks () =
+  let cfg = St.Native_cfg.of_program ~name:"small" (small_lib ()) in
+  let f = Option.get (St.Native_cfg.symbol_addr cfg "f") in
+  let skip = Option.get (St.Native_cfg.symbol_addr cfg "skip") in
+  let blocks = St.Native_cfg.basic_blocks cfg in
+  let starts = List.map (fun (s, _, _) -> s) blocks in
+  Alcotest.(check bool) "f is a leader" true (List.mem f starts);
+  Alcotest.(check bool) "branch target is a leader" true (List.mem skip starts);
+  let _, _, succs =
+    List.find (fun (s, _, _) -> s = f) blocks
+  in
+  Alcotest.(check bool) "conditional branch reaches skip" true
+    (List.mem skip succs)
+
+let test_native_cfg_cstring () =
+  let cfg = St.Native_cfg.of_program ~name:"small" (small_lib ()) in
+  let msg = Option.get (St.Native_cfg.symbol_addr cfg "msg") in
+  Alcotest.(check (option string)) "string at msg" (Some "hello")
+    (St.Native_cfg.cstring_at cfg msg);
+  (* data bytes live at odd addresses too: no thumb-bit clearing on reads *)
+  Alcotest.(check (option string)) "string at msg+1" (Some "ello")
+    (St.Native_cfg.cstring_at cfg (msg + 1));
+  Alcotest.(check (option string)) "out of image" None
+    (St.Native_cfg.cstring_at cfg 0x100)
+
+(* ---- random stream disassembly roundtrips ---- *)
+
+let arm_insn_gen =
+  let open QCheck.Gen in
+  let reg = int_bound 14 in
+  let op2 =
+    oneof
+      [ map (fun r -> Insn.Reg r) reg;
+        map (fun b -> Insn.Imm (b land 0xFF)) (int_bound 255);
+        map3
+          (fun r k n -> Insn.Reg_shift_imm (r, k, n))
+          reg
+          (oneofl [ Insn.LSL; Insn.LSR; Insn.ASR; Insn.ROR ])
+          (int_range 1 31) ]
+  in
+  let dp =
+    let op =
+      oneofl
+        [ Insn.AND; Insn.EOR; Insn.SUB; Insn.ADD; Insn.ORR; Insn.BIC;
+          Insn.MOV; Insn.MVN ]
+    in
+    map3
+      (fun op (rd, rn) (op2, s) ->
+        Insn.Dp
+          { cond = Insn.AL; op; s; rd;
+            rn = (if Insn.is_move_op op then 0 else rn); op2 })
+      op (pair reg reg) (pair op2 bool)
+  in
+  let mem =
+    map3
+      (fun (rd, rn) off load ->
+        Insn.Mem
+          { cond = Insn.AL; load; width = Insn.Word; rd; rn;
+            offset = Insn.Off_imm off; pre = true; writeback = false })
+      (pair reg reg)
+      (int_range (-255) 255)
+      bool
+  in
+  let branch =
+    map2
+      (fun offset link -> Insn.B { cond = Insn.AL; link; offset })
+      (int_range (-500) 500)
+      bool
+  in
+  oneof [ dp; dp; mem; branch ]
+
+let thumb_insn_gen =
+  let open QCheck.Gen in
+  let reg = int_bound 7 in
+  let imm8 = int_bound 255 in
+  oneof
+    [ map2 (fun rd k -> Insn.movs rd (Insn.Imm k)) reg imm8;
+      map2 (fun rd k -> Insn.adds rd rd (Insn.Imm k)) reg imm8;
+      map2 (fun rd k -> Insn.subs rd rd (Insn.Imm k)) reg imm8;
+      map2 (fun rd k -> Insn.cmp rd (Insn.Imm k)) reg imm8;
+      map2
+        (fun rd n ->
+          Insn.Dp
+            { cond = Insn.AL; op = Insn.MOV; s = true; rd; rn = 0;
+              op2 = Insn.Reg_shift_imm (rd, Insn.LSL, n) })
+        reg (int_range 1 31);
+      (* 32-bit Thumb BL *)
+      map
+        (fun offset -> Insn.B { cond = Insn.AL; link = true; offset })
+        (int_range (-1000) 1000) ]
+
+let stream_roundtrip mode insns =
+  let prog =
+    Asm.assemble ~mode ~base:0x4a000000 (List.map (fun i -> Asm.I i) insns)
+  in
+  let lines = Disasm.program prog in
+  List.length lines = List.length insns
+  && List.for_all2
+       (fun (l : Disasm.line) i -> l.Disasm.l_insn = Some i)
+       lines insns
+
+let prop_arm_stream_roundtrip =
+  QCheck.Test.make ~name:"ARM stream: assemble -> disassemble" ~count:200
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 20) arm_insn_gen)
+       ~print:(fun l -> String.concat "; " (List.map Insn.to_string l)))
+    (fun insns -> stream_roundtrip Cpu.Arm insns)
+
+let prop_thumb_stream_roundtrip =
+  QCheck.Test.make ~name:"Thumb stream: assemble -> disassemble (incl. BL)"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 20) thumb_insn_gen)
+       ~print:(fun l -> String.concat "; " (List.map Insn.to_string l)))
+    (fun insns -> stream_roundtrip Cpu.Thumb insns)
+
+(* ---- static vs. dynamic agreement over the scenario apps ---- *)
+
+let e3_apps () =
+  Ndroid_apps.Cases.all @ Ndroid_apps.Case_studies.all
+  @ Ndroid_apps.Polymorphic.variants
+
+let static_flagged (app : H.app) =
+  let v = St.Drive.verdict_of_app app in
+  if app.H.expected_sink = "" then v.St.Analyzer.v_flagged
+  else St.Analyzer.flagged_at v app.H.expected_sink
+
+let test_agreement () =
+  List.iter
+    (fun (app : H.app) ->
+      let dynamic = (H.run H.Ndroid_full app).H.detected in
+      if dynamic then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: dynamically detected => statically flagged"
+             app.H.app_name)
+          true (static_flagged app))
+    (e3_apps ())
+
+let test_evasion_statically_flagged () =
+  let app = Ndroid_apps.Evasion.app in
+  Alcotest.(check bool) "dynamic NDroid misses the evasion app (by design)"
+    false
+    (H.run H.Ndroid_full app).H.detected;
+  Alcotest.(check bool) "static control-flow taint flags it" true
+    (St.Drive.verdict_of_app app).St.Analyzer.v_flagged
+
+let test_flow_contexts () =
+  (* case4 leaks from native code (sendto); case3 hands the data back to
+     Java which sends it — the verdicts must keep the contexts apart *)
+  let case4 = List.find (fun a -> a.H.app_name = "case4") Ndroid_apps.Cases.all in
+  let v4 = St.Drive.verdict_of_app case4 in
+  Alcotest.(check bool) "case4 flags a native sendto flow" true
+    (List.exists
+       (fun (f : St.Flow.t) ->
+         f.St.Flow.f_sink = "sendto" && f.St.Flow.f_context = St.Flow.Native_ctx)
+       v4.St.Analyzer.v_flows);
+  let case3 = List.find (fun a -> a.H.app_name = "case3") Ndroid_apps.Cases.all in
+  let v3 = St.Drive.verdict_of_app case3 in
+  Alcotest.(check bool) "case3 flags a Java-context Socket.send flow" true
+    (List.exists
+       (fun (f : St.Flow.t) ->
+         f.St.Flow.f_sink = "Socket.send"
+         && f.St.Flow.f_context = St.Flow.Java_ctx)
+       v3.St.Analyzer.v_flows)
+
+let test_clean_apps_stay_clean () =
+  (* the Sec. VI batch mixes one real leaker (ePhone) with benign apps;
+     the benign ones — dynamically clean — must not be flagged statically *)
+  List.iter
+    (fun (app : H.app) ->
+      if not (H.run H.Ndroid_full app).H.detected then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s stays clean" app.H.app_name)
+          false
+          (St.Drive.verdict_of_app app).St.Analyzer.v_flagged)
+    Ndroid_apps.Sec6_batch.apps
+
+(* ---- market slice: APK-level soundness and classifier agreement ---- *)
+
+let test_market_soundness () =
+  let params = Market.scaled 300 in
+  let leaky = ref 0 and missed = ref 0 in
+  Seq.iter
+    (fun model ->
+      if Market.app_is_leaky model then begin
+        incr leaky;
+        let v = St.Analyzer.analyze_apk (Apk.of_app_model model) in
+        if not v.St.Analyzer.v_flagged then incr missed
+      end)
+    (Market.generate params);
+  Alcotest.(check bool) "slice contains leaky apps" true (!leaky > 0);
+  Alcotest.(check int) "no leaky market app statically missed" 0 !missed
+
+let test_classifier_agreement () =
+  let params = Market.scaled 150 in
+  Seq.iter
+    (fun model ->
+      let symbolic = Classifier.classify model in
+      let binary = Apk.classify (Apk.of_app_model model) in
+      Alcotest.(check string) "symbolic and artifact-level verdicts agree"
+        (Classifier.classification_name symbolic)
+        (Classifier.classification_name binary))
+    (Market.generate params)
+
+let suite =
+  [ Alcotest.test_case "dex cfg: diamond blocks" `Quick test_dex_cfg_blocks;
+    Alcotest.test_case "dex cfg: reaching defs" `Quick test_dex_cfg_reaching_defs;
+    Alcotest.test_case "native cfg: block recovery" `Quick test_native_cfg_blocks;
+    Alcotest.test_case "native cfg: cstring reads" `Quick test_native_cfg_cstring;
+    Alcotest.test_case "static/dynamic agreement (E3 apps)" `Quick test_agreement;
+    Alcotest.test_case "evasion app flagged statically" `Quick
+      test_evasion_statically_flagged;
+    Alcotest.test_case "flow contexts" `Quick test_flow_contexts;
+    Alcotest.test_case "benign batch stays clean" `Quick
+      test_clean_apps_stay_clean;
+    Alcotest.test_case "market slice soundness" `Quick test_market_soundness;
+    Alcotest.test_case "classifier agreement" `Quick test_classifier_agreement;
+    QCheck_alcotest.to_alcotest prop_arm_stream_roundtrip;
+    QCheck_alcotest.to_alcotest prop_thumb_stream_roundtrip ]
