@@ -681,17 +681,25 @@ module St_drive = Ndroid_static.Drive
 module St_report = Ndroid_static.Report
 module Apk = Ndroid_corpus.Apk
 
-let static_registry () =
-  Cases.all @ CS.all @ Ndroid_apps.Polymorphic.variants
-  @ Ndroid_apps.Sec6_batch.apps
-  @ [ Ndroid_apps.Evasion.app;
-      Ndroid_apps.Monkey.gated_app.Ndroid_apps.Monkey.app ]
-  |> List.fold_left
-       (fun acc a ->
-         if List.exists (fun b -> b.H.app_name = a.H.app_name) acc then acc
-         else a :: acc)
-       []
-  |> List.rev
+let static_registry () = Ndroid_apps.Registry.all
+
+(* Workers for the sharded sweeps; set with `--jobs N`. *)
+let jobs_flag = ref 4
+
+module Task = Ndroid_pipeline.Task
+module Pool = Ndroid_pipeline.Pool
+module P_cache = Ndroid_pipeline.Cache
+module Rj = Ndroid_report.Json
+module Verdict = Ndroid_report.Verdict
+
+(* Sweep a market slice through the pipeline and return reports in id
+   order — sequential in-process at jobs=1, forked pool beyond. *)
+let sweep_slice ~jobs params =
+  let tasks = Task.of_market_slice params in
+  if jobs <= 1 then (Pool.run_inline tasks, None)
+  else
+    let reports, stats = Pool.run (Pool.config ~jobs ()) tasks in
+    (reports, Some stats)
 
 let static () =
   section "STATIC: dex+native supergraph analysis vs. dynamic NDroid (E3 apps)";
@@ -703,7 +711,7 @@ let static () =
         let dynamic = (H.run H.Ndroid_full app).H.detected in
         let v = St_drive.verdict_of_app app in
         let static_flag =
-          if app.H.expected_sink = "" then v.St_analyzer.v_flagged
+          if app.H.expected_sink = "" then St_analyzer.flagged v
           else St_analyzer.flagged_at v app.H.expected_sink
         in
         let agreement =
@@ -738,19 +746,21 @@ let static () =
   (* market triage: how much of a 1,200-app slice can static analysis prune
      before any dynamic run, and at what throughput? *)
   let slice = 1200 in
-  Printf.printf "\ntriaging a %d-app market slice...\n%!" slice;
+  let jobs = !jobs_flag in
+  Printf.printf "\ntriaging a %d-app market slice (--jobs %d)...\n%!" slice
+    jobs;
   let params = Market.scaled slice in
   let total = ref 0 and flagged = ref 0 in
   let leaky_total = ref 0 and leaky_flagged = ref 0 in
   let clean_flagged = ref 0 in
   let t0 = now () in
-  Seq.iter
-    (fun model ->
+  let reports, _stats = sweep_slice ~jobs params in
+  Seq.iteri
+    (fun i model ->
       incr total;
       let leaky = Market.app_is_leaky model in
-      let v = St_analyzer.analyze_apk (Apk.of_app_model model) in
       if leaky then incr leaky_total;
-      if v.St_analyzer.v_flagged then begin
+      if Verdict.flagged reports.(i).Verdict.r_verdict then begin
         incr flagged;
         if leaky then incr leaky_flagged else incr clean_flagged
       end)
@@ -776,7 +786,7 @@ let static () =
         "    {\"name\": %S, \"dynamic\": %b, \"static\": %b, \"flows\": %d, \
          \"jni_sites\": %d, \"native_insns\": %d, \"rounds\": %d}%s\n"
         app.H.app_name dyn st
-        (List.length v.St_analyzer.v_flows)
+        (List.length (St_analyzer.flows v))
         v.St_analyzer.v_jni_sites v.St_analyzer.v_native_insns
         v.St_analyzer.v_rounds
         (if i = List.length rows - 1 then "" else ","))
@@ -789,6 +799,7 @@ let static () =
   Printf.fprintf oc "  \"evasion_app_flagged\": %b,\n" evasion_flagged;
   Printf.fprintf oc "  \"market\": {\n";
   Printf.fprintf oc "    \"slice\": %d,\n" !total;
+  Printf.fprintf oc "    \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "    \"flagged\": %d,\n" !flagged;
   Printf.fprintf oc "    \"pruned\": %d,\n" pruned;
   Printf.fprintf oc "    \"pruned_fraction\": %.4f,\n" pruned_frac;
@@ -820,6 +831,174 @@ let static () =
       market_fn;
     exit 1
   end
+
+(* --------------------------------------------------------- PIPELINE -- *)
+
+(* The sharded sweep's value on a market corpus is not CPU parallelism (a
+   single app analyzes in microseconds) but straggler isolation: one
+   pathological APK that hangs or kills its analyzer must cost one per-app
+   budget on one worker, not wedge the whole sweep.  At --jobs 1 the
+   injected stragglers' budgets serialize; at --jobs N they overlap, which
+   is where the wall-clock speedup below comes from — on any machine,
+   including this repo's single-core CI runners. *)
+
+let rm_rf_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.iter (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ()) names;
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+let pipeline () =
+  section
+    "PIPELINE: sharded market sweep - straggler isolation, crash recovery, \
+     caching";
+  let slice = 1200 in
+  let timeout = 0.4 in
+  let jobs_n = max 2 !jobs_flag in
+  let params = Market.scaled slice in
+  let clean_tasks = Task.of_market_slice params in
+  (* deterministic pathology: the same apps hang/crash in every run, so
+     jobs=1 and jobs=N must still produce bit-identical verdicts *)
+  let faulted_tasks =
+    List.map
+      (fun (t : Task.t) ->
+        let fault =
+          if t.Task.t_id mod 149 = 7 then Some Task.Hang
+          else if t.Task.t_id mod 200 = 13 then Some Task.Crash
+          else None
+        in
+        { t with Task.t_fault = fault })
+      clean_tasks
+  in
+  let count f = List.length (List.filter f faulted_tasks) in
+  let hangs = count (fun t -> t.Task.t_fault = Some Task.Hang) in
+  let crashes = count (fun t -> t.Task.t_fault = Some Task.Crash) in
+  Printf.printf
+    "slice: %d apps, %d injected hangs, %d injected crashes, %.1fs per-app \
+     budget\n%!"
+    slice hangs crashes timeout;
+  let run ?cache ?kill_worker_after ~jobs tasks =
+    Pool.run (Pool.config ~jobs ~timeout ?cache ?kill_worker_after ()) tasks
+  in
+  let r1, s1 = run ~jobs:1 faulted_tasks in
+  Printf.printf "--jobs 1: %6.2fs wall  (%d timeouts, %d crashed, %d respawns)\n%!"
+    s1.Pool.s_wall s1.Pool.s_timeouts s1.Pool.s_crashed s1.Pool.s_respawns;
+  let rn, sn = run ~jobs:jobs_n faulted_tasks in
+  Printf.printf
+    "--jobs %d: %6.2fs wall  (%d timeouts, %d crashed, %d respawns, %d steals)\n%!"
+    jobs_n sn.Pool.s_wall sn.Pool.s_timeouts sn.Pool.s_crashed
+    sn.Pool.s_respawns sn.Pool.s_steals;
+  let json_of r = Rj.to_string (Verdict.reports_to_json (Array.to_list r)) in
+  let identical = String.equal (json_of r1) (json_of rn) in
+  let speedup = s1.Pool.s_wall /. sn.Pool.s_wall in
+  Printf.printf "verdicts bit-identical across --jobs: %b\n" identical;
+  Printf.printf "wall-clock speedup from straggler overlap: %.2fx\n%!" speedup;
+  (* fault injection from the outside: SIGKILL a worker mid-sweep and prove
+     the pool neither hangs nor loses a result *)
+  let rk, sk = run ~jobs:jobs_n ~kill_worker_after:100 clean_tasks in
+  let lost =
+    Array.to_list rk |> List.filter (fun r -> r.Verdict.r_app = "?")
+    |> List.length
+  in
+  Printf.printf
+    "injected worker kill: %d killed, %d/%d results, %d lost, %d collateral \
+     crash verdicts, %d respawns\n%!"
+    sk.Pool.s_injected_kills (Array.length rk) slice lost sk.Pool.s_crashed
+    sk.Pool.s_respawns;
+  (* result cache: cold sweep populates, warm sweep answers from disk *)
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      ("ndroid-bench-cache-" ^ string_of_int (Unix.getpid ()))
+  in
+  rm_rf_dir cache_dir;
+  let cold = P_cache.create ~dir:cache_dir in
+  let rc, sc = run ~jobs:jobs_n ~cache:cold clean_tasks in
+  let warm = P_cache.create ~dir:cache_dir in
+  let rw, sw = run ~jobs:jobs_n ~cache:warm clean_tasks in
+  let cache_identical = String.equal (json_of rc) (json_of rw) in
+  Printf.printf
+    "cache: cold %.2fs (%d hits) -> warm %.2fs (%d hits, %d forked workers)\n%!"
+    sc.Pool.s_wall sc.Pool.s_cache_hits sw.Pool.s_wall sw.Pool.s_cache_hits
+    sw.Pool.s_from_workers;
+  rm_rf_dir cache_dir;
+  (* honesty row: on a clean corpus this machine gains nothing from more
+     jobs (single core, microsecond apps) - the speedup above is from
+     overlapping stragglers, not from CPU parallelism *)
+  let _, c1 = run ~jobs:1 clean_tasks in
+  let _, cn = run ~jobs:jobs_n clean_tasks in
+  Printf.printf "clean corpus (no stragglers): --jobs 1 %.2fs vs --jobs %d %.2fs\n%!"
+    c1.Pool.s_wall jobs_n cn.Pool.s_wall;
+  let stats_json (s : Pool.stats) =
+    Rj.Obj
+      [ ("wall_seconds", Rj.Float s.Pool.s_wall);
+        ("from_workers", Rj.Int s.Pool.s_from_workers);
+        ("cache_hits", Rj.Int s.Pool.s_cache_hits);
+        ("crashed", Rj.Int s.Pool.s_crashed);
+        ("timeouts", Rj.Int s.Pool.s_timeouts);
+        ("respawns", Rj.Int s.Pool.s_respawns);
+        ("steals", Rj.Int s.Pool.s_steals);
+        ("injected_kills", Rj.Int s.Pool.s_injected_kills);
+        ("cache_pass_seconds", Rj.Float s.Pool.s_cache_pass);
+        ("fork_seconds", Rj.Float s.Pool.s_fork);
+        ("collect_seconds", Rj.Float s.Pool.s_collect);
+        ("analyze_cpu_seconds", Rj.Float s.Pool.s_analyze_cpu) ]
+  in
+  let doc =
+    Rj.Obj
+      [ ("experiment", Rj.Str "pipeline");
+        ("slice", Rj.Int slice);
+        ("jobs", Rj.Int jobs_n);
+        ("timeout_seconds", Rj.Float timeout);
+        ("injected_hangs", Rj.Int hangs);
+        ("injected_crashes", Rj.Int crashes);
+        ("straggler_sweep",
+         Rj.Obj
+           [ ("jobs1", stats_json s1);
+             ("jobsN", stats_json sn);
+             ("speedup", Rj.Float speedup);
+             ("bit_identical", Rj.Bool identical) ]);
+        ("worker_kill",
+         Rj.Obj
+           [ ("kill_after", Rj.Int 100);
+             ("results", Rj.Int (Array.length rk));
+             ("lost", Rj.Int lost);
+             ("stats", stats_json sk) ]);
+        ("cache",
+         Rj.Obj
+           [ ("cold", stats_json sc);
+             ("warm", stats_json sw);
+             ("bit_identical", Rj.Bool cache_identical) ]);
+        ("clean_corpus",
+         Rj.Obj [ ("jobs1", stats_json c1); ("jobsN", stats_json cn) ]) ]
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc (Rj.to_string_hum doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_pipeline.json\n";
+  let fail msg =
+    Printf.eprintf "FAIL: %s\n" msg;
+    exit 1
+  in
+  if not identical then
+    fail "verdicts differ between --jobs 1 and --jobs N";
+  (* the acceptance bar: >= 2.5x at 4 jobs.  Two workers can at best halve
+     the serialized straggler budgets, so scale the bar below that. *)
+  let required = if jobs_n >= 4 then 2.5 else 1.5 in
+  if speedup < required then
+    fail
+      (Printf.sprintf "straggler speedup %.2fx < %.1fx at %d jobs" speedup
+         required jobs_n);
+  if sk.Pool.s_injected_kills <> 1 then fail "worker kill was not injected";
+  if lost > 0 then
+    fail (Printf.sprintf "%d results lost after injected worker kill" lost);
+  if Array.length rk <> slice then fail "missing results after worker kill";
+  if sw.Pool.s_cache_hits <> slice then
+    fail
+      (Printf.sprintf "warm cache answered %d/%d from disk"
+         sw.Pool.s_cache_hits slice);
+  if not cache_identical then fail "cached reports differ from computed ones"
 
 (* ------------------------------------------------- Bechamel micro-suite -- *)
 
@@ -897,7 +1076,8 @@ let all_experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("a1", a1); ("a2", a2);
-    ("a3", a3); ("perf", perf); ("static", static); ("micro", micro) ]
+    ("a3", a3); ("perf", perf); ("static", static); ("pipeline", pipeline);
+    ("micro", micro) ]
 
 let () =
   Printf.printf
@@ -906,6 +1086,18 @@ let () =
      Applications, DSN 2014\n"
     Sys.ocaml_version;
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_jobs acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest | "-j" :: n :: rest ->
+      jobs_flag := int_of_string n;
+      split_jobs acc rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      jobs_flag :=
+        int_of_string (String.sub arg 7 (String.length arg - 7));
+      split_jobs acc rest
+    | arg :: rest -> split_jobs (arg :: acc) rest
+  in
+  let args = split_jobs [] args in
   let selected =
     match args with [] -> List.map fst all_experiments | names -> names
   in

@@ -14,25 +14,22 @@ module M = Ndroid_apps.Monkey
 module A = Ndroid_android
 module Market = Ndroid_corpus.Market
 module Stats = Ndroid_corpus.Stats
+module Registry = Ndroid_apps.Registry
+module Task = Ndroid_pipeline.Task
+module Pool = Ndroid_pipeline.Pool
+module Cache = Ndroid_pipeline.Cache
+module Json = Ndroid_report.Json
+module Verdict = Ndroid_report.Verdict
 
-let registry : H.app list =
-  Ndroid_apps.Cases.all @ Ndroid_apps.Case_studies.all
-  @ Ndroid_apps.Polymorphic.variants @ Ndroid_apps.Sec6_batch.apps
-  @ [ Ndroid_apps.Evasion.app; M.gated_app.M.app ]
-  |> List.fold_left
-       (fun acc a ->
-         if List.exists (fun b -> b.H.app_name = a.H.app_name) acc then acc
-         else a :: acc)
-       []
-  |> List.rev
+let registry : H.app list = Registry.all
 
 let find_app name =
-  match List.find_opt (fun a -> a.H.app_name = name) registry with
+  match Registry.find name with
   | Some app -> Ok app
   | None ->
     Error
       (Printf.sprintf "unknown app %S; try one of: %s" name
-         (String.concat ", " (List.map (fun a -> a.H.app_name) registry)))
+         (String.concat ", " Registry.names))
 
 let mode_of_string = function
   | "vanilla" -> Ok H.Vanilla
@@ -278,32 +275,57 @@ let cmd_dump name =
       natives;
     0
 
-let cmd_lint names json =
-  let apps =
-    match names with
-    | [] -> Ok registry
-    | names ->
-      List.fold_left
-        (fun acc name ->
-          match (acc, find_app name) with
-          | Error e, _ -> Error e
-          | _, Error e -> Error e
-          | Ok apps, Ok app -> Ok (apps @ [ app ]))
-        (Ok []) names
-  in
-  match apps with
+(* ---- the unified analyze entry point -------------------------------- *)
+
+let tasks_of_request names market mode =
+  match (market, names) with
+  | Some _, _ :: _ -> Error "--market and explicit APP names are exclusive"
+  | Some total, [] -> Ok (Task.of_market_slice ~mode (Market.scaled total))
+  | None, names ->
+    let names = match names with [] -> Registry.names | ns -> ns in
+    let rec build i acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+        match find_app name with
+        | Error e -> Error e
+        | Ok _ ->
+          build (i + 1)
+            ({ Task.t_id = i; t_subject = Task.Bundled name; t_mode = mode;
+               t_fault = None }
+             :: acc)
+            rest)
+    in
+    build 0 [] names
+
+let cmd_analyze names mode json jobs timeout cache_dir market =
+  match tasks_of_request names market mode with
   | Error e ->
     prerr_endline e;
     1
-  | Ok apps ->
-    let verdicts = List.map Ndroid_static.Drive.verdict_of_app apps in
-    if json then print_endline (Ndroid_static.Report.verdicts_json verdicts)
+  | Ok tasks ->
+    let cache = Option.map (fun dir -> Cache.create ~dir) cache_dir in
+    let reports =
+      if jobs <= 1 && timeout = None then Pool.run_inline ?cache tasks
+      else begin
+        let progress ~done_ ~total = Printf.eprintf "\r%d/%d%!" done_ total in
+        let progress = if json then None else Some progress in
+        let reports, _ =
+          Pool.run (Pool.config ~jobs ?timeout ?cache ?progress ()) tasks
+        in
+        if progress <> None then Printf.eprintf "\n%!";
+        reports
+      end
+    in
+    let reports = Array.to_list reports in
+    if json then print_endline (Json.to_string (Verdict.reports_to_json reports))
     else
-      List.iter
-        (fun v -> Format.printf "%a" Ndroid_static.Report.pp_verdict v)
-        verdicts;
-    if List.exists (fun v -> v.Ndroid_static.Analyzer.v_flagged) verdicts then 3
+      List.iter (fun r -> Format.printf "%a@." Verdict.pp_report r) reports;
+    if List.exists (fun r -> Verdict.flagged r.Verdict.r_verdict) reports then 3
     else 0
+
+let cmd_lint names json =
+  (* deprecated spelling of `analyze --static` *)
+  cmd_analyze names Task.Static json 1 None None None
 
 let cmd_monkey seeds events =
   let found =
@@ -402,21 +424,70 @@ let scan_cmd =
              classify by parsing them.")
     Term.(const cmd_scan $ total)
 
-let lint_cmd =
-  let apps_arg =
-    Arg.(value & pos_all string []
-         & info [] ~docv:"APP" ~doc:"Apps to lint (default: every bundled app).")
+let apps_pos_arg =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"APP"
+           ~doc:"Apps to analyze (default: every bundled app).")
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Emit one canonical JSON array of per-app reports on stdout.")
+
+let analyze_cmd =
+  let mode_arg =
+    Arg.(value
+         & vflag Task.Static
+             [ (Task.Static,
+                info [ "static" ]
+                  ~doc:"Artifact-level analysis over the JNI supergraph \
+                        (default).");
+               (Task.Dynamic,
+                info [ "dynamic" ]
+                  ~doc:"Run the app under the emulated NDroid tracker.");
+               (Task.Both,
+                info [ "both" ]
+                  ~doc:"Run both analyzers and merge their flows.") ])
   in
-  let json_arg =
-    Arg.(value & flag
-         & info [ "json" ] ~doc:"Emit verdicts as a JSON array on stdout.")
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Shard the corpus across $(docv) forked analysis workers.")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SEC"
+             ~doc:"Per-app wall-clock budget; an app overrunning it records \
+                   a timeout verdict instead of wedging the sweep.")
+  in
+  let cache_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache" ] ~docv:"DIR"
+             ~doc:"On-disk result cache keyed by app digest and analyzer \
+                   version.")
+  in
+  let market_arg =
+    Arg.(value & opt (some int) None
+         & info [ "market" ] ~docv:"N"
+             ~doc:"Instead of bundled apps, statically sweep an $(docv)-app \
+                   market slice.")
   in
   Cmd.v
-    (Cmd.info "lint"
-       ~doc:"Statically analyze apps without running them: parse the dex and \
-             native artifacts, build the JNI supergraph and report \
-             source-to-sink flows.  Exits 3 if any app is flagged.")
-    Term.(const cmd_lint $ apps_arg $ json_arg)
+    (Cmd.info "analyze"
+       ~doc:"Analyze apps through the unified pipeline: static supergraph, \
+             dynamic NDroid run, or both, optionally sharded over worker \
+             processes with per-app timeouts and crash isolation.  Exits 3 \
+             if any app is flagged.")
+    Term.(const cmd_analyze $ apps_pos_arg $ mode_arg $ json_arg $ jobs_arg
+          $ timeout_arg $ cache_arg $ market_arg)
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint" ~deprecated:"use 'ndroid analyze --static'"
+       ~doc:"Deprecated alias for $(b,ndroid analyze --static): statically \
+             analyze apps without running them.  Exits 3 if any app is \
+             flagged.")
+    Term.(const cmd_lint $ apps_pos_arg $ json_arg)
 
 let dump_cmd =
   let app_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"APP") in
@@ -431,4 +502,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
           [ list_cmd; run_cmd; matrix_cmd; study_cmd; monkey_cmd; disasm_cmd;
-            dump_cmd; scan_cmd; pack_cmd; classify_cmd; lint_cmd ]))
+            dump_cmd; scan_cmd; pack_cmd; classify_cmd; analyze_cmd; lint_cmd ]))

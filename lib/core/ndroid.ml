@@ -87,6 +87,26 @@ let stats t =
 
 let leaks t = Ndroid_android.Sink_monitor.leaks (Device.monitor t.t_device)
 
+let flow_of_leak (l : Ndroid_android.Sink_monitor.leak) =
+  { Ndroid_report.Flow.f_taint = l.Ndroid_android.Sink_monitor.taint;
+    f_sink = l.Ndroid_android.Sink_monitor.sink;
+    f_context =
+      (match l.Ndroid_android.Sink_monitor.context with
+       | Ndroid_android.Sink_monitor.Java_context -> Ndroid_report.Flow.Java_ctx
+       | Ndroid_android.Sink_monitor.Native_context ->
+         Ndroid_report.Flow.Native_ctx);
+    f_site = l.Ndroid_android.Sink_monitor.detail }
+
+let verdict t =
+  let tainted =
+    List.filter
+      (fun (l : Ndroid_android.Sink_monitor.leak) ->
+        Ndroid_taint.Taint.is_tainted l.Ndroid_android.Sink_monitor.taint)
+      (leaks t)
+  in
+  Ndroid_report.Verdict.normalize
+    (Ndroid_report.Verdict.Flagged (List.map flow_of_leak tainted))
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "source policies: %d (applied %d); traced insns: %d (skipped %d); summaries: \

@@ -44,4 +44,13 @@ val leaks : t -> Ndroid_android.Sink_monitor.leak list
 (** Everything the device's sink monitor has caught (Java and native
     context). *)
 
+val flow_of_leak : Ndroid_android.Sink_monitor.leak -> Ndroid_report.Flow.t
+(** Map one sink-monitor leak onto the unified flow shape ([f_site] is the
+    leak's destination detail). *)
+
+val verdict : t -> Ndroid_report.Verdict.t
+(** The dynamic run's unified verdict: [Flagged] with one flow per tainted
+    leak (deduplicated, sorted), else [Clean].  Same type, same JSON codec
+    as the static analyzer's result. *)
+
 val pp_stats : Format.formatter -> stats -> unit

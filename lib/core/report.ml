@@ -1,5 +1,24 @@
 module Taint = Ndroid_taint.Taint
 module A = Ndroid_android
+module Verdict = Ndroid_report.Verdict
+module Json = Ndroid_report.Json
+
+(* The unified per-app report: same shape, same canonical codec as the
+   static analyzer's output (the old hand-rolled printer is gone). *)
+let to_report ?(app_name = "app") nd =
+  let stats = Ndroid.stats nd in
+  { Verdict.r_app = app_name;
+    r_analysis = "dynamic";
+    r_verdict = Ndroid.verdict nd;
+    r_meta =
+      [ ("source_policies", Json.Int stats.Ndroid.source_policies);
+        ("policies_applied", Json.Int stats.Ndroid.policies_applied);
+        ("traced_instructions", Json.Int stats.Ndroid.traced_instructions);
+        ("summaries_applied", Json.Int stats.Ndroid.summaries_applied);
+        ("sink_checks", Json.Int stats.Ndroid.sink_checks) ] }
+
+let json ?app_name nd =
+  Json.to_string (Verdict.report_to_json (to_report ?app_name nd))
 
 let generate ?(app_name = "app") ?(transmissions = []) ?(file_writes = []) nd =
   let buf = Buffer.create 1024 in
@@ -12,16 +31,18 @@ let generate ?(app_name = "app") ?(transmissions = []) ?(file_writes = []) nd =
   line "NDroid analysis report: %s" app_name;
   line "==============================================================";
   line "";
-  (match tainted_leaks with
-   | [] -> line "VERDICT: no tainted information flow reached a sink"
-   | ls ->
+  (match Ndroid.verdict nd with
+   | Verdict.Clean | Verdict.Crashed _ | Verdict.Timeout ->
+     line "VERDICT: no tainted information flow reached a sink"
+   | Verdict.Flagged flows ->
      let categories =
        List.sort_uniq compare
          (List.concat_map
-            (fun l -> Taint.categories l.A.Sink_monitor.taint)
-            ls)
+            (fun (f : Ndroid_report.Flow.t) ->
+              Taint.categories f.Ndroid_report.Flow.f_taint)
+            flows)
      in
-     line "VERDICT: %d information leak(s) detected" (List.length ls);
+     line "VERDICT: %d information leak(s) detected" (List.length tainted_leaks);
      line "leaked categories: %s" (String.concat ", " categories));
   line "";
   if tainted_leaks <> [] then begin

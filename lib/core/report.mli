@@ -4,7 +4,16 @@
     run — the verdict, each leak with its taint categories, the source
     policies that fired, the engine statistics, and the flow log — as the
     kind of triage report an analyst (or the paper's Sec. VI evaluation)
-    works from. *)
+    works from.  Machine-readable output goes through the unified
+    {!Ndroid_report.Verdict} codec, identical in shape to the static
+    analyzer's reports. *)
+
+val to_report : ?app_name:string -> Ndroid.t -> Ndroid_report.Verdict.report
+(** The unified per-app report (analysis = ["dynamic"]): the run's
+    {!Ndroid.verdict} plus engine counters as deterministic metadata. *)
+
+val json : ?app_name:string -> Ndroid.t -> string
+(** {!to_report} in canonical JSON. *)
 
 val generate :
   ?app_name:string ->

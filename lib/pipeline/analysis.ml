@@ -1,0 +1,149 @@
+module H = Ndroid_apps.Harness
+module Registry = Ndroid_apps.Registry
+module St = Ndroid_static
+module Apk = Ndroid_corpus.Apk
+module App_model = Ndroid_corpus.App_model
+module Verdict = Ndroid_report.Verdict
+
+(* Bump on any verdict-affecting analyzer change: it invalidates every
+   cached result at once. *)
+let version = "1"
+
+let crashed_report ~app ~analysis why =
+  { Verdict.r_app = app; r_analysis = analysis; r_verdict = Verdict.Crashed why;
+    r_meta = [] }
+
+let model_of_market ~total ~seed ~permille id =
+  Task.market_model ~total ~seed ~permille id
+
+let static_bundled app = St.Report.to_report (St.Drive.verdict_of_app app)
+
+let static_market model =
+  St.Report.to_report (St.Analyzer.analyze_apk (Apk.of_app_model model))
+
+let dynamic_bundled (app : H.app) =
+  let outcome = H.run H.Ndroid_full app in
+  match outcome.H.analysis with
+  | Some nd -> Ndroid_core.Report.to_report ~app_name:app.H.app_name nd
+  | None ->
+    crashed_report ~app:app.H.app_name ~analysis:"dynamic"
+      "NDroid failed to attach"
+
+let merge_both (s : Verdict.report) (d : Verdict.report) =
+  let verdict =
+    match (s.Verdict.r_verdict, d.Verdict.r_verdict) with
+    | Verdict.Crashed why, _ | _, Verdict.Crashed why -> Verdict.Crashed why
+    | Verdict.Timeout, _ | _, Verdict.Timeout -> Verdict.Timeout
+    | sv, dv ->
+      Verdict.normalize
+        (Verdict.Flagged (Verdict.flows sv @ Verdict.flows dv))
+  in
+  { Verdict.r_app = s.Verdict.r_app;
+    r_analysis = "both";
+    r_verdict = verdict;
+    r_meta =
+      List.map (fun (k, v) -> ("static_" ^ k, v)) s.Verdict.r_meta
+      @ List.map (fun (k, v) -> ("dynamic_" ^ k, v)) d.Verdict.r_meta }
+
+let run_exn (task : Task.t) =
+  match (task.Task.t_subject, task.Task.t_mode) with
+  | Task.Bundled name, mode -> (
+    match Registry.find name with
+    | None ->
+      crashed_report ~app:name ~analysis:(Task.mode_name mode)
+        (Printf.sprintf "unknown app %S" name)
+    | Some app -> (
+      match mode with
+      | Task.Static -> static_bundled app
+      | Task.Dynamic -> dynamic_bundled app
+      | Task.Both -> merge_both (static_bundled app) (dynamic_bundled app)))
+  | Task.Market { m_total; m_seed; m_permille; m_id }, mode -> (
+    let model = model_of_market ~total:m_total ~seed:m_seed ~permille:m_permille m_id in
+    match mode with
+    | Task.Static -> static_market model
+    | Task.Dynamic | Task.Both ->
+      (* market apps are generator models; only their artifacts exist, so
+         there is no executable entry point to drive dynamically *)
+      crashed_report ~app:model.App_model.package
+        ~analysis:(Task.mode_name mode)
+        "dynamic analysis needs a bundled scenario app, not a market model")
+
+let run task =
+  try run_exn task
+  with exn ->
+    crashed_report
+      ~app:(Task.subject_name task.Task.t_subject)
+      ~analysis:(Task.mode_name task.Task.t_mode)
+      (Printf.sprintf "analyzer exception: %s" (Printexc.to_string exn))
+
+(* ---- cache keys ---- *)
+
+let abi_name = function
+  | App_model.Armeabi -> "armeabi"
+  | App_model.X86 -> "x86"
+  | App_model.Mips -> "mips"
+
+let add_dex buf (d : App_model.dex) =
+  List.iter
+    (fun r ->
+      Buffer.add_string buf r;
+      Buffer.add_char buf '\n')
+    d.App_model.method_refs;
+  List.iter
+    (fun c ->
+      Buffer.add_string buf c;
+      Buffer.add_char buf '\n')
+    d.App_model.native_decl_classes
+
+let market_descriptor (model : App_model.t) =
+  (* everything {!Apk.of_app_model} materializes from, without paying for
+     materialization on every cache probe *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf model.App_model.package;
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (App_model.category_name model.App_model.category);
+  Buffer.add_string buf "|main:";
+  (match model.App_model.main_dex with
+   | Some d -> add_dex buf d
+   | None -> Buffer.add_string buf "none");
+  Buffer.add_string buf "|embedded:";
+  List.iter (add_dex buf) model.App_model.embedded_dexes;
+  Buffer.add_string buf "|libs:";
+  List.iter
+    (fun (l : App_model.native_lib) ->
+      Buffer.add_string buf l.App_model.lib_name;
+      Buffer.add_char buf '@';
+      Buffer.add_string buf (abi_name l.App_model.abi);
+      Buffer.add_char buf ';')
+    model.App_model.libs;
+  Buffer.contents buf
+
+let bundled_descriptor name =
+  match Registry.find name with
+  | None -> "unknown:" ^ name
+  | Some app ->
+    (* the actual artifact bytes the analyzers see *)
+    let input = St.Drive.input_of_app app in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Ndroid_dalvik.Dexfile.to_string input.St.Analyzer.in_classes);
+    List.iter
+      (fun (lib_name, prog) ->
+        Buffer.add_string buf lib_name;
+        Buffer.add_string buf (Ndroid_arm.Sofile.to_string prog))
+      input.St.Analyzer.in_libs;
+    Buffer.contents buf
+
+let digest (task : Task.t) =
+  let descriptor =
+    match task.Task.t_subject with
+    | Task.Bundled name -> bundled_descriptor name
+    | Task.Market { m_total; m_seed; m_permille; m_id } ->
+      market_descriptor
+        (model_of_market ~total:m_total ~seed:m_seed ~permille:m_permille m_id)
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [ "ndroid-analysis"; version; Task.mode_name task.Task.t_mode;
+            descriptor ]))

@@ -1,0 +1,24 @@
+(** The unified analysis facade.
+
+    One entry point drives either analyzer — the static JNI supergraph
+    ({!Ndroid_static.Analyzer}), a full dynamic NDroid run
+    ({!Ndroid_apps.Harness} + {!Ndroid_core.Ndroid}), or both — over
+    either kind of subject, and always yields the one report shape
+    ({!Ndroid_report.Verdict.report}).  The pool's workers call {!run};
+    so do the in-process paths (`ndroid analyze --jobs 1`, tests). *)
+
+val version : string
+(** Analyzer-version component of every cache key.  Bump whenever a change
+    to the static or dynamic analyzers can alter verdicts, so stale cached
+    results from older binaries can never be served. *)
+
+val run : Task.t -> Ndroid_report.Verdict.report
+(** Analyze one task.  Never raises: an analyzer exception becomes a
+    [Crashed] verdict carrying the exception text.  Ignores the task's
+    fault marker (faults are acted on by the worker process, not here). *)
+
+val digest : Task.t -> string
+(** Cache key: hex MD5 over the app's content (artifact bytes for bundled
+    apps, the generator-independent content descriptor for market apps),
+    the analysis mode, and {!version}.  Two tasks with equal digests would
+    produce equal reports. *)

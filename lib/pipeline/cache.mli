@@ -1,0 +1,20 @@
+(** On-disk result cache.
+
+    One canonical-JSON report per file, named by the task's
+    {!Analysis.digest} — app content + analysis mode + analyzer version —
+    so a re-run of an unchanged corpus under an unchanged binary answers
+    from disk, and any change to app, mode or analyzer misses cleanly.
+    Corrupt or unreadable entries count as misses (the sweep then simply
+    recomputes and overwrites them); writes go through a temp file +
+    rename so a killed sweep can never leave a torn entry behind. *)
+
+type t
+
+val create : dir:string -> t
+(** Creates [dir] if needed. *)
+
+val find : t -> key:string -> Ndroid_report.Verdict.report option
+val store : t -> key:string -> Ndroid_report.Verdict.report -> unit
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,414 @@
+module Json = Ndroid_report.Json
+module Verdict = Ndroid_report.Verdict
+
+type config = {
+  c_jobs : int;
+  c_timeout : float option;
+  c_cache : Cache.t option;
+  c_kill_worker_after : int option;
+  c_progress : (done_:int -> total:int -> unit) option;
+}
+
+let config ?(jobs = 1) ?timeout ?cache ?kill_worker_after ?progress () =
+  { c_jobs = max 1 jobs; c_timeout = timeout; c_cache = cache;
+    c_kill_worker_after = kill_worker_after; c_progress = progress }
+
+type stats = {
+  s_total : int;
+  s_from_workers : int;
+  s_cache_hits : int;
+  s_crashed : int;
+  s_timeouts : int;
+  s_respawns : int;
+  s_steals : int;
+  s_injected_kills : int;
+  s_wall : float;
+  s_cache_pass : float;
+  s_fork : float;
+  s_collect : float;
+  s_analyze_cpu : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* ---------------------------------------------------------- worker side -- *)
+
+let worker_loop task_r result_w =
+  let respond id seconds report =
+    Wire.write_frame result_w
+      (Json.to_string
+         (Json.Obj
+            [ ("id", Json.Int id);
+              ("seconds", Json.Float seconds);
+              ("report", Verdict.report_to_json report) ]))
+  in
+  let rec loop () =
+    match Wire.read_frame task_r with
+    | None -> ()
+    | Some payload ->
+      (match Result.bind (Json.of_string payload) Task.of_json with
+       | Error _ -> ()
+       | Ok task ->
+         (match task.Task.t_fault with
+          | Some Task.Crash -> Unix._exit 66
+          | Some Task.Hang ->
+            let rec hang () =
+              Unix.sleep 3600;
+              hang ()
+            in
+            hang ()
+          | None -> ());
+         let t0 = now () in
+         let report = Analysis.run task in
+         respond task.Task.t_id (now () -. t0) report);
+      loop ()
+  in
+  (try loop () with _ -> ());
+  Unix._exit 0
+
+(* ---------------------------------------------------------- parent side -- *)
+
+type slot = {
+  sl_shard : int;
+  mutable sl_pid : int;
+  mutable sl_task_w : Unix.file_descr;
+  mutable sl_result_r : Unix.file_descr;
+  mutable sl_reader : Wire.reader;
+  mutable sl_inflight : Task.t option;
+  mutable sl_deadline : float;  (* infinity = none *)
+  mutable sl_alive : bool;
+}
+
+let status_message = function
+  | Unix.WEXITED n -> Printf.sprintf "worker exited with status %d" n
+  | Unix.WSIGNALED n when n = Sys.sigkill -> "worker killed by SIGKILL"
+  | Unix.WSIGNALED n when n = Sys.sigsegv -> "worker killed by SIGSEGV"
+  | Unix.WSIGNALED n -> Printf.sprintf "worker killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "worker stopped by signal %d" n
+
+let validate_ids tasks =
+  List.iteri
+    (fun i (t : Task.t) ->
+      if t.Task.t_id <> i then
+        invalid_arg
+          (Printf.sprintf
+             "Pool.run: task at position %d carries id %d (ids must be dense \
+              and in order)"
+             i t.Task.t_id))
+    tasks
+
+let dummy_report =
+  { Verdict.r_app = "?"; r_analysis = "?";
+    r_verdict = Verdict.Crashed "result never recorded"; r_meta = [] }
+
+let run cfg tasks =
+  validate_ids tasks;
+  let t_start = now () in
+  let total = List.length tasks in
+  let results = Array.make total dummy_report in
+  let resolved = Array.make total false in
+  let n_done = ref 0 in
+  let from_workers = ref 0 in
+  let crashed = ref 0 in
+  let timeouts = ref 0 in
+  let respawns = ref 0 in
+  let injected_kills = ref 0 in
+  let analyze_cpu = ref 0.0 in
+  let fork_time = ref 0.0 in
+  let progress () =
+    match cfg.c_progress with
+    | Some f -> f ~done_:!n_done ~total
+    | None -> ()
+  in
+  (* phase 1: answer unchanged apps from the cache without dispatching *)
+  let t_cache0 = now () in
+  let digests = Array.make total None in
+  let pending =
+    match cfg.c_cache with
+    | None -> tasks
+    | Some cache ->
+      List.filter
+        (fun (task : Task.t) ->
+          let key = Analysis.digest task in
+          digests.(task.Task.t_id) <- Some key;
+          match Cache.find cache ~key with
+          | Some report ->
+            results.(task.Task.t_id) <- report;
+            resolved.(task.Task.t_id) <- true;
+            incr n_done;
+            progress ();
+            false
+          | None -> true)
+        tasks
+  in
+  let cache_pass = now () -. t_cache0 in
+  let cache_hits = !n_done in
+  let record_resolved id report =
+    if not resolved.(id) then begin
+      resolved.(id) <- true;
+      results.(id) <- report;
+      incr n_done;
+      (match (cfg.c_cache, digests.(id)) with
+       | Some cache, Some key -> (
+         (* crash/timeout verdicts are circumstances, not app facts *)
+         match report.Verdict.r_verdict with
+         | Verdict.Crashed _ | Verdict.Timeout -> ()
+         | _ -> Cache.store cache ~key report)
+       | _ -> ());
+      progress ()
+    end
+  in
+  let t_collect0 = now () in
+  if pending <> [] then begin
+    let jobs = min cfg.c_jobs (max 1 (List.length pending)) in
+    let queue = Shard_queue.create ~shards:jobs pending in
+    let prev_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+    let slots = Array.make jobs None in
+    let live_fds () =
+      Array.to_list slots
+      |> List.concat_map (function
+           | Some sl when sl.sl_alive -> [ sl.sl_task_w; sl.sl_result_r ]
+           | _ -> [])
+    in
+    let spawn shard =
+      let t0 = now () in
+      let task_r, task_w = Unix.pipe () in
+      let result_r, result_w = Unix.pipe () in
+      let inherited = live_fds () in
+      match Unix.fork () with
+      | 0 ->
+        (* the child must hold no descriptor of any sibling worker, or the
+           parent would never see that sibling's EOF when it dies *)
+        List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          inherited;
+        Unix.close task_w;
+        Unix.close result_r;
+        worker_loop task_r result_w
+      | pid ->
+        Unix.close task_r;
+        Unix.close result_w;
+        fork_time := !fork_time +. (now () -. t0);
+        { sl_shard = shard; sl_pid = pid; sl_task_w = task_w;
+          sl_result_r = result_r; sl_reader = Wire.create_reader ();
+          sl_inflight = None; sl_deadline = infinity; sl_alive = true }
+    in
+    for i = 0 to jobs - 1 do
+      slots.(i) <- Some (spawn i)
+    done;
+    let bury sl =
+      sl.sl_alive <- false;
+      (try Unix.close sl.sl_task_w with Unix.Unix_error _ -> ());
+      (try Unix.close sl.sl_result_r with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] sl.sl_pid) with Unix.Unix_error _ -> ())
+    in
+    let reap_status sl =
+      sl.sl_alive <- false;
+      (try Unix.close sl.sl_task_w with Unix.Unix_error _ -> ());
+      (try Unix.close sl.sl_result_r with Unix.Unix_error _ -> ());
+      match Unix.waitpid [] sl.sl_pid with
+      | _, status -> status_message status
+      | exception Unix.Unix_error _ -> "worker vanished"
+    in
+    let respawn_if_needed shard =
+      if Shard_queue.remaining queue > 0 then begin
+        slots.(shard) <- Some (spawn shard);
+        incr respawns
+      end
+      else slots.(shard) <- None
+    in
+    let dispatch sl =
+      match Shard_queue.pop queue ~shard:sl.sl_shard with
+      | None -> ()
+      | Some task -> (
+        sl.sl_inflight <- Some task;
+        sl.sl_deadline <-
+          (match cfg.c_timeout with Some t -> now () +. t | None -> infinity);
+        match Wire.write_frame sl.sl_task_w (Json.to_string (Task.to_json task)) with
+        | () -> ()
+        | exception Unix.Unix_error _ ->
+          (* the worker is already dead; the EOF handler below will turn
+             the in-flight task into a Crashed verdict and respawn *)
+          ())
+    in
+    let inject_kill_if_due () =
+      match cfg.c_kill_worker_after with
+      | Some n when !from_workers >= n && !injected_kills = 0 ->
+        let victim = ref None in
+        Array.iter
+          (fun s ->
+            match (s, !victim) with
+            | Some sl, None when sl.sl_alive -> victim := Some sl
+            | _ -> ())
+          slots;
+        (match !victim with
+         | Some sl ->
+           incr injected_kills;
+           (try Unix.kill sl.sl_pid Sys.sigkill with Unix.Unix_error _ -> ())
+           (* death is then observed as EOF, exactly like a real crash *)
+         | None -> ())
+      | _ -> ()
+    in
+    let handle_result_frame sl payload =
+      match Json.of_string payload with
+      | Error _ -> ()
+      | Ok j ->
+        let id = Option.bind (Json.member "id" j) Json.int in
+        let seconds =
+          match Json.member "seconds" j with
+          | Some (Json.Float f) -> f
+          | Some (Json.Int i) -> float_of_int i
+          | _ -> 0.0
+        in
+        let report =
+          Option.map Verdict.report_of_json (Json.member "report" j)
+        in
+        (match (id, report) with
+         | Some id, Some (Ok report) when id >= 0 && id < total ->
+           analyze_cpu := !analyze_cpu +. seconds;
+           incr from_workers;
+           (match sl.sl_inflight with
+            | Some t when t.Task.t_id = id ->
+              sl.sl_inflight <- None;
+              sl.sl_deadline <- infinity
+            | _ -> ());
+           record_resolved id report;
+           inject_kill_if_due ()
+         | _ -> ())
+    in
+    let handle_death sl =
+      let why = reap_status sl in
+      (match sl.sl_inflight with
+       | Some task ->
+         incr crashed;
+         record_resolved task.Task.t_id
+           { Verdict.r_app = Task.subject_name task.Task.t_subject;
+             r_analysis = Task.mode_name task.Task.t_mode;
+             r_verdict = Verdict.Crashed why;
+             r_meta = [] };
+         sl.sl_inflight <- None
+       | None -> ());
+      respawn_if_needed sl.sl_shard
+    in
+    let handle_timeout sl =
+      (try Unix.kill sl.sl_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (reap_status sl);
+      (match sl.sl_inflight with
+       | Some task ->
+         incr timeouts;
+         record_resolved task.Task.t_id
+           { Verdict.r_app = Task.subject_name task.Task.t_subject;
+             r_analysis = Task.mode_name task.Task.t_mode;
+             r_verdict = Verdict.Timeout;
+             r_meta = [] };
+         sl.sl_inflight <- None
+       | None -> ());
+      respawn_if_needed sl.sl_shard
+    in
+    while !n_done < total do
+      (* keep every live worker busy *)
+      Array.iter
+        (function
+          | Some sl when sl.sl_alive && sl.sl_inflight = None -> dispatch sl
+          | _ -> ())
+        slots;
+      let live =
+        Array.to_list slots
+        |> List.filter_map (function
+             | Some sl when sl.sl_alive -> Some sl
+             | _ -> None)
+      in
+      if live = [] then begin
+        (* every worker is gone and nothing can be dispatched: resolve any
+           leftovers as crashed rather than spinning forever *)
+        List.iter
+          (fun (task : Task.t) ->
+            if not resolved.(task.Task.t_id) then begin
+              incr crashed;
+              record_resolved task.Task.t_id
+                { Verdict.r_app = Task.subject_name task.Task.t_subject;
+                  r_analysis = Task.mode_name task.Task.t_mode;
+                  r_verdict = Verdict.Crashed "worker pool exhausted";
+                  r_meta = [] }
+            end)
+          pending
+      end
+      else begin
+        let next_deadline =
+          List.fold_left (fun acc sl -> Float.min acc sl.sl_deadline) infinity
+            live
+        in
+        let dt =
+          if next_deadline = infinity then 0.5
+          else Float.max 0.0 (Float.min 0.5 (next_deadline -. now ()))
+        in
+        let fds = List.map (fun sl -> sl.sl_result_r) live in
+        let readable, _, _ =
+          try Unix.select fds [] [] dt
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun sl -> sl.sl_result_r = fd) live with
+            | None -> ()
+            | Some sl -> (
+              if sl.sl_alive then
+                match Wire.drain sl.sl_reader fd with
+                | `Frames frames ->
+                  List.iter (handle_result_frame sl) frames
+                | `Eof frames ->
+                  List.iter (handle_result_frame sl) frames;
+                  handle_death sl))
+          readable;
+        (* per-app budgets *)
+        let t = now () in
+        Array.iter
+          (function
+            | Some sl when sl.sl_alive && sl.sl_deadline <= t -> handle_timeout sl
+            | _ -> ())
+          slots
+      end
+    done;
+    (* orderly shutdown: EOF on the task pipes, then reap *)
+    Array.iter (function Some sl when sl.sl_alive -> bury sl | _ -> ()) slots;
+    ignore (Sys.signal Sys.sigpipe prev_sigpipe);
+    let stats =
+      { s_total = total; s_from_workers = !from_workers;
+        s_cache_hits = cache_hits; s_crashed = !crashed;
+        s_timeouts = !timeouts; s_respawns = !respawns;
+        s_steals = Shard_queue.steals queue;
+        s_injected_kills = !injected_kills; s_wall = now () -. t_start;
+        s_cache_pass = cache_pass; s_fork = !fork_time;
+        s_collect = now () -. t_collect0; s_analyze_cpu = !analyze_cpu }
+    in
+    (results, stats)
+  end
+  else
+    ( results,
+      { s_total = total; s_from_workers = 0; s_cache_hits = cache_hits;
+        s_crashed = 0; s_timeouts = 0; s_respawns = 0; s_steals = 0;
+        s_injected_kills = 0; s_wall = now () -. t_start;
+        s_cache_pass = cache_pass; s_fork = 0.0; s_collect = 0.0;
+        s_analyze_cpu = 0.0 } )
+
+let run_inline ?cache tasks =
+  validate_ids tasks;
+  let results = Array.make (List.length tasks) dummy_report in
+  List.iter
+    (fun (task : Task.t) ->
+      let report =
+        match cache with
+        | None -> Analysis.run task
+        | Some c -> (
+          let key = Analysis.digest task in
+          match Cache.find c ~key with
+          | Some report -> report
+          | None ->
+            let report = Analysis.run task in
+            (match report.Verdict.r_verdict with
+             | Verdict.Crashed _ | Verdict.Timeout -> ()
+             | _ -> Cache.store c ~key report);
+            report)
+      in
+      results.(task.Task.t_id) <- report)
+    tasks;
+  results

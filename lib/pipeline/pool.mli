@@ -1,0 +1,63 @@
+(** The sharded worker pool: fork [jobs] analysis workers, stream tasks to
+    them over pipes, and collect one {!Ndroid_report.Verdict.report} per
+    task — with the three guarantees a market-scale sweep needs:
+
+    - {b crash isolation}: a worker dying on one APK yields a [Crashed]
+      verdict for that app only; the pool reaps the corpse, respawns a
+      fresh worker and keeps sweeping;
+    - {b per-app timeouts}: a worker overrunning its wall-clock budget is
+      killed, the app records [Timeout], and the replacement worker picks
+      up the next task — pathological apps cost one budget each instead of
+      wedging the sweep;
+    - {b determinism}: results are ordered by task id and verdicts carry no
+      timing, so a sweep's JSON is bit-identical across [--jobs] values and
+      across runs.
+
+    Work is dealt over one {!Shard_queue} shard per worker with stealing,
+    and an optional {!Cache} answers unchanged apps without dispatching
+    them at all.  Timing lives in the aggregate {!stats}, per phase. *)
+
+type config = {
+  c_jobs : int;  (** worker processes; >= 1 *)
+  c_timeout : float option;  (** per-app wall-clock budget, seconds *)
+  c_cache : Cache.t option;
+  c_kill_worker_after : int option;
+      (** fault injection: SIGKILL one live worker after that many worker
+          results have arrived — proves no result is lost and nothing
+          hangs when workers die under the pool *)
+  c_progress : (done_:int -> total:int -> unit) option;
+}
+
+val config :
+  ?jobs:int -> ?timeout:float -> ?cache:Cache.t -> ?kill_worker_after:int ->
+  ?progress:(done_:int -> total:int -> unit) -> unit -> config
+
+type stats = {
+  s_total : int;
+  s_from_workers : int;  (** completed by a worker (includes crashed/timeout) *)
+  s_cache_hits : int;
+  s_crashed : int;  (** [Crashed] verdicts recorded by the pool *)
+  s_timeouts : int;  (** [Timeout] verdicts recorded by the pool *)
+  s_respawns : int;  (** replacement workers forked mid-sweep *)
+  s_steals : int;  (** cross-shard steals in the work queue *)
+  s_injected_kills : int;
+  s_wall : float;  (** whole sweep, seconds *)
+  s_cache_pass : float;  (** phase: parent-side cache probe *)
+  s_fork : float;  (** phase: forking workers (initial + respawns) *)
+  s_collect : float;  (** phase: dispatch/select/collect loop *)
+  s_analyze_cpu : float;
+      (** sum of per-task analysis seconds measured inside workers — the
+          serial-equivalent work the sweep performed *)
+}
+
+val run : config -> Task.t list -> Ndroid_report.Verdict.report array * stats
+(** Run every task; the returned array is indexed by position in the input
+    list (= task id order if ids are dense).  Tasks must carry distinct
+    [t_id]s equal to their list position. *)
+
+val run_inline :
+  ?cache:Cache.t -> Task.t list -> Ndroid_report.Verdict.report array
+(** Sequential in-process execution of the same tasks (no forking, so no
+    crash isolation, no timeouts, and fault markers are ignored).  The
+    fast path for [--jobs 1] without a timeout; byte-identical reports to
+    {!run} on non-faulting corpora. *)

@@ -1,0 +1,69 @@
+type 'a t = {
+  shards : 'a list ref array;  (* front = next to run *)
+  mutable size : int;
+  mutable stolen : int;
+}
+
+let default_capacity = 1_000_000
+
+let create ~shards ?(capacity = default_capacity) items =
+  if shards < 1 then invalid_arg "Shard_queue.create: shards must be >= 1";
+  let n = List.length items in
+  if n > capacity then
+    invalid_arg
+      (Printf.sprintf "Shard_queue.create: %d items exceed the %d-task bound"
+         n capacity);
+  let arr = Array.init shards (fun _ -> ref []) in
+  List.iteri (fun i item -> arr.(i mod shards) := item :: !(arr.(i mod shards))) items;
+  Array.iter (fun r -> r := List.rev !r) arr;
+  { shards = arr; size = n; stolen = 0 }
+
+let remaining t = t.size
+let steals t = t.stolen
+
+let fullest_other t ~shard =
+  let best = ref (-1) and best_len = ref 0 in
+  Array.iteri
+    (fun i r ->
+      if i <> shard then begin
+        let len = List.length !r in
+        if len > !best_len then begin
+          best := i;
+          best_len := len
+        end
+      end)
+    t.shards;
+  if !best >= 0 then Some (!best, !best_len) else None
+
+let split_at n l =
+  let rec go acc k = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (x :: acc) (k - 1) rest
+  in
+  go [] n l
+
+let pop t ~shard =
+  if t.size = 0 then None
+  else begin
+    let shard = shard mod Array.length t.shards in
+    let own = t.shards.(shard) in
+    (match !own with
+     | _ :: _ -> ()
+     | [] -> (
+       (* steal the back half of the fullest foreign shard *)
+       match fullest_other t ~shard with
+       | None -> ()
+       | Some (victim, len) ->
+         let keep = len / 2 in
+         let kept, stolen = split_at keep !(t.shards.(victim)) in
+         t.shards.(victim) := kept;
+         own := stolen;
+         t.stolen <- t.stolen + 1));
+    match !own with
+    | [] -> None
+    | x :: rest ->
+      own := rest;
+      t.size <- t.size - 1;
+      Some x
+  end

@@ -1,0 +1,25 @@
+(** The pool's bounded, sharded work queue.
+
+    Tasks are dealt round-robin across one shard per worker; a worker pops
+    from the front of its own shard and, when that runs dry, steals the
+    back half of the fullest other shard.  Stealing keeps the sweep busy
+    when per-app cost is wildly uneven (one shard hitting the pathological
+    APKs must not idle the other workers), while the shard-local common
+    case preserves the id-ordered scan that makes cache walks and progress
+    output predictable. *)
+
+type 'a t
+
+val create : shards:int -> ?capacity:int -> 'a list -> 'a t
+(** Deal the items round-robin over [shards] (>= 1) shards.
+    @raise Invalid_argument if the item count exceeds [capacity]
+    (default 1_000_000) — the queue is bounded by construction; a sweep
+    larger than that should be split into multiple sweeps. *)
+
+val pop : 'a t -> shard:int -> 'a option
+(** Next item for that shard's worker (own front, else steal).  [None]
+    when every shard is empty. *)
+
+val remaining : 'a t -> int
+val steals : 'a t -> int
+(** How many times a pop had to steal from a foreign shard. *)

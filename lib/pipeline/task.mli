@@ -1,0 +1,45 @@
+(** One unit of pipeline work: which app, which analyzer, and (for the
+    fault-injection harness) whether the worker should die on it.
+
+    Tasks cross the worker pipe as JSON, so a subject must be something a
+    freshly forked worker can rebuild from the description alone: a bundled
+    scenario app by registry name, or one synthetic market app by
+    generator coordinates (params + id). *)
+
+type mode = Static | Dynamic | Both
+
+type subject =
+  | Bundled of string  (** a {!Ndroid_apps.Registry} app name *)
+  | Market of { m_total : int; m_seed : int; m_permille : int option;
+                m_id : int }
+      (** app [m_id] of [Market.generate {total; seed; type1_permille}] *)
+
+(** Injected worker misbehaviour, exercised by the crash-isolation tests
+    and `bench/main.exe pipeline`:
+    [Crash] makes the worker process exit hard mid-task, [Hang] makes it
+    spin past any per-app timeout.  Never set on real analysis work. *)
+type fault = Crash | Hang
+
+type t = {
+  t_id : int;  (** dense index; results are ordered by it *)
+  t_subject : subject;
+  t_mode : mode;
+  t_fault : fault option;
+}
+
+val mode_name : mode -> string
+val mode_of_name : string -> mode option
+
+val subject_name : subject -> string
+(** Stable display/app name: the registry name, or the market app's
+    generated package. *)
+
+val market_model : total:int -> seed:int -> permille:int option -> int ->
+  Ndroid_corpus.App_model.t
+(** Rebuild the market app a [Market] subject points at. *)
+
+val of_market_slice : ?mode:mode -> Ndroid_corpus.Market.params -> t list
+(** One [Static] task per app of the slice, ids [0..total-1]. *)
+
+val to_json : t -> Ndroid_report.Json.t
+val of_json : Ndroid_report.Json.t -> (t, string) result

@@ -1,0 +1,93 @@
+let header_len = 4
+
+let encode_len n =
+  let b = Bytes.create header_len in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  b
+
+let decode_len b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let write_frame fd payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_len + n) in
+  Bytes.blit (encode_len n) 0 b 0 header_len;
+  Bytes.blit_string payload 0 b header_len n;
+  write_all fd b
+
+let read_exactly fd n =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    match Unix.read fd b !off (n - !off) with
+    | 0 -> eof := true
+    | k -> off := !off + k
+  done;
+  if !eof then None else Some b
+
+let read_frame fd =
+  match read_exactly fd header_len with
+  | None -> None
+  | Some hdr -> (
+    match read_exactly fd (decode_len hdr 0) with
+    | None -> None
+    | Some payload -> Some (Bytes.to_string payload))
+
+(* ---- incremental parent-side reader ---- *)
+
+type reader = { mutable buf : Bytes.t; mutable used : int }
+
+let create_reader () = { buf = Bytes.create 8192; used = 0 }
+
+let ensure_capacity r extra =
+  let need = r.used + extra in
+  if Bytes.length r.buf < need then begin
+    let bigger = Bytes.create (max need (2 * Bytes.length r.buf)) in
+    Bytes.blit r.buf 0 bigger 0 r.used;
+    r.buf <- bigger
+  end
+
+let completed_frames r =
+  let frames = ref [] in
+  let off = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if r.used - !off < header_len then continue := false
+    else begin
+      let len = decode_len r.buf !off in
+      if r.used - !off - header_len < len then continue := false
+      else begin
+        frames := Bytes.sub_string r.buf (!off + header_len) len :: !frames;
+        off := !off + header_len + len
+      end
+    end
+  done;
+  if !off > 0 then begin
+    Bytes.blit r.buf !off r.buf 0 (r.used - !off);
+    r.used <- r.used - !off
+  end;
+  List.rev !frames
+
+let drain r fd =
+  ensure_capacity r 65536;
+  match Unix.read fd r.buf r.used (Bytes.length r.buf - r.used) with
+  | 0 -> `Eof (completed_frames r)
+  | n ->
+    r.used <- r.used + n;
+    `Frames (completed_frames r)
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    `Eof (completed_frames r)

@@ -1,0 +1,26 @@
+(** Length-prefixed frames over pipes — the pool's result/task protocol.
+
+    Each frame is a 4-byte big-endian length followed by that many payload
+    bytes.  The worker side reads blocking whole frames; the parent side
+    feeds whatever [read(2)] returned into an incremental {!reader}, so a
+    select-driven loop never blocks halfway through a frame a slow (or
+    freshly killed) worker only partly wrote. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Whole frame, retrying short writes.  Raises [Unix.Unix_error] (e.g.
+    [EPIPE]) if the peer is gone. *)
+
+val read_frame : Unix.file_descr -> string option
+(** Blocking read of one whole frame; [None] on clean EOF at a frame
+    boundary (and on a torn frame, which only happens if the peer died
+    mid-write). *)
+
+type reader
+
+val create_reader : unit -> reader
+
+val drain : reader -> Unix.file_descr ->
+  [ `Frames of string list | `Eof of string list ]
+(** One [read(2)] on a descriptor select said is readable; returns every
+    frame completed by those bytes (often none or several).  [`Eof] carries
+    the final complete frames; a trailing torn frame is discarded. *)

@@ -1,0 +1,63 @@
+module Taint = Ndroid_taint.Taint
+
+type context = Java_ctx | Native_ctx
+
+type t = {
+  f_taint : Taint.t;
+  f_sink : string;
+  f_context : context;
+  f_site : string;
+}
+
+let context_name = function Java_ctx -> "java" | Native_ctx -> "native"
+
+let context_of_name = function
+  | "java" -> Some Java_ctx
+  | "native" -> Some Native_ctx
+  | _ -> None
+
+let pp ppf f =
+  Format.fprintf ppf "%a -> %s [%s context, at %s]" Taint.pp f.f_taint f.f_sink
+    (context_name f.f_context) f.f_site
+
+let to_string f = Format.asprintf "%a" pp f
+
+let key f =
+  (f.f_sink, context_name f.f_context, f.f_site, Taint.to_bits f.f_taint)
+
+let compare a b = Stdlib.compare (key a) (key b)
+let equal a b = compare a b = 0
+
+let to_json f =
+  Json.Obj
+    [ ("taint", Json.Str (Printf.sprintf "0x%x" (Taint.to_bits f.f_taint)));
+      ("sink", Json.Str f.f_sink);
+      ("context", Json.Str (context_name f.f_context));
+      ("site", Json.Str f.f_site) ]
+
+let of_json j =
+  let field name =
+    match Json.member name j with
+    | Some v -> (
+      match Json.str v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "flow field %S is not a string" name))
+    | None -> Error (Printf.sprintf "flow is missing field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* taint_s = field "taint" in
+  let* sink = field "sink" in
+  let* context_s = field "context" in
+  let* site = field "site" in
+  let* bits =
+    match int_of_string_opt taint_s with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "bad taint bits %S" taint_s)
+  in
+  let* context =
+    match context_of_name context_s with
+    | Some c -> Ok c
+    | None -> Error (Printf.sprintf "bad flow context %S" context_s)
+  in
+  Ok { f_taint = Taint.of_bits bits; f_sink = sink; f_context = context;
+       f_site = site }

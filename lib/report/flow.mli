@@ -1,0 +1,34 @@
+(** One source→sink information flow, shared by both analyses.
+
+    The static supergraph analyzer and the dynamic sink monitor used to
+    report flows with two unrelated record types; this is the single shape
+    both now produce.  Field names keep the static analyzer's [f_]
+    convention so [Ndroid_static.Flow] can re-export this type verbatim. *)
+
+module Taint = Ndroid_taint.Taint
+
+type context = Java_ctx | Native_ctx
+
+type t = {
+  f_taint : Taint.t;  (** categories that reached the sink *)
+  f_sink : string;  (** short sink name, e.g. ["send"] *)
+  f_context : context;  (** which side of the JNI boundary leaked *)
+  f_site : string;  (** call site / destination detail *)
+}
+
+val context_name : context -> string
+val context_of_name : string -> context option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val key : t -> string * string * string * int
+(** Deduplication key (sink, context, site, taint bits). *)
+
+val compare : t -> t -> int
+(** Total order used for the canonical flow ordering in reports. *)
+
+val equal : t -> t -> bool
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result

@@ -20,8 +20,7 @@ type input = {
 type verdict = {
   v_name : string;
   v_classification : Classifier.classification option;
-  v_flows : Flow.t list;
-  v_flagged : bool;
+  v_result : Ndroid_report.Verdict.t;
   v_loads_library : bool;
   v_jni_sites : int;
   v_methods : int;
@@ -165,12 +164,11 @@ let analyze ?classification input =
     stable := (not (Dex_flow.changed ctx)) && mem_before = mem_after
   done;
   let flow_list =
-    Hashtbl.fold (fun _ f acc -> f :: acc) flows [] |> List.sort compare
+    Hashtbl.fold (fun _ f acc -> f :: acc) flows [] |> List.sort Flow.compare
   in
   { v_name = input.in_name;
     v_classification = classification;
-    v_flows = flow_list;
-    v_flagged = flow_list <> [];
+    v_result = Ndroid_report.Verdict.normalize (Flagged flow_list);
     v_loads_library = Callgraph.calls_load cg || Dex_flow.loads_library ctx;
     v_jni_sites = Callgraph.jni_site_count cg;
     v_methods = Hashtbl.length (Callgraph.methods cg);
@@ -223,5 +221,10 @@ let contains_substring hay needle =
     !found
   end
 
+let flows v = Ndroid_report.Verdict.flows v.v_result
+let flagged v = Ndroid_report.Verdict.flagged v.v_result
+
 let flagged_at v needle =
-  List.exists (fun (f : Flow.t) -> contains_substring f.Flow.f_sink needle) v.v_flows
+  List.exists
+    (fun (f : Flow.t) -> contains_substring f.Flow.f_sink needle)
+    (flows v)

@@ -26,8 +26,9 @@ type input = {
 type verdict = {
   v_name : string;
   v_classification : Ndroid_corpus.Classifier.classification option;
-  v_flows : Flow.t list;  (** deduplicated, sorted *)
-  v_flagged : bool;  (** any source→sink flow found *)
+  v_result : Ndroid_report.Verdict.t;
+      (** the unified verdict: [Clean] or [Flagged] with deduplicated,
+          sorted flows (the pipeline adds [Crashed]/[Timeout] around it) *)
   v_loads_library : bool;
   v_jni_sites : int;  (** static Java→native call sites *)
   v_methods : int;  (** app methods in the call graph *)
@@ -43,6 +44,12 @@ val analyze_apk : Ndroid_corpus.Apk.t -> verdict
     with {!Ndroid_dalvik.Dexfile}, [lib/] entries with
     {!Ndroid_arm.Sofile}; classification comes from the shared
     {!Ndroid_corpus.Classifier} core. *)
+
+val flows : verdict -> Flow.t list
+(** The flows of a [Flagged] result, [] otherwise. *)
+
+val flagged : verdict -> bool
+(** Any source→sink flow found. *)
 
 val flagged_at : verdict -> string -> bool
 (** Does any flow's sink name contain the given substring?  (Matches the

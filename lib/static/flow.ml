@@ -1,21 +1,5 @@
-module Taint = Ndroid_taint.Taint
-
-type context = Java_ctx | Native_ctx
-
-type t = {
-  f_taint : Taint.t;
-  f_sink : string;
-  f_context : context;
-  f_site : string;
-}
-
-let context_name = function Java_ctx -> "java" | Native_ctx -> "native"
-
-let pp ppf f =
-  Format.fprintf ppf "%a -> %s [%s context, at %s]" Taint.pp f.f_taint f.f_sink
-    (context_name f.f_context) f.f_site
-
-let to_string f = Format.asprintf "%a" pp f
-
-let key f =
-  (f.f_sink, context_name f.f_context, f.f_site, Taint.to_bits f.f_taint)
+(* The flow type is shared with the dynamic path: both analyses report
+   {!Ndroid_report.Flow} values, so one verdict codec serves the whole
+   toolchain.  Re-exported here so the static internals keep their
+   short [Flow.t] spelling. *)
+include Ndroid_report.Flow

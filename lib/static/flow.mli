@@ -1,22 +1,8 @@
-(** A statically-discovered source→sink flow.
+(** One source→sink flow found statically.
 
-    The static pass reports the same shape of fact the dynamic sink
-    monitors report — which taint reached which sink, and in which
-    execution context — so the E3 cross-tabulation can compare verdicts
-    one-to-one. *)
+    The type itself now lives in {!Ndroid_report.Flow} — the same record
+    the dynamic path reports — so both analyses share one verdict variant
+    and one JSON codec.  This module re-exports it under the static
+    library's historical [Flow] name. *)
 
-type context = Java_ctx | Native_ctx
-
-type t = {
-  f_taint : Ndroid_taint.Taint.t;  (** union of categories that can reach *)
-  f_sink : string;  (** sink name, e.g. ["sendto"] or ["Socket.send"] *)
-  f_context : context;
-  f_site : string;  (** method or native symbol containing the sink call *)
-}
-
-val context_name : context -> string
-val pp : Format.formatter -> t -> unit
-val to_string : t -> string
-
-val key : t -> string * string * string * int
-(** Dedup key: (sink, context, site, taint bits). *)
+include module type of Ndroid_report.Flow

@@ -1,9 +1,10 @@
-module Taint = Ndroid_taint.Taint
 module Classifier = Ndroid_corpus.Classifier
+module Json = Ndroid_report.Json
+module Verdict = Ndroid_report.Verdict
 
 let pp_verdict ppf (v : Analyzer.verdict) =
   Format.fprintf ppf "%s: %s@." v.Analyzer.v_name
-    (if v.Analyzer.v_flagged then "FLAGGED" else "clean");
+    (if Analyzer.flagged v then "FLAGGED" else "clean");
   (match v.Analyzer.v_classification with
    | Some c ->
      Format.fprintf ppf "  classification:   %s@." (Classifier.classification_name c)
@@ -15,42 +16,27 @@ let pp_verdict ppf (v : Analyzer.verdict) =
   Format.fprintf ppf "  fixpoint rounds:  %d@." v.Analyzer.v_rounds;
   List.iter
     (fun f -> Format.fprintf ppf "  flow: %a@." Flow.pp f)
-    v.Analyzer.v_flows
+    (Analyzer.flows v)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 32 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* JSON goes through the one canonical codec in {!Ndroid_report}; this
+   module only maps the analyzer's counters into report metadata. *)
 
-let flow_json (f : Flow.t) =
-  Printf.sprintf
-    {|{"taint":"0x%x","sink":"%s","context":"%s","site":"%s"}|}
-    (Taint.to_bits f.Flow.f_taint)
-    (json_escape f.Flow.f_sink)
-    (Flow.context_name f.Flow.f_context)
-    (json_escape f.Flow.f_site)
+let to_report (v : Analyzer.verdict) =
+  { Verdict.r_app = v.Analyzer.v_name;
+    r_analysis = "static";
+    r_verdict = v.Analyzer.v_result;
+    r_meta =
+      [ ("classification",
+         (match v.Analyzer.v_classification with
+          | Some c -> Json.Str (Classifier.classification_name c)
+          | None -> Json.Null));
+        ("loads_library", Json.Bool v.Analyzer.v_loads_library);
+        ("jni_sites", Json.Int v.Analyzer.v_jni_sites);
+        ("methods", Json.Int v.Analyzer.v_methods);
+        ("native_insns", Json.Int v.Analyzer.v_native_insns);
+        ("rounds", Json.Int v.Analyzer.v_rounds) ] }
 
-let verdict_json (v : Analyzer.verdict) =
-  let cls =
-    match v.Analyzer.v_classification with
-    | Some c -> Printf.sprintf {|"%s"|} (json_escape (Classifier.classification_name c))
-    | None -> "null"
-  in
-  Printf.sprintf
-    {|{"app":"%s","flagged":%b,"classification":%s,"loads_library":%b,"jni_sites":%d,"methods":%d,"native_insns":%d,"rounds":%d,"flows":[%s]}|}
-    (json_escape v.Analyzer.v_name)
-    v.Analyzer.v_flagged cls v.Analyzer.v_loads_library v.Analyzer.v_jni_sites
-    v.Analyzer.v_methods v.Analyzer.v_native_insns v.Analyzer.v_rounds
-    (String.concat "," (List.map flow_json v.Analyzer.v_flows))
+let verdict_json v = Json.to_string (Verdict.report_to_json (to_report v))
 
 let verdicts_json vs =
-  "[" ^ String.concat ",\n " (List.map verdict_json vs) ^ "]"
+  Json.to_string (Verdict.reports_to_json (List.map to_report vs))

@@ -1,9 +1,19 @@
-(** Rendering static verdicts, human-readable and as JSON. *)
+(** Rendering static verdicts, human-readable and as canonical JSON.
+
+    The ad-hoc JSON printer this module used to carry is gone: everything
+    serializes through {!Ndroid_report.Verdict}, the same codec the dynamic
+    path and the batch pipeline use, so `ndroid analyze --json` output is
+    deterministic and schema-identical across analyses. *)
 
 val pp_verdict : Format.formatter -> Analyzer.verdict -> unit
 
+val to_report : Analyzer.verdict -> Ndroid_report.Verdict.report
+(** The unified per-app report (analysis = ["static"]), carrying the
+    analyzer's counters as deterministic metadata. *)
+
 val verdict_json : Analyzer.verdict -> string
-(** One verdict as a JSON object. *)
+(** One verdict as a canonical JSON object. *)
 
 val verdicts_json : Analyzer.verdict list -> string
-(** A JSON array of verdicts, the [ndroid lint --json] payload. *)
+(** A canonical JSON array of verdicts, the [ndroid analyze --json]
+    payload. *)

@@ -24,4 +24,5 @@ let () =
       ("stress", Test_stress.suite);
       ("consistency", Test_consistency.suite);
       ("misc", Test_misc.suite);
-      ("static", Test_static.suite) ]
+      ("static", Test_static.suite);
+      ("pipeline", Test_pipeline.suite) ]

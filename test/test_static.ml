@@ -190,7 +190,7 @@ let e3_apps () =
 
 let static_flagged (app : H.app) =
   let v = St.Drive.verdict_of_app app in
-  if app.H.expected_sink = "" then v.St.Analyzer.v_flagged
+  if app.H.expected_sink = "" then St.Analyzer.flagged v
   else St.Analyzer.flagged_at v app.H.expected_sink
 
 let test_agreement () =
@@ -210,7 +210,7 @@ let test_evasion_statically_flagged () =
     false
     (H.run H.Ndroid_full app).H.detected;
   Alcotest.(check bool) "static control-flow taint flags it" true
-    (St.Drive.verdict_of_app app).St.Analyzer.v_flagged
+    (St.Analyzer.flagged (St.Drive.verdict_of_app app))
 
 let test_flow_contexts () =
   (* case4 leaks from native code (sendto); case3 hands the data back to
@@ -221,7 +221,7 @@ let test_flow_contexts () =
     (List.exists
        (fun (f : St.Flow.t) ->
          f.St.Flow.f_sink = "sendto" && f.St.Flow.f_context = St.Flow.Native_ctx)
-       v4.St.Analyzer.v_flows);
+       (St.Analyzer.flows v4));
   let case3 = List.find (fun a -> a.H.app_name = "case3") Ndroid_apps.Cases.all in
   let v3 = St.Drive.verdict_of_app case3 in
   Alcotest.(check bool) "case3 flags a Java-context Socket.send flow" true
@@ -229,7 +229,7 @@ let test_flow_contexts () =
        (fun (f : St.Flow.t) ->
          f.St.Flow.f_sink = "Socket.send"
          && f.St.Flow.f_context = St.Flow.Java_ctx)
-       v3.St.Analyzer.v_flows)
+       (St.Analyzer.flows v3))
 
 let test_clean_apps_stay_clean () =
   (* the Sec. VI batch mixes one real leaker (ePhone) with benign apps;
@@ -240,7 +240,7 @@ let test_clean_apps_stay_clean () =
         Alcotest.(check bool)
           (Printf.sprintf "%s stays clean" app.H.app_name)
           false
-          (St.Drive.verdict_of_app app).St.Analyzer.v_flagged)
+          (St.Analyzer.flagged (St.Drive.verdict_of_app app)))
     Ndroid_apps.Sec6_batch.apps
 
 (* ---- market slice: APK-level soundness and classifier agreement ---- *)
@@ -253,7 +253,7 @@ let test_market_soundness () =
       if Market.app_is_leaky model then begin
         incr leaky;
         let v = St.Analyzer.analyze_apk (Apk.of_app_model model) in
-        if not v.St.Analyzer.v_flagged then incr missed
+        if not (St.Analyzer.flagged v) then incr missed
       end)
     (Market.generate params);
   Alcotest.(check bool) "slice contains leaky apps" true (!leaky > 0);
