@@ -942,7 +942,14 @@ let pipeline () =
         ("cache_pass_seconds", Rj.Float s.Pool.s_cache_pass);
         ("fork_seconds", Rj.Float s.Pool.s_fork);
         ("collect_seconds", Rj.Float s.Pool.s_collect);
-        ("analyze_cpu_seconds", Rj.Float s.Pool.s_analyze_cpu) ]
+        ("analyze_cpu_seconds", Rj.Float s.Pool.s_analyze_cpu);
+        ("bytecodes", Rj.Int s.Pool.s_bytecodes);
+        ("bytecodes_per_sec",
+         Rj.Float
+           (if s.Pool.s_analyze_cpu > 0.0 then
+              float_of_int s.Pool.s_bytecodes /. s.Pool.s_analyze_cpu
+            else 0.0));
+        ("jni_crossings", Rj.Int s.Pool.s_jni_crossings) ]
   in
   let doc =
     Rj.Obj
@@ -1070,6 +1077,218 @@ let micro () =
         results)
     tests
 
+(* ------------------------------------------------------------ DALVIK -- *)
+
+module Interp = Ndroid_dalvik.Interp
+
+(* Dalvik hot-path throughput: the resolve-once fast path (pre-linked code,
+   memoized vtables/layouts, inline caches, pooled frames) against the seed
+   interpreter kept verbatim as [Interp.invoke_reference].  Two workloads:
+   a Java-heavy loop where resolution caches matter (invokes, virtual
+   dispatch, field + static traffic) and a JNI-crossing loop that churns the
+   pooled call-bridge marshaling.  Honest rows: taint-on (the NDroid
+   configuration) and taint-off (vanilla). *)
+
+let dk_cls = "Lcom/bench/DalvikHot;"
+let dk_iterations = 20_000
+
+let dk_classes () =
+  let fa = { B.f_class = dk_cls; f_name = "a" } in
+  let fb = { B.f_class = dk_cls; f_name = "b" } in
+  let fs = { B.f_class = dk_cls; f_name = "s" } in
+  (* a realistic class body: dex classes carry dozens of methods and fields,
+     and the seed resolver scans those lists on every invoke / field access.
+     The hot members sit at the end, where a linear scan pays full price. *)
+  let filler_methods =
+    List.init 24 (fun i ->
+        J.method_ ~cls:dk_cls ~name:(Printf.sprintf "m%02d" i) ~shorty:"I"
+          ~registers:2
+          [ J.I (B.Const (0, Dvalue.Int (Int32.of_int i))); J.I (B.Return 0) ])
+  in
+  let filler_fields = List.init 10 (fun i -> Printf.sprintf "p%d" i) in
+  let leaf =
+    J.method_ ~cls:dk_cls ~name:"leaf" ~shorty:"II" ~registers:4
+      [ J.I (B.Binop_lit (B.Add, 0, 3, 1l)); J.I (B.Return 0) ]
+  in
+  let vgetf =
+    J.method_ ~cls:dk_cls ~name:"vgetf" ~shorty:"I" ~static:false ~registers:4
+      [ J.I (B.Iget (0, 3, fa)); J.I (B.Return 0) ]
+  in
+  let work =
+    J.method_ ~cls:dk_cls ~name:"work" ~shorty:"II" ~registers:10
+      [ J.I (B.Const (0, Dvalue.Int 0l));
+        J.I (B.New_instance (1, dk_cls));
+        J.I (B.Iput (9, 1, fa));
+        (* a tainted argument taints field a, so taint-on rows really pay
+           for propagation through the whole loop *)
+        J.I (B.Iput (0, 1, fb));
+        J.I (B.Move (2, 9));
+        J.L "loop";
+        J.Ifz_l (B.Le, 2, "done");
+        J.I (B.Invoke (B.Static, { B.m_class = dk_cls; m_name = "leaf" }, [ 0 ]));
+        J.I (B.Move_result 0);
+        J.I (B.Invoke (B.Virtual, { B.m_class = dk_cls; m_name = "vgetf" }, [ 1 ]));
+        J.I (B.Move_result 3);
+        J.I (B.Binop (B.Add, 0, 0, 3));
+        J.I (B.Iget (4, 1, fb));
+        J.I (B.Binop (B.Add, 4, 4, 3));
+        J.I (B.Iput (4, 1, fb));
+        J.I (B.Sget (5, fs));
+        J.I (B.Binop_lit (B.Add, 5, 5, 3l));
+        J.I (B.Sput (5, fs));
+        J.I (B.Binop_lit (B.Sub, 2, 2, 1l));
+        J.Goto_l "loop";
+        J.L "done";
+        J.I (B.Return 0) ]
+  in
+  [ J.class_ ~name:dk_cls
+      ~fields:(filler_fields @ [ "a"; "b" ])
+      ~static_fields:[ "s" ]
+      (filler_methods @ [ leaf; vgetf; work ]) ]
+
+(* (bytecodes per run, median seconds, bytecodes/sec) *)
+let dk_measure invoke ~track ~taint =
+  let vm = Vm.create () in
+  List.iter (Vm.define_class vm) (dk_classes ());
+  vm.Vm.track_taint <- track;
+  let m = Vm.find_method vm dk_cls "work" in
+  let arg = (Dvalue.Int (Int32.of_int dk_iterations), taint) in
+  let b0 = vm.Vm.counters.Vm.bytecodes in
+  ignore (invoke vm m [| arg |]);
+  let per_run = vm.Vm.counters.Vm.bytecodes - b0 in
+  let dt = time_median (fun () -> ignore (invoke vm m [| arg |])) in
+  (per_run, dt, float_of_int per_run /. dt)
+
+let dk_jni_cls = "Lcom/bench/DalvikJni;"
+let dk_jni_iterations = 6_000
+
+let dk_jni_app : H.app =
+  { H.app_name = "dalvik-jni-bench";
+    app_case = "bench";
+    description = "JNI crossing churn through the pooled call bridge";
+    classes =
+      [ J.class_ ~name:dk_jni_cls
+          [ J.native_method ~cls:dk_jni_cls ~name:"nadd" ~shorty:"II" "nadd";
+            J.method_ ~cls:dk_jni_cls ~name:"cross" ~shorty:"II" ~registers:6
+              [ J.L "loop";
+                J.Ifz_l (B.Le, 5, "done");
+                J.I
+                  (B.Invoke
+                     (B.Static, { B.m_class = dk_jni_cls; m_name = "nadd" },
+                      [ 5 ]));
+                J.I (B.Move_result 0);
+                J.I (B.Binop_lit (B.Sub, 5, 5, 1l));
+                J.Goto_l "loop";
+                J.L "done";
+                J.I (B.Return 5) ] ] ];
+    build_libs =
+      (fun extern ->
+        let open Asm in
+        (* static native: r0 = JNIEnv*, r1 = class, r2 = first argument *)
+        let items =
+          [ Label "nadd";
+            I (Insn.mov 0 (Insn.Reg 2));
+            I (Insn.add 0 0 (Insn.Imm 1));
+            I Insn.bx_lr ]
+        in
+        [ ("dalvikjni", assemble ~extern ~base:Layout.app_lib_base items) ]);
+    entry = (dk_jni_cls, "cross");
+    expected_sink = "" }
+
+(* (crossings per run, bytecodes per run, median seconds) *)
+let dk_measure_jni invoke =
+  let device = H.boot dk_jni_app in
+  let vm = Device.vm device in
+  let m = Vm.find_method vm dk_jni_cls "cross" in
+  let arg = (Dvalue.Int (Int32.of_int dk_jni_iterations), Taint.clear) in
+  let c0 = vm.Vm.counters.Vm.native_calls in
+  let b0 = vm.Vm.counters.Vm.bytecodes in
+  ignore (invoke vm m [| arg |]);
+  let crossings = vm.Vm.counters.Vm.native_calls - c0 in
+  let per_run = vm.Vm.counters.Vm.bytecodes - b0 in
+  let dt = time_median (fun () -> ignore (invoke vm m [| arg |])) in
+  (crossings, per_run, dt)
+
+let dalvik () =
+  section "DALVIK: resolve-once fast path vs seed interpreter";
+  let row name (bytecodes, dt, rate) =
+    Printf.printf "%-28s %12d %10.4f %14.0f\n%!" name bytecodes dt rate
+  in
+  Printf.printf "%-28s %12s %10s %14s\n" "configuration" "bytecodes" "seconds"
+    "bytecodes/sec";
+  let ref_on = dk_measure Interp.invoke_reference ~track:true ~taint:Taint.imei in
+  let ref_off = dk_measure Interp.invoke_reference ~track:false ~taint:Taint.clear in
+  let fast_on = dk_measure Interp.invoke ~track:true ~taint:Taint.imei in
+  let fast_off = dk_measure Interp.invoke ~track:false ~taint:Taint.clear in
+  row "reference, taint on" ref_on;
+  row "reference, taint off" ref_off;
+  row "fast, taint on" fast_on;
+  row "fast, taint off" fast_off;
+  let rate (_, _, r) = r in
+  let speedup_on = rate fast_on /. rate ref_on in
+  let speedup_off = rate fast_off /. rate ref_off in
+  Printf.printf "java-heavy speedup: %.2fx taint-on, %.2fx taint-off\n%!"
+    speedup_on speedup_off;
+  let jref = dk_measure_jni Interp.invoke_reference in
+  let jfast = dk_measure_jni Interp.invoke in
+  let jni_row name (crossings, bytecodes, dt) =
+    Printf.printf "%-28s %8d crossings %8d bytecodes %8.4fs %12.0f crossings/sec\n%!"
+      name crossings bytecodes dt
+      (float_of_int crossings /. dt)
+  in
+  jni_row "jni reference" jref;
+  jni_row "jni fast" jfast;
+  let jni_speedup =
+    let time (_, _, dt) = dt in
+    time jref /. time jfast
+  in
+  Printf.printf "jni-crossing speedup: %.2fx\n%!" jni_speedup;
+  let row_json (bytecodes, dt, rate) =
+    Rj.Obj
+      [ ("bytecodes", Rj.Int bytecodes); ("seconds", Rj.Float dt);
+        ("bytecodes_per_sec", Rj.Float rate) ]
+  in
+  let jni_json (crossings, bytecodes, dt) =
+    Rj.Obj
+      [ ("jni_crossings", Rj.Int crossings); ("bytecodes", Rj.Int bytecodes);
+        ("seconds", Rj.Float dt);
+        ("crossings_per_sec", Rj.Float (float_of_int crossings /. dt)) ]
+  in
+  let doc =
+    Rj.Obj
+      [ ("experiment", Rj.Str "dalvik");
+        ("java_heavy_iterations", Rj.Int dk_iterations);
+        ("jni_iterations", Rj.Int dk_jni_iterations);
+        ("java_heavy",
+         Rj.Obj
+           [ ("reference",
+              Rj.Obj [ ("taint_on", row_json ref_on); ("taint_off", row_json ref_off) ]);
+             ("fast",
+              Rj.Obj [ ("taint_on", row_json fast_on); ("taint_off", row_json fast_off) ]);
+             ("speedup_taint_on", Rj.Float speedup_on);
+             ("speedup_taint_off", Rj.Float speedup_off) ]);
+        ("jni_crossing",
+         Rj.Obj
+           [ ("reference", jni_json jref); ("fast", jni_json jfast);
+             ("speedup", Rj.Float jni_speedup) ]) ]
+  in
+  let oc = open_out "BENCH_dalvik.json" in
+  output_string oc (Rj.to_string_hum doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_dalvik.json\n";
+  let fail msg =
+    Printf.eprintf "FAIL: %s\n" msg;
+    exit 1
+  in
+  (* acceptance bar: the resolve-once fast path must clear 3x over the seed
+     interpreter on the Java-heavy workload, tracking on *)
+  if speedup_on < 3.0 then
+    fail (Printf.sprintf "java-heavy taint-on speedup %.2fx < 3.0x" speedup_on);
+  let identical (b1, _, _) (b2, _, _) = b1 = b2 in
+  if not (identical ref_on fast_on && identical ref_off fast_off) then
+    fail "fast path executed a different bytecode count than the reference"
+
 (* ------------------------------------------------------------- driver -- *)
 
 let all_experiments =
@@ -1077,7 +1296,7 @@ let all_experiments =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("a1", a1); ("a2", a2);
     ("a3", a3); ("perf", perf); ("static", static); ("pipeline", pipeline);
-    ("micro", micro) ]
+    ("micro", micro); ("dalvik", dalvik) ]
 
 let () =
   Printf.printf

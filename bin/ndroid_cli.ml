@@ -297,6 +297,21 @@ let tasks_of_request names market mode =
     in
     build 0 [] names
 
+(* Per-phase stats for the sweep, including Dalvik throughput (bytecodes/sec
+   over the measured analysis time) and JNI-crossing counts.  Emitted on
+   stderr so stdout stays exactly the canonical report array. *)
+let stats_to_json ~bytecodes ~jni_crossings ~analyze_seconds phases =
+  let rate =
+    if analyze_seconds > 0.0 then float_of_int bytecodes /. analyze_seconds
+    else 0.0
+  in
+  Json.Obj
+    (phases
+     @ [ ("analyze_seconds", Json.Float analyze_seconds);
+         ("bytecodes", Json.Int bytecodes);
+         ("bytecodes_per_sec", Json.Float rate);
+         ("jni_crossings", Json.Int jni_crossings) ])
+
 let cmd_analyze names mode json jobs timeout cache_dir market =
   match tasks_of_request names market mode with
   | Error e ->
@@ -304,22 +319,57 @@ let cmd_analyze names mode json jobs timeout cache_dir market =
     1
   | Ok tasks ->
     let cache = Option.map (fun dir -> Cache.create ~dir) cache_dir in
-    let reports =
-      if jobs <= 1 && timeout = None then Pool.run_inline ?cache tasks
+    let reports, stats_json =
+      if jobs <= 1 && timeout = None then begin
+        let t0 = Unix.gettimeofday () in
+        let reports = Pool.run_inline ?cache tasks in
+        let seconds = Unix.gettimeofday () -. t0 in
+        let bytecodes, jni_crossings = Pool.counters_of_reports reports in
+        ( reports,
+          stats_to_json ~bytecodes ~jni_crossings ~analyze_seconds:seconds
+            [ ("wall_seconds", Json.Float seconds) ] )
+      end
       else begin
         let progress ~done_ ~total = Printf.eprintf "\r%d/%d%!" done_ total in
         let progress = if json then None else Some progress in
-        let reports, _ =
+        let reports, s =
           Pool.run (Pool.config ~jobs ?timeout ?cache ?progress ()) tasks
         in
         if progress <> None then Printf.eprintf "\n%!";
-        reports
+        ( reports,
+          stats_to_json ~bytecodes:s.Pool.s_bytecodes
+            ~jni_crossings:s.Pool.s_jni_crossings
+            ~analyze_seconds:s.Pool.s_analyze_cpu
+            [ ("wall_seconds", Json.Float s.Pool.s_wall);
+              ("cache_pass_seconds", Json.Float s.Pool.s_cache_pass);
+              ("fork_seconds", Json.Float s.Pool.s_fork);
+              ("collect_seconds", Json.Float s.Pool.s_collect);
+              ("cache_hits", Json.Int s.Pool.s_cache_hits);
+              ("from_workers", Json.Int s.Pool.s_from_workers) ] )
       end
     in
     let reports = Array.to_list reports in
-    if json then print_endline (Json.to_string (Verdict.reports_to_json reports))
-    else
+    if json then begin
+      print_endline (Json.to_string (Verdict.reports_to_json reports));
+      Printf.eprintf "%s\n%!"
+        (Json.to_string (Json.Obj [ ("stats", stats_json) ]))
+    end
+    else begin
       List.iter (fun r -> Format.printf "%a@." Verdict.pp_report r) reports;
+      match stats_json with
+      | Json.Obj fields ->
+        let str k =
+          match List.assoc_opt k fields with
+          | Some (Json.Float f) -> Printf.sprintf "%.2f" f
+          | Some (Json.Int n) -> string_of_int n
+          | _ -> "0"
+        in
+        Printf.printf
+          "stats: %s bytecodes in %ss (%s bytecodes/sec), %s JNI crossings\n"
+          (str "bytecodes") (str "analyze_seconds") (str "bytecodes_per_sec")
+          (str "jni_crossings")
+      | _ -> ()
+    end;
     if List.exists (fun r -> Verdict.flagged r.Verdict.r_verdict) reports then 3
     else 0
 

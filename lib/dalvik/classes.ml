@@ -27,7 +27,11 @@ let shorty_params shorty =
   if shorty = "" then []
   else List.init (String.length shorty - 1) (fun i -> shorty.[i + 1])
 
-let param_count m = List.length (shorty_params m.m_shorty)
+(* Equivalent to [List.length (shorty_params m.m_shorty)] without building
+   the list: this runs once per invoke on the interpreter hot path. *)
+let param_count m =
+  let n = String.length m.m_shorty in
+  if n = 0 then 0 else n - 1
 let ins_count m = param_count m + if m.m_static then 0 else 1
 let return_type m = if m.m_shorty = "" then 'V' else m.m_shorty.[0]
 let qualified_name m = m.m_class ^ "->" ^ m.m_name

@@ -10,7 +10,17 @@
     - arrays and strings carry a {e single} taint for all elements;
     - instance and static fields carry one tag per field;
     - when [Vm.track_taint] is off, tags are neither read nor written
-      (the vanilla baseline). *)
+      (the vanilla baseline).
+
+    Two execution paths share these semantics:
+    - {!invoke} — the fast path: pre-linked code ({!Linked}), memoized
+      vtable/field-layout resolution, monomorphic inline caches at
+      invoke/iget/iput sites, and pooled per-depth register frames
+      ([Vm.frame]) instead of per-call array allocation;
+    - {!invoke_reference} — the original seed interpreter, kept verbatim
+      (uncached linear method scans, per-access field-layout rebuilds,
+      fresh frames) as the semantic oracle for the differential tests and
+      the honest baseline for [bench/main.exe dalvik]. *)
 
 exception Wrong_arity of string
 (** Raised when a call supplies the wrong number of arguments. *)
@@ -24,3 +34,9 @@ val invoke : Vm.t -> Classes.method_def -> Vm.tval array -> Vm.tval
 
 val invoke_by_name : Vm.t -> string -> string -> Vm.tval array -> Vm.tval
 (** Resolve by class and method name, then {!invoke}. *)
+
+val invoke_reference : Vm.t -> Classes.method_def -> Vm.tval array -> Vm.tval
+(** The seed interpreter: same observable semantics as {!invoke}, with the
+    seed's uncached resolution (per-invoke linear method scans, per-access
+    field-layout rebuilds) and fresh register arrays per call.  Nested
+    bytecode invokes stay on the reference path. *)

@@ -4,10 +4,12 @@ module St = Ndroid_static
 module Apk = Ndroid_corpus.Apk
 module App_model = Ndroid_corpus.App_model
 module Verdict = Ndroid_report.Verdict
+module Json = Ndroid_report.Json
+module Vm = Ndroid_dalvik.Vm
 
 (* Bump on any verdict-affecting analyzer change: it invalidates every
    cached result at once. *)
-let version = "1"
+let version = "2"
 
 let crashed_report ~app ~analysis why =
   { Verdict.r_app = app; r_analysis = analysis; r_verdict = Verdict.Crashed why;
@@ -23,8 +25,18 @@ let static_market model =
 
 let dynamic_bundled (app : H.app) =
   let outcome = H.run H.Ndroid_full app in
+  (* deterministic execution counters: same app, same counts, whatever the
+     --jobs value — safe to put in the canonical report *)
+  let c = (Ndroid_runtime.Device.vm outcome.H.device).Vm.counters in
+  let counter_meta =
+    [ ("bytecodes", Json.Int c.Vm.bytecodes);
+      ("invokes", Json.Int c.Vm.invokes);
+      ("jni_crossings", Json.Int (c.Vm.native_calls + c.Vm.jni_env_calls)) ]
+  in
   match outcome.H.analysis with
-  | Some nd -> Ndroid_core.Report.to_report ~app_name:app.H.app_name nd
+  | Some nd ->
+    let r = Ndroid_core.Report.to_report ~app_name:app.H.app_name nd in
+    { r with Verdict.r_meta = r.Verdict.r_meta @ counter_meta }
   | None ->
     crashed_report ~app:app.H.app_name ~analysis:"dynamic"
       "NDroid failed to attach"

@@ -27,7 +27,24 @@ type stats = {
   s_fork : float;
   s_collect : float;
   s_analyze_cpu : float;
+  s_bytecodes : int;
+  s_jni_crossings : int;
 }
+
+let meta_int key (r : Verdict.report) =
+  (* counters appear bare on dynamic reports and "dynamic_"-prefixed on
+     merged ("both") reports *)
+  match
+    ( List.assoc_opt key r.Verdict.r_meta,
+      List.assoc_opt ("dynamic_" ^ key) r.Verdict.r_meta )
+  with
+  | Some (Json.Int n), _ | None, Some (Json.Int n) -> n
+  | _ -> 0
+
+let counters_of_reports reports =
+  Array.fold_left
+    (fun (b, j) r -> (b + meta_int "bytecodes" r, j + meta_int "jni_crossings" r))
+    (0, 0) reports
 
 let now () = Unix.gettimeofday ()
 
@@ -371,6 +388,7 @@ let run cfg tasks =
     (* orderly shutdown: EOF on the task pipes, then reap *)
     Array.iter (function Some sl when sl.sl_alive -> bury sl | _ -> ()) slots;
     ignore (Sys.signal Sys.sigpipe prev_sigpipe);
+    let bytecodes, jni_crossings = counters_of_reports results in
     let stats =
       { s_total = total; s_from_workers = !from_workers;
         s_cache_hits = cache_hits; s_crashed = !crashed;
@@ -378,17 +396,21 @@ let run cfg tasks =
         s_steals = Shard_queue.steals queue;
         s_injected_kills = !injected_kills; s_wall = now () -. t_start;
         s_cache_pass = cache_pass; s_fork = !fork_time;
-        s_collect = now () -. t_collect0; s_analyze_cpu = !analyze_cpu }
+        s_collect = now () -. t_collect0; s_analyze_cpu = !analyze_cpu;
+        s_bytecodes = bytecodes; s_jni_crossings = jni_crossings }
     in
     (results, stats)
   end
-  else
+  else begin
+    let bytecodes, jni_crossings = counters_of_reports results in
     ( results,
       { s_total = total; s_from_workers = 0; s_cache_hits = cache_hits;
         s_crashed = 0; s_timeouts = 0; s_respawns = 0; s_steals = 0;
         s_injected_kills = 0; s_wall = now () -. t_start;
         s_cache_pass = cache_pass; s_fork = 0.0; s_collect = 0.0;
-        s_analyze_cpu = 0.0 } )
+        s_analyze_cpu = 0.0; s_bytecodes = bytecodes;
+        s_jni_crossings = jni_crossings } )
+  end
 
 let run_inline ?cache tasks =
   validate_ids tasks;

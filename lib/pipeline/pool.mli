@@ -48,7 +48,18 @@ type stats = {
   s_analyze_cpu : float;
       (** sum of per-task analysis seconds measured inside workers — the
           serial-equivalent work the sweep performed *)
+  s_bytecodes : int;
+      (** Dalvik bytecodes executed across every dynamic analysis in the
+          sweep (from the deterministic per-report counters); divide by
+          [s_analyze_cpu] for the sweep's bytecodes/sec *)
+  s_jni_crossings : int;
+      (** JNI boundary crossings (Java→native calls + native→Java JNI
+          function calls) across every dynamic analysis *)
 }
+
+val counters_of_reports : Ndroid_report.Verdict.report array -> int * int
+(** [(bytecodes, jni_crossings)] summed from the reports' counter meta —
+    for callers of {!run_inline}, which returns no {!stats}. *)
 
 val run : config -> Task.t list -> Ndroid_report.Verdict.report array * stats
 (** Run every task; the returned array is indexed by position in the input

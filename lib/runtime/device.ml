@@ -11,6 +11,7 @@ module Memory = Ndroid_arm.Memory
 module Asm = Ndroid_arm.Asm
 module Taint = Ndroid_taint.Taint
 module Indirect_ref = Ndroid_jni.Indirect_ref
+module Arg_pool = Ndroid_jni.Arg_pool
 module A = Ndroid_android
 
 type taint_loc = Loc_mem of int * int | Loc_reg of int | Loc_iref of int
@@ -56,6 +57,10 @@ type t = {
   (* analysis plug points *)
   ret_policy : (jni_call -> r0:int -> r1:int -> Taint.t) ref;
   taint_source : (taint_loc -> Taint.t) ref;
+  (* pooled marshaling buffers: reused across JNI crossings, emitted into
+     one exactly-sized array per call (see Ndroid_jni.Arg_pool) *)
+  d_slot_pool : (int * Taint.t) Arg_pool.t;
+  d_arg_pool : Vm.tval Arg_pool.t;
 }
 
 let jni_env_ptr = Layout.libdvm_base + 0x7F000
@@ -129,20 +134,23 @@ let obj_taint d = function
   | Dvalue.Null | Dvalue.Int _ | Dvalue.Long _ | Dvalue.Float _ | Dvalue.Double _ ->
     Taint.clear
 
-(* Marshal one Java argument into AAPCS slots. *)
-let slots_of_arg d ty ((v, t) : Vm.tval) =
+(* Marshal one Java argument into AAPCS slots, pushed onto the pooled
+   buffer instead of returned as a fresh list. *)
+let push_slots_of_arg d pool ty ((v, t) : Vm.tval) =
   match ty with
   | 'J' ->
     let n = Dvalue.as_long v in
-    [ (Int64.to_int (Int64.logand n 0xFFFFFFFFL), t);
-      (Int64.to_int (Int64.shift_right_logical n 32), t) ]
+    Arg_pool.push pool (Int64.to_int (Int64.logand n 0xFFFFFFFFL), t);
+    Arg_pool.push pool (Int64.to_int (Int64.shift_right_logical n 32), t)
   | 'D' ->
     let bits = Int64.bits_of_float (Dvalue.as_double v) in
-    [ (Int64.to_int (Int64.logand bits 0xFFFFFFFFL), t);
-      (Int64.to_int (Int64.shift_right_logical bits 32), t) ]
-  | 'F' -> [ (Int32.to_int (Int32.bits_of_float (Dvalue.as_float v)) land mask32, t) ]
-  | 'L' -> [ (iref_of_value d v, Taint.union t (obj_taint d v)) ]
-  | _ -> [ (Int32.to_int (Dvalue.as_int v) land mask32, t) ]
+    Arg_pool.push pool (Int64.to_int (Int64.logand bits 0xFFFFFFFFL), t);
+    Arg_pool.push pool (Int64.to_int (Int64.shift_right_logical bits 32), t)
+  | 'F' ->
+    Arg_pool.push pool
+      (Int32.to_int (Int32.bits_of_float (Dvalue.as_float v)) land mask32, t)
+  | 'L' -> Arg_pool.push pool (iref_of_value d v, Taint.union t (obj_taint d v))
+  | _ -> Arg_pool.push pool (Int32.to_int (Dvalue.as_int v) land mask32, t)
 
 let value_of_raw d ty ~r0 ~r1 =
   match ty with
@@ -239,24 +247,28 @@ let native_dispatch d vm jm (args : Vm.tval array) =
              (Printf.sprintf "UnsatisfiedLinkError: %s (library not loaded?)"
                 symbol)))
   in
-  (* marshal: (env, this|class, params...) *)
+  (* marshal: (env, this|class, params...) through the pooled buffer *)
   let params = Classes.shorty_params jm.Classes.m_shorty in
-  let receiver_slots, param_args =
-    if jm.Classes.m_static then
-      ([ (class_handle d jm.Classes.m_class, Taint.clear) ], Array.to_list args)
-    else
-      match Array.to_list args with
-      | this :: rest ->
-        let v, t = this in
-        ([ (iref_of_value d v, Taint.union t (obj_taint d v)) ], rest)
-      | [] -> raise (Vm.Dvm_error "native instance method without this")
+  let pool = d.d_slot_pool in
+  Arg_pool.reset pool;
+  Arg_pool.push pool (jni_env_ptr, Taint.clear);
+  let first_param =
+    if jm.Classes.m_static then begin
+      Arg_pool.push pool (class_handle d jm.Classes.m_class, Taint.clear);
+      0
+    end
+    else begin
+      if Array.length args = 0 then
+        raise (Vm.Dvm_error "native instance method without this");
+      let v, t = args.(0) in
+      Arg_pool.push pool (iref_of_value d v, Taint.union t (obj_taint d v));
+      1
+    end
   in
-  let param_slots =
-    List.concat (List.map2 (fun ty arg -> slots_of_arg d ty arg) params param_args)
-  in
-  let slots =
-    Array.of_list (((jni_env_ptr, Taint.clear) :: receiver_slots) @ param_slots)
-  in
+  List.iteri
+    (fun i ty -> push_slots_of_arg d pool ty args.(first_param + i))
+    params;
+  let slots = Arg_pool.emit pool in
   let jc =
     { jc_method = jm; jc_addr = addr land lnot 1; jc_entry = addr; jc_args = args;
       jc_slots = slots }
@@ -312,9 +324,11 @@ let string_obj d iref =
 
 let query_taint d loc = !(d.taint_source) loc
 
-(* Read the arguments of a native→Java invocation.  [style] selects where
-   they come from: registers+stack varargs, a va_list block, or a jvalue
-   array (8 bytes per element, like the real union). *)
+(* Read the arguments of a native→Java invocation, pushing them onto the
+   device's pooled argument buffer (the caller resets the pool and pushes
+   the receiver first, then emits one exactly-sized frame).  [style]
+   selects where they come from: registers+stack varargs, a va_list block,
+   or a jvalue array (8 bytes per element, like the real union). *)
 let read_java_args d cpu mem ~style ~first_vararg ~params =
   let vararg_slot = ref first_vararg in
   let next_reg_slot () =
@@ -355,7 +369,7 @@ let read_java_args d cpu mem ~style ~first_vararg ~params =
       else ((lo, 0), loc1)
     | `Jvalue_array _ -> next_jv ~wide
   in
-  List.map
+  List.iter
     (fun ty ->
       let wide = ty = 'J' || ty = 'D' in
       let (lo, hi), loc = next ~wide in
@@ -370,7 +384,7 @@ let read_java_args d cpu mem ~style ~first_vararg ~params =
              | None -> Taint.clear))
         | _ -> t
       in
-      (v, t))
+      Arg_pool.push d.d_arg_pool (v, t))
     params
 
 (* dvmCallMethod* handler: decode irefs, build the frame, hand to
@@ -415,16 +429,15 @@ let run_call_java d variant static_ ret_ty cpu mem =
     | `A -> `Jvalue_array (arg cpu mem 3)
   in
   let first_vararg = 3 in
-  let call_args = read_java_args d cpu mem ~style ~first_vararg ~params in
   let receiver_iref = arg cpu mem 1 in
-  let full_args =
-    if static_ then Array.of_list call_args
-    else begin
-      let this_v = value_of_iref d receiver_iref in
-      let this_t = query_taint d (Loc_iref receiver_iref) in
-      Array.of_list ((this_v, this_t) :: call_args)
-    end
-  in
+  Arg_pool.reset d.d_arg_pool;
+  if not static_ then begin
+    let this_v = value_of_iref d receiver_iref in
+    let this_t = query_taint d (Loc_iref receiver_iref) in
+    Arg_pool.push d.d_arg_pool (this_v, this_t)
+  end;
+  read_java_args d cpu mem ~style ~first_vararg ~params;
+  let full_args = Arg_pool.emit d.d_arg_pool in
   let jm =
     if static_ then jm
     else resolve_virtual d jm (fst full_args.(0))
@@ -659,8 +672,10 @@ let install_jni d =
          | `V -> `Va_list (arg cpu mem 3)
          | `A -> `Jvalue_array (arg cpu mem 3)
        in
-       let call_args = read_java_args d cpu mem ~style:style_v ~first_vararg:3 ~params in
-       let full = Array.of_list ((Dvalue.Obj o.Heap.id, Taint.clear) :: call_args) in
+       Arg_pool.reset d.d_arg_pool;
+       Arg_pool.push d.d_arg_pool (Dvalue.Obj o.Heap.id, Taint.clear);
+       read_java_args d cpu mem ~style:style_v ~first_vararg:3 ~params;
+       let full = Arg_pool.emit d.d_arg_pool in
        d.pending_interp <- Some (full, ctor);
        Machine.call_host d.d_machine ~from_:self "dvmInterpret"
      | None -> ());
@@ -1079,7 +1094,9 @@ let create ?(profile = A.Device_profile.default) () =
       pending_interp = None;
       pending_throw = None;
       ret_policy = ref (fun _ ~r0:_ ~r1:_ -> Taint.clear);
-      taint_source = ref (fun _ -> Taint.clear) }
+      taint_source = ref (fun _ -> Taint.clear);
+      d_slot_pool = Arg_pool.create (0, Taint.clear);
+      d_arg_pool = Arg_pool.create (Dvalue.zero, Taint.clear) }
   in
   A.Framework.install vm;
   A.Sources.install vm profile;

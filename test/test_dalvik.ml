@@ -398,3 +398,112 @@ let suite =
   suite
   @ [ Alcotest.test_case "packed-switch" `Quick test_packed_switch;
       Alcotest.test_case "sparse-switch" `Quick test_sparse_switch ]
+
+(* ---- PR 4 regressions: resolution correctness under the fast path ---- *)
+
+let mref name = { B.m_class = cls; m_name = name }
+
+(* Overloads (same name, different arity) must dispatch by input count; the
+   seed's name-only scan picked whichever was defined first. *)
+let test_overload_arity () =
+  let pick1 =
+    J.method_ ~cls ~name:"pick" ~shorty:"II" ~registers:4
+      [ J.I (B.Binop_lit (B.Add, 0, 3, 1l)); J.I (B.Return 0) ]
+  in
+  let pick2 =
+    J.method_ ~cls ~name:"pick" ~shorty:"III" ~registers:4
+      [ J.I (B.Binop (B.Mul, 0, 2, 3)); J.I (B.Return 0) ]
+  in
+  let vp0 =
+    J.method_ ~cls ~name:"vpick" ~shorty:"I" ~static:false ~registers:4
+      [ J.I (B.Const (0, int32 9)); J.I (B.Return 0) ]
+  in
+  let vp1 =
+    J.method_ ~cls ~name:"vpick" ~shorty:"II" ~static:false ~registers:4
+      [ J.I (B.Binop_lit (B.Mul, 0, 3, 100l)); J.I (B.Return 0) ]
+  in
+  let drv =
+    J.method_ ~cls ~name:"drv" ~shorty:"I" ~registers:8
+      [ J.I (B.Const (0, int32 5));
+        J.I (B.Invoke (B.Static, mref "pick", [ 0 ]));
+        J.I (B.Move_result 1);
+        (* 6 *)
+        J.I (B.Const (2, int32 3));
+        J.I (B.Invoke (B.Static, mref "pick", [ 0; 2 ]));
+        J.I (B.Move_result 3);
+        (* 15 *)
+        J.I (B.New_instance (4, cls));
+        J.I (B.Invoke (B.Virtual, mref "vpick", [ 4 ]));
+        J.I (B.Move_result 5);
+        (* 9 *)
+        J.I (B.Invoke (B.Virtual, mref "vpick", [ 4; 0 ]));
+        J.I (B.Move_result 6);
+        (* 500 *)
+        J.I (B.Binop (B.Add, 7, 1, 3));
+        J.I (B.Binop (B.Add, 7, 7, 5));
+        J.I (B.Binop (B.Add, 7, 7, 6));
+        J.I (B.Return 7) ]
+  in
+  let vm = fresh_vm [ pick1; pick2; vp0; vp1; drv ] in
+  let v, _ = run vm "drv" [||] in
+  Alcotest.(check bool) "overloads dispatch by arity" true
+    (Dvalue.equal v (int32 (6 + 15 + 9 + 500)))
+
+(* Statics are keyed by a (class, field) pair; the seed's "cls.field" string
+   key confused LA; / b.c with LA;.b / c. *)
+let test_static_pair_key () =
+  let vm = fresh_vm [] in
+  let r1 = Vm.static_ref vm "LA;" "b.c" in
+  let r2 = Vm.static_ref vm "LA;.b" "c" in
+  r1 := tv (int32 42);
+  Alcotest.(check bool) "colliding key untouched" true
+    (Dvalue.equal (fst !r2) Dvalue.zero);
+  r2 := tv (int32 7);
+  Alcotest.(check bool) "first cell intact" true
+    (Dvalue.equal (fst !r1) (int32 42))
+
+(* One virtual call site fed alternating receiver classes: the monomorphic
+   inline cache must re-resolve on class mismatch, never serve a stale hit. *)
+let test_inline_cache_polymorphism () =
+  let sub = "LTestSub;" in
+  let base_m =
+    J.method_ ~cls ~name:"tag" ~shorty:"I" ~static:false ~registers:4
+      [ J.I (B.Const (0, int32 1)); J.I (B.Return 0) ]
+  in
+  let sub_m =
+    J.method_ ~cls:sub ~name:"tag" ~shorty:"I" ~static:false ~registers:4
+      [ J.I (B.Const (0, int32 100)); J.I (B.Return 0) ]
+  in
+  let drv =
+    J.method_ ~cls ~name:"icdrv" ~shorty:"II" ~registers:8
+      [ J.I (B.New_instance (0, cls));
+        J.I (B.New_instance (1, sub));
+        J.I (B.Const (2, int32 0));
+        J.L "loop";
+        J.Ifz_l (B.Le, 7, "done");
+        J.I (B.Binop_lit (B.And, 3, 7, 1l));
+        J.I (B.Move (4, 0));
+        J.Ifz_l (B.Eq, 3, "call");
+        J.I (B.Move (4, 1));
+        J.L "call";
+        J.I (B.Invoke (B.Virtual, mref "tag", [ 4 ]));
+        J.I (B.Move_result 5);
+        J.I (B.Binop (B.Add, 2, 2, 5));
+        J.I (B.Binop_lit (B.Sub, 7, 7, 1l));
+        J.Goto_l "loop";
+        J.L "done";
+        J.I (B.Return 2) ]
+  in
+  let vm = fresh_vm [ base_m; drv ] in
+  Vm.define_class vm (J.class_ ~name:sub ~super:cls [ sub_m ]);
+  let v, _ = run vm "icdrv" [| tv (int32 10) |] in
+  (* 5 odd iterations hit the override (100 each), 5 even the base (1) *)
+  Alcotest.(check bool) "alternating receivers stay correct" true
+    (Dvalue.equal v (int32 505))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "overload arity dispatch" `Quick test_overload_arity;
+      Alcotest.test_case "static pair key" `Quick test_static_pair_key;
+      Alcotest.test_case "inline cache polymorphism" `Quick
+        test_inline_cache_polymorphism ]

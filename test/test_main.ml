@@ -4,6 +4,7 @@ let () =
       ("arm", Test_arm.suite);
       ("asm", Test_asm.suite);
       ("dalvik", Test_dalvik.suite);
+      ("dalvik-diff", Test_dalvik_diff.suite);
       ("jni", Test_jni.suite);
       ("android", Test_android.suite);
       ("emulator", Test_emulator.suite);
