@@ -949,7 +949,8 @@ let pipeline () =
            (if s.Pool.s_analyze_cpu > 0.0 then
               float_of_int s.Pool.s_bytecodes /. s.Pool.s_analyze_cpu
             else 0.0));
-        ("jni_crossings", Rj.Int s.Pool.s_jni_crossings) ]
+        ("jni_crossings", Rj.Int s.Pool.s_jni_crossings);
+        ("metrics", s.Pool.s_metrics) ]
   in
   let doc =
     Rj.Obj
@@ -1147,9 +1148,10 @@ let dk_classes () =
       (filler_methods @ [ leaf; vgetf; work ]) ]
 
 (* (bytecodes per run, median seconds, bytecodes/sec) *)
-let dk_measure invoke ~track ~taint =
+let dk_measure ?obs invoke ~track ~taint =
   let vm = Vm.create () in
   List.iter (Vm.define_class vm) (dk_classes ());
+  (match obs with Some ring -> vm.Vm.obs <- ring | None -> ());
   vm.Vm.track_taint <- track;
   let m = Vm.find_method vm dk_cls "work" in
   let arg = (Dvalue.Int (Int32.of_int dk_iterations), taint) in
@@ -1229,6 +1231,15 @@ let dalvik () =
   let speedup_off = rate fast_off /. rate ref_off in
   Printf.printf "java-heavy speedup: %.2fx taint-on, %.2fx taint-off\n%!"
     speedup_on speedup_off;
+  (* observability overhead: a live events hub attached to the VM but with
+     span tracing off — the production shape for `ndroid analyze` without
+     --trace — must stay within 10% of the plain taint-on fast path *)
+  let obs_ring = Ndroid_obs.Ring.create ~capacity:4096 () in
+  let obs_on = dk_measure ~obs:obs_ring Interp.invoke ~track:true ~taint:Taint.imei in
+  row "fast, taint on, obs ring" obs_on;
+  let obs_ratio = rate obs_on /. rate fast_on in
+  Printf.printf "obs-ring throughput ratio (events compiled in, tracing off): %.3f\n%!"
+    obs_ratio;
   let jref = dk_measure_jni Interp.invoke_reference in
   let jfast = dk_measure_jni Interp.invoke in
   let jni_row name (crossings, bytecodes, dt) =
@@ -1270,7 +1281,12 @@ let dalvik () =
         ("jni_crossing",
          Rj.Obj
            [ ("reference", jni_json jref); ("fast", jni_json jfast);
-             ("speedup", Rj.Float jni_speedup) ]) ]
+             ("speedup", Rj.Float jni_speedup) ]);
+        ("obs_overhead",
+         Rj.Obj
+           [ ("baseline_taint_on", row_json fast_on);
+             ("obs_ring_taint_on", row_json obs_on);
+             ("throughput_ratio", Rj.Float obs_ratio) ]) ]
   in
   let oc = open_out "BENCH_dalvik.json" in
   output_string oc (Rj.to_string_hum doc);
@@ -1287,7 +1303,15 @@ let dalvik () =
     fail (Printf.sprintf "java-heavy taint-on speedup %.2fx < 3.0x" speedup_on);
   let identical (b1, _, _) (b2, _, _) = b1 = b2 in
   if not (identical ref_on fast_on && identical ref_off fast_off) then
-    fail "fast path executed a different bytecode count than the reference"
+    fail "fast path executed a different bytecode count than the reference";
+  (* events compiled into the loop must be ~free while tracing is off *)
+  if not (identical fast_on obs_on) then
+    fail "attaching the obs ring changed the executed bytecode count";
+  if obs_ratio < 0.90 then
+    fail
+      (Printf.sprintf
+         "obs-ring throughput ratio %.3f < 0.90 (events-off overhead > 10%%)"
+         obs_ratio)
 
 (* ------------------------------------------------------------- driver -- *)
 

@@ -20,6 +20,8 @@ module Pool = Ndroid_pipeline.Pool
 module Cache = Ndroid_pipeline.Cache
 module Json = Ndroid_report.Json
 module Verdict = Ndroid_report.Verdict
+module Ring = Ndroid_obs.Ring
+module Export = Ndroid_obs.Export
 
 let registry : H.app list = Registry.all
 
@@ -312,22 +314,37 @@ let stats_to_json ~bytecodes ~jni_crossings ~analyze_seconds phases =
          ("bytecodes_per_sec", Json.Float rate);
          ("jni_crossings", Json.Int jni_crossings) ])
 
-let cmd_analyze names mode json jobs timeout cache_dir market =
+let cmd_analyze names mode json jobs timeout cache_dir market trace_file =
   match tasks_of_request names market mode with
   | Error e ->
     prerr_endline e;
     1
   | Ok tasks ->
     let cache = Option.map (fun dir -> Cache.create ~dir) cache_dir in
+    (* the trace ring lives in this process; worker forks could not share
+       it, so --trace always takes the in-process path *)
+    let obs =
+      Option.map (fun _ -> Ring.create ~capacity:262144 ~tracing:true ())
+        trace_file
+    in
+    if obs <> None && (jobs > 1 || timeout <> None) then
+      prerr_endline
+        "note: --trace records in-process; ignoring --jobs/--timeout";
     let reports, stats_json =
-      if jobs <= 1 && timeout = None then begin
+      if (jobs <= 1 && timeout = None) || obs <> None then begin
         let t0 = Unix.gettimeofday () in
-        let reports = Pool.run_inline ?cache tasks in
+        let reports = Pool.run_inline ?cache ?obs tasks in
         let seconds = Unix.gettimeofday () -. t0 in
         let bytecodes, jni_crossings = Pool.counters_of_reports reports in
+        let metrics =
+          match obs with
+          | Some ring ->
+            [ ("metrics", Ndroid_obs.Metrics.to_json (Ring.metrics ring)) ]
+          | None -> []
+        in
         ( reports,
           stats_to_json ~bytecodes ~jni_crossings ~analyze_seconds:seconds
-            [ ("wall_seconds", Json.Float seconds) ] )
+            (("wall_seconds", Json.Float seconds) :: metrics) )
       end
       else begin
         let progress ~done_ ~total = Printf.eprintf "\r%d/%d%!" done_ total in
@@ -345,9 +362,23 @@ let cmd_analyze names mode json jobs timeout cache_dir market =
               ("fork_seconds", Json.Float s.Pool.s_fork);
               ("collect_seconds", Json.Float s.Pool.s_collect);
               ("cache_hits", Json.Int s.Pool.s_cache_hits);
-              ("from_workers", Json.Int s.Pool.s_from_workers) ] )
+              ("from_workers", Json.Int s.Pool.s_from_workers);
+              ("metrics", s.Pool.s_metrics) ] )
       end
     in
+    (match (obs, trace_file) with
+     | Some ring, Some file ->
+       let data =
+         if Filename.check_suffix file ".jsonl" then
+           Export.to_jsonl_string ring
+         else Export.to_chrome_string ring
+       in
+       write_file file data;
+       Printf.eprintf "trace: %d events recorded (%d kept) -> %s\n%!"
+         (Ring.total ring)
+         (min (Ring.total ring) (Ring.capacity ring))
+         file
+     | _ -> ());
     let reports = Array.to_list reports in
     if json then begin
       print_endline (Json.to_string (Verdict.reports_to_json reports));
@@ -375,7 +406,79 @@ let cmd_analyze names mode json jobs timeout cache_dir market =
 
 let cmd_lint names json =
   (* deprecated spelling of `analyze --static` *)
-  cmd_analyze names Task.Static json 1 None None None
+  cmd_analyze names Task.Static json 1 None None None None
+
+(* ---- trace inspection ------------------------------------------------ *)
+
+(* One row per event, whichever exporter wrote the file.  Chrome events
+   carry ph/ts/tid/cat, JSONL events carry seq/kind; both carry a name. *)
+let trace_row j =
+  let s k = Option.bind (Json.member k j) Json.str in
+  let i k = Option.bind (Json.member k j) Json.int in
+  match (i "ts", s "ph") with
+  | Some ts, Some ph ->
+    Printf.sprintf "%8d  %s  tid %d  %-10s %s" ts ph
+      (Option.value ~default:0 (i "tid"))
+      (Option.value ~default:"-" (s "cat"))
+      (Option.value ~default:"" (s "name"))
+  | _ ->
+    Printf.sprintf "%8d  %-14s %s"
+      (Option.value ~default:0 (i "seq"))
+      (Option.value ~default:"-" (s "kind"))
+      (Option.value ~default:"" (s "name"))
+
+let trace_category j =
+  match Option.bind (Json.member "cat" j) Json.str with
+  | Some c -> Some c
+  | None -> Option.bind (Json.member "kind" j) Json.str
+
+let cmd_trace file cat limit =
+  match read_file file with
+  | exception Sys_error e ->
+    prerr_endline e;
+    1
+  | data -> (
+    let parsed =
+      if Filename.check_suffix file ".jsonl" then
+        String.split_on_char '\n' data
+        |> List.filter (fun l -> String.trim l <> "")
+        |> List.fold_left
+             (fun acc line ->
+               match (acc, Json.of_string line) with
+               | Error _, _ -> acc
+               | Ok evs, Ok j -> Ok (j :: evs)
+               | Ok _, Error e -> Error e)
+             (Ok [])
+        |> Result.map List.rev
+      else
+        match Json.of_string data with
+        | Error e -> Error e
+        | Ok doc -> (
+          match Option.bind (Json.member "traceEvents" doc) Json.list with
+          | Some evs -> Ok evs
+          | None -> Error "no traceEvents array (not a Chrome trace?)")
+    in
+    match parsed with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      1
+    | Ok events ->
+      let wanted =
+        match cat with
+        | None -> events
+        | Some c -> List.filter (fun j -> trace_category j = Some c) events
+      in
+      let total = List.length wanted in
+      let shown = match limit with Some n -> min n total | None -> total in
+      List.iteri
+        (fun i j -> if i < shown then print_endline (trace_row j))
+        wanted;
+      if shown < total then
+        Printf.printf "... (%d of %d events; raise --limit)\n" shown total;
+      Printf.eprintf "%d events%s in %s\n%!" total
+        (match cat with Some c -> " in category " ^ c | None -> "")
+        file;
+      0)
 
 let cmd_monkey seeds events =
   let found =
@@ -522,6 +625,14 @@ let analyze_cmd =
              ~doc:"Instead of bundled apps, statically sweep an $(docv)-app \
                    market slice.")
   in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record an execution trace of the sweep: Chrome \
+                   trace_event JSON (open in chrome://tracing or Perfetto), \
+                   or raw line-delimited events if $(docv) ends in .jsonl.  \
+                   Forces in-process execution.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Analyze apps through the unified pipeline: static supergraph, \
@@ -529,7 +640,29 @@ let analyze_cmd =
              processes with per-app timeouts and crash isolation.  Exits 3 \
              if any app is flagged.")
     Term.(const cmd_analyze $ apps_pos_arg $ mode_arg $ json_arg $ jobs_arg
-          $ timeout_arg $ cache_arg $ market_arg)
+          $ timeout_arg $ cache_arg $ market_arg $ trace_arg)
+
+let trace_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let cat_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cat" ] ~docv:"CAT"
+             ~doc:"Only events in this category (e.g. dalvik, jni, taint, \
+                   sink, gc, log, pipeline).")
+  in
+  let limit_arg =
+    Arg.(value & opt (some int) (Some 40)
+         & info [ "limit" ] ~docv:"N"
+             ~doc:"Print at most $(docv) events (default 40); --limit 0 \
+                   with --cat still reports the count.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Inspect a trace file written by $(b,ndroid analyze --trace): \
+             print events, optionally filtered by category.")
+    Term.(const cmd_trace $ file_arg $ cat_arg $ limit_arg)
 
 let lint_cmd =
   Cmd.v
@@ -552,4 +685,5 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
           [ list_cmd; run_cmd; matrix_cmd; study_cmd; monkey_cmd; disasm_cmd;
-            dump_cmd; scan_cmd; pack_cmd; classify_cmd; analyze_cmd; lint_cmd ]))
+            dump_cmd; scan_cmd; pack_cmd; classify_cmd; analyze_cmd; lint_cmd;
+            trace_cmd ]))

@@ -53,16 +53,9 @@ let boot app =
     (app.build_libs (host_resolver device));
   device
 
-let contains_substring hay needle =
-  let nl = String.length needle and hl = String.length hay in
-  let rec loop i =
-    if i + nl > hl then false
-    else if String.sub hay i nl = needle then true
-    else loop (i + 1)
-  in
-  nl = 0 || loop 0
+let contains_substring = Flow_log.contains
 
-let run mode app =
+let run ?obs mode app =
   let device = boot app in
   let ndroid =
     match mode with
@@ -75,7 +68,7 @@ let run mode app =
     | Droidscope_mode ->
       ignore (Droidscope.attach device);
       None
-    | Ndroid_full -> Some (Ndroid.attach device)
+    | Ndroid_full -> Some (Ndroid.attach ?obs device)
   in
   let cls, entry = app.entry in
   (try ignore (Device.run device cls entry [||])

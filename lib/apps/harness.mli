@@ -42,9 +42,10 @@ val boot : app -> Device.t
 (** Fresh device with the app's classes installed and libraries provided
     (loaded eagerly so every mode starts equal). *)
 
-val run : mode -> app -> outcome
+val run : ?obs:Ndroid_obs.Ring.t -> mode -> app -> outcome
 (** Boot, attach the mode's analysis, invoke the entry point (catching any
-    escaping Java exception), collect results. *)
+    escaping Java exception), collect results.  [obs] (Ndroid mode only)
+    supplies the observability hub the analysis records into. *)
 
 val detection_row : app -> (mode * bool) list
 (** The app's row of the Table I matrix: detection under every mode. *)

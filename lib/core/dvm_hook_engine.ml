@@ -8,6 +8,7 @@ module Memory = Ndroid_arm.Memory
 module Vm = Ndroid_dalvik.Vm
 module Classes = Ndroid_dalvik.Classes
 module A = Ndroid_android
+module Ring = Ndroid_obs.Ring
 
 type frame_snapshot = { fs_name : string; fs_regs : int array }
 
@@ -120,13 +121,25 @@ let on_host_pre t (hf : Machine.host_fn) =
       Array.iteri
         (fun i (v, tag) ->
           if Taint.is_tainted tag then
-            Flow_log.recordf t.log "args[%d]@%s taint: %a" i
-              (Ndroid_dalvik.Dvalue.to_string v) Taint.pp tag)
+            Ring.emit_arg_taint t.log ~idx:i
+              ~value:(Ndroid_dalvik.Dvalue.to_string v)
+              ~taint:(Taint.to_bits tag))
         jc.Device.jc_args;
       if Source_policy.any_tainted p then begin
         Source_policy.Table.add t.table p;
-        Flow_log.recordf t.log "Find a source function @0x%x"
-          p.Source_policy.method_address
+        let arg_taint =
+          Array.fold_left
+            (fun acc tag -> acc lor Taint.to_bits tag)
+            (List.fold_left
+               (fun acc tag -> acc lor Taint.to_bits tag)
+               0
+               [ p.Source_policy.t_r0; p.Source_policy.t_r1;
+                 p.Source_policy.t_r2; p.Source_policy.t_r3 ])
+            p.Source_policy.stack_args_taints
+        in
+        Ring.emit_source t.log ~name:p.Source_policy.method_name
+          ~cls:p.Source_policy.class_name
+          ~addr:p.Source_policy.method_address ~taint:arg_taint
       end
     | None -> ())
   | "dvmInterpret" -> (
@@ -214,7 +227,7 @@ let on_host_post t (hf : Machine.host_fn) =
      Taint_engine.set_reg t.engine 0 ret_taint;
      if wide_return ty then Taint_engine.set_reg t.engine 1 ret_taint;
      if Taint.is_tainted ret_taint then
-       Flow_log.recordf t.log "%s End (return taint %a)" name Taint.pp ret_taint
+       Ring.emit_jni_ret t.log ~name ~taint:(Taint.to_bits ret_taint)
    | None -> ());
   match name with
   | "NewStringUTF" ->
@@ -233,7 +246,7 @@ let on_host_post t (hf : Machine.host_fn) =
          Flow_log.recordf t.log "realStringAddr:0x%x" addr;
          Flow_log.recordf t.log "add taint %a to new string object@0x%x" Taint.pp
            tag addr;
-         Flow_log.recordf t.log "t(%x) := %a" addr Taint.pp tag
+         Ring.emit_taint_mem t.log ~addr ~taint:(Taint.to_bits tag)
        | None -> ());
       Flow_log.recordf t.log "NewStringUTF return 0x%x" iref
     end
@@ -261,7 +274,7 @@ let on_host_post t (hf : Machine.host_fn) =
         Taint_engine.add_mem t.engine buf (String.length s + 1) tag;
         Taint_engine.set_reg t.engine 0 tag;
         Flow_log.recordf t.log "jstring taint:%a" Taint.pp tag;
-        Flow_log.recordf t.log "t(%x) := %a" buf Taint.pp tag
+        Ring.emit_taint_mem t.log ~addr:buf ~taint:(Taint.to_bits tag)
       end;
       Flow_log.recordf t.log "TrustCallHandler[GetStringUTFChars] end"
     end
@@ -330,11 +343,11 @@ let on_insn t ~addr =
     let cpu = Machine.cpu (Device.machine t.device) in
     Source_policy.apply p t.engine cpu;
     t.policies_applied <- t.policies_applied + 1;
-    Flow_log.recordf t.log "SourceHandler @0x%x" addr;
+    Ring.emit_policy_apply t.log ~addr;
     List.iter
       (fun (tag, r) ->
         if Taint.is_tainted tag then
-          Flow_log.recordf t.log "t(r%d) := %a" r Taint.pp tag)
+          Ring.emit_taint_reg t.log ~reg:r ~taint:(Taint.to_bits tag))
       [ (p.Source_policy.t_r0, 0); (p.Source_policy.t_r1, 1);
         (p.Source_policy.t_r2, 2); (p.Source_policy.t_r3, 3) ]
   | None -> ()

@@ -26,10 +26,18 @@ type stats = {
   tainted_bytes : int;
 }
 
-let attach ?(use_multilevel = true) ?trace_filter device =
+let attach ?(use_multilevel = true) ?trace_filter ?obs device =
   let td = Taintdroid.attach device in
   let engine = Taint_engine.create () in
-  let log = Flow_log.create () in
+  (* One ring backs everything: the flow log is a rendering view over it,
+     the device (and through it the Dalvik VM and the machine) emits into
+     it, and provenance reconstruction reads it back. *)
+  let log =
+    match obs with
+    | Some ring -> Flow_log.of_ring ring
+    | None -> Flow_log.create ()
+  in
+  Device.set_obs device (Flow_log.ring log);
   (* Order matters: the DVM hook engine's listener must run before the
      tracer's so a SourcePolicy initialises the shadow registers before the
      entry instruction's own propagation rule fires. *)
@@ -95,7 +103,8 @@ let flow_of_leak (l : Ndroid_android.Sink_monitor.leak) =
        | Ndroid_android.Sink_monitor.Java_context -> Ndroid_report.Flow.Java_ctx
        | Ndroid_android.Sink_monitor.Native_context ->
          Ndroid_report.Flow.Native_ctx);
-    f_site = l.Ndroid_android.Sink_monitor.detail }
+    f_site = l.Ndroid_android.Sink_monitor.detail;
+    f_hops = [] }
 
 let verdict t =
   let tainted =
@@ -104,8 +113,11 @@ let verdict t =
         Ndroid_taint.Taint.is_tainted l.Ndroid_android.Sink_monitor.taint)
       (leaks t)
   in
+  let ring = Flow_log.ring t.t_log in
+  let provenance flow = Ndroid_obs.Provenance.attach ring flow in
   Ndroid_report.Verdict.normalize
-    (Ndroid_report.Verdict.Flagged (List.map flow_of_leak tainted))
+    (Ndroid_report.Verdict.Flagged
+       (List.map (fun l -> provenance (flow_of_leak l)) tainted))
 
 let pp_stats ppf s =
   Format.fprintf ppf

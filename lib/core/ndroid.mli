@@ -29,11 +29,14 @@ type stats = {
 val attach :
   ?use_multilevel:bool ->
   ?trace_filter:(int -> bool) ->
+  ?obs:Ndroid_obs.Ring.t ->
   Ndroid_runtime.Device.t ->
   t
 (** Instrument a device.  [use_multilevel:false] is ablation A2;
     [trace_filter] overrides which addresses the instruction tracer
-    covers (default: the third-party app library region only). *)
+    covers (default: the third-party app library region only); [obs]
+    supplies the observability hub backing the flow log, the device's
+    event stream and provenance reconstruction (default: a fresh ring). *)
 
 val device : t -> Ndroid_runtime.Device.t
 val engine : t -> Taint_engine.t

@@ -4,6 +4,7 @@ module Machine = Ndroid_emulator.Machine
 module Cpu = Ndroid_arm.Cpu
 module Memory = Ndroid_arm.Memory
 module A = Ndroid_android
+module Ring = Ndroid_obs.Ring
 
 type t = {
   device : Device.t;
@@ -51,9 +52,8 @@ let inspect ?scrub t ~sink ~taint ~data ~detail =
   (* [data] is a thunk: payloads are only materialised for real leaks *)
   t.sink_checks <- t.sink_checks + 1;
   if Taint.is_tainted taint then begin
-    Flow_log.recordf t.log "SinkHandler[%s] begin" sink;
-    Flow_log.recordf t.log "SinkHandler[%s]: taint %a -> %s" sink Taint.pp taint
-      detail;
+    Ring.emit_sink_begin t.log ~sink;
+    Ring.emit_sink t.log ~sink ~detail ~taint:(Taint.to_bits taint);
     (match
        A.Sink_monitor.decide (Device.monitor t.device) ~sink
          ~context:A.Sink_monitor.Native_context ~taint ~data:(data ()) ~detail
@@ -64,7 +64,7 @@ let inspect ?scrub t ~sink ~taint ~data ~detail =
           call reads it, so the effect proceeds with harmless bytes *)
        Flow_log.recordf t.log "SinkHandler[%s]: BLOCKED (payload scrubbed)" sink;
        match scrub with Some f -> f () | None -> ()));
-    Flow_log.recordf t.log "SinkHandler[%s] end" sink
+    Ring.emit_sink_end t.log ~sink
   end
 
 let stamp_file_taint t fd tag =

@@ -449,6 +449,13 @@ and exec vm (m : Classes.method_def) (lk : Linked.t) (f : Vm.frame) =
        | Linked.Code clk ->
          let callee = entry.Linked.r_m in
          (match vm.Vm.on_invoke with Some hook -> hook callee | None -> ());
+         (* Method spans are torrential, so like instruction events they
+            ride the [tracing] gate, not just [on] — the name string below
+            allocates and must stay off the metrics-only path. *)
+         let obs = vm.Vm.obs in
+         let traced = obs.Ndroid_obs.Ring.on && obs.Ndroid_obs.Ring.tracing in
+         if traced then
+           Ndroid_obs.Ring.emit_invoke obs (Classes.qualified_name callee);
          let cn = max callee.Classes.m_registers argc in
          let d = vm.Vm.depth in
          let cf = Vm.frame vm d in
@@ -464,9 +471,16 @@ and exec vm (m : Classes.method_def) (lk : Linked.t) (f : Vm.frame) =
            if track then ctaints.(first_in + i) <- taints.(r)
          done;
          (match exec vm callee clk cf with
-          | _ -> vm.Vm.depth <- d
+          | _ ->
+            vm.Vm.depth <- d;
+            if traced then
+              Ndroid_obs.Ring.emit_return obs (Classes.qualified_name callee)
           | exception e ->
             vm.Vm.depth <- d;
+            (* close the span on the unwind path too, so exported traces
+               stay balanced without synthesis *)
+            if traced then
+              Ndroid_obs.Ring.emit_return obs (Classes.qualified_name callee);
             raise e)
        | Linked.Not_bytecode ->
          let srcs = site.Linked.iv_args in

@@ -45,6 +45,7 @@ type t = {
   mutable frames : frame array;
   mutable depth : int;
   mutable link_roots : (Classes.method_def * Linked.resolved) list;
+  mutable obs : Ndroid_obs.Ring.t;
 }
 
 let err fmt = Format.kasprintf (fun s -> raise (Dvm_error s)) fmt
@@ -64,7 +65,8 @@ let create () =
     layouts = Hashtbl.create 64;
     frames = Array.init 16 (fun _ -> { f_regs = [||]; f_taints = [||] });
     depth = 0;
-    link_roots = [] }
+    link_roots = [];
+    obs = Ndroid_obs.Ring.disabled }
 
 let define_class vm cls =
   if Hashtbl.mem vm.classes cls.Classes.c_name then

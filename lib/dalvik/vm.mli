@@ -73,6 +73,9 @@ type t = {
   mutable frames : frame array;  (** interpreter frame pool, one per depth *)
   mutable depth : int;  (** current interpreter call depth *)
   mutable link_roots : (Classes.method_def * Linked.resolved) list;
+  mutable obs : Ndroid_obs.Ring.t;
+      (** observability hub; {!Ndroid_obs.Ring.disabled} by default, so
+          emit calls in the interpreter cost one load and one branch *)
 }
 
 val create : unit -> t

@@ -1,48 +1,52 @@
+module Ring = Ndroid_obs.Ring
+module Event = Ndroid_obs.Event
+
 type entry =
   | Insn of { addr : int; insn : Ndroid_arm.Insn.t }
   | Host_enter of string
   | Host_leave of string
 
-type t = {
-  ring : entry option array;
-  mutable next : int;
-  mutable total : int;
-}
+(* The trace is a view over an [Ndroid_obs.Ring]: instruction and
+   host-boundary events land in the same hub as everything else, so an
+   exported Chrome trace shows them alongside taint and JNI events.  A
+   trace attached here owns its ring (created with [tracing] on). *)
+type t = Ring.t
 
-let record t entry =
-  t.ring.(t.next) <- Some entry;
-  t.next <- (t.next + 1) mod Array.length t.ring;
-  t.total <- t.total + 1
+let entry_of_record r =
+  match r.Event.e_kind with
+  | Event.K_insn -> Some (Insn { addr = r.Event.e_addr; insn = r.Event.e_insn })
+  | Event.K_host_enter -> Some (Host_enter r.Event.e_name)
+  | Event.K_host_leave -> Some (Host_leave r.Event.e_name)
+  | _ -> None
 
-let attach ?(capacity = 4096) ?(filter = fun _ -> true) machine =
-  let t = { ring = Array.make (max 16 capacity) None; next = 0; total = 0 } in
+let listen ?(filter = fun _ -> true) ring machine =
   Machine.add_listener machine (fun ev ->
       match ev with
       | Machine.Ev_insn { addr; insn } ->
-        if filter addr then record t (Insn { addr; insn })
-      | Machine.Ev_host_pre hf -> record t (Host_enter hf.Machine.hf_name)
-      | Machine.Ev_host_post hf -> record t (Host_leave hf.Machine.hf_name)
-      | Machine.Ev_branch _ | Machine.Ev_svc _ -> ());
-  t
+        if filter addr then Ring.emit_insn ring ~addr insn
+      | Machine.Ev_host_pre hf -> Ring.emit_host_enter ring hf.Machine.hf_name
+      | Machine.Ev_host_post hf -> Ring.emit_host_leave ring hf.Machine.hf_name
+      | Machine.Ev_branch _ | Machine.Ev_svc _ -> ())
 
-let entries t =
-  let n = Array.length t.ring in
-  let rec collect acc i remaining =
-    if remaining = 0 then acc
-    else
-      let idx = (t.next - 1 - i + (2 * n)) mod n in
-      match t.ring.(idx) with
-      | Some e -> collect (e :: acc) (i + 1) (remaining - 1)
-      | None -> acc
-  in
-  collect [] 0 n
+let attach ?(capacity = 4096) ?filter machine =
+  let ring = Ring.create ~capacity ~tracing:true () in
+  listen ?filter ring machine;
+  ring
 
-let total t = t.total
+let ring t = t
 
-let clear t =
-  Array.fill t.ring 0 (Array.length t.ring) None;
-  t.next <- 0;
-  t.total <- 0
+let iter t f =
+  Ring.iter t (fun r ->
+      match entry_of_record r with Some e -> f e | None -> ())
+
+let fold f init t =
+  let acc = ref init in
+  iter t (fun e -> acc := f !acc e);
+  !acc
+
+let entries t = List.rev (fold (fun acc e -> e :: acc) [] t)
+let total t = Ring.total t
+let clear t = Ring.clear t
 
 let pp_entry ppf = function
   | Insn { addr; insn } ->
@@ -50,5 +54,4 @@ let pp_entry ppf = function
   | Host_enter name -> Format.fprintf ppf "--> %s" name
   | Host_leave name -> Format.fprintf ppf "<-- %s" name
 
-let pp ppf t =
-  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)
+let pp ppf t = iter t (fun e -> Format.fprintf ppf "%a@." pp_entry e)

@@ -3,18 +3,35 @@
     Useful when a native flow misbehaves: attach, run, then print the tail —
     each line is an executed instruction (with address) or a host-function
     boundary, in order.  Bounded so tracing a long CF-Bench run cannot eat
-    the heap. *)
+    the heap.
+
+    Since the observability rework this is a view over an
+    {!Ndroid_obs.Ring}: {!attach} creates a private ring with instruction
+    tracing enabled, and {!listen} instead records into a caller-supplied
+    hub so machine activity interleaves with taint/JNI events in exported
+    traces. *)
 
 type entry =
   | Insn of { addr : int; insn : Ndroid_arm.Insn.t }
   | Host_enter of string
   | Host_leave of string
 
-type t
+type t = Ndroid_obs.Ring.t
 
 val attach : ?capacity:int -> ?filter:(int -> bool) -> Machine.t -> t
-(** Start recording ([capacity] defaults to 4096 entries; [filter] defaults
-    to accepting every address). *)
+(** Start recording into a fresh ring ([capacity] defaults to 4096 entries;
+    [filter] defaults to accepting every address). *)
+
+val listen : ?filter:(int -> bool) -> Ndroid_obs.Ring.t -> Machine.t -> unit
+(** Forward machine events into an existing hub.  Instruction events obey
+    the hub's [tracing] gate. *)
+
+val ring : t -> Ndroid_obs.Ring.t
+
+val iter : t -> (entry -> unit) -> unit
+(** Oldest first, without rebuilding a list. *)
+
+val fold : ('a -> entry -> 'a) -> 'a -> t -> 'a
 
 val entries : t -> entry list
 (** Oldest first, at most [capacity]. *)

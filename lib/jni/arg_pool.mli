@@ -22,6 +22,10 @@ val reset : 'a t -> unit
 
 val length : 'a t -> int
 
+val high_water : 'a t -> int
+(** Widest crossing ever marshaled through this pool — a cheap size
+    metric for the observability registry. *)
+
 val push : 'a t -> 'a -> unit
 (** Append, growing the backing store geometrically when full. *)
 

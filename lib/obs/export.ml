@@ -1,0 +1,158 @@
+module Json = Ndroid_report.Json
+module E = Event
+
+(* Chrome trace_event timestamps are microseconds; the ring's sequence
+   numbers are already monotonic and deterministic, so they serve as the
+   clock — one event, one microsecond.  Real wall-clock would force a
+   syscall per event onto the hot path and break replay determinism. *)
+
+let args_of r =
+  let fields = [] in
+  let fields =
+    if r.E.e_taint <> 0 then
+      ("taint", Json.Str (Printf.sprintf "0x%x" r.E.e_taint)) :: fields
+    else fields
+  in
+  let fields =
+    if r.E.e_addr <> 0 then
+      ("addr", Json.Str (Printf.sprintf "0x%x" r.E.e_addr)) :: fields
+    else fields
+  in
+  let fields =
+    if r.E.e_detail <> "" then ("detail", Json.Str r.E.e_detail) :: fields
+    else fields
+  in
+  fields
+
+let display_name r =
+  match r.E.e_kind with
+  | E.K_insn -> Format.asprintf "%08x: %a" r.E.e_addr Ndroid_arm.Insn.pp r.E.e_insn
+  | E.K_log ->
+    (* log lines can be long; the name is the trace label *)
+    if String.length r.E.e_name > 64 then String.sub r.E.e_name 0 64
+    else r.E.e_name
+  | E.K_policy_apply -> Printf.sprintf "SourceHandler@0x%x" r.E.e_addr
+  | E.K_taint_reg -> Printf.sprintf "t(r%d)" r.E.e_addr
+  | E.K_taint_mem -> Printf.sprintf "t(0x%x)" r.E.e_addr
+  | E.K_arg_taint -> Printf.sprintf "arg[%d] tainted" r.E.e_addr
+  | _ -> if r.E.e_name = "" then E.kind_name r.E.e_kind else r.E.e_name
+
+let ph_of = function E.B -> "B" | E.E -> "E" | E.I -> "i"
+
+let chrome_event ~ph ~ts ~tid ~name ~cat ~args =
+  let base =
+    [ ("ph", Json.Str ph);
+      ("ts", Json.Int ts);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("name", Json.Str name);
+      ("cat", Json.Str cat) ]
+  in
+  let base = if ph = "i" then base @ [ ("s", Json.Str "t") ] else base in
+  let base = if args = [] then base else base @ [ ("args", Json.Obj args) ] in
+  Json.Obj base
+
+(* Exported traces must carry balanced B/E pairs even when the ring
+   wrapped mid-span (the B fell off the window) or a span was cut short by
+   an exception or by the end of the run.  Two passes per lane: synthesize
+   the missing opening Bs before the window, then close whatever is still
+   open after it. *)
+let chrome_events ring =
+  let max_tid = 8 in
+  let deficits = Array.make max_tid [] (* unmatched E names, oldest first *) in
+  let depth = Array.make max_tid 0 in
+  Ring.iter ring (fun r ->
+      match E.span_of_kind r.E.e_kind with
+      | E.I -> ()
+      | E.B ->
+        let tid = E.tid_of_kind r.E.e_kind in
+        depth.(tid) <- depth.(tid) + 1
+      | E.E ->
+        let tid = E.tid_of_kind r.E.e_kind in
+        if depth.(tid) = 0 then
+          deficits.(tid) <- display_name r :: deficits.(tid)
+        else depth.(tid) <- depth.(tid) - 1);
+  let first_ts = ref 0 and last_ts = ref 0 and seen = ref false in
+  Ring.iter ring (fun r ->
+      if not !seen then begin
+        first_ts := r.E.e_seq;
+        seen := true
+      end;
+      last_ts := r.E.e_seq);
+  let out = ref [] in
+  let push ev = out := ev :: !out in
+  (* synthetic opens, timestamped just before the window *)
+  Array.iteri
+    (fun tid names ->
+      List.iter
+        (fun name ->
+          push
+            (chrome_event ~ph:"B" ~ts:(max 0 (!first_ts - 1)) ~tid ~name
+               ~cat:"synthetic" ~args:[]))
+        (List.rev names))
+    deficits;
+  (* the window itself; track open spans per lane to close stragglers *)
+  let stacks = Array.make max_tid [] in
+  Array.iteri (fun tid names -> stacks.(tid) <- List.rev names) deficits;
+  Ring.iter ring (fun r ->
+      let span = E.span_of_kind r.E.e_kind in
+      let tid = E.tid_of_kind r.E.e_kind in
+      let name = display_name r in
+      (match span with
+       | E.B -> stacks.(tid) <- name :: stacks.(tid)
+       | E.E -> (
+         match stacks.(tid) with [] -> () | _ :: rest -> stacks.(tid) <- rest)
+       | E.I -> ());
+      push
+        (chrome_event ~ph:(ph_of span) ~ts:r.E.e_seq ~tid ~name
+           ~cat:(E.category r.E.e_kind) ~args:(args_of r)));
+  (* synthetic closes for spans still open at the end of the window *)
+  Array.iteri
+    (fun tid stack ->
+      List.iter
+        (fun name ->
+          push
+            (chrome_event ~ph:"E" ~ts:(!last_ts + 1) ~tid ~name ~cat:"synthetic"
+               ~args:[]))
+        stack)
+    stacks;
+  List.rev !out
+
+let chrome ring =
+  Json.Obj
+    [ ("traceEvents", Json.List (chrome_events ring));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData",
+       Json.Obj
+         [ ("tool", Json.Str "ndroid");
+           ("events_total", Json.Int (Ring.total ring));
+           ("events_kept", Json.Int (Ring.size ring)) ]) ]
+
+let to_chrome_string ring = Json.to_string_hum (chrome ring)
+
+(* ---- JSONL: one raw event per line, nothing synthesized ---- *)
+
+let event_json r =
+  let fields =
+    [ ("seq", Json.Int r.E.e_seq);
+      ("kind", Json.Str (E.kind_name r.E.e_kind)) ]
+  in
+  let fields =
+    if r.E.e_name <> "" then fields @ [ ("name", Json.Str r.E.e_name) ]
+    else fields
+  in
+  let fields =
+    match r.E.e_kind with
+    | E.K_insn ->
+      fields
+      @ [ ("insn", Json.Str (Format.asprintf "%a" Ndroid_arm.Insn.pp r.E.e_insn)) ]
+    | _ -> fields
+  in
+  Json.Obj (fields @ args_of r)
+
+let to_jsonl_string ring =
+  let buf = Buffer.create 4096 in
+  Ring.iter ring (fun r ->
+      Buffer.add_string buf (Json.to_string (event_json r));
+      Buffer.add_char buf '\n');
+  Buffer.contents buf

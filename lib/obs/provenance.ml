@@ -1,0 +1,85 @@
+module E = Event
+module Flow = Ndroid_report.Flow
+
+(* Reconstruct the source→sink hop chain for one flagged flow by scanning
+   the event window for records whose taint overlaps the flow's.  The
+   stages mirror the paper's walkthroughs (Figs. 6-9): a source fires,
+   the tainted value rides Dalvik registers into a JNI crossing, moves
+   through native registers/memory, and reaches a sink.  The sink hop is
+   synthesized from the leak itself, since Java-context sinks decide
+   directly without emitting events. *)
+
+let overlaps flow_taint r = r.E.e_taint land flow_taint <> 0
+
+let dedup_keep_order xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let take n xs =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n xs
+
+let hops ring ~taint ~sink ~site =
+  if taint = 0 then []
+  else begin
+    let source = ref None in
+    let dalvik = ref [] in
+    let jni = ref [] in
+    let native = ref [] in
+    Ring.iter ring (fun r ->
+        if overlaps taint r then
+          match r.E.e_kind with
+          | E.K_source ->
+            if !source = None then
+              source :=
+                Some
+                  (Printf.sprintf "%s.%s@0x%x" r.E.e_detail r.E.e_name
+                     r.E.e_addr)
+          | E.K_arg_taint ->
+            dalvik := Printf.sprintf "args[%d]=%s" r.E.e_addr r.E.e_detail
+                      :: !dalvik
+          | E.K_jni_begin ->
+            jni := Printf.sprintf "%s (%s)" r.E.e_name r.E.e_detail :: !jni
+          | E.K_jni_end ->
+            (* a crossing whose arguments were clean but whose result is
+               tainted (native->java source calls) only overlaps here *)
+            jni := Printf.sprintf "%s (%s)" r.E.e_name r.E.e_detail :: !jni
+          | E.K_jni_ret ->
+            (* JNIEnv Call*Method returning a tainted value is itself a
+               boundary crossing (Fig. 8), not native propagation *)
+            jni := Printf.sprintf "%s return" r.E.e_name :: !jni
+          | E.K_taint_reg -> native := Printf.sprintf "r%d" r.E.e_addr :: !native
+          | E.K_taint_mem ->
+            native := Printf.sprintf "0x%x" r.E.e_addr :: !native
+          | _ -> ());
+    let stage kind sites = List.map (fun s -> { Flow.h_kind = kind; h_site = s }) sites in
+    let chain =
+      stage "source" (match !source with None -> [] | Some s -> [ s ])
+      @ stage "dalvik" (take 4 (dedup_keep_order (List.rev !dalvik)))
+      @ stage "jni" (take 4 (dedup_keep_order (List.rev !jni)))
+      @ stage "native" (take 6 (dedup_keep_order (List.rev !native)))
+      @ [ { Flow.h_kind = "sink"; h_site = Printf.sprintf "%s -> %s" sink site } ]
+    in
+    chain
+  end
+
+let attach ring flow =
+  if flow.Flow.f_hops <> [] then flow
+  else
+    let hops =
+      hops ring
+        ~taint:(Ndroid_taint.Taint.to_bits flow.Flow.f_taint)
+        ~sink:flow.Flow.f_sink ~site:flow.Flow.f_site
+    in
+    { flow with Flow.f_hops = hops }

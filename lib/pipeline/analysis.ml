@@ -9,7 +9,7 @@ module Vm = Ndroid_dalvik.Vm
 
 (* Bump on any verdict-affecting analyzer change: it invalidates every
    cached result at once. *)
-let version = "2"
+let version = "3"
 
 let crashed_report ~app ~analysis why =
   { Verdict.r_app = app; r_analysis = analysis; r_verdict = Verdict.Crashed why;
@@ -23,11 +23,21 @@ let static_bundled app = St.Report.to_report (St.Drive.verdict_of_app app)
 let static_market model =
   St.Report.to_report (St.Analyzer.analyze_apk (Apk.of_app_model model))
 
-let dynamic_bundled (app : H.app) =
-  let outcome = H.run H.Ndroid_full app in
+let dynamic_bundled ?obs (app : H.app) =
+  let outcome = H.run ?obs H.Ndroid_full app in
   (* deterministic execution counters: same app, same counts, whatever the
      --jobs value — safe to put in the canonical report *)
   let c = (Ndroid_runtime.Device.vm outcome.H.device).Vm.counters in
+  (* the same counters feed the observability registry, so one sweep-wide
+     merge covers both the legacy stats fields and the metrics JSON *)
+  (match obs with
+   | Some ring when Ndroid_obs.Ring.on ring ->
+     let m = Ndroid_obs.Ring.metrics ring in
+     let bump name v = Ndroid_obs.Metrics.add (Ndroid_obs.Metrics.counter m name) v in
+     bump "bytecodes" c.Vm.bytecodes;
+     bump "invokes" c.Vm.invokes;
+     bump "jni_crossings" (c.Vm.native_calls + c.Vm.jni_env_calls)
+   | Some _ | None -> ());
   let counter_meta =
     [ ("bytecodes", Json.Int c.Vm.bytecodes);
       ("invokes", Json.Int c.Vm.invokes);
@@ -57,7 +67,7 @@ let merge_both (s : Verdict.report) (d : Verdict.report) =
       List.map (fun (k, v) -> ("static_" ^ k, v)) s.Verdict.r_meta
       @ List.map (fun (k, v) -> ("dynamic_" ^ k, v)) d.Verdict.r_meta }
 
-let run_exn (task : Task.t) =
+let run_exn ?obs (task : Task.t) =
   match (task.Task.t_subject, task.Task.t_mode) with
   | Task.Bundled name, mode -> (
     match Registry.find name with
@@ -67,8 +77,8 @@ let run_exn (task : Task.t) =
     | Some app -> (
       match mode with
       | Task.Static -> static_bundled app
-      | Task.Dynamic -> dynamic_bundled app
-      | Task.Both -> merge_both (static_bundled app) (dynamic_bundled app)))
+      | Task.Dynamic -> dynamic_bundled ?obs app
+      | Task.Both -> merge_both (static_bundled app) (dynamic_bundled ?obs app)))
   | Task.Market { m_total; m_seed; m_permille; m_id }, mode -> (
     let model = model_of_market ~total:m_total ~seed:m_seed ~permille:m_permille m_id in
     match mode with
@@ -80,8 +90,8 @@ let run_exn (task : Task.t) =
         ~analysis:(Task.mode_name mode)
         "dynamic analysis needs a bundled scenario app, not a market model")
 
-let run task =
-  try run_exn task
+let run ?obs task =
+  try run_exn ?obs task
   with exn ->
     crashed_report
       ~app:(Task.subject_name task.Task.t_subject)

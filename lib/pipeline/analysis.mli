@@ -12,10 +12,13 @@ val version : string
     to the static or dynamic analyzers can alter verdicts, so stale cached
     results from older binaries can never be served. *)
 
-val run : Task.t -> Ndroid_report.Verdict.report
+val run : ?obs:Ndroid_obs.Ring.t -> Task.t -> Ndroid_report.Verdict.report
 (** Analyze one task.  Never raises: an analyzer exception becomes a
     [Crashed] verdict carrying the exception text.  Ignores the task's
-    fault marker (faults are acted on by the worker process, not here). *)
+    fault marker (faults are acted on by the worker process, not here).
+    [obs] observes any dynamic run: the device records into it, flagged
+    flows gain provenance from it, and the execution counters are mirrored
+    into its metrics registry. *)
 
 val digest : Task.t -> string
 (** Cache key: hex MD5 over the app's content (artifact bytes for bundled

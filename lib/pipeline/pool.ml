@@ -1,5 +1,7 @@
 module Json = Ndroid_report.Json
 module Verdict = Ndroid_report.Verdict
+module Metrics = Ndroid_obs.Metrics
+module Ring = Ndroid_obs.Ring
 
 type config = {
   c_jobs : int;
@@ -29,6 +31,7 @@ type stats = {
   s_analyze_cpu : float;
   s_bytecodes : int;
   s_jni_crossings : int;
+  s_metrics : Json.t;
 }
 
 let meta_int key (r : Verdict.report) =
@@ -51,12 +54,13 @@ let now () = Unix.gettimeofday ()
 (* ---------------------------------------------------------- worker side -- *)
 
 let worker_loop task_r result_w =
-  let respond id seconds report =
+  let respond id seconds report metrics =
     Wire.write_frame result_w
       (Json.to_string
          (Json.Obj
             [ ("id", Json.Int id);
               ("seconds", Json.Float seconds);
+              ("metrics", metrics);
               ("report", Verdict.report_to_json report) ]))
   in
   let rec loop () =
@@ -75,9 +79,20 @@ let worker_loop task_r result_w =
             in
             hang ()
           | None -> ());
+         (* a fresh per-task hub: its metrics registry rides the result
+            frame back to the parent, which merges registries across the
+            whole sweep *)
+         let ring = Ring.create ~capacity:4096 () in
          let t0 = now () in
-         let report = Analysis.run task in
-         respond task.Task.t_id (now () -. t0) report);
+         let report = Analysis.run ~obs:ring task in
+         let dt = now () -. t0 in
+         let m = Ring.metrics ring in
+         Metrics.incr (Metrics.counter m "tasks");
+         Metrics.observe (Metrics.histogram m "task_seconds") dt;
+         Metrics.observe_int
+           (Metrics.histogram m "task_bytecodes")
+           (meta_int "bytecodes" report);
+         respond task.Task.t_id dt report (Metrics.to_json m));
       loop ()
   in
   (try loop () with _ -> ());
@@ -93,6 +108,7 @@ type slot = {
   mutable sl_reader : Wire.reader;
   mutable sl_inflight : Task.t option;
   mutable sl_deadline : float;  (* infinity = none *)
+  mutable sl_started : float;  (* dispatch time of the in-flight task *)
   mutable sl_alive : bool;
 }
 
@@ -132,6 +148,11 @@ let run cfg tasks =
   let injected_kills = ref 0 in
   let analyze_cpu = ref 0.0 in
   let fork_time = ref 0.0 in
+  (* sweep-wide metrics: parent-side counters plus every worker registry
+     merged as its result frames arrive *)
+  let metrics = Metrics.create () in
+  let mcount name n = Metrics.add (Metrics.counter metrics name) n in
+  let mobserve name v = Metrics.observe (Metrics.histogram metrics name) v in
   let progress () =
     match cfg.c_progress with
     | Some f -> f ~done_:!n_done ~total
@@ -160,6 +181,8 @@ let run cfg tasks =
   in
   let cache_pass = now () -. t_cache0 in
   let cache_hits = !n_done in
+  mcount "cache_hits" cache_hits;
+  mcount "cache_misses" (total - cache_hits);
   let record_resolved id report =
     if not resolved.(id) then begin
       resolved.(id) <- true;
@@ -207,7 +230,8 @@ let run cfg tasks =
         fork_time := !fork_time +. (now () -. t0);
         { sl_shard = shard; sl_pid = pid; sl_task_w = task_w;
           sl_result_r = result_r; sl_reader = Wire.create_reader ();
-          sl_inflight = None; sl_deadline = infinity; sl_alive = true }
+          sl_inflight = None; sl_deadline = infinity; sl_started = 0.0;
+          sl_alive = true }
     in
     for i = 0 to jobs - 1 do
       slots.(i) <- Some (spawn i)
@@ -238,6 +262,7 @@ let run cfg tasks =
       | None -> ()
       | Some task -> (
         sl.sl_inflight <- Some task;
+        sl.sl_started <- now ();
         sl.sl_deadline <-
           (match cfg.c_timeout with Some t -> now () +. t | None -> infinity);
         match Wire.write_frame sl.sl_task_w (Json.to_string (Task.to_json task)) with
@@ -283,6 +308,9 @@ let run cfg tasks =
          | Some id, Some (Ok report) when id >= 0 && id < total ->
            analyze_cpu := !analyze_cpu +. seconds;
            incr from_workers;
+           (match Json.member "metrics" j with
+            | Some m -> Metrics.merge_json metrics m
+            | None -> ());
            (match sl.sl_inflight with
             | Some t when t.Task.t_id = id ->
               sl.sl_inflight <- None;
@@ -292,11 +320,22 @@ let run cfg tasks =
            inject_kill_if_due ()
          | _ -> ())
     in
+    (* Crashed and timed-out apps burned analysis time too: the worker
+       never reported it (it died), so the parent measures from dispatch.
+       Without this, s_analyze_cpu only counted clean completions. *)
+    let charge_lost_time sl =
+      let spent = Float.max 0.0 (now () -. sl.sl_started) in
+      analyze_cpu := !analyze_cpu +. spent;
+      mobserve "task_seconds" spent
+    in
     let handle_death sl =
       let why = reap_status sl in
       (match sl.sl_inflight with
        | Some task ->
          incr crashed;
+         mcount "tasks" 1;
+         mcount "worker_crashes" 1;
+         charge_lost_time sl;
          record_resolved task.Task.t_id
            { Verdict.r_app = Task.subject_name task.Task.t_subject;
              r_analysis = Task.mode_name task.Task.t_mode;
@@ -312,6 +351,9 @@ let run cfg tasks =
       (match sl.sl_inflight with
        | Some task ->
          incr timeouts;
+         mcount "tasks" 1;
+         mcount "worker_timeouts" 1;
+         charge_lost_time sl;
          record_resolved task.Task.t_id
            { Verdict.r_app = Task.subject_name task.Task.t_subject;
              r_analysis = Task.mode_name task.Task.t_mode;
@@ -389,6 +431,11 @@ let run cfg tasks =
     Array.iter (function Some sl when sl.sl_alive -> bury sl | _ -> ()) slots;
     ignore (Sys.signal Sys.sigpipe prev_sigpipe);
     let bytecodes, jni_crossings = counters_of_reports results in
+    mcount "respawns" !respawns;
+    mcount "steals" (Shard_queue.steals queue);
+    mcount "phase_cache_us" (int_of_float (cache_pass *. 1e6));
+    mcount "phase_fork_us" (int_of_float (!fork_time *. 1e6));
+    mcount "phase_collect_us" (int_of_float ((now () -. t_collect0) *. 1e6));
     let stats =
       { s_total = total; s_from_workers = !from_workers;
         s_cache_hits = cache_hits; s_crashed = !crashed;
@@ -397,35 +444,38 @@ let run cfg tasks =
         s_injected_kills = !injected_kills; s_wall = now () -. t_start;
         s_cache_pass = cache_pass; s_fork = !fork_time;
         s_collect = now () -. t_collect0; s_analyze_cpu = !analyze_cpu;
-        s_bytecodes = bytecodes; s_jni_crossings = jni_crossings }
+        s_bytecodes = bytecodes; s_jni_crossings = jni_crossings;
+        s_metrics = Metrics.to_json metrics }
     in
     (results, stats)
   end
   else begin
     let bytecodes, jni_crossings = counters_of_reports results in
+    mcount "phase_cache_us" (int_of_float (cache_pass *. 1e6));
     ( results,
       { s_total = total; s_from_workers = 0; s_cache_hits = cache_hits;
         s_crashed = 0; s_timeouts = 0; s_respawns = 0; s_steals = 0;
         s_injected_kills = 0; s_wall = now () -. t_start;
         s_cache_pass = cache_pass; s_fork = 0.0; s_collect = 0.0;
         s_analyze_cpu = 0.0; s_bytecodes = bytecodes;
-        s_jni_crossings = jni_crossings } )
+        s_jni_crossings = jni_crossings;
+        s_metrics = Metrics.to_json metrics } )
   end
 
-let run_inline ?cache tasks =
+let run_inline ?cache ?obs tasks =
   validate_ids tasks;
   let results = Array.make (List.length tasks) dummy_report in
   List.iter
     (fun (task : Task.t) ->
       let report =
         match cache with
-        | None -> Analysis.run task
+        | None -> Analysis.run ?obs task
         | Some c -> (
           let key = Analysis.digest task in
           match Cache.find c ~key with
           | Some report -> report
           | None ->
-            let report = Analysis.run task in
+            let report = Analysis.run ?obs task in
             (match report.Verdict.r_verdict with
              | Verdict.Crashed _ | Verdict.Timeout -> ()
              | _ -> Cache.store c ~key report);

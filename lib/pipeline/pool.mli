@@ -55,6 +55,13 @@ type stats = {
   s_jni_crossings : int;
       (** JNI boundary crossings (Java→native calls + native→Java JNI
           function calls) across every dynamic analysis *)
+  s_metrics : Ndroid_report.Json.t;
+      (** the sweep-wide observability registry
+          ({!Ndroid_obs.Metrics.to_json} shape): every worker's per-task
+          registry — shipped in its result frames — merged with the
+          parent's own counters (cache hits/misses, respawns, steals,
+          per-phase timings) and histograms ([task_seconds] covers clean,
+          crashed {e and} timed-out apps) *)
 }
 
 val counters_of_reports : Ndroid_report.Verdict.report array -> int * int
@@ -67,8 +74,11 @@ val run : config -> Task.t list -> Ndroid_report.Verdict.report array * stats
     [t_id]s equal to their list position. *)
 
 val run_inline :
-  ?cache:Cache.t -> Task.t list -> Ndroid_report.Verdict.report array
+  ?cache:Cache.t -> ?obs:Ndroid_obs.Ring.t -> Task.t list ->
+  Ndroid_report.Verdict.report array
 (** Sequential in-process execution of the same tasks (no forking, so no
     crash isolation, no timeouts, and fault markers are ignored).  The
     fast path for [--jobs 1] without a timeout; byte-identical reports to
-    {!run} on non-faulting corpora. *)
+    {!run} on non-faulting corpora.  [obs] observes every dynamic run in
+    this process — the only mode in which one ring can see a whole sweep,
+    which is what [ndroid analyze --trace] uses. *)

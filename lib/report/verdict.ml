@@ -4,9 +4,24 @@ type t =
   | Crashed of string
   | Timeout
 
+(* Key-equal duplicates collapse to one flow, keeping the one with the
+   richest provenance chain — merging static and dynamic verdicts must
+   not drop the dynamic flow's hops. *)
+let dedup_prefer_hops flows =
+  let rec go = function
+    | a :: b :: rest when Flow.equal a b ->
+      let keep =
+        if List.length a.Flow.f_hops >= List.length b.Flow.f_hops then a else b
+      in
+      go (keep :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go (List.stable_sort Flow.compare flows)
+
 let normalize = function
   | Flagged [] -> Clean
-  | Flagged flows -> Flagged (List.sort_uniq Flow.compare flows)
+  | Flagged flows -> Flagged (dedup_prefer_hops flows)
   | v -> v
 
 let flagged v = match normalize v with Flagged _ -> true | _ -> false

@@ -61,6 +61,7 @@ type t = {
      one exactly-sized array per call (see Ndroid_jni.Arg_pool) *)
   d_slot_pool : (int * Taint.t) Arg_pool.t;
   d_arg_pool : Vm.tval Arg_pool.t;
+  mutable d_obs : Ndroid_obs.Ring.t;
 }
 
 let jni_env_ptr = Layout.libdvm_base + 0x7F000
@@ -76,6 +77,15 @@ let profile d = d.d_profile
 let libc_ctx d = d.d_libc
 let jni_return_policy d = d.ret_policy
 let native_taint_source d = d.taint_source
+let obs d = d.d_obs
+
+(* One hub observes the whole device: the Dalvik interpreter shares it,
+   and machine-level events (instructions, host boundaries) stream into it
+   when its [tracing] gate is up. *)
+let set_obs d ring =
+  d.d_obs <- ring;
+  d.d_vm.Vm.obs <- ring;
+  Ndroid_emulator.Trace.listen ring d.d_machine
 let current_jni_call d = d.cur_call
 let pending_interp_args d = d.pending_interp
 
@@ -276,11 +286,28 @@ let native_dispatch d vm jm (args : Vm.tval array) =
   let saved_call = d.cur_call in
   d.cur_call <- Some jc;
   d.pending_throw <- None;
+  let o = d.d_obs in
+  let observed = o.Ndroid_obs.Ring.on in
+  if observed then begin
+    let crossing_taint =
+      Array.fold_left
+        (fun acc (_, t) -> acc lor Taint.to_bits t)
+        0 slots
+    in
+    Ndroid_obs.Ring.emit_jni_begin o ~name:(Classes.qualified_name jm)
+      ~direction:"java->native" ~taint:crossing_taint;
+    Ndroid_obs.Metrics.observe_int
+      (Ndroid_obs.Metrics.histogram (Ndroid_obs.Ring.metrics o) "jni_slots")
+      (Array.length slots)
+  end;
   (* The bridge itself is a hooked libdvm function: fire its events, then
      transfer control to the native method. *)
   Machine.call_host d.d_machine ~from_:Layout.libdvm_base "dvmCallJNIMethod";
   let result = d.bridge_result in
   d.cur_call <- saved_call;
+  if observed then
+    Ndroid_obs.Ring.emit_jni_end o ~name:(Classes.qualified_name jm)
+      ~direction:"java->native" ~taint:(Taint.to_bits (snd result));
   match d.pending_throw with
   | Some exn ->
     d.pending_throw <- None;
@@ -456,7 +483,22 @@ let run_call_java d variant static_ ret_ty cpu mem =
     | `A -> "dvmCallMethodA"
   in
   d.pending_interp <- Some (full_args, jm);
+  let o = d.d_obs in
+  let observed = o.Ndroid_obs.Ring.on in
+  if observed then begin
+    let crossing_taint =
+      Array.fold_left
+        (fun acc (_, t) -> acc lor Taint.to_bits t)
+        0 full_args
+    in
+    Ndroid_obs.Ring.emit_jni_begin o ~name:(Classes.qualified_name jm)
+      ~direction:"native->java" ~taint:crossing_taint
+  end;
   Machine.call_host d.d_machine ~from_:self_addr inner;
+  if observed then
+    Ndroid_obs.Ring.emit_jni_end o ~name:(Classes.qualified_name jm)
+      ~direction:"native->java"
+      ~taint:(Taint.to_bits (snd d.d_vm.Vm.ret));
   (* result (value and taint) is in vm.ret; convert to raw for the caller *)
   let v, _t = d.d_vm.Vm.ret in
   (match ret_ty with
@@ -1096,7 +1138,8 @@ let create ?(profile = A.Device_profile.default) () =
       ret_policy = ref (fun _ ~r0:_ ~r1:_ -> Taint.clear);
       taint_source = ref (fun _ -> Taint.clear);
       d_slot_pool = Arg_pool.create (0, Taint.clear);
-      d_arg_pool = Arg_pool.create (Dvalue.zero, Taint.clear) }
+      d_arg_pool = Arg_pool.create (Dvalue.zero, Taint.clear);
+      d_obs = Ndroid_obs.Ring.disabled }
   in
   A.Framework.install vm;
   A.Sources.install vm profile;
@@ -1180,4 +1223,11 @@ let array_length d ~iref =
 
 let run d cls name args = Interp.invoke_by_name d.d_vm cls name args
 
-let gc d = Heap.compact d.d_vm.Vm.heap
+let gc d =
+  let o = d.d_obs in
+  Ndroid_obs.Ring.emit_gc_begin o;
+  Heap.compact d.d_vm.Vm.heap;
+  Ndroid_obs.Ring.emit_gc_end o;
+  if o.Ndroid_obs.Ring.on then
+    Ndroid_obs.Metrics.incr
+      (Ndroid_obs.Metrics.counter (Ndroid_obs.Ring.metrics o) "gcs")

@@ -60,6 +60,19 @@ val irefs : t -> Ndroid_jni.Indirect_ref.t
 val profile : t -> Ndroid_android.Device_profile.t
 val libc_ctx : t -> Ndroid_android.Libc_model.ctx
 
+(** {1 Observability} *)
+
+val obs : t -> Ndroid_obs.Ring.t
+(** The device's observability hub; {!Ndroid_obs.Ring.disabled} until
+    {!set_obs}. *)
+
+val set_obs : t -> Ndroid_obs.Ring.t -> unit
+(** Observe the whole device through [ring]: JNI crossings and GC from
+    here, method spans from the Dalvik interpreter (which shares the
+    hub), and — when the ring's [tracing] gate is up — native
+    instructions and host boundaries from the machine.  Call once per
+    device. *)
+
 (** {1 App loading} *)
 
 val install_classes : t -> Classes.class_def list -> unit

@@ -95,7 +95,8 @@ let analyze ?classification input =
         if T.is_tainted leak then
           record
             { Flow.f_taint = leak; f_sink = Dex_flow.short_sink_name cls m;
-              f_context = Flow.Java_ctx; f_site = cls ^ "->" ^ m ^ " (upcall)" };
+              f_context = Flow.Java_ctx; f_site = cls ^ "->" ^ m ^ " (upcall)";
+              f_hops = [] };
         T.clear
       end
       else (

@@ -206,7 +206,7 @@ and run_bytecode ctx (def : Classes.method_def) code handlers args =
                  ctx.dx_record
                    { Flow.f_taint = leak; f_sink = short_sink_name cls m;
                      f_context = Flow.Java_ctx;
-                     f_site = Classes.qualified_name def };
+                     f_site = Classes.qualified_name def; f_hops = [] };
                set_result ctrl
              end
              else if is_load_call cls m then begin

@@ -133,7 +133,7 @@ let host_effect actx ~site st name =
     if T.is_tainted leak then
       actx.a_env.e_record
         { Flow.f_taint = leak; f_sink = name; f_context = Flow.Native_ctx;
-          f_site = site };
+          f_site = site; f_hops = [] };
     (ctrl, Unknown)
   end
   else

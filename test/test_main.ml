@@ -26,4 +26,5 @@ let () =
       ("consistency", Test_consistency.suite);
       ("misc", Test_misc.suite);
       ("static", Test_static.suite);
-      ("pipeline", Test_pipeline.suite) ]
+      ("pipeline", Test_pipeline.suite);
+      ("obs", Test_obs.suite) ]

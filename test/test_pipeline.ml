@@ -16,7 +16,8 @@ module Market = Ndroid_corpus.Market
 
 let flow ?(sink = "Socket.send") ?(site = "Lcom/a;->leak") ?(ctx = Flow.Java_ctx)
     taint =
-  { Flow.f_taint = taint; f_sink = sink; f_context = ctx; f_site = site }
+  { Flow.f_taint = taint; f_sink = sink; f_context = ctx; f_site = site;
+    f_hops = [] }
 
 let sample_report =
   { Verdict.r_app = "demo";
