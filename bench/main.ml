@@ -1197,9 +1197,10 @@ let dk_jni_app : H.app =
     entry = (dk_jni_cls, "cross");
     expected_sink = "" }
 
-(* (crossings per run, bytecodes per run, median seconds) *)
-let dk_measure_jni invoke =
+(* (crossings per run, bytecodes per run, median seconds, device) *)
+let dk_measure_jni ?(summaries = false) invoke =
   let device = H.boot dk_jni_app in
+  if summaries then Device.set_use_summaries device true;
   let vm = Device.vm device in
   let m = Vm.find_method vm dk_jni_cls "cross" in
   let arg = (Dvalue.Int (Int32.of_int dk_jni_iterations), Taint.clear) in
@@ -1209,7 +1210,66 @@ let dk_measure_jni invoke =
   let crossings = vm.Vm.counters.Vm.native_calls - c0 in
   let per_run = vm.Vm.counters.Vm.bytecodes - b0 in
   let dt = time_median (fun () -> ignore (invoke vm m [| arg |])) in
-  (crossings, per_run, dt)
+  (crossings, per_run, dt, device)
+
+(* A loopy native body: the JNI bridge cost is amortized away, so what is
+   measured is the native execution loop itself — per-instruction traced
+   versus superblock-translated with fused taint transfers.  The body has
+   control flow, so the summary path must reject it (no silent wrong
+   answers from summaries on loops). *)
+
+let dk_sb_cls = "Lcom/bench/SbLoop;"
+let dk_sb_iterations = 1_500
+
+let dk_sb_app : H.app =
+  { H.app_name = "superblock-bench";
+    app_case = "bench";
+    description = "loopy native body under superblock translation";
+    classes =
+      [ J.class_ ~name:dk_sb_cls
+          [ J.native_method ~cls:dk_sb_cls ~name:"nloop" ~shorty:"II" "nloop";
+            J.method_ ~cls:dk_sb_cls ~name:"cross" ~shorty:"II" ~registers:6
+              [ J.L "loop";
+                J.Ifz_l (B.Le, 5, "done");
+                J.I
+                  (B.Invoke
+                     (B.Static, { B.m_class = dk_sb_cls; m_name = "nloop" },
+                      [ 5 ]));
+                J.I (B.Move_result 0);
+                J.I (B.Binop_lit (B.Sub, 5, 5, 1l));
+                J.Goto_l "loop";
+                J.L "done";
+                J.I (B.Return 5) ] ] ];
+    build_libs =
+      (fun extern ->
+        let open Asm in
+        let items =
+          [ Label "nloop";
+            I (Insn.mov 0 (Insn.Reg 2));
+            I (Insn.mov 2 (Insn.Imm 32));
+            Label "nl_body";
+            I (Insn.add 0 0 (Insn.Imm 3));
+            I (Insn.eor 3 0 (Insn.Reg 2));
+            I (Insn.add 0 0 (Insn.Reg 3));
+            I (Insn.subs 2 2 (Insn.Imm 1));
+            Br (Insn.NE, "nl_body");
+            I Insn.bx_lr ]
+        in
+        [ ("sbloop", assemble ~extern ~base:Layout.app_lib_base items) ]);
+    entry = (dk_sb_cls, "cross");
+    expected_sink = "" }
+
+(* (median seconds, final NDroid stats) *)
+let dk_measure_sb ~superblocks =
+  let device = H.boot dk_sb_app in
+  let nd = Ndroid.attach ~use_superblocks:superblocks device in
+  (* isolate the native loop from the simulated bridge charge (as A3) *)
+  Machine.set_host_fn_work (Device.machine device) 0;
+  let vm = Device.vm device in
+  let m = Vm.find_method vm dk_sb_cls "cross" in
+  let arg = (Dvalue.Int (Int32.of_int dk_sb_iterations), Taint.clear) in
+  let dt = time_median (fun () -> ignore (Interp.invoke vm m [| arg |])) in
+  (dt, Ndroid.stats nd)
 
 let dalvik () =
   section "DALVIK: resolve-once fast path vs seed interpreter";
@@ -1242,24 +1302,54 @@ let dalvik () =
     obs_ratio;
   let jref = dk_measure_jni Interp.invoke_reference in
   let jfast = dk_measure_jni Interp.invoke in
-  let jni_row name (crossings, bytecodes, dt) =
+  let jsum = dk_measure_jni ~summaries:true Interp.invoke in
+  let jni_row name (crossings, bytecodes, dt, _) =
     Printf.printf "%-28s %8d crossings %8d bytecodes %8.4fs %12.0f crossings/sec\n%!"
       name crossings bytecodes dt
       (float_of_int crossings /. dt)
   in
   jni_row "jni reference" jref;
-  jni_row "jni fast" jfast;
-  let jni_speedup =
-    let time (_, _, dt) = dt in
-    time jref /. time jfast
-  in
-  Printf.printf "jni-crossing speedup: %.2fx\n%!" jni_speedup;
+  jni_row "jni fast (emulated body)" jfast;
+  jni_row "jni summary path" jsum;
+  let time (_, _, dt, _) = dt in
+  let crossings_of (c, _, _, _) = c in
+  let dev_of (_, _, _, d) = d in
+  let seed_jni_speedup = time jref /. time jfast in
+  (* the split: per crossing, the summary path still pays marshaling (plus
+     the summary application itself), so its per-crossing time IS the
+     marshal cost; what it no longer pays — the emulated native body and
+     its bridge — is the difference against the full-emulation fast path *)
+  let crossings_f = float_of_int (crossings_of jfast) in
+  let us_per_crossing dt = dt /. crossings_f *. 1e6 in
+  let fast_us = us_per_crossing (time jfast) in
+  let marshal_us = us_per_crossing (time jsum) in
+  let native_body_us = fast_us -. marshal_us in
+  let jni_speedup = time jfast /. time jsum in
+  let sum_applied = Device.summaries_applied (dev_of jsum) in
+  let sum_rejected = Device.summaries_rejected (dev_of jsum) in
+  Printf.printf
+    "per crossing: %.3fus total emulated = %.3fus marshal + %.3fus native \
+     body\n"
+    fast_us marshal_us native_body_us;
+  Printf.printf "summaries applied: %d, rejected: %d\n" sum_applied sum_rejected;
+  Printf.printf "jni-crossing speedup (summary vs emulated body): %.2fx\n%!"
+    jni_speedup;
+  (* superblock translation on a loopy native body, against the same
+     configuration tracing per instruction *)
+  let sb_off_dt, _ = dk_measure_sb ~superblocks:false in
+  let sb_on_dt, sb_stats = dk_measure_sb ~superblocks:true in
+  let sb_speedup = sb_off_dt /. sb_on_dt in
+  Printf.printf
+    "superblock loopy body: per-insn %.4fs vs superblock %.4fs (%.2fx; %d \
+     compiled, %d hits, %d invalidated)\n%!"
+    sb_off_dt sb_on_dt sb_speedup sb_stats.Ndroid.sb_compiles
+    sb_stats.Ndroid.sb_hits sb_stats.Ndroid.sb_invalidations;
   let row_json (bytecodes, dt, rate) =
     Rj.Obj
       [ ("bytecodes", Rj.Int bytecodes); ("seconds", Rj.Float dt);
         ("bytecodes_per_sec", Rj.Float rate) ]
   in
-  let jni_json (crossings, bytecodes, dt) =
+  let jni_json (crossings, bytecodes, dt, _) =
     Rj.Obj
       [ ("jni_crossings", Rj.Int crossings); ("bytecodes", Rj.Int bytecodes);
         ("seconds", Rj.Float dt);
@@ -1281,7 +1371,30 @@ let dalvik () =
         ("jni_crossing",
          Rj.Obj
            [ ("reference", jni_json jref); ("fast", jni_json jfast);
+             ("summary_path", jni_json jsum);
+             ("per_crossing_us",
+              Rj.Obj
+                [ ("total_emulated", Rj.Float fast_us);
+                  ("marshal", Rj.Float marshal_us);
+                  ("native_body", Rj.Float native_body_us) ]);
+             ("counters",
+              Rj.Obj
+                [ ("summaries_applied", Rj.Int sum_applied);
+                  ("summaries_rejected", Rj.Int sum_rejected) ]);
+             ("seed_speedup", Rj.Float seed_jni_speedup);
              ("speedup", Rj.Float jni_speedup) ]);
+        ("superblock",
+         Rj.Obj
+           [ ("iterations", Rj.Int dk_sb_iterations);
+             ("per_insn_seconds", Rj.Float sb_off_dt);
+             ("superblock_seconds", Rj.Float sb_on_dt);
+             ("speedup", Rj.Float sb_speedup);
+             ("counters",
+              Rj.Obj
+                [ ("sb_compiles", Rj.Int sb_stats.Ndroid.sb_compiles);
+                  ("sb_hits", Rj.Int sb_stats.Ndroid.sb_hits);
+                  ("sb_invalidations", Rj.Int sb_stats.Ndroid.sb_invalidations)
+                ]) ]);
         ("obs_overhead",
          Rj.Obj
            [ ("baseline_taint_on", row_json fast_on);
@@ -1304,6 +1417,20 @@ let dalvik () =
   let identical (b1, _, _) (b2, _, _) = b1 = b2 in
   if not (identical ref_on fast_on && identical ref_off fast_off) then
     fail "fast path executed a different bytecode count than the reference";
+  (* the summary path must answer every crossing (this body is exact), run
+     the same bytecode stream, and clear 3x over full emulation *)
+  let jni_identical (c1, b1, _, _) (c2, b2, _, _) = c1 = c2 && b1 = b2 in
+  if not (jni_identical jfast jsum && jni_identical jref jfast) then
+    fail "summary path changed the crossing or bytecode count";
+  if sum_applied = 0 || sum_rejected > 0 then
+    fail
+      (Printf.sprintf "summary path: %d applied, %d rejected on an exact body"
+         sum_applied sum_rejected);
+  if jni_speedup < 3.0 then
+    fail
+      (Printf.sprintf "jni-crossing summary speedup %.2fx < 3.0x" jni_speedup);
+  if sb_stats.Ndroid.sb_compiles = 0 || sb_stats.Ndroid.sb_hits = 0 then
+    fail "superblock path compiled or reused no blocks on the loopy body";
   (* events compiled into the loop must be ~free while tracing is off *)
   if not (identical fast_on obs_on) then
     fail "attaching the obs ring changed the executed bytecode count";

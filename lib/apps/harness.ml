@@ -55,7 +55,7 @@ let boot app =
 
 let contains_substring = Flow_log.contains
 
-let run ?obs mode app =
+let run ?obs ?(superblocks = false) ?(summaries = false) mode app =
   let device = boot app in
   let ndroid =
     match mode with
@@ -68,7 +68,10 @@ let run ?obs mode app =
     | Droidscope_mode ->
       ignore (Droidscope.attach device);
       None
-    | Ndroid_full -> Some (Ndroid.attach ?obs device)
+    | Ndroid_full ->
+      Some
+        (Ndroid.attach ~use_superblocks:superblocks ~use_summaries:summaries
+           ?obs device)
   in
   let cls, entry = app.entry in
   (try ignore (Device.run device cls entry [||])

@@ -42,10 +42,18 @@ val boot : app -> Device.t
 (** Fresh device with the app's classes installed and libraries provided
     (loaded eagerly so every mode starts equal). *)
 
-val run : ?obs:Ndroid_obs.Ring.t -> mode -> app -> outcome
+val run :
+  ?obs:Ndroid_obs.Ring.t ->
+  ?superblocks:bool ->
+  ?summaries:bool ->
+  mode ->
+  app ->
+  outcome
 (** Boot, attach the mode's analysis, invoke the entry point (catching any
     escaping Java exception), collect results.  [obs] (Ndroid mode only)
-    supplies the observability hub the analysis records into. *)
+    supplies the observability hub the analysis records into;
+    [superblocks] and [summaries] (default [false], Ndroid mode only)
+    enable superblock native execution and the summary JNI fast path. *)
 
 val detection_row : app -> (mode * bool) list
 (** The app's row of the Table I matrix: detection under every mode. *)

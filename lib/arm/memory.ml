@@ -6,12 +6,55 @@ type t = {
   pages : (int, Bytes.t) Hashtbl.t;
   mutable last_key : int;  (* last-touched page cache; [no_key] = invalid *)
   mutable last_page : Bytes.t;
+  (* code write-watch: translated/summarized code ranges.  [w_lo]/[w_hi]
+     bound every watched byte so the store fast path pays two compares;
+     a hit inside an actual range bumps [w_gen] (superblock validity) and
+     notifies [w_notify] (per-library dirty marking for summaries). *)
+  mutable w_lo : int;
+  mutable w_hi : int;
+  mutable w_ranges : (int * int) list;
+  mutable w_gen : int;
+  mutable w_notify : int -> unit;
 }
 
 let no_key = min_int
 
 let create () =
-  { pages = Hashtbl.create 64; last_key = no_key; last_page = Bytes.empty }
+  { pages = Hashtbl.create 64;
+    last_key = no_key;
+    last_page = Bytes.empty;
+    w_lo = max_int;
+    w_hi = min_int;
+    w_ranges = [];
+    w_gen = 0;
+    w_notify = ignore }
+
+let watch_code m ~lo ~hi =
+  if hi >= lo then begin
+    m.w_ranges <- (lo, hi) :: m.w_ranges;
+    if lo < m.w_lo then m.w_lo <- lo;
+    if hi > m.w_hi then m.w_hi <- hi
+  end
+
+let code_gen m = m.w_gen
+let on_code_write m f = m.w_notify <- f
+
+(* Slow path of the watch check: only reached for writes inside the global
+   watched bounds, i.e. essentially only for writes into loaded library
+   images (self-modifying / decrypting code, or stores into a library's
+   embedded data words). *)
+let watch_hit m addr len =
+  if
+    List.exists
+      (fun (lo, hi) -> addr <= hi && addr + len - 1 >= lo)
+      m.w_ranges
+  then begin
+    m.w_gen <- m.w_gen + 1;
+    m.w_notify addr
+  end
+
+let[@inline] watch m addr len =
+  if addr <= m.w_hi && addr + len - 1 >= m.w_lo then watch_hit m addr len
 
 let page m addr =
   let key = addr lsr page_bits in
@@ -37,6 +80,7 @@ let read_u8 m addr =
 
 let write_u8 m addr v =
   let addr = norm addr in
+  watch m addr 1;
   Bytes.set (page m addr) (addr land page_mask) (Char.chr (v land 0xFF))
 
 (* Word-wide fast paths: an access that falls inside one page is a single
@@ -63,6 +107,7 @@ let read_u32 m addr =
 let write_u16 m addr v =
   let a = norm addr in
   let off = a land page_mask in
+  watch m a 2;
   if off <= page_size - 2 then Bytes.set_uint16_le (page m a) off (v land 0xFFFF)
   else begin
     write_u8 m addr v;
@@ -72,6 +117,7 @@ let write_u16 m addr v =
 let write_u32 m addr v =
   let a = norm addr in
   let off = a land page_mask in
+  watch m a 4;
   if off <= page_size - 4 then Bytes.set_int32_le (page m a) off (Int32.of_int v)
   else begin
     write_u8 m addr v;
@@ -94,6 +140,7 @@ let read_bytes m addr n =
 
 let write_bytes m addr b =
   let n = Bytes.length b in
+  if n > 0 then watch m (norm addr) n;
   let pos = ref 0 in
   while !pos < n do
     let a = norm (addr + !pos) in

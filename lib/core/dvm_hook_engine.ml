@@ -105,43 +105,56 @@ let elem_width name =
 
 (* ---- event handling ---- *)
 
+(* JNI entry (hook group 1): build the SourcePolicy for the in-flight call.
+   Shared between the dvmCallJNIMethod host-function hook (emulated path)
+   and the summary fast path, which skips the bridge but must produce the
+   same policy state and log lines. *)
+let on_jni_enter t =
+  match Device.current_jni_call t.device with
+  | Some jc ->
+    let p = Source_policy.of_jni_call jc in
+    Flow_log.recordf t.log "name: %s" p.Source_policy.method_name;
+    Flow_log.recordf t.log "shorty: %s" p.Source_policy.method_shorty;
+    Flow_log.recordf t.log "class: %s" p.Source_policy.class_name;
+    Array.iteri
+      (fun i (v, tag) ->
+        if Taint.is_tainted tag then
+          Ring.emit_arg_taint t.log ~idx:i
+            ~value:(Ndroid_dalvik.Dvalue.to_string v)
+            ~taint:(Taint.to_bits tag))
+      jc.Device.jc_args;
+    if Source_policy.any_tainted p then begin
+      (* a policy at a *new* address changes where blocks must end, so any
+         cached superblock translation may now run through a policy entry *)
+      if not (Source_policy.Table.mem t.table p.Source_policy.method_address)
+      then (
+        match Machine.superblocks (Device.machine t.device) with
+        | Some sb -> Ndroid_emulator.Superblock.flush sb
+        | None -> ());
+      Source_policy.Table.add t.table p;
+      let arg_taint =
+        Array.fold_left
+          (fun acc tag -> acc lor Taint.to_bits tag)
+          (List.fold_left
+             (fun acc tag -> acc lor Taint.to_bits tag)
+             0
+             [ p.Source_policy.t_r0; p.Source_policy.t_r1;
+               p.Source_policy.t_r2; p.Source_policy.t_r3 ])
+          p.Source_policy.stack_args_taints
+      in
+      Ring.emit_source t.log ~name:p.Source_policy.method_name
+        ~cls:p.Source_policy.class_name
+        ~addr:p.Source_policy.method_address ~taint:arg_taint
+    end
+  | None -> ()
+
 let on_host_pre t (hf : Machine.host_fn) =
   let cpu = Machine.cpu (Device.machine t.device) in
   let name = hf.Machine.hf_name in
   t.pre_stack <-
     { fs_name = name; fs_regs = Array.copy cpu.Cpu.regs } :: t.pre_stack;
   match name with
-  | "dvmCallJNIMethod" -> (
-    match Device.current_jni_call t.device with
-    | Some jc ->
-      let p = Source_policy.of_jni_call jc in
-      Flow_log.recordf t.log "name: %s" p.Source_policy.method_name;
-      Flow_log.recordf t.log "shorty: %s" p.Source_policy.method_shorty;
-      Flow_log.recordf t.log "class: %s" p.Source_policy.class_name;
-      Array.iteri
-        (fun i (v, tag) ->
-          if Taint.is_tainted tag then
-            Ring.emit_arg_taint t.log ~idx:i
-              ~value:(Ndroid_dalvik.Dvalue.to_string v)
-              ~taint:(Taint.to_bits tag))
-        jc.Device.jc_args;
-      if Source_policy.any_tainted p then begin
-        Source_policy.Table.add t.table p;
-        let arg_taint =
-          Array.fold_left
-            (fun acc tag -> acc lor Taint.to_bits tag)
-            (List.fold_left
-               (fun acc tag -> acc lor Taint.to_bits tag)
-               0
-               [ p.Source_policy.t_r0; p.Source_policy.t_r1;
-                 p.Source_policy.t_r2; p.Source_policy.t_r3 ])
-            p.Source_policy.stack_args_taints
-        in
-        Ring.emit_source t.log ~name:p.Source_policy.method_name
-          ~cls:p.Source_policy.class_name
-          ~addr:p.Source_policy.method_address ~taint:arg_taint
-      end
-    | None -> ())
+  | "dvmCallJNIMethod" -> on_jni_enter t
   | "dvmInterpret" -> (
     (* Fig. 9: log the frame about to be interpreted and the taints NDroid
        injects into its slots. *)

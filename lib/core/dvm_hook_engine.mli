@@ -30,6 +30,17 @@ val attach :
     entry). *)
 
 val policies : t -> Source_policy.Table.t
+val on_jni_enter : t -> unit
+(** Run the JNI-entry hook (SourcePolicy construction + registration) for
+    the device's in-flight JNI call.  Fired by the [dvmCallJNIMethod] hook
+    on the emulated path; the summary fast path calls it directly since it
+    never enters the bridge. *)
+
+val on_insn : t -> addr:int -> unit
+(** Apply the source policy registered at [addr], if any.  This is the
+    per-instruction hook on the tracing path and the block-entry hook on
+    the superblock path. *)
+
 val policies_applied : t -> int
 (** How many times a SourcePolicy initialised a native frame. *)
 

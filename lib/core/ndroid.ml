@@ -2,6 +2,8 @@ module Taint = Ndroid_taint.Taint
 module Device = Ndroid_runtime.Device
 module Machine = Ndroid_emulator.Machine
 module Tracer = Ndroid_emulator.Tracer
+module Superblock = Ndroid_emulator.Superblock
+module Summary = Ndroid_summary.Summary
 module Classes = Ndroid_dalvik.Classes
 module Taintdroid = Ndroid_taintdroid.Taintdroid
 
@@ -24,9 +26,15 @@ type stats = {
   sink_checks : int;
   multilevel_checks : int;
   tainted_bytes : int;
+  sb_compiles : int;
+  sb_hits : int;
+  sb_invalidations : int;
+  native_summaries_applied : int;
+  native_summaries_rejected : int;
 }
 
-let attach ?(use_multilevel = true) ?trace_filter ?obs device =
+let attach ?(use_multilevel = true) ?(use_superblocks = false)
+    ?(use_summaries = false) ?trace_filter ?obs device =
   let td = Taintdroid.attach device in
   let engine = Taint_engine.create () in
   (* One ring backs everything: the flow log is a rendering view over it,
@@ -47,6 +55,30 @@ let attach ?(use_multilevel = true) ?trace_filter ?obs device =
   let cpu = Machine.cpu machine in
   let handler ~addr ~insn = Insn_taint.step engine cpu ~addr insn in
   let tracer = Tracer.attach ?filter:trace_filter ~handler machine in
+  (* Superblock execution replaces the per-instruction trace loop: taint
+     propagation moves into the blocks' fused/per-slot micro-ops, and the
+     source-policy hook moves from every instruction to every block entry
+     (policy addresses always start a block, and a policy at a new address
+     flushes the block cache). *)
+  if use_superblocks then begin
+    let table = Dvm_hook_engine.policies dvm_hooks in
+    ignore
+      (Machine.enable_superblocks ~engine
+         ~on_block_entry:(fun addr -> Dvm_hook_engine.on_insn dvm_hooks ~addr)
+         ~is_boundary:(fun addr -> Source_policy.Table.mem table addr)
+         ~ring:(Flow_log.ring log) machine
+        : Superblock.t)
+  end;
+  (* The summary fast path skips the dvmCallJNIMethod bridge, so the JNI-
+     entry hook and the entry policy application run from here instead;
+     the fused masks then land the body's whole taint effect at once. *)
+  if use_summaries then begin
+    Device.set_use_summaries device true;
+    Device.set_summary_taint device (fun entry masks ->
+        Dvm_hook_engine.on_jni_enter dvm_hooks;
+        Dvm_hook_engine.on_insn dvm_hooks ~addr:entry;
+        Summary.apply_masks engine masks)
+  end;
   (* data entering Java from the native context carries the engine's taint *)
   (Device.native_taint_source device :=
      fun loc ->
@@ -84,6 +116,8 @@ let engine t = t.t_engine
 let log t = t.t_log
 
 let stats t =
+  let sb = Machine.superblocks (Device.machine t.t_device) in
+  let sb_stat f = match sb with Some s -> f s | None -> 0 in
   { source_policies = Source_policy.Table.size (Dvm_hook_engine.policies t.dvm_hooks);
     policies_applied = Dvm_hook_engine.policies_applied t.dvm_hooks;
     traced_instructions = Tracer.traced t.tracer;
@@ -91,7 +125,12 @@ let stats t =
     summaries_applied = Syslib_hook_engine.summaries_applied t.syslib;
     sink_checks = Syslib_hook_engine.sink_checks t.syslib;
     multilevel_checks = Dvm_hook_engine.multilevel_checks t.dvm_hooks;
-    tainted_bytes = Taint_engine.tainted_bytes t.t_engine }
+    tainted_bytes = Taint_engine.tainted_bytes t.t_engine;
+    sb_compiles = sb_stat Superblock.compiles;
+    sb_hits = sb_stat Superblock.hits;
+    sb_invalidations = sb_stat Superblock.invalidations;
+    native_summaries_applied = Device.summaries_applied t.t_device;
+    native_summaries_rejected = Device.summaries_rejected t.t_device }
 
 let leaks t = Ndroid_android.Sink_monitor.leaks (Device.monitor t.t_device)
 
@@ -122,7 +161,10 @@ let verdict t =
 let pp_stats ppf s =
   Format.fprintf ppf
     "source policies: %d (applied %d); traced insns: %d (skipped %d); summaries: \
-     %d; sink checks: %d; multilevel checks: %d; tainted bytes: %d"
+     %d; sink checks: %d; multilevel checks: %d; tainted bytes: %d; superblocks: \
+     %d compiled (%d hits, %d invalidated); native summaries: %d applied (%d \
+     rejected)"
     s.source_policies s.policies_applied s.traced_instructions
     s.skipped_instructions s.summaries_applied s.sink_checks s.multilevel_checks
-    s.tainted_bytes
+    s.tainted_bytes s.sb_compiles s.sb_hits s.sb_invalidations
+    s.native_summaries_applied s.native_summaries_rejected

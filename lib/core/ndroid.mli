@@ -24,19 +24,34 @@ type stats = {
   sink_checks : int;
   multilevel_checks : int;
   tainted_bytes : int;  (** bytes currently tainted in the native map *)
+  sb_compiles : int;  (** superblocks translated *)
+  sb_hits : int;  (** superblock cache hits (probe or chain) *)
+  sb_invalidations : int;  (** stale superblocks retranslated *)
+  native_summaries_applied : int;
+      (** JNI calls answered from a native taint summary *)
+  native_summaries_rejected : int;
+      (** JNI calls that fell back from the summary path to emulation *)
 }
 
 val attach :
   ?use_multilevel:bool ->
+  ?use_superblocks:bool ->
+  ?use_summaries:bool ->
   ?trace_filter:(int -> bool) ->
   ?obs:Ndroid_obs.Ring.t ->
   Ndroid_runtime.Device.t ->
   t
 (** Instrument a device.  [use_multilevel:false] is ablation A2;
-    [trace_filter] overrides which addresses the instruction tracer
-    covers (default: the third-party app library region only); [obs]
-    supplies the observability hub backing the flow log, the device's
-    event stream and provenance reconstruction (default: a fresh ring). *)
+    [use_superblocks] (default [false]) switches native execution to
+    pre-decoded superblocks with fused taint transfers — per-instruction
+    trace events stop firing, so leave it off when per-insn tracing
+    matters; [use_summaries] (default [false]) lets the JNI bridge apply
+    digest-cached native taint summaries instead of emulating exact
+    function bodies; [trace_filter] overrides which addresses the
+    instruction tracer covers (default: the third-party app library region
+    only); [obs] supplies the observability hub backing the flow log, the
+    device's event stream and provenance reconstruction (default: a fresh
+    ring). *)
 
 val device : t -> Ndroid_runtime.Device.t
 val engine : t -> Taint_engine.t

@@ -75,6 +75,9 @@ module Table = struct
     if addr < table.lo || addr > table.hi then None
     else Hashtbl.find_opt table.tbl addr
 
+  let mem table addr =
+    addr >= table.lo && addr <= table.hi && Hashtbl.mem table.tbl addr
+
   let size table = Hashtbl.length table.tbl
 end
 

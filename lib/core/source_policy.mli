@@ -45,6 +45,7 @@ module Table : sig
   val create : unit -> t
   val add : t -> policy -> unit
   val find : t -> int -> policy option
+  val mem : t -> int -> bool
   val size : t -> int
 end
 

@@ -23,6 +23,8 @@ type kind =
   | K_insn
   | K_host_enter
   | K_host_leave
+  | K_sb_compile
+  | K_summary_apply
 
 type record = {
   mutable e_kind : kind;
@@ -62,6 +64,8 @@ let kind_name = function
   | K_insn -> "insn"
   | K_host_enter -> "host_enter"
   | K_host_leave -> "host_leave"
+  | K_sb_compile -> "sb_compile"
+  | K_summary_apply -> "summary_apply"
 
 type span = B | E | I
 
@@ -72,7 +76,7 @@ let span_of_kind = function
   | K_return | K_jni_end | K_sink_end | K_gc_end | K_phase_end | K_host_leave ->
     E
   | K_log | K_jni_ret | K_source | K_policy_apply | K_arg_taint | K_taint_reg
-  | K_taint_mem | K_sink | K_insn ->
+  | K_taint_mem | K_sink | K_insn | K_sb_compile | K_summary_apply ->
     I
 
 (* Trace-viewer lanes: spans on one lane must nest, so each call-stack-like
@@ -81,7 +85,7 @@ let tid_of_kind = function
   | K_invoke | K_return -> 1
   | K_jni_begin | K_jni_end | K_jni_ret | K_source | K_policy_apply
   | K_arg_taint | K_taint_reg | K_taint_mem | K_sink_begin | K_sink | K_sink_end
-  | K_insn | K_host_enter | K_host_leave ->
+  | K_insn | K_host_enter | K_host_leave | K_sb_compile | K_summary_apply ->
     2
   | K_gc_begin | K_gc_end -> 3
   | K_log -> 4
@@ -96,7 +100,8 @@ let category = function
   | K_sink_begin | K_sink | K_sink_end -> "sink"
   | K_gc_begin | K_gc_end -> "gc"
   | K_phase_begin | K_phase_end -> "pipeline"
-  | K_insn | K_host_enter | K_host_leave -> "native"
+  | K_insn | K_host_enter | K_host_leave | K_sb_compile | K_summary_apply ->
+    "native"
 
 (* The string each typed event used to be logged as, before the engines
    moved off [Flow_log]'s string list: the paper's Fig. 6-9 vocabulary,
@@ -129,7 +134,8 @@ let render r =
          (Taint.of_bits r.e_taint) r.e_detail)
   | K_sink_end -> Some (Printf.sprintf "SinkHandler[%s] end" r.e_name)
   | K_invoke | K_return | K_jni_begin | K_jni_end | K_gc_begin | K_gc_end
-  | K_phase_begin | K_phase_end | K_insn | K_host_enter | K_host_leave ->
+  | K_phase_begin | K_phase_end | K_insn | K_host_enter | K_host_leave
+  | K_sb_compile | K_summary_apply ->
     None
 
 let renderable = function
@@ -137,5 +143,6 @@ let renderable = function
   | K_jni_ret | K_sink_begin | K_sink | K_sink_end ->
     true
   | K_invoke | K_return | K_jni_begin | K_jni_end | K_gc_begin | K_gc_end
-  | K_phase_begin | K_phase_end | K_insn | K_host_enter | K_host_leave ->
+  | K_phase_begin | K_phase_end | K_insn | K_host_enter | K_host_leave
+  | K_sb_compile | K_summary_apply ->
     false

@@ -11,6 +11,16 @@ module Vm = Ndroid_dalvik.Vm
    cached result at once. *)
 let version = "3"
 
+let enable_summary_cache cache =
+  (* Native taint summaries persist as raw entries beside the verdict
+     reports, keyed by library digest: a re-run over an unchanged corpus
+     skips re-deriving them, and any change to a library's code bytes
+     changes the digest and misses cleanly. *)
+  Ndroid_summary.Summary.set_persistence
+    ~load:(fun digest -> Cache.find_raw cache ~key:("summary-" ^ digest))
+    ~save:(fun digest data ->
+      Cache.store_raw cache ~key:("summary-" ^ digest) data)
+
 let crashed_report ~app ~analysis why =
   { Verdict.r_app = app; r_analysis = analysis; r_verdict = Verdict.Crashed why;
     r_meta = [] }
@@ -28,6 +38,23 @@ let dynamic_bundled ?obs (app : H.app) =
   (* deterministic execution counters: same app, same counts, whatever the
      --jobs value — safe to put in the canonical report *)
   let c = (Ndroid_runtime.Device.vm outcome.H.device).Vm.counters in
+  let nd_stats =
+    match outcome.H.analysis with
+    | Some nd -> Some (Ndroid_core.Ndroid.stats nd)
+    | None -> None
+  in
+  let sb_stat f = match nd_stats with Some s -> f s | None -> 0 in
+  let sb_compiles = sb_stat (fun s -> s.Ndroid_core.Ndroid.sb_compiles) in
+  let sb_hits = sb_stat (fun s -> s.Ndroid_core.Ndroid.sb_hits) in
+  let sb_invalidations =
+    sb_stat (fun s -> s.Ndroid_core.Ndroid.sb_invalidations)
+  in
+  let summaries_applied =
+    sb_stat (fun s -> s.Ndroid_core.Ndroid.native_summaries_applied)
+  in
+  let summaries_rejected =
+    sb_stat (fun s -> s.Ndroid_core.Ndroid.native_summaries_rejected)
+  in
   (* the same counters feed the observability registry, so one sweep-wide
      merge covers both the legacy stats fields and the metrics JSON *)
   (match obs with
@@ -36,12 +63,22 @@ let dynamic_bundled ?obs (app : H.app) =
      let bump name v = Ndroid_obs.Metrics.add (Ndroid_obs.Metrics.counter m name) v in
      bump "bytecodes" c.Vm.bytecodes;
      bump "invokes" c.Vm.invokes;
-     bump "jni_crossings" (c.Vm.native_calls + c.Vm.jni_env_calls)
+     bump "jni_crossings" (c.Vm.native_calls + c.Vm.jni_env_calls);
+     bump "sb_compiles" sb_compiles;
+     bump "sb_hits" sb_hits;
+     bump "sb_invalidations" sb_invalidations;
+     bump "summaries_applied" summaries_applied;
+     bump "summaries_rejected" summaries_rejected
    | Some _ | None -> ());
   let counter_meta =
     [ ("bytecodes", Json.Int c.Vm.bytecodes);
       ("invokes", Json.Int c.Vm.invokes);
-      ("jni_crossings", Json.Int (c.Vm.native_calls + c.Vm.jni_env_calls)) ]
+      ("jni_crossings", Json.Int (c.Vm.native_calls + c.Vm.jni_env_calls));
+      ("sb_compiles", Json.Int sb_compiles);
+      ("sb_hits", Json.Int sb_hits);
+      ("sb_invalidations", Json.Int sb_invalidations);
+      ("summaries_applied", Json.Int summaries_applied);
+      ("summaries_rejected", Json.Int summaries_rejected) ]
   in
   match outcome.H.analysis with
   | Some nd ->

@@ -12,6 +12,11 @@ val version : string
     to the static or dynamic analyzers can alter verdicts, so stale cached
     results from older binaries can never be served. *)
 
+val enable_summary_cache : Cache.t -> unit
+(** Persist native taint summaries as raw entries in [cache], keyed
+    ["summary-<library digest>"].  Call once before running tasks; the
+    pool does this automatically when configured with a cache. *)
+
 val run : ?obs:Ndroid_obs.Ring.t -> Task.t -> Ndroid_report.Verdict.report
 (** Analyze one task.  Never raises: an analyzer exception becomes a
     [Crashed] verdict carrying the exception text.  Ignores the task's

@@ -47,5 +47,27 @@ let store t ~key report =
     close_out_noerr oc;
     (try Sys.rename tmp final with Sys_error _ -> ())
 
+(* Raw side entries (native taint summaries, keyed by library digest):
+   opaque blobs in the same directory under their own key namespace, with
+   the same tmp + rename write discipline and the same hit/miss
+   accounting. *)
+
+let find_raw t ~key =
+  let result = read_file (path t key) in
+  (match result with
+   | Some _ -> t.hits <- t.hits + 1
+   | None -> t.misses <- t.misses + 1);
+  result
+
+let store_raw t ~key data =
+  let final = path t key in
+  let tmp = final ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> ()
+  | oc ->
+    output_string oc data;
+    close_out_noerr oc;
+    (try Sys.rename tmp final with Sys_error _ -> ())
+
 let hits t = t.hits
 let misses t = t.misses

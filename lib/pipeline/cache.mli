@@ -16,5 +16,14 @@ val create : dir:string -> t
 val find : t -> key:string -> Ndroid_report.Verdict.report option
 val store : t -> key:string -> Ndroid_report.Verdict.report -> unit
 
+val find_raw : t -> key:string -> string option
+(** A raw side entry (e.g. a native taint summary keyed by library
+    digest): the blob as stored, no verdict decoding.  Counts toward
+    {!hits}/{!misses}. *)
+
+val store_raw : t -> key:string -> string -> unit
+(** Store a raw side entry under [key], atomically (temp file +
+    rename), like {!store}. *)
+
 val hits : t -> int
 val misses : t -> int

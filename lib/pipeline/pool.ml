@@ -136,6 +136,11 @@ let dummy_report =
 
 let run cfg tasks =
   validate_ids tasks;
+  (* before forking, so every worker inherits the summary persistence
+     hooks and the cache pass itself can answer summary probes *)
+  (match cfg.c_cache with
+   | Some cache -> Analysis.enable_summary_cache cache
+   | None -> ());
   let t_start = now () in
   let total = List.length tasks in
   let results = Array.make total dummy_report in
@@ -464,6 +469,9 @@ let run cfg tasks =
 
 let run_inline ?cache ?obs tasks =
   validate_ids tasks;
+  (match cache with
+   | Some c -> Analysis.enable_summary_cache c
+   | None -> ());
   let results = Array.make (List.length tasks) dummy_report in
   List.iter
     (fun (task : Task.t) ->

@@ -12,6 +12,7 @@ module Asm = Ndroid_arm.Asm
 module Taint = Ndroid_taint.Taint
 module Indirect_ref = Ndroid_jni.Indirect_ref
 module Arg_pool = Ndroid_jni.Arg_pool
+module Summary = Ndroid_summary.Summary
 module A = Ndroid_android
 
 type taint_loc = Loc_mem of int * int | Loc_reg of int | Loc_iref of int
@@ -62,6 +63,16 @@ type t = {
   d_slot_pool : (int * Taint.t) Arg_pool.t;
   d_arg_pool : Vm.tval Arg_pool.t;
   mutable d_obs : Ndroid_obs.Ring.t;
+  (* native taint summaries: per loaded library, derived at load time and
+     applied by the JNI bridge instead of emulating the body when exact *)
+  lib_summaries : (string, Summary.lib) Hashtbl.t;
+  mutable use_summaries : bool;
+  mutable summary_taint : int -> (int * int) array -> unit;
+      (* (entry addr, masks): source-policy mimicry + fused-mask
+         application against the attached taint engine; installed by the
+         analysis attach layer, no-op when nothing is attached *)
+  mutable summaries_applied : int;
+  mutable summaries_rejected : int;
 }
 
 let jni_env_ptr = Layout.libdvm_base + 0x7F000
@@ -186,6 +197,10 @@ let load_library d name =
     let prog = Hashtbl.find d.available_libs name in
     Machine.load_program d.d_machine prog;
     Hashtbl.replace d.loaded_libs name prog;
+    (* summarize the image now (cheap, digest-cached); whether the bridge
+       uses the summaries is a separate switch *)
+    Hashtbl.replace d.lib_summaries name
+      (Summary.derive_cached (Machine.mem d.d_machine) prog);
     List.iter
       (fun (sym, _addr) -> Hashtbl.replace d.symbols sym (Asm.fn_addr prog sym))
       (Asm.symbols prog);
@@ -235,6 +250,61 @@ let native_symbol d sym =
 (* ---------------- JNI call bridge: Java -> native ---------------- *)
 
 let dvm_call_jni_method_addr d = Machine.host_fn_addr d.d_machine "dvmCallJNIMethod"
+
+let set_use_summaries d b = d.use_summaries <- b
+let use_summaries d = d.use_summaries
+let set_summary_taint d f = d.summary_taint <- f
+let summaries_applied d = d.summaries_applied
+let summaries_rejected d = d.summaries_rejected
+
+let find_summary d addr =
+  Hashtbl.fold
+    (fun _ l acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match Summary.find l addr with
+        | Some fn -> Some (l, fn)
+        | None -> None))
+    d.lib_summaries None
+
+(* The summary fast path: skip the dvmCallJNIMethod bridge (and the native
+   body emulation behind it) entirely when the target function has an exact
+   summary.  Returns [true] with [d.bridge_result] set, or [false] to fall
+   back to emulation — a clean library, an [Exact] verdict, and a register-
+   only call shape (≤ 4 slots: stack-borne arguments would need the memory
+   taints the policy writes at sp, which only the emulated path sees) are
+   all required. *)
+let try_summary d jc =
+  if not d.use_summaries then false
+  else
+    match find_summary d jc.jc_addr with
+    | None -> false
+    | Some (l, fn) -> (
+      match fn.Summary.f_verdict with
+      | Summary.Emulate _ -> false
+      | Summary.Exact ->
+        if Summary.dirty l || Array.length jc.jc_slots > 4 then false
+        else begin
+          (* taint first (source-policy mimicry consumes entry state),
+             then values *)
+          d.summary_taint jc.jc_addr fn.Summary.f_masks;
+          let r0, r1 =
+            Summary.eval fn ~cpu:(Machine.cpu d.d_machine)
+              ~mem:(Machine.mem d.d_machine) ~slots:jc.jc_slots
+          in
+          let rt = Classes.return_type jc.jc_method in
+          let v = value_of_raw d rt ~r0 ~r1 in
+          let taint = !(d.ret_policy) jc ~r0 ~r1 in
+          d.bridge_result <- (v, taint);
+          d.summaries_applied <- d.summaries_applied + 1;
+          let o = d.d_obs in
+          if o.Ndroid_obs.Ring.on then
+            Ndroid_obs.Ring.emit_summary_apply o
+              ~name:(Classes.qualified_name jc.jc_method)
+              ~taint:(Taint.to_bits taint);
+          true
+        end)
 
 let native_dispatch d vm jm (args : Vm.tval array) =
   ignore vm;
@@ -301,8 +371,13 @@ let native_dispatch d vm jm (args : Vm.tval array) =
       (Array.length slots)
   end;
   (* The bridge itself is a hooked libdvm function: fire its events, then
-     transfer control to the native method. *)
-  Machine.call_host d.d_machine ~from_:Layout.libdvm_base "dvmCallJNIMethod";
+     transfer control to the native method — unless an exact summary lets
+     us skip the crossing altogether. *)
+  if not (try_summary d jc) then begin
+    if d.use_summaries then
+      d.summaries_rejected <- d.summaries_rejected + 1;
+    Machine.call_host d.d_machine ~from_:Layout.libdvm_base "dvmCallJNIMethod"
+  end;
   let result = d.bridge_result in
   d.cur_call <- saved_call;
   if observed then
@@ -1139,8 +1214,18 @@ let create ?(profile = A.Device_profile.default) () =
       taint_source = ref (fun _ -> Taint.clear);
       d_slot_pool = Arg_pool.create (0, Taint.clear);
       d_arg_pool = Arg_pool.create (Dvalue.zero, Taint.clear);
-      d_obs = Ndroid_obs.Ring.disabled }
+      d_obs = Ndroid_obs.Ring.disabled;
+      lib_summaries = Hashtbl.create 8;
+      use_summaries = false;
+      summary_taint = (fun _ _ -> ());
+      summaries_applied = 0;
+      summaries_rejected = 0 }
   in
+  (* runtime writes into a loaded image invalidate its summaries *)
+  Memory.on_code_write (Machine.mem machine) (fun addr ->
+      Hashtbl.iter
+        (fun _ l -> if Summary.owns l addr then Summary.mark_dirty l)
+        d.lib_summaries);
   A.Framework.install vm;
   A.Sources.install vm profile;
   A.Sinks.install vm net fs monitor;

@@ -98,6 +98,27 @@ val run : t -> string -> string -> Vm.tval array -> Vm.tval
 
 (** {1 Analysis plug points} *)
 
+val set_use_summaries : t -> bool -> unit
+(** Let the JNI bridge apply cached native taint summaries instead of
+    emulating exact function bodies (off by default: the emulated path is
+    the reference semantics). *)
+
+val use_summaries : t -> bool
+
+val set_summary_taint : t -> (int -> (int * int) array -> unit) -> unit
+(** Install the taint side of summary application: called with the entry
+    address and the summary's (rd, entry-dependence mask) pairs before the
+    value replay.  The attach layer implements source-policy mimicry plus
+    {!Ndroid_summary.Summary.apply_masks} here; without an attached
+    analysis it stays a no-op. *)
+
+val summaries_applied : t -> int
+(** JNI calls answered from a summary instead of emulation. *)
+
+val summaries_rejected : t -> int
+(** JNI calls that wanted the summary path but fell back to emulation
+    (inexact body, dirty library, or stack-borne arguments). *)
+
 val jni_return_policy : t -> (jni_call -> r0:int -> r1:int -> Taint.t) ref
 val native_taint_source : t -> (taint_loc -> Taint.t) ref
 val current_jni_call : t -> jni_call option

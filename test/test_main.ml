@@ -5,6 +5,7 @@ let () =
       ("asm", Test_asm.suite);
       ("dalvik", Test_dalvik.suite);
       ("dalvik-diff", Test_dalvik_diff.suite);
+      ("native-diff", Test_native_diff.suite);
       ("jni", Test_jni.suite);
       ("android", Test_android.suite);
       ("emulator", Test_emulator.suite);
