@@ -777,6 +777,77 @@ let static () =
   Printf.printf "pruned for triage:  %d (%.1f%% of the slice)\n" pruned
     (100.0 *. pruned_frac);
   Printf.printf "leaky apps missed:  %d of %d\n" market_fn !leaky_total;
+  (* hybrid: static triage first, focused dynamic only on the flagged
+     residue.  Sweep the same slice under --both and --hybrid and demand
+     identical verdicts at >= 2x speed.  Both sweeps run inline (no cache,
+     no forked pool): the pool's fork/IPC cost is mode-independent and at
+     this per-app grain it would drown the quantity under test, the
+     serial-equivalent analysis wall clock. *)
+  Printf.printf "\nhybrid vs both on the same %d-app slice...\n%!" slice;
+  let run_mode mode =
+    let tasks = Task.of_market_slice ~mode params in
+    let t0 = now () in
+    let reports = Pool.run_inline tasks in
+    (reports, now () -. t0)
+  in
+  let both_reports, both_dt = run_mode Task.Both in
+  let hybrid_reports, hybrid_dt = run_mode Task.Hybrid in
+  let verdict_diffs = ref 0 in
+  Array.iteri
+    (fun i (r : Verdict.report) ->
+      if
+        Verdict.flagged r.Verdict.r_verdict
+        <> Verdict.flagged both_reports.(i).Verdict.r_verdict
+      then incr verdict_diffs)
+    hybrid_reports;
+  let count_flagged reports =
+    Array.fold_left
+      (fun acc (r : Verdict.report) ->
+        if Verdict.flagged r.Verdict.r_verdict then acc + 1 else acc)
+      0 reports
+  in
+  let hybrid_flagged = count_flagged hybrid_reports in
+  let hybrid_missed = ref 0 in
+  Seq.iteri
+    (fun i model ->
+      if
+        Market.app_is_leaky model
+        && not (Verdict.flagged hybrid_reports.(i).Verdict.r_verdict)
+      then incr hybrid_missed)
+    (Market.generate params);
+  let _, _, focused_methods, skipped_bytecodes =
+    Pool.counters_of_reports hybrid_reports
+  in
+  let speedup = both_dt /. hybrid_dt in
+  (* the bundled detection apps must all still be caught when the dynamic
+     pass runs gated on the static focus set *)
+  let bundled_tasks mode =
+    List.mapi
+      (fun i ((app : H.app), _, _, _) ->
+        { Task.t_id = i; Task.t_subject = Task.Bundled app.H.app_name;
+          Task.t_mode = mode; Task.t_fault = None })
+      rows
+  in
+  let bundled_hybrid = Pool.run_inline (bundled_tasks Task.Hybrid) in
+  let bundled_expected = List.length (List.filter (fun (_, d, _, _) -> d) rows) in
+  let bundled_detected =
+    List.fold_left
+      (fun acc (i, (_, dyn, _, _)) ->
+        if dyn && Verdict.flagged bundled_hybrid.(i).Verdict.r_verdict then
+          acc + 1
+        else acc)
+      0
+      (List.mapi (fun i row -> (i, row)) rows)
+  in
+  Printf.printf "both:   %d apps in %.2fs\n" !total both_dt;
+  Printf.printf "hybrid: %d apps in %.2fs (%.1fx)\n" !total hybrid_dt speedup;
+  Printf.printf
+    "hybrid flagged: %d | verdict diffs vs both: %d | leaky missed: %d\n"
+    hybrid_flagged !verdict_diffs !hybrid_missed;
+  Printf.printf "hybrid bundled detections: %d/%d\n" bundled_detected
+    bundled_expected;
+  Printf.printf "focused methods: %d | skipped bytecodes: %d\n" focused_methods
+    skipped_bytecodes;
   let oc = open_out "BENCH_static.json" in
   Printf.fprintf oc "{\n  \"experiment\": \"static\",\n";
   Printf.fprintf oc "  \"apps\": [\n";
@@ -808,6 +879,19 @@ let static () =
   Printf.fprintf oc "    \"leaky_missed\": %d,\n" market_fn;
   Printf.fprintf oc "    \"seconds\": %.4f,\n" dt;
   Printf.fprintf oc "    \"apps_per_sec\": %.1f\n" apps_per_sec;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"hybrid\": {\n";
+  Printf.fprintf oc "    \"slice\": %d,\n" !total;
+  Printf.fprintf oc "    \"both_seconds\": %.4f,\n" both_dt;
+  Printf.fprintf oc "    \"hybrid_seconds\": %.4f,\n" hybrid_dt;
+  Printf.fprintf oc "    \"speedup\": %.2f,\n" speedup;
+  Printf.fprintf oc "    \"flagged\": %d,\n" hybrid_flagged;
+  Printf.fprintf oc "    \"verdict_diffs\": %d,\n" !verdict_diffs;
+  Printf.fprintf oc "    \"leaky_missed\": %d,\n" !hybrid_missed;
+  Printf.fprintf oc "    \"bundled_detections\": %d,\n" bundled_detected;
+  Printf.fprintf oc "    \"bundled_expected\": %d,\n" bundled_expected;
+  Printf.fprintf oc "    \"focused_methods\": %d,\n" focused_methods;
+  Printf.fprintf oc "    \"skipped_bytecodes\": %d\n" skipped_bytecodes;
   Printf.fprintf oc "  }\n}\n";
   close_out oc;
   Printf.printf "wrote BENCH_static.json\n";
@@ -829,6 +913,28 @@ let static () =
   if market_fn > 0 then begin
     Printf.eprintf "FAIL: %d known-leaky market apps statically missed\n"
       market_fn;
+    exit 1
+  end;
+  if !verdict_diffs > 0 then begin
+    Printf.eprintf "FAIL: hybrid and both disagree on %d market verdicts\n"
+      !verdict_diffs;
+    exit 1
+  end;
+  if !hybrid_missed > 0 then begin
+    Printf.eprintf "FAIL: hybrid missed %d known-leaky market apps\n"
+      !hybrid_missed;
+    exit 1
+  end;
+  if bundled_detected <> bundled_expected then begin
+    Printf.eprintf "FAIL: hybrid caught %d/%d bundled detections\n"
+      bundled_detected bundled_expected;
+    exit 1
+  end;
+  if speedup < 2.0 then begin
+    Printf.eprintf
+      "FAIL: hybrid only %.2fx faster than both on the market slice \
+       (need >= 2x)\n"
+      speedup;
     exit 1
   end
 

@@ -302,7 +302,8 @@ let tasks_of_request names market mode =
 (* Per-phase stats for the sweep, including Dalvik throughput (bytecodes/sec
    over the measured analysis time) and JNI-crossing counts.  Emitted on
    stderr so stdout stays exactly the canonical report array. *)
-let stats_to_json ~bytecodes ~jni_crossings ~analyze_seconds phases =
+let stats_to_json ~bytecodes ~jni_crossings ~focused_methods
+    ~skipped_bytecodes ~analyze_seconds phases =
   let rate =
     if analyze_seconds > 0.0 then float_of_int bytecodes /. analyze_seconds
     else 0.0
@@ -312,7 +313,9 @@ let stats_to_json ~bytecodes ~jni_crossings ~analyze_seconds phases =
      @ [ ("analyze_seconds", Json.Float analyze_seconds);
          ("bytecodes", Json.Int bytecodes);
          ("bytecodes_per_sec", Json.Float rate);
-         ("jni_crossings", Json.Int jni_crossings) ])
+         ("jni_crossings", Json.Int jni_crossings);
+         ("focused_methods", Json.Int focused_methods);
+         ("skipped_bytecodes", Json.Int skipped_bytecodes) ])
 
 let cmd_analyze names mode json jobs timeout cache_dir market trace_file =
   match tasks_of_request names market mode with
@@ -335,7 +338,9 @@ let cmd_analyze names mode json jobs timeout cache_dir market trace_file =
         let t0 = Unix.gettimeofday () in
         let reports = Pool.run_inline ?cache ?obs tasks in
         let seconds = Unix.gettimeofday () -. t0 in
-        let bytecodes, jni_crossings = Pool.counters_of_reports reports in
+        let bytecodes, jni_crossings, focused_methods, skipped_bytecodes =
+          Pool.counters_of_reports reports
+        in
         let metrics =
           match obs with
           | Some ring ->
@@ -343,7 +348,8 @@ let cmd_analyze names mode json jobs timeout cache_dir market trace_file =
           | None -> []
         in
         ( reports,
-          stats_to_json ~bytecodes ~jni_crossings ~analyze_seconds:seconds
+          stats_to_json ~bytecodes ~jni_crossings ~focused_methods
+            ~skipped_bytecodes ~analyze_seconds:seconds
             (("wall_seconds", Json.Float seconds) :: metrics) )
       end
       else begin
@@ -356,6 +362,8 @@ let cmd_analyze names mode json jobs timeout cache_dir market trace_file =
         ( reports,
           stats_to_json ~bytecodes:s.Pool.s_bytecodes
             ~jni_crossings:s.Pool.s_jni_crossings
+            ~focused_methods:s.Pool.s_focused_methods
+            ~skipped_bytecodes:s.Pool.s_skipped_bytecodes
             ~analyze_seconds:s.Pool.s_analyze_cpu
             [ ("wall_seconds", Json.Float s.Pool.s_wall);
               ("cache_pass_seconds", Json.Float s.Pool.s_cache_pass);
@@ -600,7 +608,12 @@ let analyze_cmd =
                   ~doc:"Run the app under the emulated NDroid tracker.");
                (Task.Both,
                 info [ "both" ]
-                  ~doc:"Run both analyzers and merge their flows.") ])
+                  ~doc:"Run both analyzers and merge their flows.");
+               (Task.Hybrid,
+                info [ "hybrid" ]
+                  ~doc:"Static triage first: clean apps finish with no \
+                        emulation; flagged apps get a dynamic run focused \
+                        on the static slice.") ])
   in
   let jobs_arg =
     Arg.(value & opt int 1

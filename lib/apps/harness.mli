@@ -46,6 +46,7 @@ val run :
   ?obs:Ndroid_obs.Ring.t ->
   ?superblocks:bool ->
   ?summaries:bool ->
+  ?focus:Ndroid_report.Focus.t ->
   mode ->
   app ->
   outcome
@@ -53,7 +54,9 @@ val run :
     escaping Java exception), collect results.  [obs] (Ndroid mode only)
     supplies the observability hub the analysis records into;
     [superblocks] and [summaries] (default [false], Ndroid mode only)
-    enable superblock native execution and the summary JNI fast path. *)
+    enable superblock native execution and the summary JNI fast path;
+    [focus] (Ndroid mode only) gates instrumentation to the static slice's
+    focus set — the hybrid pipeline's focused dynamic run. *)
 
 val detection_row : app -> (mode * bool) list
 (** The app's row of the Table I matrix: detection under every mode. *)

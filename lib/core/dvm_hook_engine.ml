@@ -365,7 +365,7 @@ let on_insn t ~addr =
         (p.Source_policy.t_r2, 2); (p.Source_policy.t_r3, 3) ]
   | None -> ()
 
-let attach ?(use_multilevel = true) device engine log =
+let attach ?(use_multilevel = true) ?(gate = fun () -> true) device engine log =
   let machine = Device.machine device in
   let call_entry =
     let cache = Hashtbl.create 512 in
@@ -411,22 +411,29 @@ let attach ?(use_multilevel = true) device engine log =
     (Device.vm device).Vm.on_invoke <-
       Some
         (fun jm ->
+          if not (gate ()) then ()
+          else begin
           t.always_hook_scans <- t.always_hook_scans + 1;
           (* the scan the hook would do: inspect each would-be argument
              slot of the frame *)
           let n = Classes.ins_count jm in
           for i = 0 to n - 1 do
             ignore (Taint_engine.reg t.engine (i land 15))
-          done);
+          done
+          end);
+  (* [gate] is the focused-execution switch: while it returns [false] every
+     hook group stays dormant, so unfocused code pays no instrumentation. *)
   Machine.add_listener machine (fun ev ->
-      match ev with
-      | Machine.Ev_host_pre hf when hf.Machine.hf_lib = "libdvm.so" ->
-        on_host_pre t hf
-      | Machine.Ev_host_post hf when hf.Machine.hf_lib = "libdvm.so" ->
-        on_host_post t hf
-      | Machine.Ev_host_pre _ | Machine.Ev_host_post _ -> ()
-      | Machine.Ev_insn { addr; _ } -> on_insn t ~addr
-      | Machine.Ev_branch { from_; to_; _ } ->
-        if t.use_multilevel then ignore (Multilevel.observe t.multilevel ~from_ ~to_)
-      | Machine.Ev_svc _ -> ());
+      if gate () then
+        match ev with
+        | Machine.Ev_host_pre hf when hf.Machine.hf_lib = "libdvm.so" ->
+          on_host_pre t hf
+        | Machine.Ev_host_post hf when hf.Machine.hf_lib = "libdvm.so" ->
+          on_host_post t hf
+        | Machine.Ev_host_pre _ | Machine.Ev_host_post _ -> ()
+        | Machine.Ev_insn { addr; _ } -> on_insn t ~addr
+        | Machine.Ev_branch { from_; to_; _ } ->
+          if t.use_multilevel then
+            ignore (Multilevel.observe t.multilevel ~from_ ~to_)
+        | Machine.Ev_svc _ -> ());
   t

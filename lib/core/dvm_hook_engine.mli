@@ -21,13 +21,16 @@ type t
 
 val attach :
   ?use_multilevel:bool ->
+  ?gate:(unit -> bool) ->
   Ndroid_runtime.Device.t ->
   Taint_engine.t ->
   Flow_log.t ->
   t
 (** Wire the engine into the device's machine.  [use_multilevel] defaults
     to [true]; [false] is ablation A2 (instrument every interpreter
-    entry). *)
+    entry).  [gate] (default: always on) is the focused-execution switch:
+    while it returns [false] the listener ignores every machine event, so
+    code outside the static focus set runs uninstrumented. *)
 
 val policies : t -> Source_policy.Table.t
 val on_jni_enter : t -> unit

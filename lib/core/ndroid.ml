@@ -5,7 +5,19 @@ module Tracer = Ndroid_emulator.Tracer
 module Superblock = Ndroid_emulator.Superblock
 module Summary = Ndroid_summary.Summary
 module Classes = Ndroid_dalvik.Classes
+module Vm = Ndroid_dalvik.Vm
 module Taintdroid = Ndroid_taintdroid.Taintdroid
+module Focus = Ndroid_report.Focus
+
+(* Focused execution (the hybrid pipeline's dynamic half): tracking starts
+   disabled and ratchets on — permanently — the first time control enters a
+   method or native function on the static slice. *)
+type focus_state = {
+  fs_active : bool ref;
+  fs_methods_hit : int ref;  (* focus-set method entries observed *)
+  fs_act_bytecodes : int option ref;
+      (* bytecode count at activation; [None] = never activated *)
+}
 
 type t = {
   t_device : Device.t;
@@ -14,6 +26,7 @@ type t = {
   dvm_hooks : Dvm_hook_engine.t;
   syslib : Syslib_hook_engine.t;
   tracer : Tracer.t;
+  t_focus : focus_state option;
   _taintdroid : Taintdroid.t;
 }
 
@@ -31,12 +44,71 @@ type stats = {
   sb_invalidations : int;
   native_summaries_applied : int;
   native_summaries_rejected : int;
+  focused_methods : int;
+  skipped_bytecodes : int;
 }
 
 let attach ?(use_multilevel = true) ?(use_superblocks = false)
-    ?(use_summaries = false) ?trace_filter ?obs device =
+    ?(use_summaries = false) ?trace_filter ?obs ?focus device =
   let td = Taintdroid.attach device in
   let engine = Taint_engine.create () in
+  let vm = Device.vm device in
+  let fstate =
+    match focus with
+    | Some f when not (Focus.is_empty f) ->
+      let meths = Hashtbl.create 64 and nats = Hashtbl.create 64 in
+      List.iter (fun m -> Hashtbl.replace meths m ()) f.Focus.methods;
+      List.iter (fun s -> Hashtbl.replace nats s ()) f.Focus.natives;
+      Some
+        ( { fs_active = ref false;
+            fs_methods_hit = ref 0;
+            fs_act_bytecodes = ref None },
+          meths,
+          nats )
+    | _ -> None
+  in
+  let gate =
+    match fstate with
+    | None -> fun () -> true
+    | Some (st, _, _) -> fun () -> !(st.fs_active)
+  in
+  let activate st =
+    if not !(st.fs_active) then begin
+      st.fs_active := true;
+      st.fs_act_bytecodes := Some vm.Vm.counters.Vm.bytecodes;
+      vm.Vm.track_taint <- true
+    end
+  in
+  (* Native-side activation: a JNI crossing into a focused native method
+     (or a focused method that happens to be native) flips tracking on.
+     Registered before the hook engine's listener, so by the time the
+     dvmCallJNIMethod hook builds its SourcePolicy the gate is open. *)
+  let jni_call_activates st meths nats () =
+    if not !(st.fs_active) then
+      match Device.current_jni_call device with
+      | Some jc ->
+        let jm = jc.Device.jc_method in
+        let focused =
+          Hashtbl.mem meths (Classes.qualified_name jm)
+          || (match jm.Classes.m_body with
+              | Classes.Native sym -> Hashtbl.mem nats sym
+              | _ -> false)
+        in
+        if focused then begin
+          incr st.fs_methods_hit;
+          activate st
+        end
+      | None -> ()
+  in
+  (match fstate with
+   | Some (st, meths, nats) ->
+     Machine.add_listener (Device.machine device) (fun ev ->
+         match ev with
+         | Machine.Ev_host_pre hf when hf.Machine.hf_name = "dvmCallJNIMethod"
+           ->
+           jni_call_activates st meths nats ()
+         | _ -> ())
+   | None -> ());
   (* One ring backs everything: the flow log is a rendering view over it,
      the device (and through it the Dalvik VM and the machine) emits into
      it, and provenance reconstruction reads it back. *)
@@ -49,11 +121,30 @@ let attach ?(use_multilevel = true) ?(use_superblocks = false)
   (* Order matters: the DVM hook engine's listener must run before the
      tracer's so a SourcePolicy initialises the shadow registers before the
      entry instruction's own propagation rule fires. *)
-  let dvm_hooks = Dvm_hook_engine.attach ~use_multilevel device engine log in
+  let dvm_hooks =
+    Dvm_hook_engine.attach ~use_multilevel ~gate device engine log
+  in
   let syslib = Syslib_hook_engine.attach device engine log in
+  (* Java-side activation: the interpreter's invoke hook fires before the
+     callee captures [track_taint], so a focused method runs fully
+     tracked from its first bytecode. *)
+  (match fstate with
+   | Some (st, meths, _) ->
+     let prev = vm.Vm.on_invoke in
+     vm.Vm.on_invoke <-
+       Some
+         (fun jm ->
+           if Hashtbl.mem meths (Classes.qualified_name jm) then begin
+             incr st.fs_methods_hit;
+             activate st
+           end;
+           match prev with Some f -> f jm | None -> ())
+   | None -> ());
   let machine = Device.machine device in
   let cpu = Machine.cpu machine in
-  let handler ~addr ~insn = Insn_taint.step engine cpu ~addr insn in
+  let handler ~addr ~insn =
+    if gate () then Insn_taint.step engine cpu ~addr insn
+  in
   let tracer = Tracer.attach ?filter:trace_filter ~handler machine in
   (* Superblock execution replaces the per-instruction trace loop: taint
      propagation moves into the blocks' fused/per-slot micro-ops, and the
@@ -64,7 +155,8 @@ let attach ?(use_multilevel = true) ?(use_superblocks = false)
     let table = Dvm_hook_engine.policies dvm_hooks in
     ignore
       (Machine.enable_superblocks ~engine
-         ~on_block_entry:(fun addr -> Dvm_hook_engine.on_insn dvm_hooks ~addr)
+         ~on_block_entry:(fun addr ->
+           if gate () then Dvm_hook_engine.on_insn dvm_hooks ~addr)
          ~is_boundary:(fun addr -> Source_policy.Table.mem table addr)
          ~ring:(Flow_log.ring log) machine
         : Superblock.t)
@@ -75,9 +167,16 @@ let attach ?(use_multilevel = true) ?(use_superblocks = false)
   if use_summaries then begin
     Device.set_use_summaries device true;
     Device.set_summary_taint device (fun entry masks ->
-        Dvm_hook_engine.on_jni_enter dvm_hooks;
-        Dvm_hook_engine.on_insn dvm_hooks ~addr:entry;
-        Summary.apply_masks engine masks)
+        (* the summary fast path never enters the bridge, so the native
+           activation listener can't see the crossing — check it here *)
+        (match fstate with
+         | Some (st, meths, nats) -> jni_call_activates st meths nats ()
+         | None -> ());
+        if gate () then begin
+          Dvm_hook_engine.on_jni_enter dvm_hooks;
+          Dvm_hook_engine.on_insn dvm_hooks ~addr:entry;
+          Summary.apply_masks engine masks
+        end)
   end;
   (* data entering Java from the native context carries the engine's taint *)
   (Device.native_taint_source device :=
@@ -103,12 +202,18 @@ let attach ?(use_multilevel = true) ?(use_superblocks = false)
          | _ -> Taint.clear
        in
        Taint.union (Taint.union black_box tracked) (Taint.union wide obj));
+  (* Taintdroid.attach switched full tracking on; with a focus set the run
+     starts dark and the ratchet above lights it up. *)
+  (match fstate with
+   | Some (st, _, _) when not !(st.fs_active) -> vm.Vm.track_taint <- false
+   | _ -> ());
   { t_device = device;
     t_engine = engine;
     t_log = log;
     dvm_hooks;
     syslib;
     tracer;
+    t_focus = Option.map (fun (st, _, _) -> st) fstate;
     _taintdroid = td }
 
 let device t = t.t_device
@@ -130,7 +235,16 @@ let stats t =
     sb_hits = sb_stat Superblock.hits;
     sb_invalidations = sb_stat Superblock.invalidations;
     native_summaries_applied = Device.summaries_applied t.t_device;
-    native_summaries_rejected = Device.summaries_rejected t.t_device }
+    native_summaries_rejected = Device.summaries_rejected t.t_device;
+    focused_methods =
+      (match t.t_focus with Some st -> !(st.fs_methods_hit) | None -> 0);
+    skipped_bytecodes =
+      (match t.t_focus with
+       | Some st -> (
+         match !(st.fs_act_bytecodes) with
+         | Some at_activation -> at_activation
+         | None -> (Device.vm t.t_device).Vm.counters.Vm.bytecodes)
+       | None -> 0) }
 
 let leaks t = Ndroid_android.Sink_monitor.leaks (Device.monitor t.t_device)
 
@@ -163,8 +277,9 @@ let pp_stats ppf s =
     "source policies: %d (applied %d); traced insns: %d (skipped %d); summaries: \
      %d; sink checks: %d; multilevel checks: %d; tainted bytes: %d; superblocks: \
      %d compiled (%d hits, %d invalidated); native summaries: %d applied (%d \
-     rejected)"
+     rejected); focused methods: %d; skipped bytecodes: %d"
     s.source_policies s.policies_applied s.traced_instructions
     s.skipped_instructions s.summaries_applied s.sink_checks s.multilevel_checks
     s.tainted_bytes s.sb_compiles s.sb_hits s.sb_invalidations
-    s.native_summaries_applied s.native_summaries_rejected
+    s.native_summaries_applied s.native_summaries_rejected s.focused_methods
+    s.skipped_bytecodes

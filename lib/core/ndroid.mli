@@ -31,6 +31,11 @@ type stats = {
       (** JNI calls answered from a native taint summary *)
   native_summaries_rejected : int;
       (** JNI calls that fell back from the summary path to emulation *)
+  focused_methods : int;
+      (** focus-set method/native entries observed (0 without [?focus]) *)
+  skipped_bytecodes : int;
+      (** bytecodes interpreted before tracking activated — the focused
+          run's savings (0 without [?focus]) *)
 }
 
 val attach :
@@ -39,6 +44,7 @@ val attach :
   ?use_summaries:bool ->
   ?trace_filter:(int -> bool) ->
   ?obs:Ndroid_obs.Ring.t ->
+  ?focus:Ndroid_report.Focus.t ->
   Ndroid_runtime.Device.t ->
   t
 (** Instrument a device.  [use_multilevel:false] is ablation A2;
@@ -51,7 +57,10 @@ val attach :
     instruction tracer covers (default: the third-party app library region
     only); [obs] supplies the observability hub backing the flow log, the
     device's event stream and provenance reconstruction (default: a fresh
-    ring). *)
+    ring); [focus] (the hybrid pipeline's hand-off) starts the run with
+    tracking {e off} and every hook group dormant, ratcheting full
+    instrumentation on — permanently — when control first enters a method
+    or native function in the set.  An empty focus disables gating. *)
 
 val device : t -> Ndroid_runtime.Device.t
 val engine : t -> Taint_engine.t

@@ -29,22 +29,64 @@ let sig_returns_value signature =
   | Some i -> i + 1 < String.length signature && signature.[i + 1] <> 'V'
   | None -> false
 
-(* a class whose onCreate body performs the dex's method references; load
-   calls take the library-name string register, every other call takes the
-   running "last result" register (and stores its result back there when it
-   returns one) — so the materialized bodies carry a genuine def-use chain
-   from source results to sink arguments, not just a bag of call sites *)
+(* parameter descriptors between '(' and ')', collapsed to object/primitive *)
+let sig_params signature =
+  match (String.index_opt signature '(', String.index_opt signature ')') with
+  | Some op, Some cl when op < cl ->
+    let rec go i acc =
+      if i >= cl then List.rev acc
+      else
+        match signature.[i] with
+        | 'L' -> (
+          match String.index_from_opt signature i ';' with
+          | Some s when s < cl -> go (s + 1) (`Obj :: acc)
+          | _ -> List.rev (`Obj :: acc))
+        | '[' -> (
+          (* arrays are references whatever the element type *)
+          let rec elem j = if j < cl && signature.[j] = '[' then elem (j + 1) else j in
+          let j = elem i in
+          if j < cl && signature.[j] = 'L' then
+            match String.index_from_opt signature j ';' with
+            | Some s when s < cl -> go (s + 1) (`Obj :: acc)
+            | _ -> List.rev (`Obj :: acc)
+          else go (j + 1) (`Obj :: acc))
+        | _ -> go (i + 1) (`Int :: acc)
+    in
+    go (op + 1) []
+  | _ -> []
+
+(* a class whose onCreate body performs the dex's method references with
+   arity-correct register lists; load calls take the library-name string
+   register, primitive parameters take the scratch int register, and the
+   *last* object parameter of every other call takes the running
+   "last result" register (earlier object parameters get the scratch
+   string) — so the materialized bodies carry a genuine def-use chain from
+   source results to sink data arguments, not just a bag of call sites *)
+let arg_regs signature =
+  let params = sig_params signature in
+  let n_obj = List.length (List.filter (fun p -> p = `Obj) params) in
+  let seen = ref 0 in
+  List.map
+    (fun p ->
+      match p with
+      | `Int -> 2
+      | `Obj ->
+        incr seen;
+        if !seen = n_obj then 1 else 3)
+    params
+
 let main_class_of_dex package (dex : App_model.dex) =
   let cls = Printf.sprintf "L%s/Main;" (String.map (fun c -> if c = '.' then '/' else c) package) in
   let body =
-    [ B.Const_string (0, "native-lib"); B.Const (1, Dvalue.zero) ]
+    [ B.Const_string (0, "native-lib"); B.Const (1, Dvalue.zero);
+      B.Const (2, Dvalue.zero); B.Const_string (3, "dst") ]
     @ List.concat_map
         (fun signature ->
           if List.mem signature App_model.load_invocation_sigs then
             [ invoke_of_sig signature [ 0 ] ]
           else if sig_returns_value signature then
-            [ invoke_of_sig signature [ 1 ]; B.Move_result 1 ]
-          else [ invoke_of_sig signature [ 1 ] ])
+            [ invoke_of_sig signature (arg_regs signature); B.Move_result 1 ]
+          else [ invoke_of_sig signature (arg_regs signature) ])
         dex.App_model.method_refs
     @ [ B.Return_void ]
   in

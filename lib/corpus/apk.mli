@@ -21,6 +21,15 @@ type t = {
 val of_app_model : App_model.t -> t
 (** Synthesize the artifacts the model describes. *)
 
+val main_class_of_dex : string -> App_model.dex -> Ndroid_dalvik.Classes.class_def
+(** The materialized [L<package>/Main;] class whose static [onCreate]
+    performs the dex's method references with a def-use chain from source
+    results to sink arguments.  Exposed so a dynamic harness can execute
+    the same class the dex image serializes. *)
+
+val native_decl_class : string -> Ndroid_dalvik.Classes.class_def
+(** A class declaring one [native] method, as Type-I/II dexes carry. *)
+
 val classify : t -> Classifier.classification
 (** Parse the dex images and scan the decoded method bodies for
     [System.loadLibrary]/[System.load] invocations; inspect the lib

@@ -125,8 +125,8 @@ let source_sigs =
     "Landroid/provider/SmsProvider;->getSmsBody(I)Ljava/lang/String;" ]
 
 let sink_sigs =
-  [ "Ljava/net/Socket;->send(Ljava/lang/String;)V";
-    "Landroid/telephony/SmsManager;->sendTextMessage(Ljava/lang/String;)V";
+  [ "Ljava/net/Socket;->send(Ljava/lang/String;Ljava/lang/String;)V";
+    "Landroid/telephony/SmsManager;->sendTextMessage(Ljava/lang/String;Ljava/lang/String;)V";
     "Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I" ]
 
 let leak_refs params i =

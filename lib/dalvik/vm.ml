@@ -84,6 +84,31 @@ let find_class vm name =
   | Some c -> c
   | None -> err "class %s not found" name
 
+(* Merge one method into an existing class, or define the class fresh.
+   Used by harnesses to graft framework stubs onto whatever skeleton the
+   app's dex already declared; an existing (class, method, signature)
+   entry is left alone. *)
+let define_method vm ~cls (m : Classes.method_def) =
+  match Hashtbl.find_opt vm.classes cls with
+  | None ->
+    define_class vm
+      { Classes.c_name = cls; c_super = None; c_fields = []; c_methods = [ m ] }
+  | Some c ->
+    let exists =
+      List.exists
+        (fun (m' : Classes.method_def) ->
+          m'.Classes.m_name = m.Classes.m_name
+          && m'.Classes.m_shorty = m.Classes.m_shorty
+          && m'.Classes.m_static = m.Classes.m_static)
+        c.Classes.c_methods
+    in
+    if not exists then begin
+      Hashtbl.replace vm.classes cls
+        { c with Classes.c_methods = c.Classes.c_methods @ [ m ] };
+      Hashtbl.reset vm.vtables;
+      Hashtbl.reset vm.layouts
+    end
+
 (* Memoized per-class vtable, replacing the seed's per-invoke linear scan.
    Built by copying the superclass vtable and overriding with own methods
    (first occurrence wins among own methods, matching the seed's

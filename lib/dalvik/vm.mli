@@ -87,6 +87,11 @@ val define_class : t -> Classes.class_def -> unit
 
 val find_class : t -> string -> Classes.class_def
 
+val define_method : t -> cls:string -> Classes.method_def -> unit
+(** Merge a method into an existing class (or define the class fresh if
+    absent).  A method with the same name and shorty already present is
+    kept — app code wins over harness stubs. *)
+
 val vtable : t -> string -> vtable
 (** Memoized per-class method table; links every bytecode body on first
     use. @raise Dvm_error when the class is absent. *)

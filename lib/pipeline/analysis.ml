@@ -9,7 +9,17 @@ module Vm = Ndroid_dalvik.Vm
 
 (* Bump on any verdict-affecting analyzer change: it invalidates every
    cached result at once. *)
-let version = "3"
+let version = "4"
+
+(* The dynamic path's feature switches.  They are part of every cache
+   key (see {!digest}): flipping one invalidates exactly the results it
+   could change, without touching [version]. *)
+let use_superblocks = false
+let use_summaries = true
+
+let feature_key =
+  Printf.sprintf "superblocks=%b;summaries=%b;focus=slice" use_superblocks
+    use_summaries
 
 let enable_summary_cache cache =
   (* Native taint summaries persist as raw entries beside the verdict
@@ -28,13 +38,16 @@ let crashed_report ~app ~analysis why =
 let model_of_market ~total ~seed ~permille id =
   Task.market_model ~total ~seed ~permille id
 
-let static_bundled app = St.Report.to_report (St.Drive.verdict_of_app app)
+let static_bundled_v = St.Drive.verdict_of_app
+let static_bundled app = St.Report.to_report (static_bundled_v app)
+let static_market_v model = St.Analyzer.analyze_apk (Apk.of_app_model model)
+let static_market model = St.Report.to_report (static_market_v model)
 
-let static_market model =
-  St.Report.to_report (St.Analyzer.analyze_apk (Apk.of_app_model model))
-
-let dynamic_bundled ?obs (app : H.app) =
-  let outcome = H.run ?obs H.Ndroid_full app in
+let dynamic_bundled ?obs ?focus (app : H.app) =
+  let outcome =
+    H.run ?obs ~superblocks:use_superblocks ~summaries:use_summaries ?focus
+      H.Ndroid_full app
+  in
   (* deterministic execution counters: same app, same counts, whatever the
      --jobs value — safe to put in the canonical report *)
   let c = (Ndroid_runtime.Device.vm outcome.H.device).Vm.counters in
@@ -68,7 +81,10 @@ let dynamic_bundled ?obs (app : H.app) =
      bump "sb_hits" sb_hits;
      bump "sb_invalidations" sb_invalidations;
      bump "summaries_applied" summaries_applied;
-     bump "summaries_rejected" summaries_rejected
+     bump "summaries_rejected" summaries_rejected;
+     bump "focused_methods" (sb_stat (fun s -> s.Ndroid_core.Ndroid.focused_methods));
+     bump "skipped_bytecodes"
+       (sb_stat (fun s -> s.Ndroid_core.Ndroid.skipped_bytecodes))
    | Some _ | None -> ());
   let counter_meta =
     [ ("bytecodes", Json.Int c.Vm.bytecodes);
@@ -78,7 +94,11 @@ let dynamic_bundled ?obs (app : H.app) =
       ("sb_hits", Json.Int sb_hits);
       ("sb_invalidations", Json.Int sb_invalidations);
       ("summaries_applied", Json.Int summaries_applied);
-      ("summaries_rejected", Json.Int summaries_rejected) ]
+      ("summaries_rejected", Json.Int summaries_rejected);
+      ("focused_methods",
+       Json.Int (sb_stat (fun s -> s.Ndroid_core.Ndroid.focused_methods)));
+      ("skipped_bytecodes",
+       Json.Int (sb_stat (fun s -> s.Ndroid_core.Ndroid.skipped_bytecodes))) ]
   in
   match outcome.H.analysis with
   | Some nd ->
@@ -104,6 +124,18 @@ let merge_both (s : Verdict.report) (d : Verdict.report) =
       List.map (fun (k, v) -> ("static_" ^ k, v)) s.Verdict.r_meta
       @ List.map (fun (k, v) -> ("dynamic_" ^ k, v)) d.Verdict.r_meta }
 
+(* Hybrid dispatch: the static pass is the triage.  A clean static verdict
+   is final — no device is booted, no instruction emulated.  A flagged one
+   hands its slice's focus set to a gated dynamic run, and the two reports
+   merge like [Both] does. *)
+let hybrid ~static_v ~static_r ~run_dynamic =
+  match static_r.Verdict.r_verdict with
+  | Verdict.Flagged _ ->
+    let d = run_dynamic ~focus:static_v.St.Analyzer.v_focus in
+    { (merge_both static_r d) with Verdict.r_analysis = "hybrid" }
+  | Verdict.Clean | Verdict.Crashed _ | Verdict.Timeout ->
+    { static_r with Verdict.r_analysis = "hybrid" }
+
 let run_exn ?obs (task : Task.t) =
   match (task.Task.t_subject, task.Task.t_mode) with
   | Task.Bundled name, mode -> (
@@ -115,17 +147,22 @@ let run_exn ?obs (task : Task.t) =
       match mode with
       | Task.Static -> static_bundled app
       | Task.Dynamic -> dynamic_bundled ?obs app
-      | Task.Both -> merge_both (static_bundled app) (dynamic_bundled ?obs app)))
+      | Task.Both -> merge_both (static_bundled app) (dynamic_bundled ?obs app)
+      | Task.Hybrid ->
+        let v = static_bundled_v app in
+        hybrid ~static_v:v ~static_r:(St.Report.to_report v)
+          ~run_dynamic:(fun ~focus -> dynamic_bundled ?obs ~focus app)))
   | Task.Market { m_total; m_seed; m_permille; m_id }, mode -> (
     let model = model_of_market ~total:m_total ~seed:m_seed ~permille:m_permille m_id in
     match mode with
     | Task.Static -> static_market model
-    | Task.Dynamic | Task.Both ->
-      (* market apps are generator models; only their artifacts exist, so
-         there is no executable entry point to drive dynamically *)
-      crashed_report ~app:model.App_model.package
-        ~analysis:(Task.mode_name mode)
-        "dynamic analysis needs a bundled scenario app, not a market model")
+    | Task.Dynamic -> Market_exec.run ?obs model
+    | Task.Both ->
+      merge_both (static_market model) (Market_exec.run ?obs model)
+    | Task.Hybrid ->
+      let v = static_market_v model in
+      hybrid ~static_v:v ~static_r:(St.Report.to_report v)
+        ~run_dynamic:(fun ~focus -> Market_exec.run ?obs ~focus model))
 
 let run ?obs task =
   try run_exn ?obs task
@@ -204,5 +241,5 @@ let digest (task : Task.t) =
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
-          [ "ndroid-analysis"; version; Task.mode_name task.Task.t_mode;
-            descriptor ]))
+          [ "ndroid-analysis"; version; feature_key;
+            Task.mode_name task.Task.t_mode; descriptor ]))

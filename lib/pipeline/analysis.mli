@@ -12,6 +12,11 @@ val version : string
     to the static or dynamic analyzers can alter verdicts, so stale cached
     results from older binaries can never be served. *)
 
+val feature_key : string
+(** The dynamic path's feature switches (superblocks, native summaries,
+    focus gating), folded into every cache key so flipping one invalidates
+    exactly the results it could change. *)
+
 val enable_summary_cache : Cache.t -> unit
 (** Persist native taint summaries as raw entries in [cache], keyed
     ["summary-<library digest>"].  Call once before running tasks; the
@@ -28,5 +33,5 @@ val run : ?obs:Ndroid_obs.Ring.t -> Task.t -> Ndroid_report.Verdict.report
 val digest : Task.t -> string
 (** Cache key: hex MD5 over the app's content (artifact bytes for bundled
     apps, the generator-independent content descriptor for market apps),
-    the analysis mode, and {!version}.  Two tasks with equal digests would
-    produce equal reports. *)
+    the analysis mode, {!version} and {!feature_key}.  Two tasks with
+    equal digests would produce equal reports. *)

@@ -1,0 +1,16 @@
+(** Dynamic execution of synthetic market apps.
+
+    Boots a fresh device, installs the model's materialized Main class and
+    native-method declarations plus intrinsic stubs for the generator's
+    framework traffic, provides the app's native library, and drives
+    [Main.onCreate] under full NDroid.  [focus] gates instrumentation to a
+    static slice's focus set (the hybrid pipeline's focused pass); [obs]
+    is the observability hub.  Returns the dynamic report with execution
+    counters ([bytecodes], [jni_crossings], [focused_methods],
+    [skipped_bytecodes]) in its metadata. *)
+
+val run :
+  ?obs:Ndroid_obs.Ring.t ->
+  ?focus:Ndroid_report.Focus.t ->
+  Ndroid_corpus.App_model.t ->
+  Ndroid_report.Verdict.report

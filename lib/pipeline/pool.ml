@@ -31,6 +31,8 @@ type stats = {
   s_analyze_cpu : float;
   s_bytecodes : int;
   s_jni_crossings : int;
+  s_focused_methods : int;
+  s_skipped_bytecodes : int;
   s_metrics : Json.t;
 }
 
@@ -46,8 +48,12 @@ let meta_int key (r : Verdict.report) =
 
 let counters_of_reports reports =
   Array.fold_left
-    (fun (b, j) r -> (b + meta_int "bytecodes" r, j + meta_int "jni_crossings" r))
-    (0, 0) reports
+    (fun (b, j, fm, sk) r ->
+      ( b + meta_int "bytecodes" r,
+        j + meta_int "jni_crossings" r,
+        fm + meta_int "focused_methods" r,
+        sk + meta_int "skipped_bytecodes" r ))
+    (0, 0, 0, 0) reports
 
 let now () = Unix.gettimeofday ()
 
@@ -435,7 +441,9 @@ let run cfg tasks =
     (* orderly shutdown: EOF on the task pipes, then reap *)
     Array.iter (function Some sl when sl.sl_alive -> bury sl | _ -> ()) slots;
     ignore (Sys.signal Sys.sigpipe prev_sigpipe);
-    let bytecodes, jni_crossings = counters_of_reports results in
+    let bytecodes, jni_crossings, focused_methods, skipped_bytecodes =
+      counters_of_reports results
+    in
     mcount "respawns" !respawns;
     mcount "steals" (Shard_queue.steals queue);
     mcount "phase_cache_us" (int_of_float (cache_pass *. 1e6));
@@ -450,12 +458,16 @@ let run cfg tasks =
         s_cache_pass = cache_pass; s_fork = !fork_time;
         s_collect = now () -. t_collect0; s_analyze_cpu = !analyze_cpu;
         s_bytecodes = bytecodes; s_jni_crossings = jni_crossings;
+        s_focused_methods = focused_methods;
+        s_skipped_bytecodes = skipped_bytecodes;
         s_metrics = Metrics.to_json metrics }
     in
     (results, stats)
   end
   else begin
-    let bytecodes, jni_crossings = counters_of_reports results in
+    let bytecodes, jni_crossings, focused_methods, skipped_bytecodes =
+      counters_of_reports results
+    in
     mcount "phase_cache_us" (int_of_float (cache_pass *. 1e6));
     ( results,
       { s_total = total; s_from_workers = 0; s_cache_hits = cache_hits;
@@ -464,6 +476,8 @@ let run cfg tasks =
         s_cache_pass = cache_pass; s_fork = 0.0; s_collect = 0.0;
         s_analyze_cpu = 0.0; s_bytecodes = bytecodes;
         s_jni_crossings = jni_crossings;
+        s_focused_methods = focused_methods;
+        s_skipped_bytecodes = skipped_bytecodes;
         s_metrics = Metrics.to_json metrics } )
   end
 

@@ -55,6 +55,12 @@ type stats = {
   s_jni_crossings : int;
       (** JNI boundary crossings (Java→native calls + native→Java JNI
           function calls) across every dynamic analysis *)
+  s_focused_methods : int;
+      (** focus-set method entries observed across every focused (hybrid)
+          dynamic run *)
+  s_skipped_bytecodes : int;
+      (** bytecodes interpreted before focus activation — the work hybrid
+          runs performed untracked *)
   s_metrics : Ndroid_report.Json.t;
       (** the sweep-wide observability registry
           ({!Ndroid_obs.Metrics.to_json} shape): every worker's per-task
@@ -64,9 +70,11 @@ type stats = {
           crashed {e and} timed-out apps) *)
 }
 
-val counters_of_reports : Ndroid_report.Verdict.report array -> int * int
-(** [(bytecodes, jni_crossings)] summed from the reports' counter meta —
-    for callers of {!run_inline}, which returns no {!stats}. *)
+val counters_of_reports :
+  Ndroid_report.Verdict.report array -> int * int * int * int
+(** [(bytecodes, jni_crossings, focused_methods, skipped_bytecodes)]
+    summed from the reports' counter meta — for callers of {!run_inline},
+    which returns no {!stats}. *)
 
 val run : config -> Task.t list -> Ndroid_report.Verdict.report array * stats
 (** Run every task; the returned array is indexed by position in the input

@@ -1,7 +1,7 @@
 module Json = Ndroid_report.Json
 module Market = Ndroid_corpus.Market
 
-type mode = Static | Dynamic | Both
+type mode = Static | Dynamic | Both | Hybrid
 
 type subject =
   | Bundled of string
@@ -21,11 +21,13 @@ let mode_name = function
   | Static -> "static"
   | Dynamic -> "dynamic"
   | Both -> "both"
+  | Hybrid -> "hybrid"
 
 let mode_of_name = function
   | "static" -> Some Static
   | "dynamic" -> Some Dynamic
   | "both" -> Some Both
+  | "hybrid" -> Some Hybrid
   | _ -> None
 
 let market_params ~total ~seed ~permille =

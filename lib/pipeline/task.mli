@@ -6,7 +6,10 @@
     scenario app by registry name, or one synthetic market app by
     generator coordinates (params + id). *)
 
-type mode = Static | Dynamic | Both
+type mode = Static | Dynamic | Both | Hybrid
+(** [Hybrid] runs static first and proves clean apps clean with no
+    emulation; only flagged apps get a focused dynamic pass gated to the
+    static slice's focus set. *)
 
 type subject =
   | Bundled of string  (** a {!Ndroid_apps.Registry} app name *)

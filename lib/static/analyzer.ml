@@ -26,6 +26,9 @@ type verdict = {
   v_methods : int;
   v_native_insns : int;
   v_rounds : int;
+  v_focus : Ndroid_report.Focus.t;
+  v_xir_nodes : int;
+  v_xir_edges : int;
 }
 
 let unions = List.fold_left T.union T.clear
@@ -58,6 +61,18 @@ let analyze ?classification input =
         Option.map (fun a -> (lib, a)) (Native_cfg.symbol_addr lib.Native_flow.nf_cfg sym))
       libs
   in
+  (* facts for the cross-language IR: which exported native function a
+     crossing entered through, what it upcalled, where it leaked *)
+  let facts = Xir_build.facts_create () in
+  let nat_stack : (string * string) list ref = ref [] in
+  let record f =
+    (match (f.Flow.f_context, !nat_stack) with
+     | Flow.Native_ctx, (lib, entry) :: _ ->
+       Xir_build.record_native_sink facts ~lib ~entry ~sym:f.Flow.f_site
+         ~sink:f.Flow.f_sink
+     | _ -> ());
+    record f
+  in
   (* the two boundary edges are mutually recursive: Java methods call
      native entries, native code upcalls Java methods *)
   let dex_ctx = ref None in
@@ -81,16 +96,31 @@ let analyze ?classification input =
           else T.clear
         in
         let j t = T.union t ctrl in
-        Native_flow.analyze_entry env lib ~entry:addr
-          ~args:[ T.clear; j this_t; j (nth 0); j (nth 1) ]
-          ~stack:(j stack_ts))
+        nat_stack := (lib.Native_flow.nf_name, sym) :: !nat_stack;
+        let r =
+          Native_flow.analyze_entry env lib ~entry:addr
+            ~args:[ T.clear; j this_t; j (nth 0); j (nth 1) ]
+            ~stack:(j stack_ts)
+        in
+        nat_stack := List.tl !nat_stack;
+        r)
     | _ -> T.union (unions argts) ctrl
   and upcall cls m argts =
     let cls = normalize_class_sig cls in
+    let in_native f =
+      match !nat_stack with (lib, entry) :: _ -> f ~lib ~entry | [] -> ()
+    in
     match source_tag cls m with
-    | Some tag -> tag
+    | Some tag ->
+      in_native (fun ~lib ~entry ->
+          Xir_build.record_upcall_source facts ~lib ~entry ~cls ~m);
+      tag
     | None ->
       if is_sink cls m then begin
+        in_native (fun ~lib ~entry ->
+            Xir_build.record_upcall_sink facts ~lib ~entry
+              ~sink:(Dex_flow.short_sink_name cls m)
+              ~site:(cls ^ "->" ^ m ^ " (upcall)"));
         let leak = unions argts in
         if T.is_tainted leak then
           record
@@ -102,6 +132,8 @@ let analyze ?classification input =
       else (
         match Callgraph.find_method cg (cls, m) with
         | Some callee -> (
+          in_native (fun ~lib ~entry ->
+              Xir_build.record_upcall facts ~lib ~entry ~cls ~m);
           match !dex_ctx with
           | Some ctx -> Dex_flow.analyze_method ctx callee argts
           | None -> unions argts)
@@ -167,6 +199,31 @@ let analyze ?classification input =
   let flow_list =
     Hashtbl.fold (fun _ f acc -> f :: acc) flows [] |> List.sort Flow.compare
   in
+  (* lower both sides into the cross-language IR and slice it: the focus
+     set is what a subsequent dynamic run must instrument, the hop chains
+     become each static flow's provenance *)
+  let xir =
+    let bind sym =
+      Option.map
+        (fun ((l : Native_flow.lib), _) -> l.Native_flow.nf_name)
+        (bind_native sym)
+    in
+    let lib_syms =
+      List.map
+        (fun (l : Native_flow.lib) ->
+          ( l.Native_flow.nf_name,
+            List.map fst (Native_cfg.symbols l.Native_flow.nf_cfg) ))
+        libs
+    in
+    Xir_build.build ~cg ~bind ~libs:lib_syms ~facts
+  in
+  let slice = Slice.compute xir in
+  let flow_list, covered = Slice.annotate slice flow_list in
+  let focus =
+    if flow_list = [] then Ndroid_report.Focus.empty
+    else if covered then Slice.focus slice
+    else Slice.full xir
+  in
   { v_name = input.in_name;
     v_classification = classification;
     v_result = Ndroid_report.Verdict.normalize (Flagged flow_list);
@@ -178,7 +235,10 @@ let analyze ?classification input =
         (fun acc (l : Native_flow.lib) ->
           acc + Native_cfg.insn_count l.Native_flow.nf_cfg)
         0 libs;
-    v_rounds = !rounds }
+    v_rounds = !rounds;
+    v_focus = focus;
+    v_xir_nodes = Xir.node_count xir;
+    v_xir_edges = Xir.edge_count xir }
 
 let basename path =
   match String.rindex_opt path '/' with

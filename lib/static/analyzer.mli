@@ -34,6 +34,12 @@ type verdict = {
   v_methods : int;  (** app methods in the call graph *)
   v_native_insns : int;  (** decoded native instructions across libs *)
   v_rounds : int;  (** outer fixpoint rounds until stable *)
+  v_focus : Ndroid_report.Focus.t;
+      (** slice projection for [Flagged] verdicts: the methods, native
+          functions and JNI crossings a focused dynamic run must
+          instrument ([Focus.empty] when clean) *)
+  v_xir_nodes : int;  (** cross-language IR size *)
+  v_xir_edges : int;
 }
 
 val analyze :

@@ -14,6 +14,11 @@ let pp_verdict ppf (v : Analyzer.verdict) =
   Format.fprintf ppf "  app methods:      %d@." v.Analyzer.v_methods;
   Format.fprintf ppf "  native insns:     %d@." v.Analyzer.v_native_insns;
   Format.fprintf ppf "  fixpoint rounds:  %d@." v.Analyzer.v_rounds;
+  Format.fprintf ppf "  xir graph:        %d nodes / %d edges@."
+    v.Analyzer.v_xir_nodes v.Analyzer.v_xir_edges;
+  if not (Ndroid_report.Focus.is_empty v.Analyzer.v_focus) then
+    Format.fprintf ppf "  focus set:        %a@." Ndroid_report.Focus.pp
+      v.Analyzer.v_focus;
   List.iter
     (fun f -> Format.fprintf ppf "  flow: %a@." Flow.pp f)
     (Analyzer.flows v)
@@ -34,7 +39,10 @@ let to_report (v : Analyzer.verdict) =
         ("jni_sites", Json.Int v.Analyzer.v_jni_sites);
         ("methods", Json.Int v.Analyzer.v_methods);
         ("native_insns", Json.Int v.Analyzer.v_native_insns);
-        ("rounds", Json.Int v.Analyzer.v_rounds) ] }
+        ("rounds", Json.Int v.Analyzer.v_rounds);
+        ("xir_nodes", Json.Int v.Analyzer.v_xir_nodes);
+        ("xir_edges", Json.Int v.Analyzer.v_xir_edges);
+        ("focus", Ndroid_report.Focus.to_json v.Analyzer.v_focus) ] }
 
 let verdict_json v = Json.to_string (Verdict.report_to_json (to_report v))
 

@@ -13,6 +13,12 @@ module Market = Ndroid_corpus.Market
 module Apk = Ndroid_corpus.Apk
 module Classifier = Ndroid_corpus.Classifier
 module St = Ndroid_static
+module P_task = Ndroid_pipeline.Task
+module Analysis = Ndroid_pipeline.Analysis
+module Market_exec = Ndroid_pipeline.Market_exec
+module Verdict = Ndroid_report.Verdict
+module Flow = Ndroid_report.Flow
+module Focus = Ndroid_report.Focus
 
 (* ---- Dalvik CFG recovery ---- *)
 
@@ -270,6 +276,127 @@ let test_classifier_agreement () =
         (Classifier.classification_name binary))
     (Market.generate params)
 
+(* ---- hybrid: slice soundness and verdict agreement ---- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  nn > 0 && nn <= nh
+  &&
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* a provenance hop that names a java->native crossing must name one the
+   static slice put in the focus set — otherwise the focused dynamic pass
+   could have slept through the very crossing that leaked.  Upcall
+   (native->java) hops are exempt: tracking is already active by the time
+   a focused native calls back into Java, so they never gate anything. *)
+let hop_in_focus (focus : Focus.t) (h : Flow.hop) =
+  h.Flow.h_kind <> "jni"
+  || not (contains h.Flow.h_site "(java->native)")
+  || List.exists (contains h.Flow.h_site)
+       (focus.Focus.natives @ focus.Focus.methods @ focus.Focus.crossings)
+
+let flow_keys r =
+  List.sort_uniq compare
+    (List.map Flow.key (Verdict.flows r.Verdict.r_verdict))
+
+(* Slice soundness, generatively: for a random market app (random slice
+   seed, random id), the dynamic pass gated on the static focus set must
+   observe exactly the flows the ungated pass observes, and any
+   dynamically observed flow implies a static flag with a usable focus
+   set.  Each draw also exercises the nearest leaky app so the property
+   is never vacuously checked on clean apps only. *)
+let slice_sound params id =
+  let model = Market.app params id in
+  let v = St.Analyzer.analyze_apk (Apk.of_app_model model) in
+  let full = Market_exec.run model in
+  let focused = Market_exec.run ~focus:v.St.Analyzer.v_focus model in
+  flow_keys focused = flow_keys full
+  && (flow_keys full = []
+     || (St.Analyzer.flagged v && not (Focus.is_empty v.St.Analyzer.v_focus)))
+  && List.for_all
+       (fun (f : Flow.t) ->
+         List.for_all (hop_in_focus v.St.Analyzer.v_focus) f.Flow.f_hops)
+       (Verdict.flows focused.Verdict.r_verdict)
+
+let prop_slice_soundness =
+  QCheck.Test.make
+    ~name:"slice soundness: focused dynamic observes every flow" ~count:25
+    (QCheck.make
+       ~print:(fun (id, seed) -> Printf.sprintf "id=%d seed=%d" id seed)
+       QCheck.Gen.(pair (int_range 0 599) (int_range 0 9999)))
+    (fun (id, seed) ->
+      let params = { Market.total = 600; seed; type1_permille = None } in
+      let rec leaky_id i tries =
+        if tries = 0 then None
+        else if Market.app_is_leaky (Market.app params i) then Some i
+        else leaky_id ((i + 1) mod 600) (tries - 1)
+      in
+      slice_sound params id
+      && (match leaky_id id 600 with
+         | Some i -> slice_sound params i
+         | None -> true))
+
+(* hybrid must agree with --both verdict-for-verdict: same flags, same
+   flows, over the bundled registry and a market slice *)
+let test_hybrid_agreement () =
+  let check_task name task_of_mode =
+    let both = Analysis.run (task_of_mode P_task.Both) in
+    let hybrid = Analysis.run (task_of_mode P_task.Hybrid) in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: hybrid and both agree on flagged" name)
+      (Verdict.flagged both.Verdict.r_verdict)
+      (Verdict.flagged hybrid.Verdict.r_verdict);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: hybrid and both agree on flows" name)
+      true
+      (Verdict.equal both.Verdict.r_verdict hybrid.Verdict.r_verdict)
+  in
+  List.iter
+    (fun (app : H.app) ->
+      check_task app.H.app_name (fun mode ->
+          { P_task.t_id = 0; t_subject = P_task.Bundled app.H.app_name;
+            t_mode = mode; t_fault = None }))
+    Ndroid_apps.Registry.all;
+  let params = Market.scaled 300 in
+  List.iter
+    (fun id ->
+      check_task
+        (Printf.sprintf "market[%d]" id)
+        (fun mode -> List.nth (P_task.of_market_slice ~mode params) id))
+    (List.init 300 Fun.id)
+
+(* every bundled dynamic detection's provenance stays inside the focus
+   set the static slice computed for that app *)
+let test_bundled_hops_in_focus () =
+  List.iter
+    (fun (app : H.app) ->
+      let dyn =
+        Analysis.run
+          { P_task.t_id = 0; t_subject = P_task.Bundled app.H.app_name;
+            t_mode = P_task.Dynamic; t_fault = None }
+      in
+      match dyn.Verdict.r_verdict with
+      | Verdict.Flagged flows ->
+        let v = St.Drive.verdict_of_app app in
+        let focus = v.St.Analyzer.v_focus in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: flagged app has a non-empty focus set"
+             app.H.app_name)
+          false (Focus.is_empty focus);
+        List.iter
+          (fun (f : Flow.t) ->
+            List.iter
+              (fun (h : Flow.hop) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: jni hop %S within focus set"
+                     app.H.app_name h.Flow.h_site)
+                  true (hop_in_focus focus h))
+              f.Flow.f_hops)
+          flows
+      | _ -> ())
+    Ndroid_apps.Registry.all
+
 let suite =
   [ Alcotest.test_case "dex cfg: diamond blocks" `Quick test_dex_cfg_blocks;
     Alcotest.test_case "dex cfg: reaching defs" `Quick test_dex_cfg_reaching_defs;
@@ -283,5 +410,9 @@ let suite =
       test_clean_apps_stay_clean;
     Alcotest.test_case "market slice soundness" `Quick test_market_soundness;
     Alcotest.test_case "classifier agreement" `Quick test_classifier_agreement;
+    Alcotest.test_case "hybrid agrees with both" `Quick test_hybrid_agreement;
+    Alcotest.test_case "bundled provenance within focus" `Quick
+      test_bundled_hops_in_focus;
     QCheck_alcotest.to_alcotest prop_arm_stream_roundtrip;
-    QCheck_alcotest.to_alcotest prop_thumb_stream_roundtrip ]
+    QCheck_alcotest.to_alcotest prop_thumb_stream_roundtrip;
+    QCheck_alcotest.to_alcotest prop_slice_soundness ]
