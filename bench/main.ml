@@ -689,6 +689,8 @@ let jobs_flag = ref 4
 module Task = Ndroid_pipeline.Task
 module Pool = Ndroid_pipeline.Pool
 module P_cache = Ndroid_pipeline.Cache
+module Server = Ndroid_pipeline.Server
+module Proto = Ndroid_pipeline.Proto
 module Rj = Ndroid_report.Json
 module Verdict = Ndroid_report.Verdict
 
@@ -1035,6 +1037,118 @@ let pipeline () =
   let _, cn = run ~jobs:jobs_n clean_tasks in
   Printf.printf "clean corpus (no stragglers): --jobs 1 %.2fs vs --jobs %d %.2fs\n%!"
     c1.Pool.s_wall jobs_n cn.Pool.s_wall;
+  (* ---- the service: daemon cold/warm throughput, parity, overload ----
+     Both mode makes per-app work big enough (~ms) that cold requests
+     measure analysis, not IPC; the warm pass then shows what the
+     persistent daemon buys — the same slice answered from the
+     in-process warm layer without forking or re-analysis. *)
+  let serve_tasks = Task.of_market_slice ~mode:Task.Both params in
+  let inline_serve = Pool.run_inline serve_tasks in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ndroid-bench-%d.sock" (Unix.getpid ()))
+  in
+  let with_daemon ~depth f =
+    match Unix.fork () with
+    | 0 ->
+      (try
+         ignore
+           (Server.serve
+              (Server.config ~socket ~jobs:jobs_n ~depth ~max_clients:4 ()))
+       with _ -> ());
+      Unix._exit 0
+    | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          try Unix.unlink socket with Unix.Unix_error _ -> ())
+        f
+  in
+  let connect () =
+    match Proto.Client.connect ~retry_for:10.0 socket with
+    | Ok c ->
+      Unix.setsockopt_float (Proto.Client.fd c) Unix.SO_RCVTIMEO 120.0;
+      c
+    | Error e -> failwith ("serve bench: " ^ e)
+  in
+  let submit c (t : Task.t) =
+    Proto.Client.send c
+      (Proto.Submit
+         { sb_req = t.Task.t_id; sb_subject = t.Task.t_subject;
+           sb_mode = t.Task.t_mode; sb_deadline = None;
+           sb_fault = t.Task.t_fault })
+  in
+  (* pipelined sweep: all submits up front, then one terminal per request.
+     The loop only terminates when every request is answered — a stalled
+     or lost request trips the socket timeout and fails the bench. *)
+  let sweep c tasks =
+    let n = List.length tasks in
+    let t0 = now () in
+    List.iter (submit c) tasks;
+    let reports = Array.make n None in
+    let cached = ref 0 and sheds = ref 0 in
+    let rec loop remaining =
+      if remaining > 0 then
+        match Proto.Client.recv c with
+        | Error e -> failwith ("serve bench: " ^ e)
+        | Ok (Proto.Verdict v) ->
+          reports.(v.vd_req) <- Some v.vd_report;
+          if v.vd_cached then incr cached;
+          loop (remaining - 1)
+        | Ok (Proto.Shed _) ->
+          incr sheds;
+          loop (remaining - 1)
+        | Ok (Proto.Progress _) -> loop remaining
+        | Ok _ -> failwith "serve bench: unexpected message"
+    in
+    loop n;
+    (reports, !cached, !sheds, now () -. t0)
+  in
+  let ( (_, cold_cached, cold_shed, dt_cold),
+        (warm_reports, warm_cached, warm_shed, dt_warm) ) =
+    with_daemon ~depth:(2 * slice) (fun () ->
+        let c = connect () in
+        let cold = sweep c serve_tasks in
+        let warm = sweep c serve_tasks in
+        Proto.Client.close c;
+        (cold, warm))
+  in
+  let serve_json reports =
+    Rj.to_string
+      (Verdict.reports_to_json
+         (Array.to_list reports |> List.filter_map (fun r -> r)))
+  in
+  let serve_identical =
+    String.equal (json_of inline_serve) (serve_json warm_reports)
+  in
+  let cold_rps = float_of_int slice /. dt_cold in
+  let warm_rps = float_of_int slice /. dt_warm in
+  let warm_cold_ratio = dt_cold /. dt_warm in
+  Printf.printf
+    "serve (both mode): cold %.2fs (%.0f req/s, %d cached) -> warm %.2fs \
+     (%.0f req/s, %d cached), ratio %.1fx\n%!"
+    dt_cold cold_rps cold_cached dt_warm warm_rps warm_cached warm_cold_ratio;
+  Printf.printf "serve verdicts bit-identical to batch analyze: %b\n%!"
+    serve_identical;
+  (* overload: a shallow queue and a flood of uncacheable slow requests.
+     The contract is shed-don't-stall: every request gets its terminal
+     response (the sweep loop completes), the excess gets Shed. *)
+  let overload_tasks =
+    List.map
+      (fun (t : Task.t) -> { t with Task.t_fault = Some (Task.Sleep 0.0005) })
+      serve_tasks
+  in
+  let _, _, overload_shed, dt_overload =
+    with_daemon ~depth:64 (fun () ->
+        let c = connect () in
+        let r = sweep c overload_tasks in
+        Proto.Client.close c;
+        r)
+  in
+  Printf.printf
+    "serve overload (depth 64): %d/%d shed in %.2fs, every request answered\n%!"
+    overload_shed slice dt_overload;
   let stats_json (s : Pool.stats) =
     Rj.Obj
       [ ("wall_seconds", Rj.Float s.Pool.s_wall);
@@ -1044,6 +1158,7 @@ let pipeline () =
         ("timeouts", Rj.Int s.Pool.s_timeouts);
         ("respawns", Rj.Int s.Pool.s_respawns);
         ("steals", Rj.Int s.Pool.s_steals);
+        ("shed", Rj.Int s.Pool.s_shed);
         ("injected_kills", Rj.Int s.Pool.s_injected_kills);
         ("cache_pass_seconds", Rj.Float s.Pool.s_cache_pass);
         ("fork_seconds", Rj.Float s.Pool.s_fork);
@@ -1084,7 +1199,32 @@ let pipeline () =
              ("warm", stats_json sw);
              ("bit_identical", Rj.Bool cache_identical) ]);
         ("clean_corpus",
-         Rj.Obj [ ("jobs1", stats_json c1); ("jobsN", stats_json cn) ]) ]
+         Rj.Obj [ ("jobs1", stats_json c1); ("jobsN", stats_json cn) ]);
+        ("serve",
+         Rj.Obj
+           [ ("mode", Rj.Str "both");
+             ("requests", Rj.Int slice);
+             ("cold",
+              Rj.Obj
+                [ ("seconds", Rj.Float dt_cold);
+                  ("requests_per_sec", Rj.Float cold_rps);
+                  ("cached", Rj.Int cold_cached);
+                  ("shed", Rj.Int cold_shed) ]);
+             ("warm",
+              Rj.Obj
+                [ ("seconds", Rj.Float dt_warm);
+                  ("requests_per_sec", Rj.Float warm_rps);
+                  ("cached", Rj.Int warm_cached);
+                  ("shed", Rj.Int warm_shed) ]);
+             ("warm_cold_ratio", Rj.Float warm_cold_ratio);
+             ("bit_identical", Rj.Bool serve_identical);
+             ("overload",
+              Rj.Obj
+                [ ("depth", Rj.Int 64);
+                  ("requests", Rj.Int slice);
+                  ("seconds", Rj.Float dt_overload);
+                  ("shed", Rj.Int overload_shed);
+                  ("lost", Rj.Int 0) ]) ]) ]
   in
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc (Rj.to_string_hum doc);
@@ -1112,7 +1252,27 @@ let pipeline () =
     fail
       (Printf.sprintf "warm cache answered %d/%d from disk"
          sw.Pool.s_cache_hits slice);
-  if not cache_identical then fail "cached reports differ from computed ones"
+  if not cache_identical then fail "cached reports differ from computed ones";
+  (* the service bars *)
+  if not serve_identical then
+    fail "serve verdicts differ from batch analyze";
+  if cold_shed + warm_shed > 0 then
+    fail
+      (Printf.sprintf "daemon shed %d requests at nominal load"
+         (cold_shed + warm_shed));
+  if warm_cached <> slice then
+    fail
+      (Printf.sprintf "warm serve answered %d/%d from the warm layer"
+         warm_cached slice);
+  if warm_rps < 1000.0 then
+    fail
+      (Printf.sprintf "warm serve throughput %.0f req/s < 1000 req/s"
+         warm_rps);
+  if warm_cold_ratio < 5.0 then
+    fail
+      (Printf.sprintf "warm/cold serve ratio %.1fx < 5x" warm_cold_ratio);
+  if overload_shed = 0 then
+    fail "overload run shed nothing (depth bound did not engage)"
 
 (* ------------------------------------------------- Bechamel micro-suite -- *)
 

@@ -18,20 +18,17 @@ module Registry = Ndroid_apps.Registry
 module Task = Ndroid_pipeline.Task
 module Pool = Ndroid_pipeline.Pool
 module Cache = Ndroid_pipeline.Cache
+module Server = Ndroid_pipeline.Server
+module Proto = Ndroid_pipeline.Proto
 module Json = Ndroid_report.Json
 module Verdict = Ndroid_report.Verdict
 module Ring = Ndroid_obs.Ring
 module Export = Ndroid_obs.Export
 
 let registry : H.app list = Registry.all
-
-let find_app name =
-  match Registry.find name with
-  | Some app -> Ok app
-  | None ->
-    Error
-      (Printf.sprintf "unknown app %S; try one of: %s" name
-         (String.concat ", " Registry.names))
+let find_app = Cli_args.find_app
+let write_file = Cli_args.write_file
+let read_file = Cli_args.read_file
 
 let mode_of_string = function
   | "vanilla" -> Ok H.Vanilla
@@ -193,18 +190,6 @@ let cmd_scan total =
   Hashtbl.iter (fun k v -> Printf.printf "  %-20s %d\n" k v) counts;
   0
 
-let write_file path data =
-  let oc = open_out_bin path in
-  output_string oc data;
-  close_out oc
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let data = really_input_string ic n in
-  close_in ic;
-  data
-
 let cmd_pack name dir =
   match find_app name with
   | Error e ->
@@ -279,26 +264,6 @@ let cmd_dump name =
 
 (* ---- the unified analyze entry point -------------------------------- *)
 
-let tasks_of_request names market mode =
-  match (market, names) with
-  | Some _, _ :: _ -> Error "--market and explicit APP names are exclusive"
-  | Some total, [] -> Ok (Task.of_market_slice ~mode (Market.scaled total))
-  | None, names ->
-    let names = match names with [] -> Registry.names | ns -> ns in
-    let rec build i acc = function
-      | [] -> Ok (List.rev acc)
-      | name :: rest -> (
-        match find_app name with
-        | Error e -> Error e
-        | Ok _ ->
-          build (i + 1)
-            ({ Task.t_id = i; t_subject = Task.Bundled name; t_mode = mode;
-               t_fault = None }
-             :: acc)
-            rest)
-    in
-    build 0 [] names
-
 (* Per-phase stats for the sweep, including Dalvik throughput (bytecodes/sec
    over the measured analysis time) and JNI-crossing counts.  Emitted on
    stderr so stdout stays exactly the canonical report array. *)
@@ -318,7 +283,7 @@ let stats_to_json ~bytecodes ~jni_crossings ~focused_methods
          ("skipped_bytecodes", Json.Int skipped_bytecodes) ])
 
 let cmd_analyze names mode json jobs timeout cache_dir market trace_file =
-  match tasks_of_request names market mode with
+  match Cli_args.tasks_of_request names market mode with
   | Error e ->
     prerr_endline e;
     1
@@ -335,8 +300,11 @@ let cmd_analyze names mode json jobs timeout cache_dir market trace_file =
         "note: --trace records in-process; ignoring --jobs/--timeout";
     let reports, stats_json =
       if (jobs <= 1 && timeout = None) || obs <> None then begin
+        let progress ~done_ ~total = Printf.eprintf "\r%d/%d%!" done_ total in
+        let progress = if json then None else Some progress in
         let t0 = Unix.gettimeofday () in
-        let reports = Pool.run_inline ?cache ?obs tasks in
+        let reports = Pool.run_inline ?cache ?obs ?progress tasks in
+        if progress <> None then Printf.eprintf "\n%!";
         let seconds = Unix.gettimeofday () -. t0 in
         let bytecodes, jni_crossings, focused_methods, skipped_bytecodes =
           Pool.counters_of_reports reports
@@ -412,9 +380,94 @@ let cmd_analyze names mode json jobs timeout cache_dir market trace_file =
     if List.exists (fun r -> Verdict.flagged r.Verdict.r_verdict) reports then 3
     else 0
 
-let cmd_lint names json =
-  (* deprecated spelling of `analyze --static` *)
-  cmd_analyze names Task.Static json 1 None None None None
+(* ---- the service: serve and submit ----------------------------------- *)
+
+let cmd_serve socket jobs cache_dir depth max_clients deadline quiet =
+  let cache = Option.map (fun dir -> Cache.create ~dir) cache_dir in
+  let log =
+    if quiet then None
+    else Some (fun s -> Printf.eprintf "ndroid serve: %s\n%!" s)
+  in
+  let cfg =
+    Server.config ~socket ~jobs ?cache ~depth ~max_clients ?deadline ?log ()
+  in
+  let st = Server.serve cfg in
+  Printf.eprintf
+    "ndroid serve: %d requests, %d served (%d cached), %d shed, %d crashed, \
+     %d timeouts, %d respawns, %d clients\n%!"
+    st.Server.sv_requests st.Server.sv_served st.Server.sv_cache_hits
+    st.Server.sv_shed st.Server.sv_crashed st.Server.sv_timeouts
+    st.Server.sv_respawns st.Server.sv_clients;
+  0
+
+(* Submit pipelined: send every request up front, then collect terminal
+   responses until each request has one.  Output is exactly what
+   `ndroid analyze` prints for the same corpus — the service is the same
+   code path, so the bytes match. *)
+let cmd_submit socket names market mode json deadline =
+  match Cli_args.tasks_of_request names market mode with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok tasks -> (
+    match Proto.Client.connect ~retry_for:5.0 socket with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok client ->
+      let task_arr = Array.of_list tasks in
+      let total = Array.length task_arr in
+      let reports : Verdict.report option array = Array.make total None in
+      Array.iter
+        (fun t ->
+          Proto.Client.send client
+            (Proto.Submit
+               { sb_req = t.Task.t_id; sb_subject = t.Task.t_subject;
+                 sb_mode = t.Task.t_mode; sb_deadline = deadline;
+                 sb_fault = t.Task.t_fault }))
+        task_arr;
+      let remaining = ref total in
+      let failed = ref None in
+      while !remaining > 0 && !failed = None do
+        match Proto.Client.recv client with
+        | Stdlib.Error e -> failed := Some e
+        | Ok (Proto.Verdict v) when v.vd_req >= 0 && v.vd_req < total ->
+          reports.(v.vd_req) <- Some v.vd_report;
+          decr remaining
+        | Ok (Proto.Shed s) when s.sh_req >= 0 && s.sh_req < total ->
+          (* a shed request still gets a report row, marked as such, so
+             the output array keeps one entry per app *)
+          let t = task_arr.(s.sh_req) in
+          Printf.eprintf "request %d shed: %s\n%!" s.sh_req s.sh_reason;
+          reports.(s.sh_req) <-
+            Some
+              { Verdict.r_app = Task.subject_name t.Task.t_subject;
+                r_analysis = Task.mode_name t.Task.t_mode;
+                r_verdict = Verdict.Crashed ("shed: " ^ s.sh_reason);
+                r_meta = [] };
+          decr remaining
+        | Ok (Proto.Progress _) -> ()
+        | Ok (Proto.Error e) -> failed := Some e
+        | Ok _ -> ()
+      done;
+      Proto.Client.close client;
+      (match !failed with
+       | Some e ->
+         prerr_endline e;
+         1
+       | None ->
+         let reports =
+           Array.to_list reports
+           |> List.filter_map (fun r -> r)
+         in
+         if json then
+           print_endline (Json.to_string (Verdict.reports_to_json reports))
+         else
+           List.iter (fun r -> Format.printf "%a@." Verdict.pp_report r)
+             reports;
+         if List.exists (fun r -> Verdict.flagged r.Verdict.r_verdict) reports
+         then 3
+         else 0))
 
 (* ---- trace inspection ------------------------------------------------ *)
 
@@ -585,59 +638,7 @@ let scan_cmd =
              classify by parsing them.")
     Term.(const cmd_scan $ total)
 
-let apps_pos_arg =
-  Arg.(value & pos_all string []
-       & info [] ~docv:"APP"
-           ~doc:"Apps to analyze (default: every bundled app).")
-
-let json_arg =
-  Arg.(value & flag
-       & info [ "json" ]
-           ~doc:"Emit one canonical JSON array of per-app reports on stdout.")
-
 let analyze_cmd =
-  let mode_arg =
-    Arg.(value
-         & vflag Task.Static
-             [ (Task.Static,
-                info [ "static" ]
-                  ~doc:"Artifact-level analysis over the JNI supergraph \
-                        (default).");
-               (Task.Dynamic,
-                info [ "dynamic" ]
-                  ~doc:"Run the app under the emulated NDroid tracker.");
-               (Task.Both,
-                info [ "both" ]
-                  ~doc:"Run both analyzers and merge their flows.");
-               (Task.Hybrid,
-                info [ "hybrid" ]
-                  ~doc:"Static triage first: clean apps finish with no \
-                        emulation; flagged apps get a dynamic run focused \
-                        on the static slice.") ])
-  in
-  let jobs_arg =
-    Arg.(value & opt int 1
-         & info [ "jobs"; "j" ] ~docv:"N"
-             ~doc:"Shard the corpus across $(docv) forked analysis workers.")
-  in
-  let timeout_arg =
-    Arg.(value & opt (some float) None
-         & info [ "timeout" ] ~docv:"SEC"
-             ~doc:"Per-app wall-clock budget; an app overrunning it records \
-                   a timeout verdict instead of wedging the sweep.")
-  in
-  let cache_arg =
-    Arg.(value & opt (some string) None
-         & info [ "cache" ] ~docv:"DIR"
-             ~doc:"On-disk result cache keyed by app digest and analyzer \
-                   version.")
-  in
-  let market_arg =
-    Arg.(value & opt (some int) None
-         & info [ "market" ] ~docv:"N"
-             ~doc:"Instead of bundled apps, statically sweep an $(docv)-app \
-                   market slice.")
-  in
   let trace_arg =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -652,8 +653,56 @@ let analyze_cmd =
              dynamic NDroid run, or both, optionally sharded over worker \
              processes with per-app timeouts and crash isolation.  Exits 3 \
              if any app is flagged.")
-    Term.(const cmd_analyze $ apps_pos_arg $ mode_arg $ json_arg $ jobs_arg
-          $ timeout_arg $ cache_arg $ market_arg $ trace_arg)
+    Term.(const cmd_analyze $ Cli_args.apps_pos $ Cli_args.mode_flags
+          $ Cli_args.json_flag
+          $ Cli_args.jobs_arg ~default:1
+              ~doc:"Shard the corpus across $(docv) forked analysis workers."
+          $ Cli_args.timeout_arg $ Cli_args.cache_arg $ Cli_args.market_arg
+          $ trace_arg)
+
+let serve_cmd =
+  let depth_arg =
+    Arg.(value & opt int 256
+         & info [ "depth" ] ~docv:"N"
+             ~doc:"Admission bound: at most $(docv) requests queued (not \
+                   yet dispatched); beyond it the daemon sheds instead of \
+                   stalling.")
+  in
+  let max_clients_arg =
+    Arg.(value & opt int 16
+         & info [ "max-clients" ] ~docv:"N"
+             ~doc:"Concurrent client connections (one fairness shard each).")
+  in
+  let quiet_arg =
+    Arg.(value & flag
+         & info [ "quiet" ] ~doc:"Suppress lifecycle lines on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the analysis daemon on a Unix socket: persistent workers, \
+             a warm digest cache, per-client round-robin fairness, and \
+             explicit shedding under overload.  Stop with SIGTERM or \
+             Ctrl-C.")
+    Term.(const cmd_serve $ Cli_args.socket_pos
+          $ Cli_args.jobs_arg ~default:2
+              ~doc:"Keep $(docv) persistent analysis workers forked."
+          $ Cli_args.cache_arg $ depth_arg $ max_clients_arg
+          $ Cli_args.deadline_arg
+              ~doc:"Default per-request wall-clock budget; an overrunning \
+                    request records a timeout verdict."
+          $ quiet_arg)
+
+let submit_cmd =
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit apps to a running $(b,ndroid serve) daemon and print \
+             the verdicts exactly as $(b,ndroid analyze) would.  Exits 3 \
+             if any app is flagged.")
+    Term.(const cmd_submit $ Cli_args.socket_pos $ Cli_args.apps_after_socket
+          $ Cli_args.market_arg $ Cli_args.mode_flags $ Cli_args.json_flag
+          $ Cli_args.deadline_arg
+              ~doc:"Per-request wall-clock budget (overrides the daemon's \
+                    default).")
 
 let trace_cmd =
   let file_arg =
@@ -677,14 +726,6 @@ let trace_cmd =
              print events, optionally filtered by category.")
     Term.(const cmd_trace $ file_arg $ cat_arg $ limit_arg)
 
-let lint_cmd =
-  Cmd.v
-    (Cmd.info "lint" ~deprecated:"use 'ndroid analyze --static'"
-       ~doc:"Deprecated alias for $(b,ndroid analyze --static): statically \
-             analyze apps without running them.  Exits 3 if any app is \
-             flagged.")
-    Term.(const cmd_lint $ apps_pos_arg $ json_arg)
-
 let dump_cmd =
   let app_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"APP") in
   Cmd.v
@@ -698,5 +739,5 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
           [ list_cmd; run_cmd; matrix_cmd; study_cmd; monkey_cmd; disasm_cmd;
-            dump_cmd; scan_cmd; pack_cmd; classify_cmd; analyze_cmd; lint_cmd;
-            trace_cmd ]))
+            dump_cmd; scan_cmd; pack_cmd; classify_cmd; analyze_cmd;
+            serve_cmd; submit_cmd; trace_cmd ]))

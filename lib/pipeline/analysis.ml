@@ -218,9 +218,17 @@ let bundled_descriptor name =
   match Registry.find name with
   | None -> "unknown:" ^ name
   | Some app ->
-    (* the actual artifact bytes the analyzers see *)
+    (* the actual artifact bytes the analyzers see, plus the entry point:
+       bundled variants can share one dex+libs and differ only in where
+       execution starts (the poly-* apps), and the dynamic analyzers see
+       that difference even though the artifacts don't *)
     let input = St.Drive.input_of_app app in
+    let entry_class, entry_method = app.Ndroid_apps.Harness.entry in
     let buf = Buffer.create 4096 in
+    Buffer.add_string buf entry_class;
+    Buffer.add_string buf "->";
+    Buffer.add_string buf entry_method;
+    Buffer.add_char buf '|';
     Buffer.add_string buf
       (Ndroid_dalvik.Dexfile.to_string input.St.Analyzer.in_classes);
     List.iter
@@ -243,3 +251,87 @@ let digest (task : Task.t) =
        (String.concat "\x00"
           [ "ndroid-analysis"; version; feature_key;
             Task.mode_name task.Task.t_mode; descriptor ]))
+
+(* ---- the request-oriented facade ---- *)
+
+(* One service value owns the whole answer-one-request path: digest the
+   task (memoized — descriptor construction is the expensive part of a
+   warm probe), probe the in-memory warm layer then the on-disk cache,
+   run the analyzer on a miss, and store the answer back.  The daemon,
+   the batch pool's cache pass and [Pool.run_inline] are all built on
+   it, so "what counts as a hit" and "what may be cached" have exactly
+   one definition. *)
+
+type service = {
+  sv_cache : Cache.t option;
+  sv_digest_memo : (string, string) Hashtbl.t;  (* subject+mode -> digest *)
+  sv_memo : (string, Verdict.report) Hashtbl.t;  (* digest -> warm report *)
+  mutable sv_requests : int;
+  mutable sv_hits : int;  (* memo + disk together *)
+}
+
+let service ?cache () =
+  (match cache with Some c -> enable_summary_cache c | None -> ());
+  { sv_cache = cache;
+    sv_digest_memo = Hashtbl.create 4096;
+    sv_memo = Hashtbl.create 4096;
+    sv_requests = 0;
+    sv_hits = 0 }
+
+let service_requests sv = sv.sv_requests
+let service_hits sv = sv.sv_hits
+
+(* the answer's identity: subject and mode, never the request-local id or
+   an injected fault *)
+let memo_key (task : Task.t) =
+  Task.mode_name task.Task.t_mode
+  ^ "|"
+  ^ Json.to_string (Task.subject_to_json task.Task.t_subject)
+
+let service_digest sv task =
+  let k = memo_key task in
+  match Hashtbl.find_opt sv.sv_digest_memo k with
+  | Some d -> d
+  | None ->
+    let d = digest task in
+    Hashtbl.add sv.sv_digest_memo k d;
+    d
+
+let service_find sv (task : Task.t) =
+  (* a fault marker means "really run this" (the worker acts on it);
+     serving it from cache would silently skip the injection *)
+  if task.Task.t_fault <> None then None
+  else begin
+    let d = service_digest sv task in
+    match Hashtbl.find_opt sv.sv_memo d with
+    | Some report ->
+      sv.sv_hits <- sv.sv_hits + 1;
+      Some (report, d)
+    | None -> (
+      match Option.bind sv.sv_cache (fun c -> Cache.find c ~key:d) with
+      | Some report ->
+        sv.sv_hits <- sv.sv_hits + 1;
+        Hashtbl.replace sv.sv_memo d report;
+        Some (report, d)
+      | None -> None)
+  end
+
+let service_store sv ~digest report =
+  match report.Verdict.r_verdict with
+  (* crash/timeout verdicts are circumstances, not app facts *)
+  | Verdict.Crashed _ | Verdict.Timeout -> ()
+  | _ ->
+    Hashtbl.replace sv.sv_memo digest report;
+    (match sv.sv_cache with
+     | Some c -> Cache.store c ~key:digest report
+     | None -> ())
+
+let service_run sv ?obs (task : Task.t) =
+  sv.sv_requests <- sv.sv_requests + 1;
+  match service_find sv task with
+  | Some (report, _) -> (report, true)
+  | None ->
+    let report = run ?obs task in
+    if task.Task.t_fault = None then
+      service_store sv ~digest:(service_digest sv task) report;
+    (report, false)

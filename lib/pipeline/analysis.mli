@@ -35,3 +35,47 @@ val digest : Task.t -> string
     apps, the generator-independent content descriptor for market apps),
     the analysis mode, {!version} and {!feature_key}.  Two tasks with
     equal digests would produce equal reports. *)
+
+(** {1 The request-oriented facade}
+
+    One [service] value owns the answer-one-request path — digest
+    (memoized per subject+mode), in-memory warm layer, on-disk cache,
+    analyzer, store — so the `ndroid serve` daemon, the batch pool's
+    cache pass and [Pool.run_inline] share exactly one definition of
+    "hit" and "cacheable".  A service is single-process state: the warm
+    layer is what a long-lived daemon accumulates across requests. *)
+
+type service
+
+val service : ?cache:Cache.t -> unit -> service
+(** Also installs the native-summary persistence hooks on [cache]
+    ({!enable_summary_cache}), so create the service before forking any
+    workers. *)
+
+val service_run :
+  service -> ?obs:Ndroid_obs.Ring.t -> Task.t ->
+  Ndroid_report.Verdict.report * bool
+(** Answer one request, from the warm layer / cache when possible
+    ([true] = served from cache).  Tasks carrying a fault marker are
+    never cache-served and never stored — a fault means "really run
+    this" — though [service_run] itself still ignores the marker (it is
+    acted on by worker processes, see {!Worker}).  Crashed/Timeout
+    reports are never stored. *)
+
+val service_find :
+  service -> Task.t -> (Ndroid_report.Verdict.report * string) option
+(** The probe alone: the cached report and its digest, warm layer first,
+    then disk (promoting the entry into the warm layer).  [None] for
+    fault-marked tasks.  Does not count a request. *)
+
+val service_store : service -> digest:string -> Ndroid_report.Verdict.report -> unit
+(** Store a computed report under its digest (warm layer + disk);
+    Crashed/Timeout are dropped. *)
+
+val service_digest : service -> Task.t -> string
+(** {!digest}, memoized per subject+mode. *)
+
+val service_requests : service -> int
+val service_hits : service -> int
+(** Requests answered through {!service_run} and how many of those hit
+    the warm layer or disk cache. *)

@@ -1,7 +1,6 @@
 module Json = Ndroid_report.Json
 module Verdict = Ndroid_report.Verdict
 module Metrics = Ndroid_obs.Metrics
-module Ring = Ndroid_obs.Ring
 
 type config = {
   c_jobs : int;
@@ -23,6 +22,7 @@ type stats = {
   s_timeouts : int;
   s_respawns : int;
   s_steals : int;
+  s_shed : int;
   s_injected_kills : int;
   s_wall : float;
   s_cache_pass : float;
@@ -36,15 +36,7 @@ type stats = {
   s_metrics : Json.t;
 }
 
-let meta_int key (r : Verdict.report) =
-  (* counters appear bare on dynamic reports and "dynamic_"-prefixed on
-     merged ("both") reports *)
-  match
-    ( List.assoc_opt key r.Verdict.r_meta,
-      List.assoc_opt ("dynamic_" ^ key) r.Verdict.r_meta )
-  with
-  | Some (Json.Int n), _ | None, Some (Json.Int n) -> n
-  | _ -> 0
+let meta_int = Worker.meta_int
 
 let counters_of_reports reports =
   Array.fold_left
@@ -57,52 +49,9 @@ let counters_of_reports reports =
 
 let now () = Unix.gettimeofday ()
 
-(* ---------------------------------------------------------- worker side -- *)
-
-let worker_loop task_r result_w =
-  let respond id seconds report metrics =
-    Wire.write_frame result_w
-      (Json.to_string
-         (Json.Obj
-            [ ("id", Json.Int id);
-              ("seconds", Json.Float seconds);
-              ("metrics", metrics);
-              ("report", Verdict.report_to_json report) ]))
-  in
-  let rec loop () =
-    match Wire.read_frame task_r with
-    | None -> ()
-    | Some payload ->
-      (match Result.bind (Json.of_string payload) Task.of_json with
-       | Error _ -> ()
-       | Ok task ->
-         (match task.Task.t_fault with
-          | Some Task.Crash -> Unix._exit 66
-          | Some Task.Hang ->
-            let rec hang () =
-              Unix.sleep 3600;
-              hang ()
-            in
-            hang ()
-          | None -> ());
-         (* a fresh per-task hub: its metrics registry rides the result
-            frame back to the parent, which merges registries across the
-            whole sweep *)
-         let ring = Ring.create ~capacity:4096 () in
-         let t0 = now () in
-         let report = Analysis.run ~obs:ring task in
-         let dt = now () -. t0 in
-         let m = Ring.metrics ring in
-         Metrics.incr (Metrics.counter m "tasks");
-         Metrics.observe (Metrics.histogram m "task_seconds") dt;
-         Metrics.observe_int
-           (Metrics.histogram m "task_bytecodes")
-           (meta_int "bytecodes" report);
-         respond task.Task.t_id dt report (Metrics.to_json m));
-      loop ()
-  in
-  (try loop () with _ -> ());
-  Unix._exit 0
+(* The worker side lives in {!Worker.loop} — shared with the `ndroid
+   serve` daemon, whose persistent workers speak the same task/result
+   frames. *)
 
 (* ---------------------------------------------------------- parent side -- *)
 
@@ -142,11 +91,10 @@ let dummy_report =
 
 let run cfg tasks =
   validate_ids tasks;
-  (* before forking, so every worker inherits the summary persistence
-     hooks and the cache pass itself can answer summary probes *)
-  (match cfg.c_cache with
-   | Some cache -> Analysis.enable_summary_cache cache
-   | None -> ());
+  (* created before forking, so every worker inherits the summary
+     persistence hooks and the cache pass itself can answer summary
+     probes *)
+  let service = Analysis.service ?cache:cfg.c_cache () in
   let t_start = now () in
   let total = List.length tasks in
   let results = Array.make total dummy_report in
@@ -169,25 +117,29 @@ let run cfg tasks =
     | Some f -> f ~done_:!n_done ~total
     | None -> ()
   in
-  (* phase 1: answer unchanged apps from the cache without dispatching *)
+  (* phase 1: answer unchanged apps through the service facade (warm
+     layer + disk cache) without dispatching — the progress callback
+     fires for these exactly as it does for worker results, so done_/total
+     is monotone and complete whatever mix of hits and misses a sweep is *)
   let t_cache0 = now () in
   let digests = Array.make total None in
   let pending =
     match cfg.c_cache with
     | None -> tasks
-    | Some cache ->
+    | Some _ ->
       List.filter
         (fun (task : Task.t) ->
-          let key = Analysis.digest task in
-          digests.(task.Task.t_id) <- Some key;
-          match Cache.find cache ~key with
-          | Some report ->
+          match Analysis.service_find service task with
+          | Some (report, _) ->
             results.(task.Task.t_id) <- report;
             resolved.(task.Task.t_id) <- true;
             incr n_done;
             progress ();
             false
-          | None -> true)
+          | None ->
+            digests.(task.Task.t_id) <-
+              Some (Analysis.service_digest service task);
+            true)
         tasks
   in
   let cache_pass = now () -. t_cache0 in
@@ -199,13 +151,9 @@ let run cfg tasks =
       resolved.(id) <- true;
       results.(id) <- report;
       incr n_done;
-      (match (cfg.c_cache, digests.(id)) with
-       | Some cache, Some key -> (
-         (* crash/timeout verdicts are circumstances, not app facts *)
-         match report.Verdict.r_verdict with
-         | Verdict.Crashed _ | Verdict.Timeout -> ()
-         | _ -> Cache.store cache ~key report)
-       | _ -> ());
+      (match digests.(id) with
+       | Some key -> Analysis.service_store service ~digest:key report
+       | None -> ());
       progress ()
     end
   in
@@ -234,7 +182,8 @@ let run cfg tasks =
           inherited;
         Unix.close task_w;
         Unix.close result_r;
-        worker_loop task_r result_w
+        Worker.loop task_r result_w;
+        assert false
       | pid ->
         Unix.close task_r;
         Unix.close result_w;
@@ -453,7 +402,7 @@ let run cfg tasks =
       { s_total = total; s_from_workers = !from_workers;
         s_cache_hits = cache_hits; s_crashed = !crashed;
         s_timeouts = !timeouts; s_respawns = !respawns;
-        s_steals = Shard_queue.steals queue;
+        s_steals = Shard_queue.steals queue; s_shed = 0;
         s_injected_kills = !injected_kills; s_wall = now () -. t_start;
         s_cache_pass = cache_pass; s_fork = !fork_time;
         s_collect = now () -. t_collect0; s_analyze_cpu = !analyze_cpu;
@@ -472,7 +421,7 @@ let run cfg tasks =
     ( results,
       { s_total = total; s_from_workers = 0; s_cache_hits = cache_hits;
         s_crashed = 0; s_timeouts = 0; s_respawns = 0; s_steals = 0;
-        s_injected_kills = 0; s_wall = now () -. t_start;
+        s_shed = 0; s_injected_kills = 0; s_wall = now () -. t_start;
         s_cache_pass = cache_pass; s_fork = 0.0; s_collect = 0.0;
         s_analyze_cpu = 0.0; s_bytecodes = bytecodes;
         s_jni_crossings = jni_crossings;
@@ -481,28 +430,21 @@ let run cfg tasks =
         s_metrics = Metrics.to_json metrics } )
   end
 
-let run_inline ?cache ?obs tasks =
+let run_inline ?cache ?obs ?progress tasks =
   validate_ids tasks;
-  (match cache with
-   | Some c -> Analysis.enable_summary_cache c
-   | None -> ());
-  let results = Array.make (List.length tasks) dummy_report in
+  (* the in-process batch path is a thin client of the same
+     request-oriented facade the daemon serves from *)
+  let service = Analysis.service ?cache () in
+  let total = List.length tasks in
+  let results = Array.make total dummy_report in
+  let n_done = ref 0 in
   List.iter
     (fun (task : Task.t) ->
-      let report =
-        match cache with
-        | None -> Analysis.run ?obs task
-        | Some c -> (
-          let key = Analysis.digest task in
-          match Cache.find c ~key with
-          | Some report -> report
-          | None ->
-            let report = Analysis.run ?obs task in
-            (match report.Verdict.r_verdict with
-             | Verdict.Crashed _ | Verdict.Timeout -> ()
-             | _ -> Cache.store c ~key report);
-            report)
-      in
-      results.(task.Task.t_id) <- report)
+      let report, _cached = Analysis.service_run service ?obs task in
+      results.(task.Task.t_id) <- report;
+      incr n_done;
+      match progress with
+      | Some f -> f ~done_:!n_done ~total
+      | None -> ())
     tasks;
   results

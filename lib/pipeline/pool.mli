@@ -40,6 +40,11 @@ type stats = {
   s_timeouts : int;  (** [Timeout] verdicts recorded by the pool *)
   s_respawns : int;  (** replacement workers forked mid-sweep *)
   s_steals : int;  (** cross-shard steals in the work queue *)
+  s_shed : int;
+      (** requests refused by admission control.  Always [0] in a batch
+          sweep — the batch queue is sized to the corpus — but the field
+          rides alongside the other counters so batch and service stats
+          share one shape ({!Server} sheds under overload). *)
   s_injected_kills : int;
   s_wall : float;  (** whole sweep, seconds *)
   s_cache_pass : float;  (** phase: parent-side cache probe *)
@@ -82,11 +87,15 @@ val run : config -> Task.t list -> Ndroid_report.Verdict.report array * stats
     [t_id]s equal to their list position. *)
 
 val run_inline :
-  ?cache:Cache.t -> ?obs:Ndroid_obs.Ring.t -> Task.t list ->
+  ?cache:Cache.t -> ?obs:Ndroid_obs.Ring.t ->
+  ?progress:(done_:int -> total:int -> unit) -> Task.t list ->
   Ndroid_report.Verdict.report array
 (** Sequential in-process execution of the same tasks (no forking, so no
-    crash isolation, no timeouts, and fault markers are ignored).  The
-    fast path for [--jobs 1] without a timeout; byte-identical reports to
-    {!run} on non-faulting corpora.  [obs] observes every dynamic run in
-    this process — the only mode in which one ring can see a whole sweep,
-    which is what [ndroid analyze --trace] uses. *)
+    crash isolation, no timeouts, and fault markers are ignored), built
+    on {!Analysis.service_run} — the same request path the daemon
+    serves.  The fast path for [--jobs 1] without a timeout;
+    byte-identical reports to {!run} on non-faulting corpora.  [obs]
+    observes every dynamic run in this process — the only mode in which
+    one ring can see a whole sweep, which is what
+    [ndroid analyze --trace] uses.  [progress] fires once per task,
+    cache hit or computed, like {!config}'s [c_progress]. *)

@@ -1,0 +1,468 @@
+module Json = Ndroid_report.Json
+module Verdict = Ndroid_report.Verdict
+
+type config = {
+  s_socket : string;
+  s_jobs : int;
+  s_cache : Cache.t option;
+  s_depth : int;
+  s_max_clients : int;
+  s_deadline : float option;
+  s_log : (string -> unit) option;
+}
+
+let config ~socket ?(jobs = 1) ?cache ?(depth = 256) ?(max_clients = 16)
+    ?deadline ?log () =
+  if depth < 1 then invalid_arg "Server.config: depth must be >= 1";
+  if max_clients < 1 then invalid_arg "Server.config: max_clients must be >= 1";
+  { s_socket = socket; s_jobs = max 1 jobs; s_cache = cache; s_depth = depth;
+    s_max_clients = max_clients; s_deadline = deadline; s_log = log }
+
+type stats = {
+  sv_requests : int;
+  sv_served : int;
+  sv_cache_hits : int;
+  sv_shed : int;
+  sv_crashed : int;
+  sv_timeouts : int;
+  sv_respawns : int;
+  sv_clients : int;
+}
+
+(* ---- internal state ---- *)
+
+(* A pending or in-flight request.  The client is addressed by (slot,
+   generation): slots are reused after a disconnect, and a verdict for a
+   departed client must never reach its slot's next tenant. *)
+type entry = {
+  e_task : Task.t;
+  e_slot : int;
+  e_gen : int;
+  e_req : int;
+  e_deadline : float option;
+}
+
+type client = {
+  cl_slot : int;
+  cl_gen : int;
+  cl_fd : Unix.file_descr;
+  cl_reader : Wire.reader;
+  mutable cl_out : string;  (* encoded frames not yet written *)
+  mutable cl_closing : bool;  (* close once cl_out drains *)
+}
+
+type worker = {
+  wk_slot : int;
+  mutable wk_pid : int;
+  mutable wk_task_w : Unix.file_descr;
+  mutable wk_result_r : Unix.file_descr;
+  mutable wk_reader : Wire.reader;
+  mutable wk_inflight : entry option;
+  mutable wk_deadline : float;  (* infinity = none *)
+  mutable wk_alive : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let status_message = function
+  | Unix.WEXITED n -> Printf.sprintf "worker exited with status %d" n
+  | Unix.WSIGNALED n when n = Sys.sigkill -> "worker killed by SIGKILL"
+  | Unix.WSIGNALED n when n = Sys.sigsegv -> "worker killed by SIGSEGV"
+  | Unix.WSIGNALED n -> Printf.sprintf "worker killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "worker stopped by signal %d" n
+
+let serve cfg =
+  let log fmt =
+    Printf.ksprintf
+      (fun s -> match cfg.s_log with Some f -> f s | None -> ())
+      fmt
+  in
+  (* the facade owns digesting, the warm layer and the disk cache; created
+     before forking so workers inherit the summary persistence hooks *)
+  let service = Analysis.service ?cache:cfg.s_cache () in
+  let requests = ref 0 and served = ref 0 and cache_hits = ref 0 in
+  let shed = ref 0 and crashed = ref 0 and timeouts = ref 0 in
+  let respawns = ref 0 and clients_total = ref 0 in
+  let next_task_id = ref 0 in
+  let next_gen = ref 0 in
+  let queue : entry Shard_queue.t =
+    Shard_queue.create_empty ~shards:cfg.s_max_clients ~capacity:cfg.s_depth ()
+  in
+  let clients : client option array = Array.make cfg.s_max_clients None in
+  let workers : worker option array = Array.make cfg.s_jobs None in
+  (* ---- lifecycle ---- *)
+  (try Unix.unlink cfg.s_socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.s_socket);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let stop = ref false in
+  let stoppable s = Sys.signal s (Sys.Signal_handle (fun _ -> stop := true)) in
+  let prev_term = stoppable Sys.sigterm in
+  let prev_int = stoppable Sys.sigint in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  (* ---- workers ---- *)
+  let foreign_fds () =
+    let acc = ref [ listen_fd ] in
+    Array.iter
+      (function
+        | Some c -> acc := c.cl_fd :: !acc
+        | None -> ())
+      clients;
+    Array.iter
+      (function
+        | Some w when w.wk_alive -> acc := w.wk_task_w :: w.wk_result_r :: !acc
+        | _ -> ())
+      workers;
+    !acc
+  in
+  let spawn slot =
+    let task_r, task_w = Unix.pipe () in
+    let result_r, result_w = Unix.pipe () in
+    let inherited = foreign_fds () in
+    match Unix.fork () with
+    | 0 ->
+      (* a worker must hold no descriptor of the socket, any client, or
+         any sibling — or EOFs (client gone, sibling dead) go unseen *)
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        inherited;
+      Unix.close task_w;
+      Unix.close result_r;
+      Worker.loop task_r result_w;
+      assert false
+    | pid ->
+      Unix.close task_r;
+      Unix.close result_w;
+      { wk_slot = slot; wk_pid = pid; wk_task_w = task_w;
+        wk_result_r = result_r; wk_reader = Wire.create_reader ();
+        wk_inflight = None; wk_deadline = infinity; wk_alive = true }
+  in
+  for i = 0 to cfg.s_jobs - 1 do
+    workers.(i) <- Some (spawn i)
+  done;
+  (* ---- client output: buffered, non-blocking ---- *)
+  let client_gone (c : client) =
+    (match clients.(c.cl_slot) with
+     | Some c' when c'.cl_gen = c.cl_gen ->
+       clients.(c.cl_slot) <- None;
+       (* a disconnected client's not-yet-dispatched requests are dropped;
+          its in-flight ones finish and their verdicts are discarded on
+          arrival (the generation check) *)
+       let dropped = Shard_queue.clear_shard queue ~shard:c.cl_slot in
+       if dropped <> [] then
+         log "client %d gone, dropped %d queued requests" c.cl_slot
+           (List.length dropped)
+     | _ -> ());
+    try Unix.close c.cl_fd with Unix.Unix_error _ -> ()
+  in
+  let flush_client (c : client) =
+    if c.cl_out <> "" then begin
+      let len = String.length c.cl_out in
+      match Unix.write_substring c.cl_fd c.cl_out 0 len with
+      | n -> c.cl_out <- String.sub c.cl_out n (len - n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error _ -> client_gone c
+    end;
+    if c.cl_out = "" && c.cl_closing then client_gone c
+  in
+  let queue_out (c : client) msg =
+    if not c.cl_closing then begin
+      c.cl_out <- c.cl_out ^ Bytes.to_string (Proto.to_frame msg);
+      flush_client c
+    end
+  in
+  let deliver (e : entry) msg =
+    match clients.(e.e_slot) with
+    | Some c when c.cl_gen = e.e_gen -> queue_out c msg
+    | _ -> ()
+  in
+  (* ---- admission ---- *)
+  let admit (c : client) (s : Proto.submit) =
+    incr requests;
+    let task =
+      { Task.t_id = !next_task_id; t_subject = s.Proto.sb_subject;
+        t_mode = s.Proto.sb_mode; t_fault = s.Proto.sb_fault }
+    in
+    incr next_task_id;
+    match Analysis.service_find service task with
+    | Some (report, _) ->
+      (* the daemon's reason to exist: the warm path never queues, never
+         forks, never re-links — one probe, one frame back *)
+      incr cache_hits;
+      incr served;
+      queue_out c
+        (Proto.Verdict
+           { vd_req = s.Proto.sb_req; vd_cached = true; vd_seconds = 0.0;
+             vd_report = report })
+    | None ->
+      let entry =
+        { e_task = task; e_slot = c.cl_slot; e_gen = c.cl_gen;
+          e_req = s.Proto.sb_req; e_deadline = s.Proto.sb_deadline }
+      in
+      if Shard_queue.push queue ~shard:c.cl_slot entry then
+        queue_out c
+          (Proto.Progress
+             { pg_req = s.Proto.sb_req; pg_state = "queued";
+               pg_depth = Shard_queue.shard_depth queue ~shard:c.cl_slot })
+      else begin
+        (* shed, don't stall: the bound is the whole backpressure story *)
+        incr shed;
+        queue_out c
+          (Proto.Shed
+             { sh_req = s.Proto.sb_req;
+               sh_reason =
+                 Printf.sprintf
+                   "queue at capacity (%d requests in flight)"
+                   (Shard_queue.remaining queue) })
+      end
+  in
+  let handle_client_frame (c : client) frame =
+    match Proto.of_frame frame with
+    | Ok (Proto.Submit s) -> admit c s
+    | Ok _ ->
+      queue_out c (Proto.Error "clients may only send Submit messages");
+      c.cl_closing <- true
+    | Error e ->
+      (* decisive: version mismatches and garbage close the connection *)
+      queue_out c (Proto.Error e);
+      c.cl_closing <- true
+  in
+  (* ---- workers: dispatch, results, death, deadlines ---- *)
+  let dispatch (w : worker) =
+    match Shard_queue.pop_rr queue with
+    | None -> ()
+    | Some entry -> (
+      w.wk_inflight <- Some entry;
+      w.wk_deadline <-
+        (match (entry.e_deadline, cfg.s_deadline) with
+         | Some d, _ | None, Some d -> now () +. d
+         | None, None -> infinity);
+      match
+        Wire.write_frame w.wk_task_w
+          (Json.to_string (Task.to_json entry.e_task))
+      with
+      | () -> ()
+      | exception Unix.Unix_error _ ->
+        (* already dead; the EOF handler resolves the entry *)
+        ())
+  in
+  let reap_status (w : worker) =
+    w.wk_alive <- false;
+    (try Unix.close w.wk_task_w with Unix.Unix_error _ -> ());
+    (try Unix.close w.wk_result_r with Unix.Unix_error _ -> ());
+    match Unix.waitpid [] w.wk_pid with
+    | _, status -> status_message status
+    | exception Unix.Unix_error _ -> "worker vanished"
+  in
+  let respawn (w : worker) =
+    (* the daemon is long-lived: a dead worker is always replaced *)
+    workers.(w.wk_slot) <- Some (spawn w.wk_slot);
+    incr respawns
+  in
+  let resolve_inflight (w : worker) verdict =
+    match w.wk_inflight with
+    | None -> ()
+    | Some e ->
+      incr served;
+      deliver e
+        (Proto.Verdict
+           { vd_req = e.e_req; vd_cached = false; vd_seconds = 0.0;
+             vd_report =
+               { Verdict.r_app = Task.subject_name e.e_task.Task.t_subject;
+                 r_analysis = Task.mode_name e.e_task.Task.t_mode;
+                 r_verdict = verdict;
+                 r_meta = [] } });
+      w.wk_inflight <- None
+  in
+  let handle_worker_death (w : worker) =
+    let why = reap_status w in
+    (match w.wk_inflight with
+     | Some _ ->
+       incr crashed;
+       log "worker %d died (%s) mid-request" w.wk_slot why
+     | None -> ());
+    resolve_inflight w (Verdict.Crashed why);
+    respawn w
+  in
+  let handle_worker_timeout (w : worker) =
+    (try Unix.kill w.wk_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (reap_status w);
+    incr timeouts;
+    resolve_inflight w Verdict.Timeout;
+    respawn w
+  in
+  let handle_result_frame (w : worker) payload =
+    match Json.of_string payload with
+    | Error _ -> ()
+    | Ok j ->
+      let id = Option.bind (Json.member "id" j) Json.int in
+      let seconds =
+        match Json.member "seconds" j with
+        | Some (Json.Float f) -> f
+        | Some (Json.Int i) -> float_of_int i
+        | _ -> 0.0
+      in
+      let report =
+        Option.map Verdict.report_of_json (Json.member "report" j)
+      in
+      (match (id, report, w.wk_inflight) with
+       | Some id, Some (Ok report), Some e when e.e_task.Task.t_id = id ->
+         w.wk_inflight <- None;
+         w.wk_deadline <- infinity;
+         incr served;
+         if e.e_task.Task.t_fault = None then
+           Analysis.service_store service
+             ~digest:(Analysis.service_digest service e.e_task)
+             report;
+         deliver e
+           (Proto.Verdict
+              { vd_req = e.e_req; vd_cached = false; vd_seconds = seconds;
+                vd_report = report })
+       | _ -> ())
+  in
+  (* ---- accept ---- *)
+  let free_slot () =
+    let found = ref None in
+    Array.iteri
+      (fun i c -> if !found = None && c = None then found := Some i)
+      clients;
+    !found
+  in
+  let accept_clients () =
+    let rec loop () =
+      match Unix.accept listen_fd with
+      | fd, _ -> (
+        match free_slot () with
+        | None ->
+          (* refuse loudly rather than queueing an invisible client *)
+          (try Proto.write fd (Proto.Error "server full (client slots)")
+           with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        | Some slot ->
+          Unix.set_nonblock fd;
+          incr clients_total;
+          incr next_gen;
+          clients.(slot) <-
+            Some
+              { cl_slot = slot; cl_gen = !next_gen; cl_fd = fd;
+                cl_reader = Wire.create_reader (); cl_out = "";
+                cl_closing = false };
+          log "client %d connected" slot;
+          loop ())
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    in
+    loop ()
+  in
+  (* ---- the loop ---- *)
+  log "listening on %s (%d workers, depth %d)" cfg.s_socket cfg.s_jobs
+    cfg.s_depth;
+  while not !stop do
+    (* keep every live worker busy before sleeping *)
+    Array.iter
+      (function
+        | Some w when w.wk_alive && w.wk_inflight = None -> dispatch w
+        | _ -> ())
+      workers;
+    let rfds = ref [ listen_fd ] in
+    let wfds = ref [] in
+    Array.iter
+      (function
+        | Some w when w.wk_alive -> rfds := w.wk_result_r :: !rfds
+        | _ -> ())
+      workers;
+    Array.iter
+      (function
+        | Some c ->
+          rfds := c.cl_fd :: !rfds;
+          if c.cl_out <> "" then wfds := c.cl_fd :: !wfds
+        | None -> ())
+      clients;
+    let next_deadline =
+      Array.fold_left
+        (fun acc w ->
+          match w with
+          | Some w when w.wk_alive -> Float.min acc w.wk_deadline
+          | _ -> acc)
+        infinity workers
+    in
+    let dt =
+      if next_deadline = infinity then 0.5
+      else Float.max 0.0 (Float.min 0.5 (next_deadline -. now ()))
+    in
+    let readable, writable, _ =
+      try Unix.select !rfds !wfds [] dt
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem listen_fd readable then accept_clients ();
+    (* worker results *)
+    Array.iter
+      (function
+        | Some w when w.wk_alive && List.mem w.wk_result_r readable -> (
+          match Wire.drain w.wk_reader w.wk_result_r with
+          | `Frames frames -> List.iter (handle_result_frame w) frames
+          | `Eof frames ->
+            List.iter (handle_result_frame w) frames;
+            handle_worker_death w)
+        | _ -> ())
+      workers;
+    (* client traffic *)
+    Array.iter
+      (function
+        | Some c when List.mem c.cl_fd readable -> (
+          match Wire.drain c.cl_reader c.cl_fd with
+          | `Frames frames -> List.iter (handle_client_frame c) frames
+          | `Eof frames ->
+            List.iter (handle_client_frame c) frames;
+            client_gone c
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+            ())
+        | _ -> ())
+      clients;
+    Array.iter
+      (function
+        | Some c when List.mem c.cl_fd writable -> flush_client c
+        | _ -> ())
+      clients;
+    (* per-request budgets *)
+    let t = now () in
+    Array.iter
+      (function
+        | Some w when w.wk_alive && w.wk_deadline <= t ->
+          handle_worker_timeout w
+        | _ -> ())
+      workers
+  done;
+  (* ---- orderly shutdown ---- *)
+  log "shutting down";
+  Array.iter
+    (function
+      | Some c -> flush_client c
+      | None -> ())
+    clients;
+  Array.iter
+    (function
+      | Some w when w.wk_alive ->
+        (try Unix.close w.wk_task_w with Unix.Unix_error _ -> ());
+        (try Unix.close w.wk_result_r with Unix.Unix_error _ -> ());
+        (try Unix.kill w.wk_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] w.wk_pid) with Unix.Unix_error _ -> ())
+      | _ -> ())
+    workers;
+  Array.iter
+    (function
+      | Some c -> ( try Unix.close c.cl_fd with Unix.Unix_error _ -> ())
+      | None -> ())
+    clients;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink cfg.s_socket with Unix.Unix_error _ -> ());
+  ignore (Sys.signal Sys.sigterm prev_term);
+  ignore (Sys.signal Sys.sigint prev_int);
+  ignore (Sys.signal Sys.sigpipe prev_pipe);
+  { sv_requests = !requests; sv_served = !served;
+    sv_cache_hits = !cache_hits; sv_shed = !shed; sv_crashed = !crashed;
+    sv_timeouts = !timeouts; sv_respawns = !respawns;
+    sv_clients = !clients_total }

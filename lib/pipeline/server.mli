@@ -1,0 +1,53 @@
+(** The analysis daemon: a persistent-worker server loop behind a Unix
+    socket, speaking the {!Proto} request/response protocol.
+
+    Where {!Pool.run} answers "run this corpus once", [serve] answers
+    "keep answering analysis requests": workers stay forked, the digest
+    memo and native-summary cache stay warm in-process, and every
+    [Submit] frame becomes exactly one terminal response — a [Verdict]
+    (streamed as soon as it exists, cache hits immediately at admission)
+    or a [Shed] when the bounded queue is full.  Overload degrades by
+    refusing loudly, never by stalling or dropping.
+
+    Fairness: admission queues each request on its client's
+    {!Shard_queue} shard and dispatch drains shards round-robin, so a
+    client saturating the daemon delays its own requests, not its
+    neighbours'.
+
+    Isolation is the pool's: a worker crashing (or overrunning its
+    deadline and being killed) yields a [Crashed] / [Timeout] verdict
+    for that one request, and the worker slot is respawned — the daemon
+    itself never dies with a worker. *)
+
+type config = {
+  s_socket : string;  (** Unix-domain socket path; unlinked on shutdown *)
+  s_jobs : int;  (** persistent worker processes *)
+  s_cache : Cache.t option;  (** digest cache kept warm across requests *)
+  s_depth : int;  (** max queued (not yet dispatched) requests — the
+                      admission bound; beyond it, [Shed] *)
+  s_max_clients : int;  (** concurrent connections (= queue shards) *)
+  s_deadline : float option;  (** default per-request budget, seconds *)
+  s_log : (string -> unit) option;  (** lifecycle lines (stderr in the CLI) *)
+}
+
+val config :
+  socket:string -> ?jobs:int -> ?cache:Cache.t -> ?depth:int ->
+  ?max_clients:int -> ?deadline:float -> ?log:(string -> unit) -> unit ->
+  config
+
+type stats = {
+  sv_requests : int;  (** [Submit] frames admitted or shed *)
+  sv_served : int;  (** terminal [Verdict]s produced (incl. crash/timeout) *)
+  sv_cache_hits : int;  (** verdicts answered at admission, no dispatch *)
+  sv_shed : int;  (** requests refused by the depth bound *)
+  sv_crashed : int;  (** workers that died mid-request *)
+  sv_timeouts : int;  (** requests killed at their deadline *)
+  sv_respawns : int;  (** replacement workers forked *)
+  sv_clients : int;  (** connections accepted over the lifetime *)
+}
+
+val serve : config -> stats
+(** Run the daemon until SIGTERM or SIGINT, then shut down in order —
+    pending client output flushed, workers buried, socket closed and
+    unlinked, previous signal dispositions restored — and report what
+    was served. *)

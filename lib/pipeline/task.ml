@@ -8,7 +8,7 @@ type subject =
   | Market of { m_total : int; m_seed : int; m_permille : int option;
                 m_id : int }
 
-type fault = Crash | Hang
+type fault = Crash | Kill | Hang | Sleep of float
 
 type t = {
   t_id : int;
@@ -52,30 +52,31 @@ let of_market_slice ?(mode = Static) (params : Market.params) =
         t_mode = mode;
         t_fault = None })
 
-let fault_name = function Crash -> "crash" | Hang -> "hang"
+let subject_to_json = function
+  | Bundled name ->
+    Json.Obj [ ("kind", Json.Str "bundled"); ("name", Json.Str name) ]
+  | Market { m_total; m_seed; m_permille; m_id } ->
+    Json.Obj
+      [ ("kind", Json.Str "market");
+        ("total", Json.Int m_total);
+        ("seed", Json.Int m_seed);
+        ("permille",
+         match m_permille with Some p -> Json.Int p | None -> Json.Null);
+        ("id", Json.Int m_id) ]
+
+let fault_to_json = function
+  | None -> Json.Null
+  | Some Crash -> Json.Str "crash"
+  | Some Kill -> Json.Str "kill"
+  | Some Hang -> Json.Str "hang"
+  | Some (Sleep s) -> Json.Obj [ ("sleep", Json.Float s) ]
 
 let to_json t =
-  let subject =
-    match t.t_subject with
-    | Bundled name ->
-      Json.Obj [ ("kind", Json.Str "bundled"); ("name", Json.Str name) ]
-    | Market { m_total; m_seed; m_permille; m_id } ->
-      Json.Obj
-        [ ("kind", Json.Str "market");
-          ("total", Json.Int m_total);
-          ("seed", Json.Int m_seed);
-          ("permille",
-           match m_permille with Some p -> Json.Int p | None -> Json.Null);
-          ("id", Json.Int m_id) ]
-  in
   Json.Obj
     [ ("id", Json.Int t.t_id);
-      ("subject", subject);
+      ("subject", subject_to_json t.t_subject);
       ("mode", Json.Str (mode_name t.t_mode));
-      ("fault",
-       match t.t_fault with
-       | Some f -> Json.Str (fault_name f)
-       | None -> Json.Null) ]
+      ("fault", fault_to_json t.t_fault) ]
 
 let ( let* ) = Result.bind
 
@@ -83,6 +84,33 @@ let req_int name j =
   match Option.bind (Json.member name j) Json.int with
   | Some i -> Ok i
   | None -> Error (Printf.sprintf "task is missing int field %S" name)
+
+let fault_of_json = function
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Str "crash") -> Ok (Some Crash)
+  | Some (Json.Str "kill") -> Ok (Some Kill)
+  | Some (Json.Str "hang") -> Ok (Some Hang)
+  | Some (Json.Obj _ as o) -> (
+    match Json.member "sleep" o with
+    | Some (Json.Float s) -> Ok (Some (Sleep s))
+    | Some (Json.Int s) -> Ok (Some (Sleep (float_of_int s)))
+    | _ -> Error "bad task fault")
+  | Some _ -> Error "bad task fault"
+
+let subject_of_json s =
+  match Option.bind (Json.member "kind" s) Json.str with
+  | Some "bundled" -> (
+    match Option.bind (Json.member "name" s) Json.str with
+    | Some name -> Ok (Bundled name)
+    | None -> Error "bundled subject is missing its name")
+  | Some "market" ->
+    let* total = req_int "total" s in
+    let* seed = req_int "seed" s in
+    let* mid = req_int "id" s in
+    let permille = Option.bind (Json.member "permille" s) Json.int in
+    Ok (Market { m_total = total; m_seed = seed; m_permille = permille;
+                 m_id = mid })
+  | _ -> Error "unknown subject kind"
 
 let of_json j =
   let* id = req_int "id" j in
@@ -94,29 +122,10 @@ let of_json j =
       | None -> Error (Printf.sprintf "unknown task mode %S" m))
     | None -> Error "task is missing its \"mode\""
   in
-  let* fault =
-    match Json.member "fault" j with
-    | None | Some Json.Null -> Ok None
-    | Some (Json.Str "crash") -> Ok (Some Crash)
-    | Some (Json.Str "hang") -> Ok (Some Hang)
-    | Some _ -> Error "bad task fault"
-  in
+  let* fault = fault_of_json (Json.member "fault" j) in
   let* subject =
     match Json.member "subject" j with
     | None -> Error "task is missing its \"subject\""
-    | Some s -> (
-      match Option.bind (Json.member "kind" s) Json.str with
-      | Some "bundled" -> (
-        match Option.bind (Json.member "name" s) Json.str with
-        | Some name -> Ok (Bundled name)
-        | None -> Error "bundled subject is missing its name")
-      | Some "market" ->
-        let* total = req_int "total" s in
-        let* seed = req_int "seed" s in
-        let* mid = req_int "id" s in
-        let permille = Option.bind (Json.member "permille" s) Json.int in
-        Ok (Market { m_total = total; m_seed = seed; m_permille = permille;
-                     m_id = mid })
-      | _ -> Error "unknown subject kind")
+    | Some s -> subject_of_json s
   in
   Ok { t_id = id; t_subject = subject; t_mode = mode; t_fault = fault }

@@ -17,11 +17,14 @@ type subject =
                 m_id : int }
       (** app [m_id] of [Market.generate {total; seed; type1_permille}] *)
 
-(** Injected worker misbehaviour, exercised by the crash-isolation tests
-    and `bench/main.exe pipeline`:
-    [Crash] makes the worker process exit hard mid-task, [Hang] makes it
-    spin past any per-app timeout.  Never set on real analysis work. *)
-type fault = Crash | Hang
+(** Injected worker misbehaviour, exercised by the crash-isolation tests,
+    the service-layer tests and `bench/main.exe pipeline`:
+    [Crash] makes the worker process exit hard mid-task, [Kill] makes it
+    SIGKILL itself (death by signal, exactly what an OOM kill looks like),
+    [Hang] makes it spin past any per-app timeout, and [Sleep s] delays
+    the analysis by [s] seconds (a deterministic "slow app" for fairness
+    and shedding tests).  Never set on real analysis work. *)
+type fault = Crash | Kill | Hang | Sleep of float
 
 type t = {
   t_id : int;  (** dense index; results are ordered by it *)
@@ -46,3 +49,12 @@ val of_market_slice : ?mode:mode -> Ndroid_corpus.Market.params -> t list
 
 val to_json : t -> Ndroid_report.Json.t
 val of_json : Ndroid_report.Json.t -> (t, string) result
+
+val subject_to_json : subject -> Ndroid_report.Json.t
+val subject_of_json : Ndroid_report.Json.t -> (subject, string) result
+(** The subject codec alone — shared with the service protocol
+    ({!Ndroid_pipeline.Proto}), whose [Submit] messages carry a subject
+    but mint their own ids. *)
+
+val fault_to_json : fault option -> Ndroid_report.Json.t
+val fault_of_json : Ndroid_report.Json.t option -> (fault option, string) result

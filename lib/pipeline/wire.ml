@@ -1,4 +1,5 @@
 let header_len = 4
+let protocol_version = 1
 
 let encode_len n =
   let b = Bytes.create header_len in
@@ -91,3 +92,41 @@ let drain r fd =
     `Frames (completed_frames r)
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
     `Eof (completed_frames r)
+
+(* ---- v1 tagged frames: the service protocol ---- *)
+
+(* A v1 frame is an ordinary length-prefixed frame whose payload starts
+   with two header bytes: the protocol version and a one-byte message tag.
+   Reusing the v0 framing means the incremental [reader] above reassembles
+   v1 traffic unchanged; only the payload interpretation differs.  The
+   version byte exists so a stale client talking to a newer daemon (or
+   vice versa) fails with one decisive error instead of silently
+   misparsing JSON that happens to start plausibly. *)
+
+let encode_tagged ~tag payload =
+  let n = String.length payload + 2 in
+  let b = Bytes.create (header_len + n) in
+  Bytes.blit (encode_len n) 0 b 0 header_len;
+  Bytes.set b header_len (Char.chr protocol_version);
+  Bytes.set b (header_len + 1) tag;
+  Bytes.blit_string payload 0 b (header_len + 2) (String.length payload);
+  b
+
+let write_tagged fd ~tag payload = write_all fd (encode_tagged ~tag payload)
+
+let parse_tagged frame =
+  let n = String.length frame in
+  if n < 2 then
+    Error
+      (Printf.sprintf
+         "protocol error: %d-byte frame is too short for a version+tag header"
+         n)
+  else
+    let v = Char.code frame.[0] in
+    if v <> protocol_version then
+      Error
+        (Printf.sprintf
+           "protocol version mismatch: peer speaks v%d, this binary speaks \
+            v%d — refusing to parse"
+           v protocol_version)
+    else Ok (frame.[1], String.sub frame 2 (n - 2))

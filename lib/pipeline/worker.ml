@@ -1,0 +1,65 @@
+module Json = Ndroid_report.Json
+module Verdict = Ndroid_report.Verdict
+module Metrics = Ndroid_obs.Metrics
+module Ring = Ndroid_obs.Ring
+
+let meta_int key (r : Verdict.report) =
+  match
+    ( List.assoc_opt key r.Verdict.r_meta,
+      List.assoc_opt ("dynamic_" ^ key) r.Verdict.r_meta )
+  with
+  | Some (Json.Int n), _ | None, Some (Json.Int n) -> n
+  | _ -> 0
+
+let act_on_fault = function
+  | None -> ()
+  | Some Task.Crash -> Unix._exit 66
+  | Some Task.Kill ->
+    (* death by signal: indistinguishable from an OOM kill to the parent *)
+    Unix.kill (Unix.getpid ()) Sys.sigkill
+  | Some Task.Hang ->
+    let rec hang () =
+      Unix.sleep 3600;
+      hang ()
+    in
+    hang ()
+  | Some (Task.Sleep s) ->
+    (* deterministic slowness, then the analysis proceeds normally *)
+    Unix.sleepf s
+
+let loop task_r result_w =
+  let respond id seconds report metrics =
+    Wire.write_frame result_w
+      (Json.to_string
+         (Json.Obj
+            [ ("id", Json.Int id);
+              ("seconds", Json.Float seconds);
+              ("metrics", metrics);
+              ("report", Verdict.report_to_json report) ]))
+  in
+  let rec loop () =
+    match Wire.read_frame task_r with
+    | None -> ()
+    | Some payload ->
+      (match Result.bind (Json.of_string payload) Task.of_json with
+       | Error _ -> ()
+       | Ok task ->
+         act_on_fault task.Task.t_fault;
+         (* a fresh per-task hub: its metrics registry rides the result
+            frame back to the parent, which merges registries across the
+            whole sweep *)
+         let ring = Ring.create ~capacity:4096 () in
+         let t0 = Unix.gettimeofday () in
+         let report = Analysis.run ~obs:ring task in
+         let dt = Unix.gettimeofday () -. t0 in
+         let m = Ring.metrics ring in
+         Metrics.incr (Metrics.counter m "tasks");
+         Metrics.observe (Metrics.histogram m "task_seconds") dt;
+         Metrics.observe_int
+           (Metrics.histogram m "task_bytecodes")
+           (meta_int "bytecodes" report);
+         respond task.Task.t_id dt report (Metrics.to_json m));
+      loop ()
+  in
+  (try loop () with _ -> ());
+  Unix._exit 0

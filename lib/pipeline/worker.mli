@@ -1,0 +1,19 @@
+(** The analysis worker process — one loop shared by the batch {!Pool}
+    and the {!Server} daemon.
+
+    A worker blocks reading v0 task frames ({!Wire}) from [task_r],
+    analyzes each task through {!Analysis.run} under a fresh per-task
+    observability hub, and writes one v0 result frame
+    [{id; seconds; metrics; report}] to [result_w].  EOF on [task_r] is
+    the shutdown signal.  Fault markers on a task are acted on here —
+    crash, self-SIGKILL, hang, or sleep-then-analyze — which is what the
+    crash-isolation and service-layer tests inject. *)
+
+val loop : Unix.file_descr -> Unix.file_descr -> unit
+(** [loop task_r result_w] never returns: it [_exit]s when the task pipe
+    reaches EOF (or on any escaping exception).  Call only in a forked
+    child. *)
+
+val meta_int : string -> Ndroid_report.Verdict.report -> int
+(** A counter from the report's meta, accepting both the bare key (dynamic
+    reports) and its ["dynamic_"]-prefixed form (merged reports). *)

@@ -28,4 +28,5 @@ let () =
       ("misc", Test_misc.suite);
       ("static", Test_static.suite);
       ("pipeline", Test_pipeline.suite);
+      ("service", Test_service.suite);
       ("obs", Test_obs.suite) ]

@@ -1,0 +1,385 @@
+(* The analysis service: the typed protocol, the service facade, and the
+   daemon — request/verdict parity with batch analysis, per-client
+   fairness, overload shedding, and surviving worker death. *)
+
+module Json = Ndroid_report.Json
+module Verdict = Ndroid_report.Verdict
+module Task = Ndroid_pipeline.Task
+module Pool = Ndroid_pipeline.Pool
+module Cache = Ndroid_pipeline.Cache
+module Analysis = Ndroid_pipeline.Analysis
+module Shard_queue = Ndroid_pipeline.Shard_queue
+module Wire = Ndroid_pipeline.Wire
+module Proto = Ndroid_pipeline.Proto
+module Server = Ndroid_pipeline.Server
+module Market = Ndroid_corpus.Market
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  n = 0 || at 0
+
+let slice n = Task.of_market_slice (Market.scaled n)
+
+let with_fault fault tasks =
+  List.map (fun (t : Task.t) -> { t with Task.t_fault = Some fault }) tasks
+
+let json_of reports =
+  Json.to_string (Verdict.reports_to_json (Array.to_list reports))
+
+(* ---- protocol ---- *)
+
+let strip_length frame =
+  (* [Proto.to_frame] returns complete wire bytes; [of_frame] takes the
+     payload as the reader returns it, without the 4-byte length *)
+  let s = Bytes.to_string frame in
+  String.sub s 4 (String.length s - 4)
+
+let test_proto_roundtrip () =
+  let subject = (List.hd (slice 8)).Task.t_subject in
+  let report =
+    { Verdict.r_app = "app-0"; r_analysis = "static"; r_verdict = Verdict.Clean;
+      r_meta = [ ("jni_sites", Json.Int 1) ] }
+  in
+  let messages =
+    [ Proto.Submit
+        { sb_req = 3; sb_subject = subject; sb_mode = Task.Hybrid;
+          sb_deadline = Some 1.5; sb_fault = Some Task.Crash };
+      Proto.Submit
+        { sb_req = 0; sb_subject = Task.Bundled "case1"; sb_mode = Task.Static;
+          sb_deadline = None; sb_fault = None };
+      Proto.Verdict
+        { vd_req = 7; vd_cached = true; vd_seconds = 0.25; vd_report = report };
+      Proto.Progress { pg_req = 2; pg_state = "queued"; pg_depth = 5 };
+      Proto.Shed { sh_req = 9; sh_reason = "queue at capacity" };
+      Proto.Error "bad frame" ]
+  in
+  List.iter
+    (fun m ->
+      match Proto.of_frame (strip_length (Proto.to_frame m)) with
+      | Error e -> Alcotest.failf "roundtrip: %s" e
+      | Ok m' ->
+        Alcotest.(check bytes) "message survives the wire" (Proto.to_frame m)
+          (Proto.to_frame m'))
+    messages
+
+let test_proto_version_mismatch () =
+  (* a frame from a binary one protocol generation ahead must be one
+     decisive error, not a misparse *)
+  let alien =
+    Printf.sprintf "%c%c{}" (Char.chr (Wire.protocol_version + 1)) 'V'
+  in
+  (match Proto.of_frame alien with
+   | Ok _ -> Alcotest.fail "alien version accepted"
+   | Error e ->
+     Alcotest.(check bool) "error names the version" true
+       (contains ~affix:"version" e || contains ~affix:"protocol" e));
+  match Proto.of_frame "" with
+  | Ok _ -> Alcotest.fail "empty frame accepted"
+  | Error _ -> ()
+
+(* ---- the service queue discipline ---- *)
+
+let test_queue_service_discipline () =
+  let q = Shard_queue.create_empty ~shards:3 ~capacity:4 () in
+  Alcotest.(check bool) "push a" true (Shard_queue.push q ~shard:0 "a");
+  Alcotest.(check bool) "push b" true (Shard_queue.push q ~shard:0 "b");
+  Alcotest.(check bool) "push c" true (Shard_queue.push q ~shard:1 "c");
+  Alcotest.(check bool) "push d" true (Shard_queue.push q ~shard:2 "d");
+  Alcotest.(check bool) "capacity refuses" false (Shard_queue.push q ~shard:1 "e");
+  Alcotest.(check int) "depth of shard 0" 2 (Shard_queue.shard_depth q ~shard:0);
+  (* round-robin: one item per non-empty shard per round, so the client
+     with two queued items waits for everyone else's first *)
+  let pops = List.init 4 (fun _ -> Shard_queue.pop_rr q) in
+  Alcotest.(check (list (option string))) "rr order"
+    [ Some "a"; Some "c"; Some "d"; Some "b" ] pops;
+  Alcotest.(check (option string)) "empty" None (Shard_queue.pop_rr q);
+  (* popping freed capacity *)
+  Alcotest.(check bool) "push after pop" true (Shard_queue.push q ~shard:1 "f");
+  Alcotest.(check bool) "push g" true (Shard_queue.push q ~shard:1 "g");
+  Alcotest.(check (list string)) "clear_shard returns the backlog"
+    [ "f"; "g" ] (Shard_queue.clear_shard q ~shard:1);
+  Alcotest.(check int) "cleared" 0 (Shard_queue.shard_depth q ~shard:1)
+
+(* ---- the facade ---- *)
+
+let test_service_facade () =
+  let sv = Analysis.service () in
+  let task = List.hd (slice 16) in
+  let r1, hit1 = Analysis.service_run sv task in
+  let r2, hit2 = Analysis.service_run sv task in
+  Alcotest.(check bool) "first run computes" false hit1;
+  Alcotest.(check bool) "second run is warm" true hit2;
+  Alcotest.(check string) "warm report identical"
+    (Json.to_string (Verdict.report_to_json r1))
+    (Json.to_string (Verdict.report_to_json r2));
+  (* fault-marked requests must never be answered from (or poison) the
+     warm layer: the marker asks for a live worker run *)
+  let faulted = { task with Task.t_fault = Some (Task.Sleep 0.0) } in
+  let _, fhit1 = Analysis.service_run sv faulted in
+  let _, fhit2 = Analysis.service_run sv faulted in
+  Alcotest.(check bool) "faulted never cache-served" false (fhit1 || fhit2)
+
+let test_digest_distinguishes_entry_points () =
+  (* the poly-* bundled apps share one dex and one native library and
+     differ only in entry point — their cache keys must still differ *)
+  let dig name =
+    Analysis.digest
+      { Task.t_id = 0; t_subject = Task.Bundled name; t_mode = Task.Static;
+        t_fault = None }
+  in
+  Alcotest.(check bool) "poly-net vs poly-file" false
+    (dig "poly-net" = dig "poly-file");
+  Alcotest.(check bool) "poly-net vs poly-callback" false
+    (dig "poly-net" = dig "poly-callback")
+
+(* ---- the daemon ---- *)
+
+let tmp_name prefix =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.int 1_000_000))
+
+let with_daemon ?(jobs = 1) ?depth ?max_clients ?deadline f =
+  let socket = tmp_name "ndroid-test-sock" in
+  match Unix.fork () with
+  | 0 ->
+    (try
+       ignore
+         (Server.serve (Server.config ~socket ~jobs ?depth ?max_clients
+                          ?deadline ()))
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        try Unix.unlink socket with Unix.Unix_error _ -> ())
+      (fun () -> f socket)
+
+let connect socket =
+  match Proto.Client.connect ~retry_for:10.0 socket with
+  | Error e -> Alcotest.failf "connect: %s" e
+  | Ok c ->
+    (* a wedged daemon must fail the test, not hang the suite *)
+    Unix.setsockopt_float (Proto.Client.fd c) Unix.SO_RCVTIMEO 30.0;
+    c
+
+let submit c ?deadline (t : Task.t) =
+  Proto.Client.send c
+    (Proto.Submit
+       { sb_req = t.Task.t_id; sb_subject = t.Task.t_subject;
+         sb_mode = t.Task.t_mode; sb_deadline = deadline;
+         sb_fault = t.Task.t_fault })
+
+(* next [n] terminal responses, in arrival order *)
+let collect c n =
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else
+      match Proto.Client.recv c with
+      | Error e -> Alcotest.failf "recv: %s" e
+      | Ok (Proto.Verdict v) ->
+        go ((v.vd_req, `Verdict (v.vd_report, v.vd_cached)) :: acc) (k - 1)
+      | Ok (Proto.Shed s) -> go ((s.sh_req, `Shed s.sh_reason) :: acc) (k - 1)
+      | Ok (Proto.Progress _) -> go acc k
+      | Ok _ -> Alcotest.fail "unexpected message from the server"
+  in
+  go [] n
+
+let reports_in_req_order terminals total =
+  let arr = Array.make total None in
+  List.iter
+    (fun (req, t) ->
+      match t with
+      | `Verdict (r, cached) -> arr.(req) <- Some (r, cached)
+      | `Shed reason -> Alcotest.failf "request %d shed: %s" req reason)
+    terminals;
+  Array.map
+    (function
+      | Some rc -> rc
+      | None -> Alcotest.fail "request got no terminal response")
+    arr
+
+let test_daemon_parity_and_warm () =
+  let tasks = slice 40 in
+  let n = List.length tasks in
+  let expected = json_of (Pool.run_inline tasks) in
+  with_daemon ~jobs:2 (fun socket ->
+      let c = connect socket in
+      List.iter (submit c) tasks;
+      let cold = reports_in_req_order (collect c n) n in
+      Alcotest.(check string) "cold verdicts bit-identical to batch" expected
+        (json_of (Array.map fst cold));
+      Alcotest.(check bool) "cold run computed" true
+        (Array.for_all (fun (_, cached) -> not cached) cold);
+      List.iter (submit c) tasks;
+      let warm = reports_in_req_order (collect c n) n in
+      Alcotest.(check string) "warm verdicts bit-identical" expected
+        (json_of (Array.map fst warm));
+      Alcotest.(check bool) "warm run all served from cache" true
+        (Array.for_all (fun (_, cached) -> cached) warm);
+      Proto.Client.close c)
+
+let test_daemon_two_clients () =
+  (* two clients pipelining concurrently on one worker: each stream gets
+     exactly its own verdicts, each request exactly one terminal *)
+  let tasks = slice 12 in
+  let n = List.length tasks in
+  with_daemon ~jobs:1 (fun socket ->
+      let a = connect socket in
+      let b = connect socket in
+      List.iter
+        (fun t ->
+          submit a t;
+          submit b t)
+        tasks;
+      let check name terminals =
+        let reqs =
+          List.map fst terminals |> List.sort_uniq compare
+        in
+        Alcotest.(check (list int)) (name ^ ": every request answered once")
+          (List.map (fun (t : Task.t) -> t.Task.t_id) tasks)
+          reqs
+      in
+      check "client a" (collect a n);
+      check "client b" (collect b n);
+      Proto.Client.close a;
+      Proto.Client.close b)
+
+let test_daemon_fairness () =
+  (* a saturating client cannot starve a neighbour: round-robin dispatch
+     serves b's single request after at most one in-flight task, while
+     a's backlog alone is ~1.5s of worker time *)
+  let backlog = with_fault (Task.Sleep 0.05) (slice 30) in
+  let quick = List.hd (slice 1) in
+  with_daemon ~jobs:1 ~depth:64 (fun socket ->
+      let a = connect socket in
+      let b = connect socket in
+      List.iter (submit a) backlog;
+      Unix.sleepf 0.05 (* let a's backlog reach the queue first *);
+      let t0 = Unix.gettimeofday () in
+      submit b quick;
+      (match collect b 1 with
+       | [ (0, `Verdict _) ] -> ()
+       | _ -> Alcotest.fail "b expected one verdict");
+      let waited = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "b served promptly (%.3fs)" waited) true
+        (waited < 0.75);
+      Proto.Client.close b;
+      ignore (collect a (List.length backlog));
+      Proto.Client.close a)
+
+let test_daemon_overload_sheds () =
+  (* a bounded queue refuses loudly: every request gets its terminal
+     response, none stall, the excess is shed *)
+  let tasks = with_fault (Task.Sleep 0.01) (slice 30) in
+  let n = List.length tasks in
+  with_daemon ~jobs:1 ~depth:4 (fun socket ->
+      let c = connect socket in
+      List.iter (submit c) tasks;
+      let terminals = collect c n in
+      let sheds =
+        List.length
+          (List.filter (function _, `Shed _ -> true | _ -> false) terminals)
+      in
+      Alcotest.(check int) "every request answered" n (List.length terminals);
+      Alcotest.(check bool)
+        (Printf.sprintf "overload shed some load (%d)" sheds) true (sheds > 0);
+      Proto.Client.close c)
+
+let test_daemon_survives_worker_kill () =
+  (* SIGKILL lands on the worker mid-request: that request gets a Crashed
+     verdict, the daemon respawns and serves the next request normally *)
+  let victim = { (List.hd (slice 1)) with Task.t_fault = Some Task.Kill } in
+  let clean = List.hd (slice 1) in
+  with_daemon ~jobs:1 (fun socket ->
+      let c = connect socket in
+      submit c victim;
+      (match collect c 1 with
+       | [ (0, `Verdict (r, _)) ] -> (
+         match r.Verdict.r_verdict with
+         | Verdict.Crashed why ->
+           Alcotest.(check bool) "says how the worker died" true
+             (contains ~affix:"SIGKILL" why)
+         | _ -> Alcotest.fail "expected a Crashed verdict")
+       | _ -> Alcotest.fail "expected one verdict");
+      submit c clean;
+      (match collect c 1 with
+       | [ (0, `Verdict (r, _)) ] ->
+         Alcotest.(check string) "respawned worker analyzes normally"
+           "static" r.Verdict.r_analysis
+       | _ -> Alcotest.fail "expected one verdict after the respawn");
+      Proto.Client.close c)
+
+let test_daemon_deadline () =
+  let hung = { (List.hd (slice 1)) with Task.t_fault = Some Task.Hang } in
+  let clean = List.hd (slice 1) in
+  with_daemon ~jobs:1 (fun socket ->
+      let c = connect socket in
+      submit c ~deadline:0.2 hung;
+      (match collect c 1 with
+       | [ (0, `Verdict (r, _)) ] ->
+         Alcotest.(check bool) "hung request times out" true
+           (r.Verdict.r_verdict = Verdict.Timeout)
+       | _ -> Alcotest.fail "expected one verdict");
+      submit c clean;
+      (match collect c 1 with
+       | [ (0, `Verdict _) ] -> ()
+       | _ -> Alcotest.fail "daemon must outlive the deadline kill");
+      Proto.Client.close c)
+
+(* ---- batch-side satellites ---- *)
+
+let test_inline_progress_uniform () =
+  (* progress must fire once per task whether the answer was computed or
+     served warm — a progress bar that skips cache hits reads as a hang *)
+  let tasks = slice 20 in
+  let n = List.length tasks in
+  let count = ref 0 in
+  let last = ref 0 in
+  let progress ~done_ ~total =
+    incr count;
+    Alcotest.(check int) "monotone" (!last + 1) done_;
+    last := done_;
+    Alcotest.(check int) "total constant" n total
+  in
+  ignore (Pool.run_inline ~progress tasks);
+  Alcotest.(check int) "cold: one tick per task" n !count;
+  count := 0;
+  last := 0;
+  ignore (Pool.run_inline ~progress tasks);
+  Alcotest.(check int) "warm path ticks the same" n !count
+
+let test_pool_stats_shed_zero () =
+  let _, stats = Pool.run (Pool.config ~jobs:2 ()) (slice 24) in
+  Alcotest.(check int) "batch sweeps never shed" 0 stats.Pool.s_shed
+
+let suite =
+  [ Alcotest.test_case "proto: messages roundtrip the wire" `Quick
+      test_proto_roundtrip;
+    Alcotest.test_case "proto: version mismatch is decisive" `Quick
+      test_proto_version_mismatch;
+    Alcotest.test_case "queue: service discipline (rr, bound, clear)" `Quick
+      test_queue_service_discipline;
+    Alcotest.test_case "service: facade memoizes, faults bypass" `Quick
+      test_service_facade;
+    Alcotest.test_case "service: digest keys on entry point" `Quick
+      test_digest_distinguishes_entry_points;
+    Alcotest.test_case "daemon: verdicts bit-identical to batch, warm hits"
+      `Quick test_daemon_parity_and_warm;
+    Alcotest.test_case "daemon: two clients, interleaved streams" `Quick
+      test_daemon_two_clients;
+    Alcotest.test_case "daemon: saturating client cannot starve another"
+      `Quick test_daemon_fairness;
+    Alcotest.test_case "daemon: overload sheds, nothing stalls" `Quick
+      test_daemon_overload_sheds;
+    Alcotest.test_case "daemon: survives worker SIGKILL mid-request" `Quick
+      test_daemon_survives_worker_kill;
+    Alcotest.test_case "daemon: per-request deadline kills and recovers"
+      `Quick test_daemon_deadline;
+    Alcotest.test_case "pool: progress uniform across cache hits" `Quick
+      test_inline_progress_uniform;
+    Alcotest.test_case "pool: batch stats report zero shed" `Quick
+      test_pool_stats_shed_zero ]
