@@ -687,6 +687,7 @@ let static_registry () = Ndroid_apps.Registry.all
 let jobs_flag = ref 4
 
 module Task = Ndroid_pipeline.Task
+module Engine = Ndroid_pipeline.Engine
 module Pool = Ndroid_pipeline.Pool
 module P_cache = Ndroid_pipeline.Cache
 module Server = Ndroid_pipeline.Server
@@ -1048,13 +1049,14 @@ let pipeline () =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "ndroid-bench-%d.sock" (Unix.getpid ()))
   in
-  let with_daemon ~depth f =
+  let with_daemon ?engine ~depth f =
     match Unix.fork () with
     | 0 ->
       (try
          ignore
            (Server.serve
-              (Server.config ~socket ~jobs:jobs_n ~depth ~max_clients:4 ()))
+              (Server.config ~socket ~jobs:jobs_n ~depth ~max_clients:4
+                 ?engine ()))
        with _ -> ());
       Unix._exit 0
     | pid ->
@@ -1149,9 +1151,94 @@ let pipeline () =
   Printf.printf
     "serve overload (depth 64): %d/%d shed in %.2fs, every request answered\n%!"
     overload_shed slice dt_overload;
+  (* ---- single-flight: a herd of identical requests costs one analysis.
+     A domain-engine daemon (forked as a child, so the parent may still
+     fork below) takes 32 pipelined submits of one digest: the first
+     queues, the rest coalesce onto it, and the one verdict fans out. *)
+  let sf_n = 32 in
+  let sf_task = List.hd serve_tasks in
+  let sf_coalesced, sf_cached, sf_identical =
+    with_daemon ~engine:Engine.Domains ~depth:64 (fun () ->
+        let c = connect () in
+        for i = 0 to sf_n - 1 do
+          Proto.Client.send c
+            (Proto.Submit
+               { sb_req = i; sb_subject = sf_task.Task.t_subject;
+                 sb_mode = sf_task.Task.t_mode; sb_deadline = None;
+                 sb_fault = None })
+        done;
+        let coalesced = ref 0 and cached = ref 0 in
+        let verdicts = ref [] in
+        let rec loop remaining =
+          if remaining > 0 then
+            match Proto.Client.recv c with
+            | Error e -> failwith ("single-flight bench: " ^ e)
+            | Ok (Proto.Verdict v) ->
+              verdicts :=
+                Rj.to_string (Verdict.report_to_json v.vd_report)
+                :: !verdicts;
+              if v.vd_cached then incr cached;
+              loop (remaining - 1)
+            | Ok (Proto.Progress p) ->
+              if p.pg_state = "coalesced" then incr coalesced;
+              loop remaining
+            | Ok (Proto.Shed s) ->
+              failwith ("single-flight bench: shed: " ^ s.sh_reason)
+            | Ok _ -> failwith "single-flight bench: unexpected message"
+        in
+        loop sf_n;
+        Proto.Client.close c;
+        let identical =
+          match !verdicts with
+          | [] -> false
+          | v :: rest -> List.for_all (String.equal v) rest
+        in
+        (!coalesced, !cached, identical))
+  in
+  Printf.printf
+    "single-flight (domains daemon): %d identical submits -> %d coalesced, \
+     %d cached, verdicts identical: %b\n%!"
+    sf_n sf_coalesced sf_cached sf_identical;
+  (* ---- engines: fork vs domains on the clean static slice.  The cold
+     rows carry no cache, so the gap is purely the per-task fork + wire
+     tax the domain engine retires; the warm rows replay the same slice
+     against a populated disk cache (neither engine dispatches).  Every
+     fork in this bench happens above this comment: once the domain rows
+     spawn, this process can never fork again (OCaml 5 forbids it). *)
+  let engine_cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      ("ndroid-bench-engines-" ^ string_of_int (Unix.getpid ()))
+  in
+  rm_rf_dir engine_cache_dir;
+  let e_run ?cache engine =
+    Pool.run (Pool.config ~jobs:jobs_n ?cache ~engine ()) clean_tasks
+  in
+  let ef_cold_r, ef_cold = e_run Engine.Fork in
+  let _ = e_run ~cache:(P_cache.create ~dir:engine_cache_dir) Engine.Fork in
+  let _, ef_warm =
+    e_run ~cache:(P_cache.create ~dir:engine_cache_dir) Engine.Fork
+  in
+  (* no fork below this line *)
+  let ed_cold_r, ed_cold = e_run Engine.Domains in
+  let _, ed_warm =
+    e_run ~cache:(P_cache.create ~dir:engine_cache_dir) Engine.Domains
+  in
+  rm_rf_dir engine_cache_dir;
+  let engines_identical = String.equal (json_of ef_cold_r) (json_of ed_cold_r) in
+  let engines_speedup = ef_cold.Pool.s_wall /. ed_cold.Pool.s_wall in
+  Printf.printf
+    "engines (static, %d apps, %d jobs):\n\
+    \  fork    cold %6.3fs (fork %.3fs, wire %.3fs)  warm %6.3fs\n\
+    \  domains cold %6.3fs (fork %.3fs, wire %.3fs)  warm %6.3fs\n\
+     cold speedup from killing the fork+wire tax: %.2fx\n\
+     verdicts bit-identical across engines: %b\n%!"
+    slice jobs_n ef_cold.Pool.s_wall ef_cold.Pool.s_fork ef_cold.Pool.s_wire
+    ef_warm.Pool.s_wall ed_cold.Pool.s_wall ed_cold.Pool.s_fork
+    ed_cold.Pool.s_wire ed_warm.Pool.s_wall engines_speedup engines_identical;
   let stats_json (s : Pool.stats) =
     Rj.Obj
       [ ("wall_seconds", Rj.Float s.Pool.s_wall);
+        ("engine", Rj.Str s.Pool.s_engine);
         ("from_workers", Rj.Int s.Pool.s_from_workers);
         ("cache_hits", Rj.Int s.Pool.s_cache_hits);
         ("crashed", Rj.Int s.Pool.s_crashed);
@@ -1160,8 +1247,11 @@ let pipeline () =
         ("steals", Rj.Int s.Pool.s_steals);
         ("shed", Rj.Int s.Pool.s_shed);
         ("injected_kills", Rj.Int s.Pool.s_injected_kills);
+        ("evictions", Rj.Int s.Pool.s_evictions);
         ("cache_pass_seconds", Rj.Float s.Pool.s_cache_pass);
+        ("digest_seconds", Rj.Float s.Pool.s_digest);
         ("fork_seconds", Rj.Float s.Pool.s_fork);
+        ("wire_seconds", Rj.Float s.Pool.s_wire);
         ("collect_seconds", Rj.Float s.Pool.s_collect);
         ("analyze_cpu_seconds", Rj.Float s.Pool.s_analyze_cpu);
         ("bytecodes", Rj.Int s.Pool.s_bytecodes);
@@ -1224,7 +1314,26 @@ let pipeline () =
                   ("requests", Rj.Int slice);
                   ("seconds", Rj.Float dt_overload);
                   ("shed", Rj.Int overload_shed);
-                  ("lost", Rj.Int 0) ]) ]) ]
+                  ("lost", Rj.Int 0) ]) ]);
+        ("single_flight",
+         Rj.Obj
+           [ ("engine", Rj.Str "domains");
+             ("requests", Rj.Int sf_n);
+             ("coalesced", Rj.Int sf_coalesced);
+             ("cached", Rj.Int sf_cached);
+             ("identical", Rj.Bool sf_identical) ]);
+        ("engines",
+         Rj.Obj
+           [ ("mode", Rj.Str "static");
+             ("requests", Rj.Int slice);
+             ("fork",
+              Rj.Obj
+                [ ("cold", stats_json ef_cold); ("warm", stats_json ef_warm) ]);
+             ("domains",
+              Rj.Obj
+                [ ("cold", stats_json ed_cold); ("warm", stats_json ed_warm) ]);
+             ("cold_speedup", Rj.Float engines_speedup);
+             ("bit_identical", Rj.Bool engines_identical) ]) ]
   in
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc (Rj.to_string_hum doc);
@@ -1272,7 +1381,19 @@ let pipeline () =
     fail
       (Printf.sprintf "warm/cold serve ratio %.1fx < 5x" warm_cold_ratio);
   if overload_shed = 0 then
-    fail "overload run shed nothing (depth bound did not engage)"
+    fail "overload run shed nothing (depth bound did not engage)";
+  (* the engine bars *)
+  if not engines_identical then
+    fail "fork and domain engines produced different verdicts";
+  if engines_speedup < 2.0 then
+    fail
+      (Printf.sprintf
+         "domain engine cold speedup %.2fx < 2.0x over the forked engine"
+         engines_speedup);
+  if sf_coalesced = 0 then
+    fail "single-flight coalesced nothing (identical submits each ran)";
+  if not sf_identical then
+    fail "single-flight verdicts differ across waiters"
 
 (* ------------------------------------------------- Bechamel micro-suite -- *)
 

@@ -5,6 +5,7 @@
    drift. *)
 
 module Task = Ndroid_pipeline.Task
+module Engine = Ndroid_pipeline.Engine
 module Market = Ndroid_corpus.Market
 module Registry = Ndroid_apps.Registry
 
@@ -114,3 +115,17 @@ let apps_after_socket =
 
 let deadline_arg ~doc =
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SEC" ~doc)
+
+let engine_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Engine.of_name s) in
+  let print fmt e = Format.pp_print_string fmt (Engine.name e) in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  Arg.(value & opt engine_conv Engine.Auto
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Worker engine for cache misses: $(b,fork) (process \
+                 isolation: crash containment, timeouts, fault \
+                 injection), $(b,domains) (shared-memory OCaml domains: \
+                 no fork or serialization tax per task), or $(b,auto) \
+                 (default; domains unless the run needs isolation).")

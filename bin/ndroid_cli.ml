@@ -16,6 +16,7 @@ module Market = Ndroid_corpus.Market
 module Stats = Ndroid_corpus.Stats
 module Registry = Ndroid_apps.Registry
 module Task = Ndroid_pipeline.Task
+module Engine = Ndroid_pipeline.Engine
 module Pool = Ndroid_pipeline.Pool
 module Cache = Ndroid_pipeline.Cache
 module Server = Ndroid_pipeline.Server
@@ -282,7 +283,8 @@ let stats_to_json ~bytecodes ~jni_crossings ~focused_methods
          ("focused_methods", Json.Int focused_methods);
          ("skipped_bytecodes", Json.Int skipped_bytecodes) ])
 
-let cmd_analyze names mode json jobs timeout cache_dir market trace_file =
+let cmd_analyze names mode json jobs timeout cache_dir market engine
+    trace_file =
   match Cli_args.tasks_of_request names market mode with
   | Error e ->
     prerr_endline e;
@@ -299,7 +301,10 @@ let cmd_analyze names mode json jobs timeout cache_dir market trace_file =
       prerr_endline
         "note: --trace records in-process; ignoring --jobs/--timeout";
     let reports, stats_json =
-      if (jobs <= 1 && timeout = None) || obs <> None then begin
+      if
+        obs <> None
+        || (engine = Engine.Auto && jobs <= 1 && timeout = None)
+      then begin
         let progress ~done_ ~total = Printf.eprintf "\r%d/%d%!" done_ total in
         let progress = if json then None else Some progress in
         let t0 = Unix.gettimeofday () in
@@ -324,7 +329,9 @@ let cmd_analyze names mode json jobs timeout cache_dir market trace_file =
         let progress ~done_ ~total = Printf.eprintf "\r%d/%d%!" done_ total in
         let progress = if json then None else Some progress in
         let reports, s =
-          Pool.run (Pool.config ~jobs ?timeout ?cache ?progress ()) tasks
+          Pool.run
+            (Pool.config ~jobs ?timeout ?cache ?progress ~engine ())
+            tasks
         in
         if progress <> None then Printf.eprintf "\n%!";
         ( reports,
@@ -334,11 +341,15 @@ let cmd_analyze names mode json jobs timeout cache_dir market trace_file =
             ~skipped_bytecodes:s.Pool.s_skipped_bytecodes
             ~analyze_seconds:s.Pool.s_analyze_cpu
             [ ("wall_seconds", Json.Float s.Pool.s_wall);
+              ("engine", Json.Str s.Pool.s_engine);
               ("cache_pass_seconds", Json.Float s.Pool.s_cache_pass);
+              ("digest_seconds", Json.Float s.Pool.s_digest);
               ("fork_seconds", Json.Float s.Pool.s_fork);
+              ("wire_seconds", Json.Float s.Pool.s_wire);
               ("collect_seconds", Json.Float s.Pool.s_collect);
               ("cache_hits", Json.Int s.Pool.s_cache_hits);
               ("from_workers", Json.Int s.Pool.s_from_workers);
+              ("evictions", Json.Int s.Pool.s_evictions);
               ("metrics", s.Pool.s_metrics) ] )
       end
     in
@@ -382,23 +393,30 @@ let cmd_analyze names mode json jobs timeout cache_dir market trace_file =
 
 (* ---- the service: serve and submit ----------------------------------- *)
 
-let cmd_serve socket jobs cache_dir depth max_clients deadline quiet =
+let cmd_serve socket jobs cache_dir depth max_clients deadline engine quiet =
   let cache = Option.map (fun dir -> Cache.create ~dir) cache_dir in
   let log =
     if quiet then None
     else Some (fun s -> Printf.eprintf "ndroid serve: %s\n%!" s)
   in
-  let cfg =
-    Server.config ~socket ~jobs ?cache ~depth ~max_clients ?deadline ?log ()
-  in
-  let st = Server.serve cfg in
-  Printf.eprintf
-    "ndroid serve: %d requests, %d served (%d cached), %d shed, %d crashed, \
-     %d timeouts, %d respawns, %d clients\n%!"
-    st.Server.sv_requests st.Server.sv_served st.Server.sv_cache_hits
-    st.Server.sv_shed st.Server.sv_crashed st.Server.sv_timeouts
-    st.Server.sv_respawns st.Server.sv_clients;
-  0
+  match
+    Server.config ~socket ~jobs ?cache ~depth ~max_clients ?deadline ~engine
+      ?log ()
+  with
+  | exception Invalid_argument e ->
+    prerr_endline e;
+    1
+  | cfg ->
+    let st = Server.serve cfg in
+    Printf.eprintf
+      "ndroid serve: %d requests, %d served (%d cached, %d coalesced), %d \
+       analyses, %d shed, %d crashed, %d timeouts, %d respawns, %d \
+       evictions, %d clients\n%!"
+      st.Server.sv_requests st.Server.sv_served st.Server.sv_cache_hits
+      st.Server.sv_coalesced st.Server.sv_analyses st.Server.sv_shed
+      st.Server.sv_crashed st.Server.sv_timeouts st.Server.sv_respawns
+      st.Server.sv_evictions st.Server.sv_clients;
+    0
 
 (* Submit pipelined: send every request up front, then collect terminal
    responses until each request has one.  Output is exactly what
@@ -656,9 +674,10 @@ let analyze_cmd =
     Term.(const cmd_analyze $ Cli_args.apps_pos $ Cli_args.mode_flags
           $ Cli_args.json_flag
           $ Cli_args.jobs_arg ~default:1
-              ~doc:"Shard the corpus across $(docv) forked analysis workers."
+              ~doc:"Shard the corpus across $(docv) analysis workers \
+                    (processes or domains; see $(b,--engine))."
           $ Cli_args.timeout_arg $ Cli_args.cache_arg $ Cli_args.market_arg
-          $ trace_arg)
+          $ Cli_args.engine_arg $ trace_arg)
 
 let serve_cmd =
   let depth_arg =
@@ -685,12 +704,14 @@ let serve_cmd =
              Ctrl-C.")
     Term.(const cmd_serve $ Cli_args.socket_pos
           $ Cli_args.jobs_arg ~default:2
-              ~doc:"Keep $(docv) persistent analysis workers forked."
+              ~doc:"Keep $(docv) persistent analysis workers (processes or \
+                    domains; see $(b,--engine))."
           $ Cli_args.cache_arg $ depth_arg $ max_clients_arg
           $ Cli_args.deadline_arg
               ~doc:"Default per-request wall-clock budget; an overrunning \
-                    request records a timeout verdict."
-          $ quiet_arg)
+                    request records a timeout verdict.  Forces the forked \
+                    engine."
+          $ Cli_args.engine_arg $ quiet_arg)
 
 let submit_cmd =
   Cmd.v

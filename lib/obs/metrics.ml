@@ -88,6 +88,21 @@ let to_json t =
   in
   Json.Obj [ ("counters", Json.Obj cs); ("histograms", Json.Obj hs) ]
 
+(* Direct registry-into-registry merge: the domain engine hands whole
+   registries back by reference, so aggregation pays no serialize/parse
+   tax the way the forked engine's JSON frames do. *)
+let merge t src =
+  Hashtbl.iter (fun k c -> add (counter t k) c.c_value) src.counters;
+  Hashtbl.iter
+    (fun k h ->
+      let dst = histogram t k in
+      dst.h_count <- dst.h_count + h.h_count;
+      dst.h_sum <- dst.h_sum +. h.h_sum;
+      Array.iteri
+        (fun i n -> dst.h_buckets.(i) <- dst.h_buckets.(i) + n)
+        h.h_buckets)
+    src.histograms
+
 (* Absorb a snapshot previously produced by [to_json] — the worker side of
    the pipeline serializes its registry into each Wire result frame and the
    parent merges it here. *)

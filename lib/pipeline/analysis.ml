@@ -262,24 +262,103 @@ let digest (task : Task.t) =
    it, so "what counts as a hit" and "what may be cached" have exactly
    one definition. *)
 
+(* A bounded memo table with second-chance (clock) eviction: entries keep
+   a reference bit set on every hit; when the table is full the oldest
+   key is inspected — recently-hit entries get their bit cleared and one
+   more lap around the ring, cold ones are evicted.  A long-lived daemon
+   therefore holds its hottest [capacity] answers instead of growing
+   without bound. *)
+type 'v memo = {
+  mm_capacity : int;
+  mm_tbl : (string, 'v memo_slot) Hashtbl.t;
+  mm_ring : string Queue.t;  (* insertion-ordered clock hand *)
+  mutable mm_evictions : int;
+}
+
+and 'v memo_slot = { ms_value : 'v; mutable ms_ref : bool }
+
+let memo_create capacity =
+  { mm_capacity = max 1 capacity;
+    mm_tbl = Hashtbl.create (min capacity 4096);
+    mm_ring = Queue.create ();
+    mm_evictions = 0 }
+
+let memo_find m key =
+  match Hashtbl.find_opt m.mm_tbl key with
+  | Some s ->
+    s.ms_ref <- true;
+    Some s.ms_value
+  | None -> None
+
+let memo_add m key value =
+  if Hashtbl.mem m.mm_tbl key then
+    (* a replace keeps its ring position; no second ring entry *)
+    Hashtbl.replace m.mm_tbl key { ms_value = value; ms_ref = true }
+  else begin
+    let evicted = ref false in
+    while Hashtbl.length m.mm_tbl >= m.mm_capacity && not !evicted do
+      match Queue.take_opt m.mm_ring with
+      | None -> evicted := true  (* can't happen: ring covers the table *)
+      | Some victim -> (
+        match Hashtbl.find_opt m.mm_tbl victim with
+        | None -> ()  (* stale ring entry *)
+        | Some s when s.ms_ref ->
+          s.ms_ref <- false;
+          Queue.add victim m.mm_ring
+        | Some _ ->
+          Hashtbl.remove m.mm_tbl victim;
+          m.mm_evictions <- m.mm_evictions + 1;
+          evicted := true)
+    done;
+    Hashtbl.replace m.mm_tbl key { ms_value = value; ms_ref = false };
+    Queue.add key m.mm_ring
+  end
+
+(* Every service below is shared by all domains of the in-process engine:
+   one mutex guards the two memo tables and the counters.  Analyzer runs,
+   digest computation and disk I/O happen outside the lock — the critical
+   sections are table probes only, so domains contend for nanoseconds,
+   not for analysis time. *)
+
 type service = {
   sv_cache : Cache.t option;
-  sv_digest_memo : (string, string) Hashtbl.t;  (* subject+mode -> digest *)
-  sv_memo : (string, Verdict.report) Hashtbl.t;  (* digest -> warm report *)
+  sv_lock : Mutex.t;
+  sv_digest_memo : string memo;  (* subject+mode -> digest *)
+  sv_memo : Verdict.report memo;  (* digest -> warm report *)
   mutable sv_requests : int;
   mutable sv_hits : int;  (* memo + disk together *)
 }
 
-let service ?cache () =
+let default_capacity = 65536
+
+let service ?cache ?(capacity = default_capacity) () =
   (match cache with Some c -> enable_summary_cache c | None -> ());
   { sv_cache = cache;
-    sv_digest_memo = Hashtbl.create 4096;
-    sv_memo = Hashtbl.create 4096;
+    sv_lock = Mutex.create ();
+    sv_digest_memo = memo_create capacity;
+    sv_memo = memo_create capacity;
     sv_requests = 0;
     sv_hits = 0 }
 
-let service_requests sv = sv.sv_requests
-let service_hits sv = sv.sv_hits
+let locked sv f =
+  Mutex.lock sv.sv_lock;
+  match f () with
+  | v ->
+    Mutex.unlock sv.sv_lock;
+    v
+  | exception exn ->
+    Mutex.unlock sv.sv_lock;
+    raise exn
+
+let service_requests sv = locked sv (fun () -> sv.sv_requests)
+let service_hits sv = locked sv (fun () -> sv.sv_hits)
+
+let service_evictions sv =
+  locked sv (fun () ->
+      sv.sv_digest_memo.mm_evictions + sv.sv_memo.mm_evictions)
+
+let service_warm_entries sv =
+  locked sv (fun () -> Hashtbl.length sv.sv_memo.mm_tbl)
 
 (* the answer's identity: subject and mode, never the request-local id or
    an injected fault *)
@@ -290,11 +369,13 @@ let memo_key (task : Task.t) =
 
 let service_digest sv task =
   let k = memo_key task in
-  match Hashtbl.find_opt sv.sv_digest_memo k with
+  match locked sv (fun () -> memo_find sv.sv_digest_memo k) with
   | Some d -> d
   | None ->
+    (* compute outside the lock: descriptor construction is the expensive
+       part, and two domains racing to the same digest write equal values *)
     let d = digest task in
-    Hashtbl.add sv.sv_digest_memo k d;
+    locked sv (fun () -> memo_add sv.sv_digest_memo k d);
     d
 
 let service_find sv (task : Task.t) =
@@ -303,15 +384,22 @@ let service_find sv (task : Task.t) =
   if task.Task.t_fault <> None then None
   else begin
     let d = service_digest sv task in
-    match Hashtbl.find_opt sv.sv_memo d with
-    | Some report ->
-      sv.sv_hits <- sv.sv_hits + 1;
-      Some (report, d)
+    match
+      locked sv (fun () ->
+          match memo_find sv.sv_memo d with
+          | Some report ->
+            sv.sv_hits <- sv.sv_hits + 1;
+            Some report
+          | None -> None)
+    with
+    | Some report -> Some (report, d)
     | None -> (
+      (* disk probe outside the lock; a racing domain reads the same file *)
       match Option.bind sv.sv_cache (fun c -> Cache.find c ~key:d) with
       | Some report ->
-        sv.sv_hits <- sv.sv_hits + 1;
-        Hashtbl.replace sv.sv_memo d report;
+        locked sv (fun () ->
+            sv.sv_hits <- sv.sv_hits + 1;
+            memo_add sv.sv_memo d report);
         Some (report, d)
       | None -> None)
   end
@@ -321,13 +409,13 @@ let service_store sv ~digest report =
   (* crash/timeout verdicts are circumstances, not app facts *)
   | Verdict.Crashed _ | Verdict.Timeout -> ()
   | _ ->
-    Hashtbl.replace sv.sv_memo digest report;
+    locked sv (fun () -> memo_add sv.sv_memo digest report);
     (match sv.sv_cache with
      | Some c -> Cache.store c ~key:digest report
      | None -> ())
 
 let service_run sv ?obs (task : Task.t) =
-  sv.sv_requests <- sv.sv_requests + 1;
+  locked sv (fun () -> sv.sv_requests <- sv.sv_requests + 1);
   match service_find sv task with
   | Some (report, _) -> (report, true)
   | None ->

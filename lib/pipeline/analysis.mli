@@ -43,14 +43,22 @@ val digest : Task.t -> string
     analyzer, store — so the `ndroid serve` daemon, the batch pool's
     cache pass and [Pool.run_inline] share exactly one definition of
     "hit" and "cacheable".  A service is single-process state: the warm
-    layer is what a long-lived daemon accumulates across requests. *)
+    layer is what a long-lived daemon accumulates across requests.
+
+    A service is domain-safe: one mutex guards the memo tables and
+    counters, held only across table probes — digesting, analyzing and
+    disk I/O all run unlocked — so the {!Domain_pool} engine's workers
+    share one warm layer without serializing on it.  Both memo tables
+    are bounded ([capacity] entries each) with second-chance eviction,
+    so a long-lived daemon converges on its hottest answers instead of
+    growing without limit. *)
 
 type service
 
-val service : ?cache:Cache.t -> unit -> service
+val service : ?cache:Cache.t -> ?capacity:int -> unit -> service
 (** Also installs the native-summary persistence hooks on [cache]
     ({!enable_summary_cache}), so create the service before forking any
-    workers. *)
+    workers.  [capacity] bounds each memo table (default 65536). *)
 
 val service_run :
   service -> ?obs:Ndroid_obs.Ring.t -> Task.t ->
@@ -79,3 +87,10 @@ val service_requests : service -> int
 val service_hits : service -> int
 (** Requests answered through {!service_run} and how many of those hit
     the warm layer or disk cache. *)
+
+val service_evictions : service -> int
+(** Entries evicted from the two memo tables (second-chance) since the
+    service was created. *)
+
+val service_warm_entries : service -> int
+(** Reports currently held in the warm layer — bounded by [capacity]. *)

@@ -9,6 +9,15 @@ let create ~dir =
 
 let path t key = Filename.concat t.dir (key ^ ".json")
 
+(* Every writer needs a distinct tmp name for the write+rename to stay
+   atomic.  The pid alone covered forked workers; domains share one pid,
+   so a process-wide counter disambiguates them. *)
+let tmp_seq = Atomic.make 0
+
+let tmp_name final =
+  Printf.sprintf "%s.tmp.%d.%d" final (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_seq 1)
+
 let read_file path =
   match open_in_bin path with
   | exception Sys_error _ -> None
@@ -39,7 +48,7 @@ let find t ~key =
 
 let store t ~key report =
   let final = path t key in
-  let tmp = final ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let tmp = tmp_name final in
   match open_out_bin tmp with
   | exception Sys_error _ -> ()
   | oc ->
@@ -61,7 +70,7 @@ let find_raw t ~key =
 
 let store_raw t ~key data =
   let final = path t key in
-  let tmp = final ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let tmp = tmp_name final in
   match open_out_bin tmp with
   | exception Sys_error _ -> ()
   | oc ->

@@ -1,0 +1,70 @@
+(** The in-process worker engine: a fixed set of OCaml 5 domains pulling
+    tasks from a mutex-protected {!Shard_queue} (one shard per domain,
+    cross-shard stealing preserved) and handing
+    {!Ndroid_report.Verdict.report} values back through shared memory.
+
+    This is what retires the fork + wire tax on the cold path: where the
+    forked engine pays a [fork()], a JSON serialization of the task, a
+    pipe write, a pipe read and a JSON parse of the verdict for every
+    cache miss, a domain worker pays a queue pop and a list cons.  All
+    domains share the one {!Analysis.service} (its own mutex makes that
+    safe), so the warm layer deduplicates across workers mid-sweep.
+
+    What this engine {e cannot} do — and why the forked engine stays:
+    a domain shares the process, so injected fault markers are ignored
+    (acting on [Crash]/[Kill] would kill the whole pipeline; this matches
+    {!Pool.run_inline}) and there is no SIGKILL timeout — a wedged task
+    wedges its domain.  {!Engine.Auto} routes work needing isolation to
+    fork.  The two engines never share a process: OCaml 5's [Unix.fork]
+    refuses once any domain has been spawned, so spawn this pool only in
+    a process that will not fork afterwards. *)
+
+type t
+
+type completion = {
+  dc_ticket : int;  (** the caller's id for the task, echoed back *)
+  dc_report : Ndroid_report.Verdict.report;
+  dc_seconds : float;  (** analysis wall time inside the domain *)
+}
+
+val create : ?domains:int -> service:Analysis.service -> unit -> t
+(** Spawn [domains] (default 1) worker domains over [service] — capped at
+    [Domain.recommended_domain_count ()]: domains share one runtime, so
+    oversubscribing the cores multiplies stop-the-world minor-GC
+    synchronization instead of adding throughput (forked workers, with
+    their private heaps, have no such ceiling).  {!domains} reports the
+    actual count. *)
+
+val submit : t -> ticket:int -> Task.t -> unit
+(** Enqueue one task; returns immediately.  Tickets are the caller's
+    correlation ids and need not be dense.  Raises [Invalid_argument]
+    after {!shutdown}. *)
+
+val wait : t -> completion list
+(** Block until a completion batch is ready (or nothing is in flight),
+    and take everything completed so far, oldest first.  Workers wake
+    this in batches (every 64 completions, and when the queue drains) so
+    a batch collector does not contend with the worker domains for CPU;
+    use {!drain} + {!notify_fd} for per-completion latency. *)
+
+val drain : t -> completion list
+(** Nonblocking {!wait}: take whatever has completed, oldest first.  Pair
+    with {!notify_fd} in a select loop (the daemon). *)
+
+val notify_fd : t -> Unix.file_descr
+(** Readable whenever completions may be pending; {!drain} empties it. *)
+
+val domains : t -> int
+val steals : t -> int
+(** Cross-shard steals performed by idle domains. *)
+
+val metrics : t -> Ndroid_obs.Metrics.t list
+(** One obs registry per worker domain, accumulated over its lifetime
+    (tasks, task_seconds, task_bytecodes, analyzer counters).  Merge them
+    with {!Ndroid_obs.Metrics.merge} once nothing is in flight — reading
+    while workers are mid-task can observe a half-updated histogram. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, wake every idle domain and join them all.  Tasks
+    still queued are abandoned; a task mid-analysis completes first (and
+    its completion is discarded with the pool). *)

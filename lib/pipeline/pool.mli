@@ -1,6 +1,8 @@
-(** The sharded worker pool: fork [jobs] analysis workers, stream tasks to
-    them over pipes, and collect one {!Ndroid_report.Verdict.report} per
-    task — with the three guarantees a market-scale sweep needs:
+(** The sharded worker pool: run the corpus through one of two engines and
+    collect one {!Ndroid_report.Verdict.report} per task.
+
+    The {b forked engine} ({!Engine.Fork}) gives the three guarantees a
+    hostile market sweep needs:
 
     - {b crash isolation}: a worker dying on one APK yields a [Crashed]
       verdict for that app only; the pool reaps the corpse, respawns a
@@ -13,28 +15,52 @@
       timing, so a sweep's JSON is bit-identical across [--jobs] values and
       across runs.
 
-    Work is dealt over one {!Shard_queue} shard per worker with stealing,
-    and an optional {!Cache} answers unchanged apps without dispatching
-    them at all.  Timing lives in the aggregate {!stats}, per phase. *)
+    The {b domain engine} ({!Engine.Domains} → {!Domain_pool}) trades the
+    first two away for the cold path: no fork, no Wire marshaling, no
+    parent-side reassembly — tasks and verdicts move through shared
+    memory, and all workers share one {!Analysis.service} warm layer.
+    Determinism holds identically (same analyzers, same canonical
+    reports).  Fault markers and timeouts are {e ignored} under a forced
+    [Domains] engine, exactly as {!run_inline} ignores them.
+
+    {!Engine.Auto} resolves per run: fork when the run needs process
+    isolation (a timeout, an injected kill, any fault-marked task),
+    domains otherwise.  The engines never mix inside one process —
+    OCaml 5's [Unix.fork] refuses after a domain has been spawned — so a
+    process that ran a domains sweep cannot run a forked one afterwards.
+
+    Work is dealt over one {!Shard_queue} shard per worker with stealing
+    under either engine, and an optional {!Cache} answers unchanged apps
+    without dispatching them at all.  Timing lives in the aggregate
+    {!stats}, per phase. *)
 
 type config = {
-  c_jobs : int;  (** worker processes; >= 1 *)
-  c_timeout : float option;  (** per-app wall-clock budget, seconds *)
+  c_jobs : int;  (** worker processes or domains; >= 1 *)
+  c_timeout : float option;
+      (** per-app wall-clock budget, seconds (forked engine only) *)
   c_cache : Cache.t option;
   c_kill_worker_after : int option;
       (** fault injection: SIGKILL one live worker after that many worker
           results have arrived — proves no result is lost and nothing
-          hangs when workers die under the pool *)
+          hangs when workers die under the pool (forked engine only) *)
   c_progress : (done_:int -> total:int -> unit) option;
+  c_engine : Engine.t;  (** which engine executes cache misses *)
 }
 
 val config :
   ?jobs:int -> ?timeout:float -> ?cache:Cache.t -> ?kill_worker_after:int ->
-  ?progress:(done_:int -> total:int -> unit) -> unit -> config
+  ?progress:(done_:int -> total:int -> unit) -> ?engine:Engine.t -> unit ->
+  config
+(** [engine] defaults to {!Engine.Fork} — the library keeps the isolating
+    engine unless a caller opts in; the CLI defaults to [auto]. *)
 
 type stats = {
   s_total : int;
-  s_from_workers : int;  (** completed by a worker (includes crashed/timeout) *)
+  s_engine : string;
+      (** the engine that executed this run's cache misses ("fork" or
+          "domains"), after {!Engine.Auto} resolution *)
+  s_from_workers : int;
+      (** completed by the engine, either kind (includes crashed/timeout) *)
   s_cache_hits : int;
   s_crashed : int;  (** [Crashed] verdicts recorded by the pool *)
   s_timeouts : int;  (** [Timeout] verdicts recorded by the pool *)
@@ -46,9 +72,22 @@ type stats = {
           rides alongside the other counters so batch and service stats
           share one shape ({!Server} sheds under overload). *)
   s_injected_kills : int;
+  s_evictions : int;
+      (** memo entries evicted by the service's second-chance cap — [0]
+          unless the sweep outgrew {!Analysis.service}'s capacity *)
   s_wall : float;  (** whole sweep, seconds *)
-  s_cache_pass : float;  (** phase: parent-side cache probe *)
-  s_fork : float;  (** phase: forking workers (initial + respawns) *)
+  s_cache_pass : float;  (** phase: parent-side cache probe (includes
+                             [s_digest]) *)
+  s_digest : float;
+      (** phase: deriving cache keys inside the cache pass — the
+          attribution split that shows where a warm probe's time goes *)
+  s_fork : float;  (** phase: forking workers (initial + respawns); [0.]
+                       under the domain engine *)
+  s_wire : float;
+      (** phase: the forked engine's marshaling tax — serializing task
+          frames, parsing result frames, re-absorbing worker metrics from
+          JSON.  Identically [0.] under the domain engine, which is the
+          cold-path win measured by the bench's engine rows *)
   s_collect : float;  (** phase: dispatch/select/collect loop *)
   s_analyze_cpu : float;
       (** sum of per-task analysis seconds measured inside workers — the
@@ -69,10 +108,11 @@ type stats = {
   s_metrics : Ndroid_report.Json.t;
       (** the sweep-wide observability registry
           ({!Ndroid_obs.Metrics.to_json} shape): every worker's per-task
-          registry — shipped in its result frames — merged with the
-          parent's own counters (cache hits/misses, respawns, steals,
-          per-phase timings) and histograms ([task_seconds] covers clean,
-          crashed {e and} timed-out apps) *)
+          registry — shipped in result frames (fork) or merged by
+          reference (domains) — combined with the parent's own counters
+          (cache hits/misses, respawns, steals, evictions, per-phase
+          timings) and histograms ([task_seconds] covers clean, crashed
+          {e and} timed-out apps) *)
 }
 
 val counters_of_reports :

@@ -8,37 +8,53 @@ type config = {
   s_depth : int;
   s_max_clients : int;
   s_deadline : float option;
+  s_engine : Engine.t;
   s_log : (string -> unit) option;
+  s_stop : (unit -> bool) option;
 }
 
 let config ~socket ?(jobs = 1) ?cache ?(depth = 256) ?(max_clients = 16)
-    ?deadline ?log () =
+    ?deadline ?(engine = Engine.Fork) ?log ?stop () =
   if depth < 1 then invalid_arg "Server.config: depth must be >= 1";
   if max_clients < 1 then invalid_arg "Server.config: max_clients must be >= 1";
+  (if engine = Engine.Domains && deadline <> None then
+     invalid_arg
+       "Server.config: a default deadline needs the forked engine (domains \
+        cannot be killed at a deadline)");
   { s_socket = socket; s_jobs = max 1 jobs; s_cache = cache; s_depth = depth;
-    s_max_clients = max_clients; s_deadline = deadline; s_log = log }
+    s_max_clients = max_clients; s_deadline = deadline; s_engine = engine;
+    s_log = log; s_stop = stop }
 
 type stats = {
   sv_requests : int;
   sv_served : int;
   sv_cache_hits : int;
+  sv_coalesced : int;
+  sv_analyses : int;
   sv_shed : int;
   sv_crashed : int;
   sv_timeouts : int;
   sv_respawns : int;
+  sv_evictions : int;
   sv_clients : int;
 }
 
 (* ---- internal state ---- *)
 
-(* A pending or in-flight request.  The client is addressed by (slot,
-   generation): slots are reused after a disconnect, and a verdict for a
-   departed client must never reach its slot's next tenant. *)
+(* One client's claim on a pending analysis.  The client is addressed by
+   (slot, generation): slots are reused after a disconnect, and a verdict
+   for a departed client must never reach its slot's next tenant. *)
+type waiter = { w_slot : int; w_gen : int; w_req : int }
+
+(* A pending or in-flight analysis.  Single-flight: concurrent Submits
+   whose digests collide all attach as waiters to the first entry — the
+   analysis runs once, the verdict fans out to every waiter.  Fault-marked
+   tasks carry no key and never coalesce (a fault means "really run
+   this").  The first waiter's deadline governs the entry. *)
 type entry = {
   e_task : Task.t;
-  e_slot : int;
-  e_gen : int;
-  e_req : int;
+  e_key : string option;  (* digest; the single-flight identity *)
+  mutable e_waiters : waiter list;  (* newest first *)
   e_deadline : float option;
 }
 
@@ -77,10 +93,17 @@ let serve cfg =
       (fun s -> match cfg.s_log with Some f -> f s | None -> ())
       fmt
   in
+  (* one engine per daemon: the two cannot share a process (Unix.fork
+     refuses once a domain exists), so Auto resolves at startup — fork
+     when a default deadline must be enforceable, domains otherwise *)
+  let engine =
+    Engine.resolve cfg.s_engine ~needs_isolation:(cfg.s_deadline <> None)
+  in
   (* the facade owns digesting, the warm layer and the disk cache; created
      before forking so workers inherit the summary persistence hooks *)
   let service = Analysis.service ?cache:cfg.s_cache () in
   let requests = ref 0 and served = ref 0 and cache_hits = ref 0 in
+  let coalesced = ref 0 and analyses = ref 0 in
   let shed = ref 0 and crashed = ref 0 and timeouts = ref 0 in
   let respawns = ref 0 and clients_total = ref 0 in
   let next_task_id = ref 0 in
@@ -88,8 +111,14 @@ let serve cfg =
   let queue : entry Shard_queue.t =
     Shard_queue.create_empty ~shards:cfg.s_max_clients ~capacity:cfg.s_depth ()
   in
+  (* digest -> the entry every colliding Submit coalesces onto; an entry
+     is removed exactly when its terminal response fans out (or when its
+     last waiter disconnects while it is still queued) *)
+  let inflight : (string, entry) Hashtbl.t = Hashtbl.create 256 in
   let clients : client option array = Array.make cfg.s_max_clients None in
-  let workers : worker option array = Array.make cfg.s_jobs None in
+  let workers : worker option array =
+    Array.make (if engine = Engine.Fork then cfg.s_jobs else 0) None
+  in
   (* ---- lifecycle ---- *)
   (try Unix.unlink cfg.s_socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -101,7 +130,10 @@ let serve cfg =
   let prev_term = stoppable Sys.sigterm in
   let prev_int = stoppable Sys.sigint in
   let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
-  (* ---- workers ---- *)
+  let should_stop () =
+    !stop || (match cfg.s_stop with Some f -> f () | None -> false)
+  in
+  (* ---- forked workers ---- *)
   let foreign_fds () =
     let acc = ref [ listen_fd ] in
     Array.iter
@@ -137,25 +169,71 @@ let serve cfg =
         wk_result_r = result_r; wk_reader = Wire.create_reader ();
         wk_inflight = None; wk_deadline = infinity; wk_alive = true }
   in
-  for i = 0 to cfg.s_jobs - 1 do
+  for i = 0 to Array.length workers - 1 do
     workers.(i) <- Some (spawn i)
   done;
+  (* ---- domain workers (created after any forking, never before) ---- *)
+  let dom_pool =
+    if engine = Engine.Domains then
+      Some (Domain_pool.create ~domains:cfg.s_jobs ~service ())
+    else None
+  in
+  let dom_slots : entry option array =
+    Array.make (if engine = Engine.Domains then cfg.s_jobs else 0) None
+  in
   (* ---- client output: buffered, non-blocking ---- *)
-  let client_gone (c : client) =
+  let waiter_live (w : waiter) =
+    match clients.(w.w_slot) with
+    | Some c -> c.cl_gen = w.w_gen
+    | None -> false
+  in
+  let unlink_entry (e : entry) =
+    match e.e_key with
+    | Some k -> (
+      match Hashtbl.find_opt inflight k with
+      | Some e' when e' == e -> Hashtbl.remove inflight k
+      | _ -> ())
+    | None -> ()
+  in
+  let rec client_gone (c : client) =
     (match clients.(c.cl_slot) with
      | Some c' when c'.cl_gen = c.cl_gen ->
        clients.(c.cl_slot) <- None;
-       (* a disconnected client's not-yet-dispatched requests are dropped;
-          its in-flight ones finish and their verdicts are discarded on
-          arrival (the generation check) *)
+       (* a disconnected client's not-yet-dispatched requests are dropped
+          — unless another client coalesced onto one, in which case the
+          entry re-homes to a surviving waiter's shard; its in-flight
+          ones finish and per-waiter generation checks sort out delivery *)
        let dropped = Shard_queue.clear_shard queue ~shard:c.cl_slot in
+       let rehomed = ref 0 in
+       List.iter
+         (fun (e : entry) ->
+           match List.filter waiter_live e.e_waiters with
+           | [] -> unlink_entry e
+           | survivors ->
+             e.e_waiters <- survivors;
+             let home = (List.hd survivors).w_slot in
+             if Shard_queue.push queue ~shard:home e then incr rehomed
+             else begin
+               (* the survivor's shard is full: shed loudly, never drop *)
+               unlink_entry e;
+               List.iter
+                 (fun (w : waiter) ->
+                   incr shed;
+                   deliver_waiter w
+                     (Proto.Shed
+                        { sh_req = w.w_req;
+                          sh_reason =
+                            "queue at capacity while re-homing a coalesced \
+                             request" }))
+                 (List.rev survivors)
+             end)
+         dropped;
        if dropped <> [] then
-         log "client %d gone, dropped %d queued requests" c.cl_slot
-           (List.length dropped)
+         log "client %d gone, dropped %d queued requests (%d re-homed)"
+           c.cl_slot (List.length dropped) !rehomed
      | _ -> ());
     try Unix.close c.cl_fd with Unix.Unix_error _ -> ()
-  in
-  let flush_client (c : client) =
+  and flush_client (c : client) =
     if c.cl_out <> "" then begin
       let len = String.length c.cl_out in
       match Unix.write_substring c.cl_fd c.cl_out 0 len with
@@ -165,17 +243,24 @@ let serve cfg =
       | exception Unix.Unix_error _ -> client_gone c
     end;
     if c.cl_out = "" && c.cl_closing then client_gone c
-  in
-  let queue_out (c : client) msg =
+  and queue_out (c : client) msg =
     if not c.cl_closing then begin
       c.cl_out <- c.cl_out ^ Bytes.to_string (Proto.to_frame msg);
       flush_client c
     end
-  in
-  let deliver (e : entry) msg =
-    match clients.(e.e_slot) with
-    | Some c when c.cl_gen = e.e_gen -> queue_out c msg
+  and deliver_waiter (w : waiter) msg =
+    match clients.(w.w_slot) with
+    | Some c when c.cl_gen = w.w_gen -> queue_out c msg
     | _ -> ()
+  in
+  (* terminal fan-out: one response per waiter, oldest submit first *)
+  let resolve_entry (e : entry) msg_of_waiter =
+    unlink_entry e;
+    List.iter
+      (fun (w : waiter) ->
+        incr served;
+        deliver_waiter w (msg_of_waiter w))
+      (List.rev e.e_waiters)
   in
   (* ---- admission ---- *)
   let admit (c : client) (s : Proto.submit) =
@@ -196,25 +281,66 @@ let serve cfg =
            { vd_req = s.Proto.sb_req; vd_cached = true; vd_seconds = 0.0;
              vd_report = report })
     | None ->
-      let entry =
-        { e_task = task; e_slot = c.cl_slot; e_gen = c.cl_gen;
-          e_req = s.Proto.sb_req; e_deadline = s.Proto.sb_deadline }
-      in
-      if Shard_queue.push queue ~shard:c.cl_slot entry then
-        queue_out c
-          (Proto.Progress
-             { pg_req = s.Proto.sb_req; pg_state = "queued";
-               pg_depth = Shard_queue.shard_depth queue ~shard:c.cl_slot })
-      else begin
-        (* shed, don't stall: the bound is the whole backpressure story *)
+      if
+        engine = Engine.Domains
+        && (task.Task.t_fault <> None || s.Proto.sb_deadline <> None)
+      then begin
+        (* domains cannot act a fault or be killed at a deadline; refusing
+           is honest — silently ignoring the marker would not be *)
         incr shed;
         queue_out c
           (Proto.Shed
              { sh_req = s.Proto.sb_req;
                sh_reason =
-                 Printf.sprintf
-                   "queue at capacity (%d requests in flight)"
-                   (Shard_queue.remaining queue) })
+                 "request needs process isolation (fault or deadline); \
+                  this daemon runs the domain engine" })
+      end
+      else begin
+        let key =
+          if task.Task.t_fault = None then
+            Some (Analysis.service_digest service task)
+          else None
+        in
+        match Option.bind key (Hashtbl.find_opt inflight) with
+        | Some entry ->
+          (* single-flight: same digest already queued or running — attach
+             and wait for the shared verdict *)
+          entry.e_waiters <-
+            { w_slot = c.cl_slot; w_gen = c.cl_gen; w_req = s.Proto.sb_req }
+            :: entry.e_waiters;
+          incr coalesced;
+          queue_out c
+            (Proto.Progress
+               { pg_req = s.Proto.sb_req; pg_state = "coalesced";
+                 pg_depth = Shard_queue.shard_depth queue ~shard:c.cl_slot })
+        | None ->
+          let entry =
+            { e_task = task; e_key = key;
+              e_waiters =
+                [ { w_slot = c.cl_slot; w_gen = c.cl_gen;
+                    w_req = s.Proto.sb_req } ];
+              e_deadline = s.Proto.sb_deadline }
+          in
+          if Shard_queue.push queue ~shard:c.cl_slot entry then begin
+            (match key with
+             | Some k -> Hashtbl.replace inflight k entry
+             | None -> ());
+            queue_out c
+              (Proto.Progress
+                 { pg_req = s.Proto.sb_req; pg_state = "queued";
+                   pg_depth = Shard_queue.shard_depth queue ~shard:c.cl_slot })
+          end
+          else begin
+            (* shed, don't stall: the bound is the whole backpressure story *)
+            incr shed;
+            queue_out c
+              (Proto.Shed
+                 { sh_req = s.Proto.sb_req;
+                   sh_reason =
+                     Printf.sprintf
+                       "queue at capacity (%d requests in flight)"
+                       (Shard_queue.remaining queue) })
+          end
       end
   in
   let handle_client_frame (c : client) frame =
@@ -228,7 +354,7 @@ let serve cfg =
       queue_out c (Proto.Error e);
       c.cl_closing <- true
   in
-  (* ---- workers: dispatch, results, death, deadlines ---- *)
+  (* ---- forked workers: dispatch, results, death, deadlines ---- *)
   let dispatch (w : worker) =
     match Shard_queue.pop_rr queue with
     | None -> ()
@@ -264,15 +390,15 @@ let serve cfg =
     match w.wk_inflight with
     | None -> ()
     | Some e ->
-      incr served;
-      deliver e
-        (Proto.Verdict
-           { vd_req = e.e_req; vd_cached = false; vd_seconds = 0.0;
-             vd_report =
-               { Verdict.r_app = Task.subject_name e.e_task.Task.t_subject;
-                 r_analysis = Task.mode_name e.e_task.Task.t_mode;
-                 r_verdict = verdict;
-                 r_meta = [] } });
+      incr analyses;
+      resolve_entry e (fun wtr ->
+          Proto.Verdict
+            { vd_req = wtr.w_req; vd_cached = false; vd_seconds = 0.0;
+              vd_report =
+                { Verdict.r_app = Task.subject_name e.e_task.Task.t_subject;
+                  r_analysis = Task.mode_name e.e_task.Task.t_mode;
+                  r_verdict = verdict;
+                  r_meta = [] } });
       w.wk_inflight <- None
   in
   let handle_worker_death (w : worker) =
@@ -310,16 +436,54 @@ let serve cfg =
        | Some id, Some (Ok report), Some e when e.e_task.Task.t_id = id ->
          w.wk_inflight <- None;
          w.wk_deadline <- infinity;
-         incr served;
+         incr analyses;
          if e.e_task.Task.t_fault = None then
            Analysis.service_store service
              ~digest:(Analysis.service_digest service e.e_task)
              report;
-         deliver e
-           (Proto.Verdict
-              { vd_req = e.e_req; vd_cached = false; vd_seconds = seconds;
-                vd_report = report })
+         resolve_entry e (fun wtr ->
+             Proto.Verdict
+               { vd_req = wtr.w_req; vd_cached = false; vd_seconds = seconds;
+                 vd_report = report })
        | _ -> ())
+  in
+  (* ---- domain workers: dispatch and completions ---- *)
+  let free_dom_slot () =
+    let found = ref None in
+    Array.iteri
+      (fun i e -> if !found = None && e = None then found := Some i)
+      dom_slots;
+    !found
+  in
+  let dispatch_domains pool =
+    let rec go () =
+      match free_dom_slot () with
+      | None -> ()
+      | Some ticket -> (
+        match Shard_queue.pop_rr queue with
+        | None -> ()
+        | Some entry ->
+          dom_slots.(ticket) <- Some entry;
+          Domain_pool.submit pool ~ticket entry.e_task;
+          go ())
+    in
+    go ()
+  in
+  let handle_dom_completions pool =
+    List.iter
+      (fun (c : Domain_pool.completion) ->
+        match dom_slots.(c.Domain_pool.dc_ticket) with
+        | None -> ()
+        | Some entry ->
+          dom_slots.(c.Domain_pool.dc_ticket) <- None;
+          incr analyses;
+          (* [Analysis.service_run] already stored a cacheable report *)
+          resolve_entry entry (fun wtr ->
+              Proto.Verdict
+                { vd_req = wtr.w_req; vd_cached = false;
+                  vd_seconds = c.Domain_pool.dc_seconds;
+                  vd_report = c.Domain_pool.dc_report }))
+      (Domain_pool.drain pool)
   in
   (* ---- accept ---- *)
   let free_slot () =
@@ -357,15 +521,16 @@ let serve cfg =
     loop ()
   in
   (* ---- the loop ---- *)
-  log "listening on %s (%d workers, depth %d)" cfg.s_socket cfg.s_jobs
-    cfg.s_depth;
-  while not !stop do
-    (* keep every live worker busy before sleeping *)
+  log "listening on %s (%s engine, %d workers, depth %d)" cfg.s_socket
+    (Engine.name engine) cfg.s_jobs cfg.s_depth;
+  while not (should_stop ()) do
+    (* keep every worker busy before sleeping *)
     Array.iter
       (function
         | Some w when w.wk_alive && w.wk_inflight = None -> dispatch w
         | _ -> ())
       workers;
+    (match dom_pool with Some p -> dispatch_domains p | None -> ());
     let rfds = ref [ listen_fd ] in
     let wfds = ref [] in
     Array.iter
@@ -373,6 +538,9 @@ let serve cfg =
         | Some w when w.wk_alive -> rfds := w.wk_result_r :: !rfds
         | _ -> ())
       workers;
+    (match dom_pool with
+     | Some p -> rfds := Domain_pool.notify_fd p :: !rfds
+     | None -> ());
     Array.iter
       (function
         | Some c ->
@@ -408,6 +576,8 @@ let serve cfg =
             handle_worker_death w)
         | _ -> ())
       workers;
+    (* domain completions (the notify fd is edge enough: drain always) *)
+    (match dom_pool with Some p -> handle_dom_completions p | None -> ());
     (* client traffic *)
     Array.iter
       (function
@@ -452,6 +622,9 @@ let serve cfg =
         (try ignore (Unix.waitpid [] w.wk_pid) with Unix.Unix_error _ -> ())
       | _ -> ())
     workers;
+  (* a domain mid-analysis finishes first (it cannot be killed); its
+     verdict is discarded with the pool *)
+  (match dom_pool with Some p -> Domain_pool.shutdown p | None -> ());
   Array.iter
     (function
       | Some c -> ( try Unix.close c.cl_fd with Unix.Unix_error _ -> ())
@@ -463,6 +636,8 @@ let serve cfg =
   ignore (Sys.signal Sys.sigint prev_int);
   ignore (Sys.signal Sys.sigpipe prev_pipe);
   { sv_requests = !requests; sv_served = !served;
-    sv_cache_hits = !cache_hits; sv_shed = !shed; sv_crashed = !crashed;
+    sv_cache_hits = !cache_hits; sv_coalesced = !coalesced;
+    sv_analyses = !analyses; sv_shed = !shed; sv_crashed = !crashed;
     sv_timeouts = !timeouts; sv_respawns = !respawns;
+    sv_evictions = Analysis.service_evictions service;
     sv_clients = !clients_total }

@@ -29,4 +29,8 @@ let () =
       ("static", Test_static.suite);
       ("pipeline", Test_pipeline.suite);
       ("service", Test_service.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      (* last: this suite spawns domains, and Unix.fork is illegal in
+         OCaml 5 once any domain has ever existed in the process — every
+         forking suite above must run first *)
+      ("domains", Test_domains.suite) ]
