@@ -692,6 +692,7 @@ module Pool = Ndroid_pipeline.Pool
 module P_cache = Ndroid_pipeline.Cache
 module Server = Ndroid_pipeline.Server
 module Proto = Ndroid_pipeline.Proto
+module Stream = Ndroid_obs.Stream
 module Rj = Ndroid_report.Json
 module Verdict = Ndroid_report.Verdict
 
@@ -1049,14 +1050,14 @@ let pipeline () =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "ndroid-bench-%d.sock" (Unix.getpid ()))
   in
-  let with_daemon ?engine ~depth f =
+  let with_daemon ?engine ?stream_buf ~depth f =
     match Unix.fork () with
     | 0 ->
       (try
          ignore
            (Server.serve
               (Server.config ~socket ~jobs:jobs_n ~depth ~max_clients:4
-                 ?engine ()))
+                 ?engine ?stream_buf ()))
        with _ -> ());
       Unix._exit 0
     | pid ->
@@ -1079,7 +1080,7 @@ let pipeline () =
       (Proto.Submit
          { sb_req = t.Task.t_id; sb_subject = t.Task.t_subject;
            sb_mode = t.Task.t_mode; sb_deadline = None;
-           sb_fault = t.Task.t_fault })
+           sb_fault = t.Task.t_fault; sb_trace = false })
   in
   (* pipelined sweep: all submits up front, then one terminal per request.
      The loop only terminates when every request is answered — a stalled
@@ -1165,7 +1166,7 @@ let pipeline () =
             (Proto.Submit
                { sb_req = i; sb_subject = sf_task.Task.t_subject;
                  sb_mode = sf_task.Task.t_mode; sb_deadline = None;
-                 sb_fault = None })
+                 sb_fault = None; sb_trace = false })
         done;
         let coalesced = ref 0 and cached = ref 0 in
         let verdicts = ref [] in
@@ -1199,6 +1200,140 @@ let pipeline () =
     "single-flight (domains daemon): %d identical submits -> %d coalesced, \
      %d cached, verdicts identical: %b\n%!"
     sf_n sf_coalesced sf_cached sf_identical;
+  (* ---- streaming: a live subscriber must not slow the sweep ----
+     Fresh daemon per run (a cold warm layer every time), best of two to
+     damp scheduler noise.  The subscriber is a forked child draining
+     every frame to a JSONL file, so the daemon pays only the fan-out —
+     the thing being measured.  The wedged variant never reads behind a
+     deliberately tiny outbound bound: frames are shed, verdicts are
+     not.  Market apps declare native classes but their synthetic
+     [onCreate] never calls them, so the slice alone streams nothing;
+     a bundled-hybrid suffix (present in every run, subscribed or not,
+     keeping the comparison fair) supplies real JNI crossings for the
+     subscriber to drain. *)
+  let stream_extras =
+    List.mapi
+      (fun k name ->
+        { Task.t_id = slice + k; Task.t_subject = Task.Bundled name;
+          Task.t_mode = Task.Hybrid; Task.t_fault = None })
+      [ "case1"; "case2"; "QQPhoneBook3.5" ]
+  in
+  let stream_tasks = serve_tasks @ stream_extras in
+  let inline_stream = Pool.run_inline stream_tasks in
+  let stream_jsonl =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ndroid-bench-stream-%d.jsonl" (Unix.getpid ()))
+  in
+  let spawn_subscriber ~draining =
+    match Unix.fork () with
+    | 0 ->
+      (try
+         let c = connect () in
+         Proto.Client.send c
+           (Proto.Subscribe { su_cats = []; su_app = None; su_window = 0 });
+         if draining then begin
+           let oc = open_out stream_jsonl in
+           let rec go () =
+             match Proto.Client.recv c with
+             | Error _ -> ()  (* daemon shut down: we are done *)
+             | Ok (Proto.Trace tc) ->
+               List.iter
+                 (fun ev ->
+                   output_string oc (Rj.to_string (Stream.event_json ev));
+                   output_char oc '\n')
+                 tc.Proto.tc_events;
+               go ()
+             | Ok _ -> go ()
+           in
+           go ();
+           close_out oc
+         end
+         else Unix.sleep 3600 (* the deliberately wedged subscriber *)
+       with _ -> ());
+      Unix._exit 0
+    | pid -> pid
+  in
+  let stream_sweep ?stream_buf subscriber =
+    let result, sub =
+      with_daemon ?stream_buf ~depth:(2 * slice) (fun () ->
+          let sub =
+            match subscriber with
+            | `None -> None
+            | `Draining -> Some (spawn_subscriber ~draining:true)
+            | `Wedged -> Some (spawn_subscriber ~draining:false)
+          in
+          (* let the Subscribe frame land before the first dispatch, so
+             every task of the sweep runs tapped *)
+          if sub <> None then Unix.sleepf 0.3;
+          let c = connect () in
+          let reports, _, sheds, dt = sweep c stream_tasks in
+          Proto.Client.close c;
+          ((reports, sheds, dt), sub))
+    in
+    (* the daemon is gone: a draining child exits on EOF, a wedged one
+       needs the kill *)
+    (match sub with
+     | Some pid ->
+       if subscriber = `Wedged then
+         (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+       ignore (Unix.waitpid [] pid)
+     | None -> ());
+    result
+  in
+  let min_by_dt (ra, sa, da) (rb, sb, db) =
+    if da <= db then (ra, sa, da) else (rb, sb, db)
+  in
+  let unsub_r, unsub_shed, dt_unsub =
+    min_by_dt (stream_sweep `None) (stream_sweep `None)
+  in
+  let sub_r, sub_shed, dt_sub =
+    min_by_dt (stream_sweep `Draining) (stream_sweep `Draining)
+  in
+  let slow_r, slow_shed, dt_slow = stream_sweep ~stream_buf:256 `Wedged in
+  let lost_of reports =
+    Array.fold_left (fun n r -> if r = None then n + 1 else n) 0 reports
+  in
+  let line_has affix line =
+    let n = String.length affix and m = String.length line in
+    let rec at i = i + n <= m && (String.sub line i n = affix || at (i + 1)) in
+    at 0
+  in
+  let subscriber_events, subscriber_jni =
+    match open_in stream_jsonl with
+    | exception Sys_error _ -> (0, 0)
+    | ic ->
+      let n = ref 0 and jni = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr n;
+           if line_has "\"jni_begin\"" line then incr jni
+         done
+       with End_of_file -> ());
+      close_in ic;
+      (!n, !jni)
+  in
+  (try Unix.unlink stream_jsonl with Unix.Unix_error _ -> ());
+  let stream_identical =
+    String.equal (json_of inline_stream) (serve_json unsub_r)
+    && String.equal (json_of inline_stream) (serve_json sub_r)
+  in
+  let slow_identical =
+    String.equal (json_of inline_stream) (serve_json slow_r)
+  in
+  let stream_lost = lost_of unsub_r + lost_of sub_r + (unsub_shed + sub_shed) in
+  let slow_lost = lost_of slow_r + slow_shed in
+  let overhead_ratio = dt_sub /. dt_unsub in
+  Printf.printf
+    "stream (both mode, live subscriber): unsubscribed %.2fs -> subscribed \
+     %.2fs (%.3fx), %d events drained (%d jni crossings), verdicts \
+     bit-identical: %b\n%!"
+    dt_unsub dt_sub overhead_ratio subscriber_events subscriber_jni
+    stream_identical;
+  Printf.printf
+    "stream (wedged subscriber, 256-byte bound): %.2fs, every verdict \
+     answered: %b, bit-identical: %b\n%!"
+    dt_slow (slow_lost = 0) slow_identical;
   (* ---- engines: fork vs domains on the clean static slice.  The cold
      rows carry no cache, so the gap is purely the per-task fork + wire
      tax the domain engine retires; the warm rows replay the same slice
@@ -1322,6 +1457,23 @@ let pipeline () =
              ("coalesced", Rj.Int sf_coalesced);
              ("cached", Rj.Int sf_cached);
              ("identical", Rj.Bool sf_identical) ]);
+        ("stream",
+         Rj.Obj
+           [ ("mode", Rj.Str "both");
+             ("requests", Rj.Int (List.length stream_tasks));
+             ("unsubscribed_seconds", Rj.Float dt_unsub);
+             ("subscribed_seconds", Rj.Float dt_sub);
+             ("overhead_ratio", Rj.Float overhead_ratio);
+             ("subscriber_events", Rj.Int subscriber_events);
+             ("subscriber_jni_crossings", Rj.Int subscriber_jni);
+             ("bit_identical", Rj.Bool stream_identical);
+             ("lost", Rj.Int stream_lost);
+             ("slow_subscriber",
+              Rj.Obj
+                [ ("stream_buf", Rj.Int 256);
+                  ("seconds", Rj.Float dt_slow);
+                  ("bit_identical", Rj.Bool slow_identical);
+                  ("lost", Rj.Int slow_lost) ]) ]);
         ("engines",
          Rj.Obj
            [ ("mode", Rj.Str "static");
@@ -1393,7 +1545,26 @@ let pipeline () =
   if sf_coalesced = 0 then
     fail "single-flight coalesced nothing (identical submits each ran)";
   if not sf_identical then
-    fail "single-flight verdicts differ across waiters"
+    fail "single-flight verdicts differ across waiters";
+  (* the streaming bars *)
+  if not stream_identical then
+    fail "live-subscribed sweep changed the verdicts";
+  if stream_lost > 0 then
+    fail
+      (Printf.sprintf "%d analyses lost or shed under a live subscriber"
+         stream_lost);
+  if subscriber_events = 0 then
+    fail "the draining subscriber saw no trace events";
+  if overhead_ratio > 1.05 then
+    fail
+      (Printf.sprintf "live subscriber overhead %.3fx > 1.05x"
+         overhead_ratio);
+  if not slow_identical then
+    fail "wedged subscriber changed the verdicts";
+  if slow_lost > 0 then
+    fail
+      (Printf.sprintf "%d analyses lost or shed behind a wedged subscriber"
+         slow_lost)
 
 (* ------------------------------------------------- Bechamel micro-suite -- *)
 

@@ -25,6 +25,8 @@ module Json = Ndroid_report.Json
 module Verdict = Ndroid_report.Verdict
 module Ring = Ndroid_obs.Ring
 module Export = Ndroid_obs.Export
+module Stream = Ndroid_obs.Stream
+module Event = Ndroid_obs.Event
 
 let registry : H.app list = Registry.all
 let find_app = Cli_args.find_app
@@ -393,7 +395,8 @@ let cmd_analyze names mode json jobs timeout cache_dir market engine
 
 (* ---- the service: serve and submit ----------------------------------- *)
 
-let cmd_serve socket jobs cache_dir depth max_clients deadline engine quiet =
+let cmd_serve socket jobs cache_dir depth max_clients deadline engine quiet
+    stream_buf =
   let cache = Option.map (fun dir -> Cache.create ~dir) cache_dir in
   let log =
     if quiet then None
@@ -401,7 +404,7 @@ let cmd_serve socket jobs cache_dir depth max_clients deadline engine quiet =
   in
   match
     Server.config ~socket ~jobs ?cache ~depth ~max_clients ?deadline ~engine
-      ?log ()
+      ~stream_buf ?log ()
   with
   | exception Invalid_argument e ->
     prerr_endline e;
@@ -411,18 +414,30 @@ let cmd_serve socket jobs cache_dir depth max_clients deadline engine quiet =
     Printf.eprintf
       "ndroid serve: %d requests, %d served (%d cached, %d coalesced), %d \
        analyses, %d shed, %d crashed, %d timeouts, %d respawns, %d \
-       evictions, %d clients\n%!"
+       evictions, %d clients, %d subscribers, %d trace events (%d \
+       throttled, %d lost)\n%!"
       st.Server.sv_requests st.Server.sv_served st.Server.sv_cache_hits
       st.Server.sv_coalesced st.Server.sv_analyses st.Server.sv_shed
       st.Server.sv_crashed st.Server.sv_timeouts st.Server.sv_respawns
-      st.Server.sv_evictions st.Server.sv_clients;
+      st.Server.sv_evictions st.Server.sv_clients st.Server.sv_subscribers
+      st.Server.sv_trace_events st.Server.sv_trace_dropped
+      st.Server.sv_trace_lost;
     0
+
+(* One human-readable line per streamed event: the Fig. 6-9 rendering when
+   the kind has one, the raw name otherwise. *)
+let event_line ~app (ev : Stream.event) =
+  let text =
+    match Stream.render ev with Some s -> s | None -> ev.Stream.ev_name
+  in
+  Printf.sprintf "%-18s %8d  %-14s %s" app ev.Stream.ev_seq
+    (Event.kind_name ev.Stream.ev_kind) text
 
 (* Submit pipelined: send every request up front, then collect terminal
    responses until each request has one.  Output is exactly what
    `ndroid analyze` prints for the same corpus — the service is the same
    code path, so the bytes match. *)
-let cmd_submit socket names market mode json deadline =
+let cmd_submit socket names market mode json deadline trace_follow =
   match Cli_args.tasks_of_request names market mode with
   | Error e ->
     prerr_endline e;
@@ -442,7 +457,7 @@ let cmd_submit socket names market mode json deadline =
             (Proto.Submit
                { sb_req = t.Task.t_id; sb_subject = t.Task.t_subject;
                  sb_mode = t.Task.t_mode; sb_deadline = deadline;
-                 sb_fault = t.Task.t_fault }))
+                 sb_fault = t.Task.t_fault; sb_trace = trace_follow }))
         task_arr;
       let remaining = ref total in
       let failed = ref None in
@@ -464,7 +479,20 @@ let cmd_submit socket names market mode json deadline =
                 r_verdict = Verdict.Crashed ("shed: " ^ s.sh_reason);
                 r_meta = [] };
           decr remaining
-        | Ok (Proto.Progress _) -> ()
+        | Ok (Proto.Progress { pg_req; pg_state; pg_depth }) ->
+          (* the daemon narrates admission (queued at depth N, coalesced
+             onto an in-flight digest); stdout stays exactly the report
+             array, so the narration goes to stderr *)
+          if not json then
+            Printf.eprintf "request %d %s (queue depth %d)\n%!" pg_req
+              pg_state pg_depth
+        | Ok (Proto.Trace tc) ->
+          if trace_follow then
+            List.iter
+              (fun ev ->
+                Printf.eprintf "%s\n" (event_line ~app:tc.Proto.tc_app ev))
+              tc.Proto.tc_events;
+          if trace_follow && tc.Proto.tc_events <> [] then flush stderr
         | Ok (Proto.Error e) -> failed := Some e
         | Ok _ -> ()
       done;
@@ -510,6 +538,57 @@ let trace_category j =
   match Option.bind (Json.member "cat" j) Json.str with
   | Some c -> Some c
   | None -> Option.bind (Json.member "kind" j) Json.str
+
+(* Live subscriber: attach to a running daemon, send one Subscribe frame,
+   and print every surviving event until the daemon exits (or Ctrl-C).
+   --jsonl lines go through the one shared codec, so they are byte-identical
+   to what `ndroid analyze --trace out.jsonl` writes for the same events. *)
+let cmd_trace_follow socket cat app throttle_ms jsonl =
+  match Proto.Client.connect ~retry_for:5.0 socket with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok client ->
+    Proto.Client.send client
+      (Proto.Subscribe
+         { su_cats = (match cat with Some c -> [ c ] | None -> []);
+           su_app = app;
+           (* the ring's seq clock ticks once per event; the wire window is
+              in seq units, nominally one event per microsecond *)
+           su_window = throttle_ms * 1000 });
+    let events = ref 0 and dropped = ref 0 and lost = ref 0 in
+    let failed = ref None in
+    let eof = ref false in
+    while !failed = None && not !eof do
+      match Proto.Client.recv client with
+      | Stdlib.Error e ->
+        (* daemon shutdown is the normal way a follow ends *)
+        if e = "server closed the connection" then eof := true
+        else failed := Some e
+      | Ok (Proto.Trace tc) ->
+        List.iter
+          (fun ev ->
+            incr events;
+            if jsonl then
+              print_endline (Json.to_string (Stream.event_json ev))
+            else print_endline (event_line ~app:tc.Proto.tc_app ev))
+          tc.Proto.tc_events;
+        if tc.Proto.tc_events <> [] then flush stdout;
+        (* broadcast frames carry cumulative counters; keep the latest *)
+        dropped := tc.Proto.tc_dropped;
+        lost := tc.Proto.tc_lost
+      | Ok (Proto.Error e) -> failed := Some e
+      | Ok _ -> ()
+    done;
+    Proto.Client.close client;
+    (match !failed with
+     | Some e ->
+       prerr_endline e;
+       1
+     | None ->
+       Printf.eprintf "%d events, %d throttled, %d lost\n%!" !events !dropped
+         !lost;
+       0)
 
 let cmd_trace file cat limit =
   match read_file file with
@@ -696,6 +775,14 @@ let serve_cmd =
     Arg.(value & flag
          & info [ "quiet" ] ~doc:"Suppress lifecycle lines on stderr.")
   in
+  let stream_buf_arg =
+    Arg.(value & opt int 262144
+         & info [ "stream-buf" ] ~docv:"BYTES"
+             ~doc:"Outbound buffer bound per client: past it, trace frames \
+                   for a slow subscriber are shed (and counted) instead of \
+                   queued, so streaming never blocks an analysis or a \
+                   verdict.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the analysis daemon on a Unix socket: persistent workers, \
@@ -711,9 +798,16 @@ let serve_cmd =
               ~doc:"Default per-request wall-clock budget; an overrunning \
                     request records a timeout verdict.  Forces the forked \
                     engine."
-          $ Cli_args.engine_arg $ quiet_arg)
+          $ Cli_args.engine_arg $ quiet_arg $ stream_buf_arg)
 
 let submit_cmd =
+  let trace_follow_arg =
+    Arg.(value & flag
+         & info [ "trace-follow" ]
+             ~doc:"Stream the submissions' live trace events to stderr \
+                   while they run (stdout stays exactly the report \
+                   output).")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:"Submit apps to a running $(b,ndroid serve) daemon and print \
@@ -723,7 +817,8 @@ let submit_cmd =
           $ Cli_args.market_arg $ Cli_args.mode_flags $ Cli_args.json_flag
           $ Cli_args.deadline_arg
               ~doc:"Per-request wall-clock budget (overrides the daemon's \
-                    default).")
+                    default)."
+          $ trace_follow_arg)
 
 let trace_cmd =
   let file_arg =
@@ -739,13 +834,49 @@ let trace_cmd =
     Arg.(value & opt (some int) (Some 40)
          & info [ "limit" ] ~docv:"N"
              ~doc:"Print at most $(docv) events (default 40); --limit 0 \
-                   with --cat still reports the count.")
+                   with --cat still reports the count.  File mode only.")
+  in
+  let follow_arg =
+    Arg.(value & flag
+         & info [ "follow" ]
+             ~doc:"Treat $(i,FILE) as the Unix socket of a running \
+                   $(b,ndroid serve) daemon and stream live trace events \
+                   from every analysis it runs, until the daemon exits (or \
+                   Ctrl-C).")
+  in
+  let app_arg =
+    Arg.(value & opt (some string) None
+         & info [ "app" ] ~docv:"RE"
+             ~doc:"Only apps whose name matches this (anchored) regular \
+                   expression.  $(b,--follow) only.")
+  in
+  let throttle_arg =
+    Arg.(value & opt int 0
+         & info [ "throttle-ms" ] ~docv:"N"
+             ~doc:"Per-(method, kind) throttle window on the trace clock \
+                   (one event = one microsecond): at most one event per \
+                   method and kind per window; source/sink events always \
+                   pass; suppressed events are counted, never silently \
+                   gone.  0 streams everything.  $(b,--follow) only.")
+  in
+  let jsonl_arg =
+    Arg.(value & flag
+         & info [ "jsonl" ]
+             ~doc:"Print one canonical JSON object per event — \
+                   byte-identical to the lines $(b,ndroid analyze --trace \
+                   out.jsonl) writes for the same events.  $(b,--follow) \
+                   only.")
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Inspect a trace file written by $(b,ndroid analyze --trace): \
-             print events, optionally filtered by category.")
-    Term.(const cmd_trace $ file_arg $ cat_arg $ limit_arg)
+       ~doc:"Inspect a trace file written by $(b,ndroid analyze --trace), \
+             or, with $(b,--follow), subscribe to a running $(b,ndroid \
+             serve) daemon and stream live events as they happen.")
+    Term.(const (fun target follow cat app throttle jsonl limit ->
+            if follow then cmd_trace_follow target cat app throttle jsonl
+            else cmd_trace target cat limit)
+          $ file_arg $ follow_arg $ cat_arg $ app_arg $ throttle_arg
+          $ jsonl_arg $ limit_arg)
 
 let dump_cmd =
   let app_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"APP") in

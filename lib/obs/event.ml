@@ -67,6 +67,17 @@ let kind_name = function
   | K_sb_compile -> "sb_compile"
   | K_summary_apply -> "summary_apply"
 
+let all_kinds =
+  [ K_log; K_invoke; K_return; K_jni_begin; K_jni_end; K_jni_ret; K_source;
+    K_policy_apply; K_arg_taint; K_taint_reg; K_taint_mem; K_sink_begin;
+    K_sink; K_sink_end; K_gc_begin; K_gc_end; K_phase_begin; K_phase_end;
+    K_insn; K_host_enter; K_host_leave; K_sb_compile; K_summary_apply ]
+
+let kind_of_name =
+  let tbl = Hashtbl.create 31 in
+  List.iter (fun k -> Hashtbl.replace tbl (kind_name k) k) all_kinds;
+  fun name -> Hashtbl.find_opt tbl name
+
 type span = B | E | I
 
 let span_of_kind = function
@@ -108,35 +119,39 @@ let category = function
    rendered in exactly one place.  Events with no legacy spelling (machine
    trace entries, method spans, pipeline phases) render to [None] and are
    invisible to the flow log. *)
-let render r =
-  match r.e_kind with
-  | K_log -> Some r.e_name
+let render_fields ~kind ~name ~detail ~addr ~taint =
+  match kind with
+  | K_log -> Some name
   | K_arg_taint ->
     Some
-      (Format.asprintf "args[%d]@%s taint: %a" r.e_addr r.e_detail Taint.pp
-         (Taint.of_bits r.e_taint))
-  | K_source -> Some (Printf.sprintf "Find a source function @0x%x" r.e_addr)
-  | K_policy_apply -> Some (Printf.sprintf "SourceHandler @0x%x" r.e_addr)
+      (Format.asprintf "args[%d]@%s taint: %a" addr detail Taint.pp
+         (Taint.of_bits taint))
+  | K_source -> Some (Printf.sprintf "Find a source function @0x%x" addr)
+  | K_policy_apply -> Some (Printf.sprintf "SourceHandler @0x%x" addr)
   | K_taint_reg ->
     Some
-      (Format.asprintf "t(r%d) := %a" r.e_addr Taint.pp (Taint.of_bits r.e_taint))
+      (Format.asprintf "t(r%d) := %a" addr Taint.pp (Taint.of_bits taint))
   | K_taint_mem ->
     Some
-      (Format.asprintf "t(%x) := %a" r.e_addr Taint.pp (Taint.of_bits r.e_taint))
+      (Format.asprintf "t(%x) := %a" addr Taint.pp (Taint.of_bits taint))
   | K_jni_ret ->
     Some
-      (Format.asprintf "%s End (return taint %a)" r.e_name Taint.pp
-         (Taint.of_bits r.e_taint))
-  | K_sink_begin -> Some (Printf.sprintf "SinkHandler[%s] begin" r.e_name)
+      (Format.asprintf "%s End (return taint %a)" name Taint.pp
+         (Taint.of_bits taint))
+  | K_sink_begin -> Some (Printf.sprintf "SinkHandler[%s] begin" name)
   | K_sink ->
     Some
-      (Format.asprintf "SinkHandler[%s]: taint %a -> %s" r.e_name Taint.pp
-         (Taint.of_bits r.e_taint) r.e_detail)
-  | K_sink_end -> Some (Printf.sprintf "SinkHandler[%s] end" r.e_name)
+      (Format.asprintf "SinkHandler[%s]: taint %a -> %s" name Taint.pp
+         (Taint.of_bits taint) detail)
+  | K_sink_end -> Some (Printf.sprintf "SinkHandler[%s] end" name)
   | K_invoke | K_return | K_jni_begin | K_jni_end | K_gc_begin | K_gc_end
   | K_phase_begin | K_phase_end | K_insn | K_host_enter | K_host_leave
   | K_sb_compile | K_summary_apply ->
     None
+
+let render r =
+  render_fields ~kind:r.e_kind ~name:r.e_name ~detail:r.e_detail ~addr:r.e_addr
+    ~taint:r.e_taint
 
 let renderable = function
   | K_log | K_arg_taint | K_source | K_policy_apply | K_taint_reg | K_taint_mem

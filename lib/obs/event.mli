@@ -47,6 +47,13 @@ val fresh_record : unit -> record
 
 val kind_name : kind -> string
 
+val all_kinds : kind list
+(** Every kind, in declaration order. *)
+
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name}; [None] for unknown spellings.  Lets a wire
+    peer rebuild typed events from the canonical JSON codec. *)
+
 type span = B | E | I
 
 val span_of_kind : kind -> span
@@ -56,6 +63,12 @@ val tid_of_kind : kind -> int
 (** Trace-viewer lane; spans sharing a lane nest like a call stack. *)
 
 val category : kind -> string
+
+val render_fields :
+  kind:kind -> name:string -> detail:string -> addr:int -> taint:int ->
+  string option
+(** {!render} over loose fields, for callers (the live stream inspector)
+    that hold decoded wire events rather than ring records. *)
 
 val render : record -> string option
 (** The event's legacy flow-log line (Fig. 6-9 vocabulary), or [None] for

@@ -132,23 +132,10 @@ let to_chrome_string ring = Json.to_string_hum (chrome ring)
 
 (* ---- JSONL: one raw event per line, nothing synthesized ---- *)
 
-let event_json r =
-  let fields =
-    [ ("seq", Json.Int r.E.e_seq);
-      ("kind", Json.Str (E.kind_name r.E.e_kind)) ]
-  in
-  let fields =
-    if r.E.e_name <> "" then fields @ [ ("name", Json.Str r.E.e_name) ]
-    else fields
-  in
-  let fields =
-    match r.E.e_kind with
-    | E.K_insn ->
-      fields
-      @ [ ("insn", Json.Str (Format.asprintf "%a" Ndroid_arm.Insn.pp r.E.e_insn)) ]
-    | _ -> fields
-  in
-  Json.Obj (fields @ args_of r)
+(* One codec for file exports and the live stream: {!Stream.event_json}
+   owns the shape, so `--trace` JSONL lines and streamed `--jsonl` lines
+   are byte-identical for the same events. *)
+let event_json r = Stream.event_json (Stream.of_record r)
 
 let to_jsonl_string ring =
   let buf = Buffer.create 4096 in

@@ -17,4 +17,7 @@ val chrome_events : Ring.t -> Ndroid_report.Json.t list
 val to_chrome_string : Ring.t -> string
 
 val event_json : Event.record -> Ndroid_report.Json.t
+(** Delegates to {!Stream.event_json} — the one per-event codec shared
+    with the live trace stream. *)
+
 val to_jsonl_string : Ring.t -> string

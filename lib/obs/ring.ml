@@ -6,6 +6,7 @@ type t = {
   mutable next : int;
   mutable total : int;
   mutable lines : int;
+  mutable overwritten : int;
   mutable on : bool;
   mutable tracing : bool;
   metrics : Metrics.t;
@@ -18,6 +19,7 @@ let create ?(capacity = 16384) ?(tracing = false) () =
     next = 0;
     total = 0;
     lines = 0;
+    overwritten = 0;
     on = true;
     tracing;
     metrics = Metrics.create () }
@@ -42,7 +44,12 @@ let capacity t = t.cap
 let total t = t.total
 let lines t = t.lines
 let size t = min t.total t.cap
+let overwritten t = t.overwritten
 
+(* [overwritten] deliberately survives [clear]: it is the monotonic
+   provenance-gap ledger for the ring's whole life (a per-task engine
+   clears between apps, and the gaps must still add up in the merged
+   sweep metrics). *)
 let clear t =
   t.next <- 0;
   t.total <- 0;
@@ -53,6 +60,7 @@ let cell t kind =
   let c = Array.unsafe_get t.cells t.next in
   t.next <- (if t.next + 1 = t.cap then 0 else t.next + 1);
   c.E.e_seq <- t.total;
+  if t.total >= t.cap then t.overwritten <- t.overwritten + 1;
   t.total <- t.total + 1;
   c.E.e_kind <- kind;
   c

@@ -21,6 +21,7 @@ type t = {
   mutable next : int;
   mutable total : int;  (** events ever emitted (wraparound included) *)
   mutable lines : int;  (** renderable (flow-log) events ever emitted *)
+  mutable overwritten : int;  (** events lost to wraparound, ring lifetime *)
   mutable on : bool;
   mutable tracing : bool;
   metrics : Metrics.t;
@@ -41,6 +42,11 @@ val total : t -> int
 val lines : t -> int
 val size : t -> int
 (** Events currently held: [min total capacity]. *)
+
+val overwritten : t -> int
+(** Monotonic count of events lost to wraparound over the ring's whole
+    life — {!clear} does not reset it, so a per-task engine's provenance
+    gaps stay attributable in the merged sweep metrics. *)
 
 val clear : t -> unit
 

@@ -1,11 +1,15 @@
 module Verdict = Ndroid_report.Verdict
 module Metrics = Ndroid_obs.Metrics
 module Ring = Ndroid_obs.Ring
+module Stream = Ndroid_obs.Stream
 
 type completion = {
   dc_ticket : int;
   dc_report : Verdict.report;
   dc_seconds : float;
+  dc_events : Stream.event list;
+  dc_dropped : int;
+  dc_lost : int;
 }
 
 type t = {
@@ -19,6 +23,7 @@ type t = {
   mutable dp_completed : completion list;  (* newest first *)
   mutable dp_inflight : int;  (* submitted, not yet in dp_completed *)
   mutable dp_stop : bool;
+  mutable dp_trace : int option;  (* streaming throttle window, if tapped *)
   dp_notify_r : Unix.file_descr;
   dp_notify_w : Unix.file_descr;
   dp_metrics : Metrics.t option array;  (* one registry per worker *)
@@ -70,19 +75,23 @@ let worker_loop t shard =
       else
         match Shard_queue.pop t.dp_queue ~shard with
         | Some job ->
+          (* the streaming window travels with the claim, read under the
+             lock: a task keeps the setting it started with *)
+          let trace = t.dp_trace in
           Mutex.unlock t.dp_lock;
-          Some job
+          Some (job, trace)
         | None ->
           Condition.wait t.dp_work t.dp_lock;
           claim ()
     in
     match claim () with
     | None -> ()
-    | Some (ticket, task) ->
+    | Some ((ticket, task), trace) ->
       (* the ring outlives the task (see above) but its event window must
          not: provenance reconstruction reads the live window, and stale
          events would graft one app's trace onto the next app's flows *)
       Ring.clear ring;
+      let ow0 = Ring.overwritten ring in
       let t0 = Unix.gettimeofday () in
       let report, _cached = Analysis.service_run t.dp_service ~obs:ring task in
       let dt = Unix.gettimeofday () -. t0 in
@@ -91,9 +100,30 @@ let worker_loop t shard =
       Metrics.observe_int
         (Metrics.histogram m "task_bytecodes")
         (Worker.meta_int "bytecodes" report);
+      Metrics.add
+        (Metrics.counter m "ring_overwritten")
+        (Ring.overwritten ring - ow0);
+      (* a fresh tap per task: the cleared ring restarted the seq clock,
+         and per-task throttle state is what the forked engine's
+         per-task worker has — the differential test depends on the two
+         engines suppressing the same events *)
+      let events, dropped, lost =
+        match trace with
+        | None -> ([], 0, 0)
+        | Some window ->
+          let tap = Stream.tap ~window () in
+          let events = Stream.drain tap ring in
+          Metrics.add
+            (Metrics.counter m "trace_events")
+            (List.length events);
+          Metrics.add (Metrics.counter m "trace_dropped")
+            (Stream.tap_dropped tap);
+          (events, Stream.tap_dropped tap, Stream.tap_missed tap)
+      in
       Mutex.lock t.dp_lock;
       t.dp_completed <-
-        { dc_ticket = ticket; dc_report = report; dc_seconds = dt }
+        { dc_ticket = ticket; dc_report = report; dc_seconds = dt;
+          dc_events = events; dc_dropped = dropped; dc_lost = lost }
         :: t.dp_completed;
       t.dp_inflight <- t.dp_inflight - 1;
       t.dp_uncollected <- t.dp_uncollected + 1;
@@ -132,6 +162,7 @@ let create ?(domains = 1) ~service () =
       dp_completed = [];
       dp_inflight = 0;
       dp_stop = false;
+      dp_trace = None;
       dp_notify_r = notify_r;
       dp_notify_w = notify_w;
       dp_metrics = Array.make domains None;
@@ -143,6 +174,11 @@ let create ?(domains = 1) ~service () =
 
 let domains t = Array.length t.dp_workers
 let notify_fd t = t.dp_notify_r
+
+let set_trace t window =
+  Mutex.lock t.dp_lock;
+  t.dp_trace <- window;
+  Mutex.unlock t.dp_lock
 
 let submit t ~ticket task =
   Mutex.lock t.dp_lock;

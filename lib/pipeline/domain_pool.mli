@@ -25,6 +25,11 @@ type completion = {
   dc_ticket : int;  (** the caller's id for the task, echoed back *)
   dc_report : Ndroid_report.Verdict.report;
   dc_seconds : float;  (** analysis wall time inside the domain *)
+  dc_events : Ndroid_obs.Stream.event list;
+      (** the task's throttled event stream — empty unless {!set_trace}
+          armed a tap before the task was claimed *)
+  dc_dropped : int;  (** throttle-suppressed events for this task *)
+  dc_lost : int;  (** events lost to ring wraparound for this task *)
 }
 
 val create : ?domains:int -> service:Analysis.service -> unit -> t
@@ -53,6 +58,13 @@ val drain : t -> completion list
 
 val notify_fd : t -> Unix.file_descr
 (** Readable whenever completions may be pending; {!drain} empties it. *)
+
+val set_trace : t -> int option -> unit
+(** Arm ([Some window], in event-seq units) or disarm ([None]) live
+    streaming: each subsequently-claimed task drains its ring through a
+    fresh per-task {!Ndroid_obs.Stream.tap} and returns the surviving
+    events on its completion.  Tasks already mid-analysis keep the
+    setting they started with. *)
 
 val domains : t -> int
 val steals : t -> int

@@ -40,6 +40,7 @@ type stats = {
   s_jni_crossings : int;
   s_focused_methods : int;
   s_skipped_bytecodes : int;
+  s_ring_overwritten : int;
   s_metrics : Json.t;
 }
 
@@ -316,6 +317,9 @@ let run cfg tasks =
          let parsed =
            match Json.of_string payload with
            | Error _ -> None
+           (* the batch pool never requests streaming, but a shared worker
+              binary could still emit trace frames — they are not results *)
+           | Ok j when Json.member "trace" j <> None -> None
            | Ok j ->
              let id = Option.bind (Json.member "id" j) Json.int in
              let seconds =
@@ -504,6 +508,8 @@ let run cfg tasks =
       s_jni_crossings = jni_crossings;
       s_focused_methods = focused_methods;
       s_skipped_bytecodes = skipped_bytecodes;
+      s_ring_overwritten =
+        Metrics.value (Metrics.counter metrics "ring_overwritten");
       s_metrics = Metrics.to_json metrics } )
 
 let run_inline ?cache ?obs ?progress tasks =

@@ -105,6 +105,10 @@ type stats = {
   s_skipped_bytecodes : int;
       (** bytecodes interpreted before focus activation — the work hybrid
           runs performed untracked *)
+  s_ring_overwritten : int;
+      (** obs-ring events lost to wraparound across every worker in the
+          sweep (the merged ["ring_overwritten"] counter) — the size of
+          the post-hoc provenance gap, attributable instead of silent *)
   s_metrics : Ndroid_report.Json.t;
       (** the sweep-wide observability registry
           ({!Ndroid_obs.Metrics.to_json} shape): every worker's per-task

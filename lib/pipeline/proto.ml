@@ -1,5 +1,6 @@
 module Json = Ndroid_report.Json
 module Verdict = Ndroid_report.Verdict
+module Stream = Ndroid_obs.Stream
 
 type submit = {
   sb_req : int;
@@ -7,19 +8,38 @@ type submit = {
   sb_mode : Task.mode;
   sb_deadline : float option;
   sb_fault : Task.fault option;
+  sb_trace : bool;
+}
+
+type subscribe = {
+  su_cats : string list;
+  su_app : string option;
+  su_window : int;
+}
+
+type trace = {
+  tc_req : int;
+  tc_app : string;
+  tc_events : Stream.event list;
+  tc_dropped : int;
+  tc_lost : int;
 }
 
 type message =
   | Submit of submit
+  | Subscribe of subscribe
   | Verdict of { vd_req : int; vd_cached : bool; vd_seconds : float;
                  vd_report : Verdict.report }
   | Progress of { pg_req : int; pg_state : string; pg_depth : int }
+  | Trace of trace
   | Shed of { sh_req : int; sh_reason : string }
   | Error of string
 
 let tag_submit = 'S'
+let tag_subscribe = 'F'
 let tag_verdict = 'V'
 let tag_progress = 'P'
+let tag_trace = 'T'
 let tag_shed = 'X'
 let tag_error = 'E'
 
@@ -34,7 +54,23 @@ let to_tag_payload = function
            match s.sb_deadline with
            | Some d -> Json.Float d
            | None -> Json.Null);
-          ("fault", Task.fault_to_json s.sb_fault) ] )
+          ("fault", Task.fault_to_json s.sb_fault);
+          ("trace", Json.Bool s.sb_trace) ] )
+  | Subscribe s ->
+    ( tag_subscribe,
+      Json.Obj
+        [ ("cats", Json.List (List.map (fun c -> Json.Str c) s.su_cats));
+          ("app",
+           match s.su_app with Some re -> Json.Str re | None -> Json.Null);
+          ("window", Json.Int s.su_window) ] )
+  | Trace t ->
+    ( tag_trace,
+      Json.Obj
+        [ ("req", Json.Int t.tc_req);
+          ("app", Json.Str t.tc_app);
+          ("events", Json.List (List.map Stream.event_json t.tc_events));
+          ("dropped", Json.Int t.tc_dropped);
+          ("lost", Json.Int t.tc_lost) ] )
   | Verdict v ->
     ( tag_verdict,
       Json.Obj
@@ -94,10 +130,52 @@ let decode_submit j =
     | _ -> None
   in
   let* fault = Task.fault_of_json (Json.member "fault" j) in
+  let trace =
+    Option.value ~default:false
+      (Option.bind (Json.member "trace" j) Json.bool)
+  in
   Ok
     (Submit
        { sb_req = req; sb_subject = subject; sb_mode = mode;
-         sb_deadline = deadline; sb_fault = fault })
+         sb_deadline = deadline; sb_fault = fault; sb_trace = trace })
+
+let decode_subscribe j =
+  let cats =
+    match Option.bind (Json.member "cats" j) Json.list with
+    | None -> []
+    | Some l -> List.filter_map Json.str l
+  in
+  let app = Option.bind (Json.member "app" j) Json.str in
+  let window =
+    Option.value ~default:0 (Option.bind (Json.member "window" j) Json.int)
+  in
+  Ok (Subscribe { su_cats = cats; su_app = app; su_window = window })
+
+let decode_trace j =
+  let* req = req_int "req" j in
+  let* app = req_str "app" j in
+  let* events =
+    match Option.bind (Json.member "events" j) Json.list with
+    | None -> Error "trace is missing its \"events\""
+    | Some l ->
+      List.fold_left
+        (fun acc ej ->
+          let* evs = acc in
+          let* ev = Stream.event_of_json ej in
+          Ok (ev :: evs))
+        (Ok []) l
+      |> Result.map List.rev
+  in
+  let dropped =
+    Option.value ~default:0 (Option.bind (Json.member "dropped" j) Json.int)
+  in
+  let lost =
+    Option.value ~default:0 (Option.bind (Json.member "lost" j) Json.int)
+  in
+  Ok
+    (Trace
+       { tc_req = req; tc_app = app; tc_events = events;
+         tc_dropped = dropped; tc_lost = lost })
 
 let decode_verdict j =
   let* req = req_int "req" j in
@@ -142,8 +220,10 @@ let of_frame frame =
   let* tag, payload = Wire.parse_tagged frame in
   let* j = Json.of_string payload in
   if tag = tag_submit then decode_submit j
+  else if tag = tag_subscribe then decode_subscribe j
   else if tag = tag_verdict then decode_verdict j
   else if tag = tag_progress then decode_progress j
+  else if tag = tag_trace then decode_trace j
   else if tag = tag_shed then decode_shed j
   else if tag = tag_error then decode_error j
   else Error (Printf.sprintf "unknown message tag %C" tag)

@@ -1,13 +1,16 @@
 (** The service protocol: typed request/response messages over {!Wire}'s
-    v1 tagged frames.
+    tagged frames (currently v2).
 
     A client submits analysis requests ([Submit]) on the daemon's Unix
     socket and reads a stream of responses: at most one terminal
     [Verdict] or [Shed] per request (matched by the client-chosen [req]
-    id, echoed back), with non-terminal [Progress] notes in between.
-    Payloads are canonical JSON reusing the {!Ndroid_report} codecs —
-    the [report] member of a [Verdict] is byte-identical to the
-    corresponding element of `ndroid analyze --json` output.
+    id, echoed back), with non-terminal [Progress] — and, for tracing
+    clients, [Trace] — notes in between.  Payloads are canonical JSON
+    reusing the {!Ndroid_report} codecs — the [report] member of a
+    [Verdict] is byte-identical to the corresponding element of
+    `ndroid analyze --json` output, and [Trace] events ride the
+    {!Ndroid_obs.Stream.event_json} codec shared with the `--trace`
+    JSONL exporter.
 
     The version byte under every message (see {!Wire.parse_tagged})
     makes a stale client a decisive error, never a silent misparse. *)
@@ -23,10 +26,31 @@ type submit = {
       (** injected worker misbehaviour — service-layer tests and bench
           only.  Fault-marked requests are never answered from (or
           stored into) the cache. *)
+  sb_trace : bool;
+      (** stream this request's own events back as [Trace] frames
+          (req-matched) before the terminal response *)
+}
+
+type subscribe = {
+  su_cats : string list;  (** {!Ndroid_obs.Event.category} names; [[]] = all *)
+  su_app : string option;  (** anchored regex over app names, [None] = all *)
+  su_window : int;  (** per-(method, kind) throttle window, seq units *)
+}
+
+type trace = {
+  tc_req : int;  (** the requesting client's id, or [-1] on broadcast *)
+  tc_app : string;
+  tc_events : Ndroid_obs.Stream.event list;
+  tc_dropped : int;  (** cumulative throttle-suppressed, this stream *)
+  tc_lost : int;  (** cumulative shed to wraparound/backpressure *)
 }
 
 type message =
   | Submit of submit  (** client → server *)
+  | Subscribe of subscribe
+      (** client → server: turn this connection into a live trace
+          subscriber; every analysis the daemon runs fans matching
+          events back as broadcast [Trace] frames *)
   | Verdict of { vd_req : int;
                  vd_cached : bool;  (** answered from the warm cache *)
                  vd_seconds : float;  (** analysis seconds (0 if cached) *)
@@ -35,6 +59,10 @@ type message =
   | Progress of { pg_req : int; pg_state : string; pg_depth : int }
       (** non-terminal note, e.g. ["queued"] with the client's queue
           depth at admission *)
+  | Trace of trace
+      (** non-terminal: a bounded batch of events from a running (or
+          just-finished) analysis.  Never blocks analysis: a slow
+          subscriber sheds frames, counted in [tc_lost]. *)
   | Shed of { sh_req : int; sh_reason : string }
       (** terminal response: admission refused the request (queue at
           capacity).  Resubmit later — shedding is the overload contract,

@@ -1,5 +1,7 @@
 module Json = Ndroid_report.Json
 module Verdict = Ndroid_report.Verdict
+module Event = Ndroid_obs.Event
+module Stream = Ndroid_obs.Stream
 
 type config = {
   s_socket : string;
@@ -9,21 +11,24 @@ type config = {
   s_max_clients : int;
   s_deadline : float option;
   s_engine : Engine.t;
+  s_stream_buf : int;
   s_log : (string -> unit) option;
   s_stop : (unit -> bool) option;
 }
 
 let config ~socket ?(jobs = 1) ?cache ?(depth = 256) ?(max_clients = 16)
-    ?deadline ?(engine = Engine.Fork) ?log ?stop () =
+    ?deadline ?(engine = Engine.Fork) ?(stream_buf = 262144) ?log ?stop () =
   if depth < 1 then invalid_arg "Server.config: depth must be >= 1";
   if max_clients < 1 then invalid_arg "Server.config: max_clients must be >= 1";
+  if stream_buf < 1 then
+    invalid_arg "Server.config: stream_buf must be >= 1";
   (if engine = Engine.Domains && deadline <> None then
      invalid_arg
        "Server.config: a default deadline needs the forked engine (domains \
         cannot be killed at a deadline)");
   { s_socket = socket; s_jobs = max 1 jobs; s_cache = cache; s_depth = depth;
     s_max_clients = max_clients; s_deadline = deadline; s_engine = engine;
-    s_log = log; s_stop = stop }
+    s_stream_buf = stream_buf; s_log = log; s_stop = stop }
 
 type stats = {
   sv_requests : int;
@@ -37,14 +42,34 @@ type stats = {
   sv_respawns : int;
   sv_evictions : int;
   sv_clients : int;
+  sv_subscribers : int;
+  sv_trace_events : int;
+  sv_trace_dropped : int;
+  sv_trace_lost : int;
 }
 
 (* ---- internal state ---- *)
 
 (* One client's claim on a pending analysis.  The client is addressed by
    (slot, generation): slots are reused after a disconnect, and a verdict
-   for a departed client must never reach its slot's next tenant. *)
-type waiter = { w_slot : int; w_gen : int; w_req : int }
+   for a departed client must never reach its slot's next tenant.
+   [w_trace] marks a Submit that asked for its own event stream: the
+   entry's trace frames are delivered to it req-matched, unthrottled. *)
+type waiter = { w_slot : int; w_gen : int; w_req : int; w_trace : bool }
+
+(* A connection that sent Subscribe: every analysis fans its surviving
+   events here as broadcast Trace frames, filtered and throttled per
+   subscriber.  The cumulative counters ride every frame so the client
+   can report exact loss without a side channel. *)
+type sub = {
+  sb_cats : string list;  (* category filter; [] = all *)
+  sb_regexp : Str.regexp option;  (* anchored app-name filter *)
+  sb_window : int;  (* requested throttle window, seq units *)
+  sb_throttle : Stream.throttle;  (* per-subscriber, across all apps *)
+  mutable sb_updropped : int;  (* worker-side throttle drops, summed *)
+  mutable sb_uplost : int;  (* worker-side wraparound losses, summed *)
+  mutable sb_lost : int;  (* events shed here on outbound backpressure *)
+}
 
 (* A pending or in-flight analysis.  Single-flight: concurrent Submits
    whose digests collide all attach as waiters to the first entry — the
@@ -65,6 +90,7 @@ type client = {
   cl_reader : Wire.reader;
   mutable cl_out : string;  (* encoded frames not yet written *)
   mutable cl_closing : bool;  (* close once cl_out drains *)
+  mutable cl_sub : sub option;  (* live trace subscription, if any *)
 }
 
 type worker = {
@@ -106,6 +132,8 @@ let serve cfg =
   let coalesced = ref 0 and analyses = ref 0 in
   let shed = ref 0 and crashed = ref 0 and timeouts = ref 0 in
   let respawns = ref 0 and clients_total = ref 0 in
+  let subscribers = ref 0 in
+  let trace_events = ref 0 and trace_dropped = ref 0 and trace_lost = ref 0 in
   let next_task_id = ref 0 in
   let next_gen = ref 0 in
   let queue : entry Shard_queue.t =
@@ -262,6 +290,109 @@ let serve cfg =
         deliver_waiter w (msg_of_waiter w))
       (List.rev e.e_waiters)
   in
+  (* ---- trace fan-out: shed, never stall ---- *)
+  (* A trace frame is queued only if the client's outbound buffer stays
+     under the stream bound; otherwise the whole frame is shed and its
+     events counted lost.  Verdicts never go through this gate — only
+     trace frames are expendable. *)
+  let queue_trace (c : client) msg =
+    if c.cl_closing then false
+    else begin
+      let frame = Bytes.unsafe_to_string (Proto.to_frame msg) in
+      if String.length c.cl_out + String.length frame > cfg.s_stream_buf then
+        false
+      else begin
+        c.cl_out <- c.cl_out ^ frame;
+        flush_client c;
+        true
+      end
+    end
+  in
+  let sub_wants_app (s : sub) app =
+    match s.sb_regexp with
+    | None -> true
+    | Some re -> Str.string_match re app 0
+  in
+  let sub_wants_cat (s : sub) (ev : Stream.event) =
+    s.sb_cats = [] || List.mem (Event.category ev.Stream.ev_kind) s.sb_cats
+  in
+  let deliver_sub (c : client) (s : sub) ~app ~events ~dropped ~lost =
+    if sub_wants_app s app then begin
+      s.sb_updropped <- s.sb_updropped + dropped;
+      s.sb_uplost <- s.sb_uplost + lost;
+      let d0 = Stream.dropped s.sb_throttle in
+      let kept =
+        List.filter
+          (fun ev -> sub_wants_cat s ev && Stream.admit s.sb_throttle ev)
+          events
+      in
+      trace_dropped := !trace_dropped + (Stream.dropped s.sb_throttle - d0);
+      if kept <> [] || dropped > 0 || lost > 0 then begin
+        let msg =
+          Proto.Trace
+            { tc_req = -1; tc_app = app; tc_events = kept;
+              tc_dropped = s.sb_updropped + Stream.dropped s.sb_throttle;
+              tc_lost = s.sb_uplost + s.sb_lost }
+        in
+        if not (queue_trace c msg) then begin
+          let n = List.length kept in
+          s.sb_lost <- s.sb_lost + n;
+          trace_lost := !trace_lost + n
+        end
+      end
+    end
+  in
+  let deliver_trace_waiters (e : entry) ~app ~events ~dropped ~lost =
+    List.iter
+      (fun (w : waiter) ->
+        if w.w_trace then
+          match clients.(w.w_slot) with
+          | Some c when c.cl_gen = w.w_gen ->
+            let msg =
+              Proto.Trace
+                { tc_req = w.w_req; tc_app = app; tc_events = events;
+                  tc_dropped = dropped; tc_lost = lost }
+            in
+            if not (queue_trace c msg) then
+              trace_lost := !trace_lost + List.length events
+          | _ -> ())
+      (List.rev e.e_waiters)
+  in
+  let fanout_trace ?entry ~app ~events ~dropped ~lost () =
+    trace_events := !trace_events + List.length events;
+    trace_dropped := !trace_dropped + dropped;
+    trace_lost := !trace_lost + lost;
+    (match entry with
+     | Some e -> deliver_trace_waiters e ~app ~events ~dropped ~lost
+     | None -> ());
+    Array.iter
+      (function
+        | Some c -> (
+          match c.cl_sub with
+          | Some s -> deliver_sub c s ~app ~events ~dropped ~lost
+          | None -> ())
+        | None -> ())
+      clients
+  in
+  (* The window the worker-side tap should run with: 0 (unthrottled) if a
+     waiter asked for its own stream, else the tightest-passing (minimum)
+     subscriber window; [None] when nobody is listening — the worker then
+     skips the tap entirely, which is what keeps an unsubscribed sweep at
+     its usual speed.  Per-subscriber windows still apply on fan-out. *)
+  let worker_window (e : entry) =
+    let best = ref None in
+    let demand w =
+      best := Some (match !best with None -> w | Some b -> min b w)
+    in
+    if List.exists (fun (w : waiter) -> w.w_trace) e.e_waiters then demand 0;
+    Array.iter
+      (function
+        | Some c -> (
+          match c.cl_sub with Some s -> demand s.sb_window | None -> ())
+        | None -> ())
+      clients;
+    !best
+  in
   (* ---- admission ---- *)
   let admit (c : client) (s : Proto.submit) =
     incr requests;
@@ -306,7 +437,8 @@ let serve cfg =
           (* single-flight: same digest already queued or running — attach
              and wait for the shared verdict *)
           entry.e_waiters <-
-            { w_slot = c.cl_slot; w_gen = c.cl_gen; w_req = s.Proto.sb_req }
+            { w_slot = c.cl_slot; w_gen = c.cl_gen; w_req = s.Proto.sb_req;
+              w_trace = s.Proto.sb_trace }
             :: entry.e_waiters;
           incr coalesced;
           queue_out c
@@ -318,7 +450,7 @@ let serve cfg =
             { e_task = task; e_key = key;
               e_waiters =
                 [ { w_slot = c.cl_slot; w_gen = c.cl_gen;
-                    w_req = s.Proto.sb_req } ];
+                    w_req = s.Proto.sb_req; w_trace = s.Proto.sb_trace } ];
               e_deadline = s.Proto.sb_deadline }
           in
           if Shard_queue.push queue ~shard:c.cl_slot entry then begin
@@ -346,8 +478,31 @@ let serve cfg =
   let handle_client_frame (c : client) frame =
     match Proto.of_frame frame with
     | Ok (Proto.Submit s) -> admit c s
+    | Ok (Proto.Subscribe s) -> (
+      match
+        match s.Proto.su_app with
+        | None -> Ok None
+        | Some re -> (
+          try Ok (Some (Str.regexp re))
+          with Failure e | Invalid_argument e ->
+            Error (Printf.sprintf "bad app regex %S: %s" re e))
+      with
+      | Error e ->
+        queue_out c (Proto.Error e);
+        c.cl_closing <- true
+      | Ok regexp ->
+        incr subscribers;
+        c.cl_sub <-
+          Some
+            { sb_cats = s.Proto.su_cats; sb_regexp = regexp;
+              sb_window = max 0 s.Proto.su_window;
+              sb_throttle = Stream.throttle ~window:(max 0 s.Proto.su_window);
+              sb_updropped = 0; sb_uplost = 0; sb_lost = 0 };
+        log "client %d subscribed to traces (window %d)" c.cl_slot
+          s.Proto.su_window)
     | Ok _ ->
-      queue_out c (Proto.Error "clients may only send Submit messages");
+      queue_out c
+        (Proto.Error "clients may only send Submit or Subscribe messages");
       c.cl_closing <- true
     | Error e ->
       (* decisive: version mismatches and garbage close the connection *)
@@ -364,10 +519,15 @@ let serve cfg =
         (match (entry.e_deadline, cfg.s_deadline) with
          | Some d, _ | None, Some d -> now () +. d
          | None, None -> infinity);
-      match
-        Wire.write_frame w.wk_task_w
-          (Json.to_string (Task.to_json entry.e_task))
-      with
+      (* the streaming request rides the task frame as an extra member the
+         worker understands and {!Task.of_json} ignores *)
+      let payload =
+        match (worker_window entry, Task.to_json entry.e_task) with
+        | Some win, Json.Obj fields ->
+          Json.Obj (fields @ [ ("trace", Json.Int win) ])
+        | _, j -> j
+      in
+      match Wire.write_frame w.wk_task_w (Json.to_string payload) with
       | () -> ()
       | exception Unix.Unix_error _ ->
         (* already dead; the EOF handler resolves the entry *)
@@ -418,9 +578,45 @@ let serve cfg =
     resolve_inflight w Verdict.Timeout;
     respawn w
   in
+  (* a worker's trace frame: decode once, deliver req-matched to the
+     entry's trace waiters and filtered/throttled to every subscriber.
+     Trace frames precede the result frame on the pipe, so events always
+     reach a tracing client before its verdict. *)
+  let handle_trace_payload (w : worker) tj =
+    let id =
+      Option.value ~default:(-1) (Option.bind (Json.member "id" tj) Json.int)
+    in
+    let app =
+      Option.value ~default:"?" (Option.bind (Json.member "app" tj) Json.str)
+    in
+    let events =
+      match Option.bind (Json.member "events" tj) Json.list with
+      | None -> []
+      | Some l ->
+        List.filter_map
+          (fun ej -> Result.to_option (Stream.event_of_json ej))
+          l
+    in
+    let dropped =
+      Option.value ~default:0 (Option.bind (Json.member "dropped" tj) Json.int)
+    in
+    let lost =
+      Option.value ~default:0 (Option.bind (Json.member "lost" tj) Json.int)
+    in
+    let entry =
+      match w.wk_inflight with
+      | Some e when e.e_task.Task.t_id = id -> Some e
+      | _ -> None
+    in
+    fanout_trace ?entry ~app ~events ~dropped ~lost ()
+  in
   let handle_result_frame (w : worker) payload =
     match Json.of_string payload with
     | Error _ -> ()
+    | Ok j when Json.member "trace" j <> None -> (
+      match Json.member "trace" j with
+      | Some tj -> handle_trace_payload w tj
+      | None -> ())
     | Ok j ->
       let id = Option.bind (Json.member "id" j) Json.int in
       let seconds =
@@ -463,6 +659,9 @@ let serve cfg =
         match Shard_queue.pop_rr queue with
         | None -> ()
         | Some entry ->
+          (* arm (or disarm) the pool's tap before the task can be
+             claimed; the window travels with the claim *)
+          Domain_pool.set_trace pool (worker_window entry);
           dom_slots.(ticket) <- Some entry;
           Domain_pool.submit pool ~ticket entry.e_task;
           go ())
@@ -477,6 +676,18 @@ let serve cfg =
         | Some entry ->
           dom_slots.(c.Domain_pool.dc_ticket) <- None;
           incr analyses;
+          (* events first, verdict second: same ordering contract as the
+             forked worker's pipe *)
+          if
+            c.Domain_pool.dc_events <> []
+            || c.Domain_pool.dc_dropped > 0
+            || c.Domain_pool.dc_lost > 0
+          then
+            fanout_trace ~entry
+              ~app:c.Domain_pool.dc_report.Verdict.r_app
+              ~events:c.Domain_pool.dc_events
+              ~dropped:c.Domain_pool.dc_dropped ~lost:c.Domain_pool.dc_lost
+              ();
           (* [Analysis.service_run] already stored a cacheable report *)
           resolve_entry entry (fun wtr ->
               Proto.Verdict
@@ -511,7 +722,7 @@ let serve cfg =
             Some
               { cl_slot = slot; cl_gen = !next_gen; cl_fd = fd;
                 cl_reader = Wire.create_reader (); cl_out = "";
-                cl_closing = false };
+                cl_closing = false; cl_sub = None };
           log "client %d connected" slot;
           loop ())
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
@@ -640,4 +851,8 @@ let serve cfg =
     sv_analyses = !analyses; sv_shed = !shed; sv_crashed = !crashed;
     sv_timeouts = !timeouts; sv_respawns = !respawns;
     sv_evictions = Analysis.service_evictions service;
-    sv_clients = !clients_total }
+    sv_clients = !clients_total;
+    sv_subscribers = !subscribers;
+    sv_trace_events = !trace_events;
+    sv_trace_dropped = !trace_dropped;
+    sv_trace_lost = !trace_lost }

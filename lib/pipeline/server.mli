@@ -30,6 +30,17 @@
     client saturating the daemon delays its own requests, not its
     neighbours'.
 
+    {b Streaming.}  A connection that sends [Subscribe] becomes a live
+    trace subscriber: while any subscriber (or a [Submit] with its trace
+    flag) is attached, dispatched tasks carry a throttle window, the
+    workers tap their obs rings ({!Ndroid_obs.Stream}), and the daemon
+    fans the surviving events out as [Trace] frames — filtered and
+    throttled per subscriber, through the same nonblocking buffered
+    writes as everything else.  A subscriber that cannot keep up has
+    whole trace frames shed (counted in [sv_trace_lost] and on the
+    frames' cumulative counters); analyses are never blocked, and
+    verdicts are never shed by the stream bound.
+
     Isolation under the forked engine is the pool's: a worker crashing
     (or overrunning its deadline and being killed) yields a [Crashed] /
     [Timeout] verdict for that one request, and the worker slot is
@@ -45,6 +56,10 @@ type config = {
   s_deadline : float option;  (** default per-request budget, seconds
                                   (forces the forked engine) *)
   s_engine : Engine.t;  (** resolved once at startup; see above *)
+  s_stream_buf : int;
+      (** max buffered outbound bytes per client before a {e trace} frame
+          is shed instead of queued (verdicts are never shed by this
+          bound) — the slow-subscriber backpressure valve *)
   s_log : (string -> unit) option;  (** lifecycle lines (stderr in the CLI) *)
   s_stop : (unit -> bool) option;
       (** extra stop condition polled each loop turn (≤ 0.5 s latency) —
@@ -55,9 +70,10 @@ type config = {
 val config :
   socket:string -> ?jobs:int -> ?cache:Cache.t -> ?depth:int ->
   ?max_clients:int -> ?deadline:float -> ?engine:Engine.t ->
-  ?log:(string -> unit) -> ?stop:(unit -> bool) -> unit -> config
+  ?stream_buf:int -> ?log:(string -> unit) -> ?stop:(unit -> bool) -> unit ->
+  config
 (** [engine] defaults to {!Engine.Fork} (library compatibility; the CLI
-    passes [auto]).
+    passes [auto]); [stream_buf] to 256 KiB.
     @raise Invalid_argument on [~engine:Domains] with a [deadline] — a
     deadline is only enforceable by killing a forked worker. *)
 
@@ -80,6 +96,17 @@ type stats = {
   sv_respawns : int;  (** replacement workers forked *)
   sv_evictions : int;  (** warm-layer memo evictions over the lifetime *)
   sv_clients : int;  (** connections accepted over the lifetime *)
+  sv_subscribers : int;  (** [Subscribe] frames accepted over the lifetime *)
+  sv_trace_events : int;
+      (** events received from the engines' taps (before per-subscriber
+          filtering) *)
+  sv_trace_dropped : int;
+      (** events suppressed by throttle windows — worker-side taps plus
+          per-subscriber fan-out throttles *)
+  sv_trace_lost : int;
+      (** events shed rather than delivered: ring wraparound before the
+          tap drained, plus whole trace frames refused by a slow
+          subscriber's outbound bound.  Never blocks an analysis. *)
 }
 
 val serve : config -> stats

@@ -1,5 +1,9 @@
 let header_len = 4
-let protocol_version = 1
+
+(* v2 added the streaming-trace messages (Subscribe/Trace) and the
+   Submit "trace" flag; a v1 peer would misread those frames, so the
+   version byte went up. *)
+let protocol_version = 2
 
 let encode_len n =
   let b = Bytes.create header_len in
@@ -93,12 +97,12 @@ let drain r fd =
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
     `Eof (completed_frames r)
 
-(* ---- v1 tagged frames: the service protocol ---- *)
+(* ---- tagged frames: the service protocol ---- *)
 
-(* A v1 frame is an ordinary length-prefixed frame whose payload starts
+(* A tagged frame is an ordinary length-prefixed frame whose payload starts
    with two header bytes: the protocol version and a one-byte message tag.
    Reusing the v0 framing means the incremental [reader] above reassembles
-   v1 traffic unchanged; only the payload interpretation differs.  The
+   tagged traffic unchanged; only the payload interpretation differs.  The
    version byte exists so a stale client talking to a newer daemon (or
    vice versa) fails with one decisive error instead of silently
    misparsing JSON that happens to start plausibly. *)

@@ -10,11 +10,11 @@
     - {b v0 (bare)}: the payload is the message itself.  The pool's
       task/result pipes speak v0 — parent and workers are always the same
       binary, so no version negotiation is needed on that fast path.
-    - {b v1 (tagged)}: the payload starts with a protocol-version byte and
-      a one-byte message tag ({!write_tagged} / {!parse_tagged}).  The
-      service socket speaks v1, because daemon and client can be different
-      binaries: a version mismatch must be one decisive error, never a
-      silent misparse. *)
+    - {b tagged}: the payload starts with a protocol-version byte and a
+      one-byte message tag ({!write_tagged} / {!parse_tagged}).  The
+      service socket speaks tagged frames (currently v2), because daemon
+      and client can be different binaries: a version mismatch must be
+      one decisive error, never a silent misparse. *)
 
 val write_frame : Unix.file_descr -> string -> unit
 (** Whole frame, retrying short writes.  Raises [Unix.Unix_error] (e.g.
@@ -35,7 +35,7 @@ val drain : reader -> Unix.file_descr ->
     frame completed by those bytes (often none or several).  [`Eof] carries
     the final complete frames; a trailing torn frame is discarded. *)
 
-(** {1 v1 tagged frames} *)
+(** {1 Tagged frames} *)
 
 val protocol_version : int
 (** The service-protocol generation this binary speaks.  Bump on any

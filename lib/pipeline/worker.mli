@@ -7,7 +7,15 @@
     [{id; seconds; metrics; report}] to [result_w].  EOF on [task_r] is
     the shutdown signal.  Fault markers on a task are acted on here —
     crash, self-SIGKILL, hang, or sleep-then-analyze — which is what the
-    crash-isolation and service-layer tests inject. *)
+    crash-isolation and service-layer tests inject.
+
+    When the task frame carries a ["trace"] member (a throttle window in
+    event-seq units; the {!Server} adds it while trace subscribers are
+    attached), the worker drains the task's ring through a
+    {!Ndroid_obs.Stream.tap} and writes the surviving events as
+    [{"trace": {id; app; events; dropped; lost}}] frames — batched, and
+    always *before* the result frame, so the daemon fans them out ahead
+    of the verdict. *)
 
 val loop : Unix.file_descr -> Unix.file_descr -> unit
 (** [loop task_r result_w] never returns: it [_exit]s when the task pipe

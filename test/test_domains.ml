@@ -18,6 +18,7 @@ module Proto = Ndroid_pipeline.Proto
 module Server = Ndroid_pipeline.Server
 module Market = Ndroid_corpus.Market
 module Registry = Ndroid_apps.Registry
+module Stream = Ndroid_obs.Stream
 
 let slice n = Task.of_market_slice (Market.scaled n)
 
@@ -32,6 +33,76 @@ let json_of reports =
   Json.to_string (Verdict.reports_to_json (Array.to_list reports))
 
 let report_json r = Json.to_string (Verdict.report_to_json r)
+
+(* ---- stream differential: both engines, identical event streams ----
+
+   The fork half runs first (it forks a daemon, which is only legal before
+   any domain exists); the domains half runs at the end of the suite and
+   compares against the stream the fork half left here. *)
+
+let stream_apps = [ "case1"; "case2"; "QQPhoneBook3.5" ]
+let fork_streams : string list list option ref = ref None
+
+(* one inline-traced submission per app, events as canonical JSON lines *)
+let streams_of_daemon socket =
+  let c =
+    match Proto.Client.connect ~retry_for:10.0 socket with
+    | Ok c ->
+      Unix.setsockopt_float (Proto.Client.fd c) Unix.SO_RCVTIMEO 30.0;
+      c
+    | Error e -> Alcotest.failf "connect: %s" e
+  in
+  let one i name =
+    Proto.Client.send c
+      (Proto.Submit
+         { sb_req = i; sb_subject = Task.Bundled name; sb_mode = Task.Hybrid;
+           sb_deadline = None; sb_fault = None; sb_trace = true });
+    let rec go acc =
+      match Proto.Client.recv c with
+      | Error e -> Alcotest.failf "recv: %s" e
+      | Ok (Proto.Trace tc) ->
+        go
+          (acc
+          @ List.map
+              (fun ev -> Json.to_string (Stream.event_json ev))
+              tc.Proto.tc_events)
+      | Ok (Proto.Verdict _) -> acc
+      | Ok (Proto.Progress _) -> go acc
+      | Ok _ -> Alcotest.fail "unexpected message"
+    in
+    go []
+  in
+  let streams = List.mapi one stream_apps in
+  Proto.Client.close c;
+  streams
+
+let test_stream_differential_fork_half () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ndroid-test-stream-fork-%d.sock" (Unix.getpid ()))
+  in
+  match Unix.fork () with
+  | 0 ->
+    (try
+       ignore
+         (Server.serve
+            (Server.config ~socket ~jobs:1 ~engine:Engine.Fork ()))
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        try Unix.unlink socket with Unix.Unix_error _ -> ())
+      (fun () ->
+        let streams = streams_of_daemon socket in
+        List.iter2
+          (fun name s ->
+            Alcotest.(check bool) (name ^ ": fork engine streamed") true
+              (s <> []))
+          stream_apps streams;
+        fork_streams := Some streams)
 
 (* ---- engine parity (forks: must stay the first test of this suite) ---- *)
 
@@ -228,7 +299,8 @@ let test_single_flight () =
       Proto.Client.send c
         (Proto.Submit
            { sb_req = req; sb_subject = task.Task.t_subject;
-             sb_mode = task.Task.t_mode; sb_deadline = None; sb_fault = None })
+             sb_mode = task.Task.t_mode; sb_deadline = None; sb_fault = None;
+             sb_trace = false })
     done;
     let coalesced = ref 0 in
     let verdicts = ref [] in
@@ -300,7 +372,7 @@ let test_domains_daemon_sheds_isolation () =
         (Proto.Submit
            { sb_req = 0; sb_subject = task.Task.t_subject;
              sb_mode = task.Task.t_mode; sb_deadline = Some 0.5;
-             sb_fault = None });
+             sb_fault = None; sb_trace = false });
       (match Proto.Client.recv c with
        | Ok (Proto.Shed _) -> ()
        | _ -> Alcotest.fail "deadline-bearing submit must shed");
@@ -308,7 +380,8 @@ let test_domains_daemon_sheds_isolation () =
       Proto.Client.send c
         (Proto.Submit
            { sb_req = 1; sb_subject = task.Task.t_subject;
-             sb_mode = task.Task.t_mode; sb_deadline = None; sb_fault = None });
+             sb_mode = task.Task.t_mode; sb_deadline = None; sb_fault = None;
+             sb_trace = false });
       let rec wait_verdict () =
         match Proto.Client.recv c with
         | Ok (Proto.Verdict v) ->
@@ -323,8 +396,118 @@ let test_domains_daemon_sheds_isolation () =
   | _ -> Alcotest.fail "domains + default deadline must be rejected"
   | exception Invalid_argument _ -> ()
 
+(* ---- streaming under the domain engine ---- *)
+
+let with_domains_daemon ?(jobs = 1) ?stream_buf name f =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ndroid-test-%s-%d.sock" name (Unix.getpid ()))
+  in
+  let stop = Atomic.make false in
+  let cfg =
+    Server.config ~socket ~jobs ~engine:Engine.Domains ?stream_buf
+      ~stop:(fun () -> Atomic.get stop)
+      ()
+  in
+  let daemon = Domain.spawn (fun () -> Server.serve cfg) in
+  match f socket with
+  | exception e ->
+    Atomic.set stop true;
+    ignore (Domain.join daemon);
+    raise e
+  | v ->
+    Atomic.set stop true;
+    (Domain.join daemon, v)
+
+let test_stream_differential_domains_half () =
+  let reference =
+    match !fork_streams with
+    | Some s -> s
+    | None -> Alcotest.fail "fork half of the differential did not run first"
+  in
+  let _, streams =
+    with_domains_daemon "stream-dom" (fun socket -> streams_of_daemon socket)
+  in
+  List.iteri
+    (fun i name ->
+      Alcotest.(check (list string)) (name ^ ": domains stream == fork stream")
+        (List.nth reference i) (List.nth streams i))
+    stream_apps
+
+let test_slow_subscriber_sheds_not_stalls () =
+  (* a subscriber that never reads, behind a deliberately tiny outbound
+     bound: every analysis still completes, verdicts stay bit-identical to
+     the unsubscribed inline run, and the undeliverable trace frames are
+     shed and counted — never queued without bound, never blocking *)
+  let tasks =
+    List.mapi
+      (fun i name ->
+        { Task.t_id = i; t_subject = Task.Bundled name; t_mode = Task.Hybrid;
+          t_fault = None })
+      stream_apps
+  in
+  let expected = List.map (fun r -> report_json r)
+      (Array.to_list (Pool.run_inline tasks))
+  in
+  let st, got =
+    with_domains_daemon ~stream_buf:256 "stream-slow" (fun socket ->
+        let sub =
+          match Proto.Client.connect ~retry_for:10.0 socket with
+          | Ok c -> c
+          | Error e -> Alcotest.failf "subscriber connect: %s" e
+        in
+        Proto.Client.send sub
+          (Proto.Subscribe { su_cats = []; su_app = None; su_window = 0 });
+        (* the subscriber never reads again; its frames cannot fit the
+           256-byte bound and must be shed *)
+        let c =
+          match Proto.Client.connect ~retry_for:10.0 socket with
+          | Ok c ->
+            Unix.setsockopt_float (Proto.Client.fd c) Unix.SO_RCVTIMEO 30.0;
+            c
+          | Error e -> Alcotest.failf "connect: %s" e
+        in
+        List.iter
+          (fun (t : Task.t) ->
+            Proto.Client.send c
+              (Proto.Submit
+                 { sb_req = t.Task.t_id; sb_subject = t.Task.t_subject;
+                   sb_mode = t.Task.t_mode; sb_deadline = None;
+                   sb_fault = None; sb_trace = false }))
+          tasks;
+        let got = Array.make (List.length tasks) "" in
+        let rec collect remaining =
+          if remaining > 0 then
+            match Proto.Client.recv c with
+            | Error e -> Alcotest.failf "recv: %s" e
+            | Ok (Proto.Verdict v) ->
+              got.(v.vd_req) <- report_json v.vd_report;
+              collect (remaining - 1)
+            | Ok (Proto.Progress _) -> collect remaining
+            | Ok (Proto.Shed s) -> Alcotest.failf "shed: %s" s.sh_reason
+            | Ok _ -> Alcotest.fail "unexpected message"
+        in
+        collect (List.length tasks);
+        Proto.Client.close c;
+        Proto.Client.close sub;
+        got)
+  in
+  List.iteri
+    (fun i e ->
+      Alcotest.(check string)
+        (Printf.sprintf "verdict %d bit-identical despite the subscriber" i)
+        e got.(i))
+    expected;
+  Alcotest.(check bool) "the engines streamed events" true
+    (st.Server.sv_trace_events > 0);
+  Alcotest.(check bool) "undeliverable frames shed and counted" true
+    (st.Server.sv_trace_lost > 0);
+  Alcotest.(check int) "one subscriber" 1 st.Server.sv_subscribers
+
 let suite =
-  [ Alcotest.test_case
+  [ Alcotest.test_case "daemon: fork engine streams (differential, half 1)"
+      `Quick test_stream_differential_fork_half;
+    Alcotest.test_case
       "engines: inline == fork == domains (bundled + market)" `Quick
       test_engine_differential;
     Alcotest.test_case "engines: auto resolves on isolation needs" `Quick
@@ -339,4 +522,9 @@ let suite =
     Alcotest.test_case "daemon: single-flight coalesces a herd" `Quick
       test_single_flight;
     Alcotest.test_case "daemon: domains engine sheds isolation needs" `Quick
-      test_domains_daemon_sheds_isolation ]
+      test_domains_daemon_sheds_isolation;
+    Alcotest.test_case
+      "daemon: both engines stream identical events (differential, half 2)"
+      `Quick test_stream_differential_domains_half;
+    Alcotest.test_case "daemon: slow subscriber sheds, never stalls" `Quick
+      test_slow_subscriber_sheds_not_stalls ]

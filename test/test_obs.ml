@@ -223,6 +223,152 @@ let test_flow_json_provenance_roundtrip () =
   Alcotest.(check bool) "no provenance key when empty" true
     (Json.member "provenance" (Flow.to_json (flow [])) = None)
 
+(* ---- live streaming: throttle, tap, codec ---- *)
+
+module Stream = Ndroid_obs.Stream
+
+let stream_kinds =
+  [| Event.K_invoke; Event.K_return; Event.K_jni_begin; Event.K_log;
+     Event.K_taint_reg; Event.K_source; Event.K_sink |]
+
+let mk_event i (n, k) =
+  { Stream.ev_seq = i; ev_kind = stream_kinds.(k);
+    ev_name = "m" ^ string_of_int n; ev_detail = ""; ev_addr = 0;
+    ev_taint = 0; ev_insn = "" }
+
+let throttle_gen =
+  QCheck.(pair (int_range 1 40)
+            (list_of_size Gen.(int_range 0 250)
+               (pair (int_bound 3)
+                  (int_bound (Array.length stream_kinds - 1)))))
+
+let run_throttle (window, picks) =
+  let events = List.mapi mk_event picks in
+  let th = Stream.throttle ~window in
+  let kept =
+    List.rev
+      (List.fold_left
+         (fun acc e -> if Stream.admit th e then e :: acc else acc)
+         [] events)
+  in
+  (events, th, kept)
+
+(* Throttling must keep the stream representative, not just smaller: for
+   every input event — kept or suppressed — some survivor with the same
+   (method, kind) key sits within one window of it. *)
+let prop_throttle_window =
+  QCheck.Test.make ~name:"throttle: a survivor within every window"
+    ~count:300 throttle_gen
+    (fun case ->
+      let events, _, kept = run_throttle case in
+      let window = fst case in
+      List.for_all
+        (fun (e : Stream.event) ->
+          List.exists
+            (fun (e' : Stream.event) ->
+              e'.Stream.ev_name = e.Stream.ev_name
+              && e'.Stream.ev_kind = e.Stream.ev_kind
+              && e'.Stream.ev_seq <= e.Stream.ev_seq
+              && e.Stream.ev_seq - e'.Stream.ev_seq < window)
+            kept)
+        events)
+
+(* Source and sink events are the verdict-grade facts; no window may ever
+   deduplicate one away. *)
+let prop_throttle_terminal =
+  QCheck.Test.make ~name:"throttle: terminal kinds always pass" ~count:300
+    throttle_gen
+    (fun case ->
+      let events, _, kept = run_throttle case in
+      let terminals l =
+        List.length
+          (List.filter (fun e -> Stream.terminal e.Stream.ev_kind) l)
+      in
+      terminals events = terminals kept)
+
+(* Shedding is accounted, never silent: the dropped counter is exactly the
+   events admit refused. *)
+let prop_throttle_dropped_exact =
+  QCheck.Test.make ~name:"throttle: dropped counts the suppressed exactly"
+    ~count:300 throttle_gen
+    (fun case ->
+      let events, th, kept = run_throttle case in
+      Stream.dropped th = List.length events - List.length kept)
+
+let test_tap_wraparound_accounting () =
+  let ring = Ring.create ~capacity:16 () in
+  let cap = Ring.capacity ring in
+  let tap = Stream.tap () in
+  for i = 0 to 9 do
+    Ring.emit_log ring (string_of_int i)
+  done;
+  Alcotest.(check int) "first drain sees everything" 10
+    (List.length (Stream.drain tap ring));
+  Alcotest.(check int) "nothing missed yet" 0 (Stream.tap_missed tap);
+  Alcotest.(check int) "nothing overwritten yet" 0 (Ring.overwritten ring);
+  for i = 0 to (3 * cap) - 1 do
+    Ring.emit_log ring (string_of_int i)
+  done;
+  let second = Stream.drain tap ring in
+  Alcotest.(check int) "drain bounded by capacity" cap (List.length second);
+  Alcotest.(check int) "reclaimed prefix counted as missed" (2 * cap)
+    (Stream.tap_missed tap);
+  Alcotest.(check int) "ring counts every overwrite" (10 + (2 * cap))
+    (Ring.overwritten ring);
+  (* a cleared ring restarts the seq clock: the cursor resets, the
+     monotonic counters do not *)
+  Ring.clear ring;
+  Alcotest.(check int) "overwritten survives clear" (10 + (2 * cap))
+    (Ring.overwritten ring);
+  Ring.emit_log ring "fresh";
+  Alcotest.(check int) "cleared ring restarts the cursor" 1
+    (List.length (Stream.drain tap ring));
+  Alcotest.(check int) "a restart is not loss" (2 * cap)
+    (Stream.tap_missed tap)
+
+(* Satellite 6: one codec.  A `--trace` JSONL file line and a streamed
+   event for the same ring cell must be byte-identical. *)
+let test_stream_codec_matches_jsonl () =
+  let ring = Ring.create ~capacity:64 ~tracing:true () in
+  Ring.emit_source ring ~name:"getDeviceId" ~cls:"Lt;" ~addr:0x4a0
+    ~taint:0x400;
+  Ring.emit_invoke ring "La;->f";
+  Ring.emit_jni_begin ring ~name:"La;->n" ~direction:"java->native"
+    ~taint:0x2;
+  Ring.emit_insn ring ~addr:0x1000 Event.dummy_insn;
+  Ring.emit_taint_mem ring ~addr:0x2a000000 ~taint:0x400;
+  Ring.emit_log ring "line";
+  Ring.emit_sink_begin ring ~sink:"send";
+  Ring.emit_sink_end ring ~sink:"send";
+  Ring.emit_jni_end ring ~name:"La;->n" ~direction:"java->native" ~taint:0x2;
+  let file_lines =
+    String.split_on_char '\n' (Export.to_jsonl_string ring)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let stream_lines =
+    List.map
+      (fun ev -> Json.to_string (Stream.event_json ev))
+      (Stream.drain (Stream.tap ()) ring)
+  in
+  Alcotest.(check (list string)) "stream lines byte-equal file lines"
+    file_lines stream_lines
+
+let prop_event_codec_roundtrip =
+  QCheck.Test.make ~name:"stream codec roundtrips every kind" ~count:300
+    QCheck.(quad small_nat
+              (int_bound (List.length Event.all_kinds - 1))
+              printable_string
+              (pair (int_bound 0xfffff) (int_bound 0xfff)))
+    (fun (seq, ki, name, (addr, taint)) ->
+      let ev =
+        { Stream.ev_seq = seq; ev_kind = List.nth Event.all_kinds ki;
+          ev_name = name; ev_detail = ""; ev_addr = addr; ev_taint = taint;
+          ev_insn = "" }
+      in
+      match Stream.event_of_json (Stream.event_json ev) with
+      | Ok ev' -> ev' = ev
+      | Error _ -> false)
+
 (* ---- pool metrics ---- *)
 
 let counter_of stats name =
@@ -272,6 +418,14 @@ let suite =
     Alcotest.test_case "flow-log: shim renders legacy lines" `Quick
       test_flow_log_shim;
     Alcotest.test_case "metrics: registries merge" `Quick test_metrics_merge;
+    QCheck_alcotest.to_alcotest prop_throttle_window;
+    QCheck_alcotest.to_alcotest prop_throttle_terminal;
+    QCheck_alcotest.to_alcotest prop_throttle_dropped_exact;
+    Alcotest.test_case "stream: tap accounts wraparound and clear" `Quick
+      test_tap_wraparound_accounting;
+    Alcotest.test_case "stream: codec byte-equal to jsonl export" `Quick
+      test_stream_codec_matches_jsonl;
+    QCheck_alcotest.to_alcotest prop_event_codec_roundtrip;
     Alcotest.test_case "provenance: every detection app explained" `Quick
       test_provenance_every_detection_app;
     Alcotest.test_case "provenance: flow json roundtrip" `Quick

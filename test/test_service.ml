@@ -13,6 +13,8 @@ module Wire = Ndroid_pipeline.Wire
 module Proto = Ndroid_pipeline.Proto
 module Server = Ndroid_pipeline.Server
 module Market = Ndroid_corpus.Market
+module Stream = Ndroid_obs.Stream
+module Event = Ndroid_obs.Event
 
 let contains ~affix s =
   let n = String.length affix and m = String.length s in
@@ -44,14 +46,31 @@ let test_proto_roundtrip () =
   let messages =
     [ Proto.Submit
         { sb_req = 3; sb_subject = subject; sb_mode = Task.Hybrid;
-          sb_deadline = Some 1.5; sb_fault = Some Task.Crash };
+          sb_deadline = Some 1.5; sb_fault = Some Task.Crash;
+          sb_trace = false };
       Proto.Submit
         { sb_req = 0; sb_subject = Task.Bundled "case1"; sb_mode = Task.Static;
-          sb_deadline = None; sb_fault = None };
+          sb_deadline = None; sb_fault = None; sb_trace = true };
       Proto.Verdict
         { vd_req = 7; vd_cached = true; vd_seconds = 0.25; vd_report = report };
       Proto.Progress { pg_req = 2; pg_state = "queued"; pg_depth = 5 };
       Proto.Shed { sh_req = 9; sh_reason = "queue at capacity" };
+      Proto.Subscribe
+        { su_cats = [ "jni"; "taint" ]; su_app = Some "case.*";
+          su_window = 4096 };
+      Proto.Subscribe { su_cats = []; su_app = None; su_window = 0 };
+      Proto.Trace
+        { tc_req = -1; tc_app = "case1";
+          tc_events =
+            [ { Stream.ev_seq = 0; ev_kind = Event.K_jni_begin;
+                ev_name = "La;->n"; ev_detail = "java->native"; ev_addr = 0;
+                ev_taint = 2; ev_insn = "" };
+              { Stream.ev_seq = 5; ev_kind = Event.K_log; ev_name = "line";
+                ev_detail = ""; ev_addr = 0; ev_taint = 0; ev_insn = "" } ];
+          tc_dropped = 3; tc_lost = 1 };
+      Proto.Trace
+        { tc_req = 2; tc_app = "case2"; tc_events = []; tc_dropped = 0;
+          tc_lost = 7 };
       Proto.Error "bad frame" ]
   in
   List.iter
@@ -165,12 +184,12 @@ let connect socket =
     Unix.setsockopt_float (Proto.Client.fd c) Unix.SO_RCVTIMEO 30.0;
     c
 
-let submit c ?deadline (t : Task.t) =
+let submit c ?deadline ?(trace = false) (t : Task.t) =
   Proto.Client.send c
     (Proto.Submit
        { sb_req = t.Task.t_id; sb_subject = t.Task.t_subject;
          sb_mode = t.Task.t_mode; sb_deadline = deadline;
-         sb_fault = t.Task.t_fault })
+         sb_fault = t.Task.t_fault; sb_trace = trace })
 
 (* next [n] terminal responses, in arrival order *)
 let collect c n =
@@ -330,6 +349,106 @@ let test_daemon_deadline () =
        | _ -> Alcotest.fail "daemon must outlive the deadline kill");
       Proto.Client.close c)
 
+(* ---- live streaming through the daemon ---- *)
+
+let hybrid_task name =
+  { Task.t_id = 0; t_subject = Task.Bundled name; t_mode = Task.Hybrid;
+    t_fault = None }
+
+(* A Submit with the trace flag streams its own events inline on the same
+   connection: every Trace frame arrives before the verdict, carries the
+   request id, and the stream crosses JNI in seq order. *)
+let test_daemon_inline_trace_stream () =
+  with_daemon ~jobs:1 (fun socket ->
+      let c = connect socket in
+      submit c ~trace:true (hybrid_task "case1");
+      let rec go events =
+        match Proto.Client.recv c with
+        | Error e -> Alcotest.failf "recv: %s" e
+        | Ok (Proto.Trace tc) ->
+          Alcotest.(check int) "inline frames carry the request id" 0
+            tc.Proto.tc_req;
+          go (events @ tc.Proto.tc_events)
+        | Ok (Proto.Verdict _) -> events
+        | Ok (Proto.Progress _) -> go events
+        | Ok _ -> Alcotest.fail "unexpected message"
+      in
+      let events = go [] in
+      Alcotest.(check bool) "events arrived before the verdict" true
+        (events <> []);
+      Alcotest.(check bool) "the stream crosses JNI" true
+        (List.exists
+           (fun (ev : Stream.event) -> ev.Stream.ev_kind = Event.K_jni_begin)
+           events);
+      let seqs = List.map (fun (ev : Stream.event) -> ev.Stream.ev_seq) events in
+      Alcotest.(check bool) "seq strictly ordered" true
+        (List.sort_uniq compare seqs = seqs);
+      Proto.Client.close c)
+
+(* A Subscribe connection gets every analysis broadcast, filtered to its
+   categories and app regexp, with req = -1; verdicts never land there. *)
+let test_daemon_broadcast_subscriber () =
+  with_daemon ~jobs:1 (fun socket ->
+      let sub = connect socket in
+      Proto.Client.send sub
+        (Proto.Subscribe
+           { su_cats = [ "jni" ]; su_app = Some "case.*"; su_window = 0 });
+      let c = connect socket in
+      submit c (hybrid_task "case1");
+      (match collect c 1 with
+       | [ (0, `Verdict _) ] -> ()
+       | _ -> Alcotest.fail "submitter expected one verdict");
+      (match Proto.Client.recv sub with
+       | Error e -> Alcotest.failf "subscriber recv: %s" e
+       | Ok (Proto.Trace tc) ->
+         Alcotest.(check int) "broadcast frames are request-less" (-1)
+           tc.Proto.tc_req;
+         Alcotest.(check string) "frames name the app" "case1"
+           tc.Proto.tc_app;
+         Alcotest.(check bool) "frame is non-empty" true
+           (tc.Proto.tc_events <> []);
+         List.iter
+           (fun (ev : Stream.event) ->
+             Alcotest.(check string) "category filter respected" "jni"
+               (Event.category ev.Stream.ev_kind))
+           tc.Proto.tc_events;
+         Alcotest.(check bool) "the jni lane has its begin" true
+           (List.exists
+              (fun (ev : Stream.event) ->
+                ev.Stream.ev_kind = Event.K_jni_begin)
+              tc.Proto.tc_events)
+       | Ok _ -> Alcotest.fail "subscriber expected a Trace frame");
+      Proto.Client.close sub;
+      Proto.Client.close c)
+
+(* The app regexp is a real gate: a subscriber watching a different app
+   sees no frames for this analysis, only the submitter's inline stream
+   exists.  (Asserting a negative over a live socket: the submitter's
+   verdict is the happens-after barrier — by then fan-out for the task is
+   done, and the subscriber's connection must hold nothing.) *)
+let test_daemon_subscriber_app_filter () =
+  with_daemon ~jobs:1 (fun socket ->
+      let sub = connect socket in
+      Proto.Client.send sub
+        (Proto.Subscribe
+           { su_cats = []; su_app = Some "no-such-app.*"; su_window = 0 });
+      let c = connect socket in
+      submit c (hybrid_task "case1");
+      (match collect c 1 with
+       | [ (0, `Verdict _) ] -> ()
+       | _ -> Alcotest.fail "submitter expected one verdict");
+      Unix.setsockopt_float (Proto.Client.fd sub) Unix.SO_RCVTIMEO 0.3;
+      (match Proto.Client.recv sub with
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+         ()  (* receive timeout: nothing was sent, as required *)
+       | Error _ -> ()
+       | Ok (Proto.Trace tc) ->
+         Alcotest.failf "filtered subscriber got %d events for %s"
+           (List.length tc.Proto.tc_events) tc.Proto.tc_app
+       | Ok _ -> Alcotest.fail "unexpected message");
+      Proto.Client.close sub;
+      Proto.Client.close c)
+
 (* ---- batch-side satellites ---- *)
 
 let test_inline_progress_uniform () =
@@ -379,6 +498,12 @@ let suite =
       test_daemon_survives_worker_kill;
     Alcotest.test_case "daemon: per-request deadline kills and recovers"
       `Quick test_daemon_deadline;
+    Alcotest.test_case "daemon: submit --trace streams before the verdict"
+      `Quick test_daemon_inline_trace_stream;
+    Alcotest.test_case "daemon: subscriber gets filtered broadcast frames"
+      `Quick test_daemon_broadcast_subscriber;
+    Alcotest.test_case "daemon: app regexp gates the broadcast" `Quick
+      test_daemon_subscriber_app_filter;
     Alcotest.test_case "pool: progress uniform across cache hits" `Quick
       test_inline_progress_uniform;
     Alcotest.test_case "pool: batch stats report zero shed" `Quick
